@@ -1,0 +1,107 @@
+"""E3 (§3, S2): up to 1,024 concurrent diagnostic tasks in real time.
+
+Two measurements:
+
+* **real engine**: register 1 -> 64 concurrent continuous queries over a
+  shared stream and measure per-query window cost — wCache sharing must
+  keep the marginal cost of an extra query far below the first one's;
+* **calibrated simulator**: extend the sweep to 1,024 tasks on a 16-node
+  deployment (the demo's setting), asserting per-window latency stays
+  flat (real-time processing is preserved).
+"""
+
+import pytest
+
+from repro.exastream import (
+    ClusterParameters,
+    ClusterSimulator,
+    GatewayServer,
+    StreamEngine,
+    calibrate,
+)
+from repro.relational import Column, SQLType
+from repro.streams import ListSource, Stream, StreamSchema
+
+
+def _engine(n_seconds=60, n_sensors=20):
+    schema = StreamSchema(
+        (
+            Column("ts", SQLType.REAL),
+            Column("sid", SQLType.INTEGER),
+            Column("val", SQLType.REAL),
+        ),
+        time_column="ts",
+    )
+    rows = [
+        (float(t), s, 50.0 + ((t * 7 + s * 13) % 23))
+        for t in range(n_seconds)
+        for s in range(n_sensors)
+    ]
+    engine = StreamEngine()
+    engine.register_stream(ListSource(Stream("S", schema), rows))
+    return engine
+
+
+def _run_concurrent(num_queries: int) -> tuple[float, float]:
+    engine = _engine()
+    gateway = GatewayServer(engine)
+    for index in range(num_queries):
+        threshold = 40 + (index % 20)
+        gateway.register(
+            f"SELECT w.sid AS s, AVG(w.val) AS m "
+            f"FROM timeSlidingWindow(S, 10, 5) AS w "
+            f"WHERE w.val > {threshold} GROUP BY w.sid",
+            name=f"q{index}",
+        )
+    seconds = gateway.run(keep_results=False)
+    return seconds, engine.cache.stats.hit_rate
+
+
+@pytest.mark.parametrize("num_queries", [1, 8, 32, 64])
+def test_real_engine_concurrency(benchmark, num_queries):
+    seconds, hit_rate = benchmark.pedantic(
+        _run_concurrent, args=(num_queries,), rounds=1, iterations=1
+    )
+    per_query = seconds / num_queries
+    print(
+        f"\n{num_queries} queries: {seconds:.3f}s total, "
+        f"{per_query * 1000:.1f}ms/query, cache hit rate {hit_rate:.0%}"
+    )
+    if num_queries > 1:
+        # windows are materialised once and shared
+        assert hit_rate > 0.5
+
+
+def test_marginal_query_cost_sublinear():
+    single, _ = _run_concurrent(1)
+    many, hit_rate = _run_concurrent(32)
+    # 32 queries must cost far less than 32x one query (wCache sharing)
+    assert many < single * 32 * 0.8, (single, many)
+    assert hit_rate > 0.9
+
+
+def test_simulated_1024_tasks(benchmark):
+    service = calibrate(500_000)  # conservative single-node calibration
+    simulator = ClusterSimulator(
+        ClusterParameters(nodes=16, tuple_service_seconds=service)
+    )
+
+    def sweep():
+        rows = []
+        for tasks in (1, 16, 128, 512, 1024):
+            result = simulator.run(
+                num_queries=tasks, windows_per_query=20, tuples_per_window=1000
+            )
+            rows.append(
+                (tasks, result.throughput,
+                 result.simulated_seconds / result.windows_processed)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\ntasks  tuples/s  sec/window")
+    for tasks, throughput, per_window in rows:
+        print(f"{tasks:>5} {throughput:>12,.0f} {per_window:.6f}")
+    latencies = [r[2] for r in rows]
+    # real-time claim: window latency does not blow up with 1024 tasks
+    assert latencies[-1] < latencies[0] * 3

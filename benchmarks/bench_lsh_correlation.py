@@ -1,0 +1,81 @@
+"""E9 (§2): LSH-based stream correlation vs the exact computation.
+
+OPTIQUE uses a Locality-Sensitive Hashing UDF "for computing the
+correlation between values of multiple streams".  We compare exact
+all-pairs Pearson with LSH banding over hundreds of stream windows:
+the LSH path must examine a small fraction of the pairs, find the
+injected correlated pairs, and estimate their coefficients accurately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.streams import LSHCorrelator, exact_pearson
+
+LENGTH = 128
+NUM_STREAMS = 300
+NUM_PLANTED = 5
+
+
+def _vectors():
+    rng = np.random.default_rng(42)
+    vectors = {}
+    for k in range(NUM_STREAMS - 2 * NUM_PLANTED):
+        vectors[f"n{k}"] = rng.standard_normal(LENGTH)
+    planted = []
+    for p in range(NUM_PLANTED):
+        latent = rng.standard_normal(LENGTH)
+        a, b = f"pa{p}", f"pb{p}"
+        vectors[a] = latent + 0.1 * rng.standard_normal(LENGTH)
+        vectors[b] = latent + 0.1 * rng.standard_normal(LENGTH)
+        planted.append((a, b))
+    return vectors, planted
+
+
+VECTORS, PLANTED = _vectors()
+
+
+def _exact_all_pairs():
+    names = list(VECTORS)
+    found = []
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            coefficient = exact_pearson(VECTORS[a], VECTORS[b])
+            if coefficient > 0.9:
+                found.append((a, b, coefficient))
+    return found
+
+
+def _lsh_pass():
+    lsh = LSHCorrelator(LENGTH, num_bits=512, bands=64, seed=5)
+    signatures = [lsh.signature(k, v) for k, v in VECTORS.items()]
+    return lsh, signatures, lsh.find_correlated(signatures, threshold=0.85)
+
+
+def test_exact_all_pairs(benchmark):
+    found = benchmark.pedantic(_exact_all_pairs, rounds=1, iterations=1)
+    names = {frozenset((a, b)) for a, b, _ in found}
+    assert all(frozenset(p) in names for p in PLANTED)
+
+
+def test_lsh_banding(benchmark):
+    lsh, signatures, found = benchmark.pedantic(
+        _lsh_pass, rounds=1, iterations=1
+    )
+    names = {frozenset((a, b)) for a, b, _ in found}
+    assert all(frozenset(p) in names for p in PLANTED)
+    candidates = lsh.candidate_pairs(signatures)
+    total = NUM_STREAMS * (NUM_STREAMS - 1) // 2
+    fraction = len(candidates) / total
+    print(f"\nLSH examined {len(candidates)}/{total} pairs ({fraction:.2%})")
+    assert fraction < 0.25  # prunes the vast majority of pairs
+
+
+def test_estimates_accurate():
+    lsh = LSHCorrelator(LENGTH, num_bits=1024, bands=64, seed=6)
+    for a, b in PLANTED:
+        estimate = lsh.estimate_correlation(
+            lsh.signature(a, VECTORS[a]), lsh.signature(b, VECTORS[b])
+        )
+        exact = exact_pearson(VECTORS[a], VECTORS[b])
+        assert estimate == pytest.approx(exact, abs=0.1)

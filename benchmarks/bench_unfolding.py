@@ -1,0 +1,92 @@
+"""E6 (§2): unfolding is linear in |mappings| + |query|.
+
+"STARQL unfolding is linear-time in the size of both mappings and query."
+We sweep the number of mapping assertions for one predicate and check
+the time and fleet size grow proportionally (each assertion contributes
+exactly one UNION block to an atomic query's fleet).
+"""
+
+import time
+
+import pytest
+
+from repro.mappings import (
+    MappingAssertion,
+    MappingCollection,
+    Template,
+    TemplateSpec,
+    Unfolder,
+)
+from repro.queries import ClassAtom, ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.rdf import IRI, Variable
+
+x = Variable("x")
+CLS = IRI("urn:e6#Turbine")
+
+
+def _collection(count: int) -> MappingCollection:
+    mc = MappingCollection()
+    for i in range(count):
+        mc.add(
+            MappingAssertion.for_class(
+                CLS,
+                TemplateSpec(Template(f"urn:e6/src{i}/{{id}}")),
+                f"SELECT id FROM source_{i}",
+                source_name=f"db{i % 4}",
+            )
+        )
+    return mc
+
+
+QUERY = UnionOfConjunctiveQueries(
+    (ConjunctiveQuery((x,), (ClassAtom(CLS, x),)),)
+)
+
+
+@pytest.mark.parametrize("count", [10, 100, 500])
+def test_unfold_scales_with_mappings(benchmark, count):
+    unfolder = Unfolder(_collection(count))
+    result = benchmark(unfolder.unfold, QUERY)
+    assert result.fleet_size == count  # one block per assertion: linear
+
+
+def test_linear_growth_curve():
+    timings = {}
+    for count in (100, 400):
+        unfolder = Unfolder(_collection(count))
+        start = time.perf_counter()
+        unfolder.unfold(QUERY)
+        timings[count] = time.perf_counter() - start
+    ratio = timings[400] / max(timings[100], 1e-9)
+    # 4x mappings -> ~4x time; allow generous noise but exclude quadratic
+    assert ratio < 12, timings
+
+
+def test_query_size_contributes_linearly():
+    """k atoms with single mappings -> one block, k-proportional work."""
+    mc = MappingCollection()
+    predicates = [IRI(f"urn:e6#P{i}") for i in range(8)]
+    for i, predicate in enumerate(predicates):
+        mc.add(
+            MappingAssertion.for_property(
+                predicate,
+                TemplateSpec(Template("urn:e6/x/{id}")),
+                TemplateSpec(Template("urn:e6/y/{oid}")),
+                f"SELECT id, oid FROM edge_{i}",
+            )
+        )
+    from repro.queries import PropertyAtom
+
+    variables = [Variable(f"v{i}") for i in range(9)]
+    atoms = tuple(
+        PropertyAtom(predicates[i], variables[i], variables[i + 1])
+        for i in range(8)
+    )
+    query = UnionOfConjunctiveQueries(
+        (ConjunctiveQuery(tuple(variables), atoms),)
+    )
+    result = Unfolder(mc).unfold(query)
+    assert result.fleet_size == 1
+    sql = result.sql()
+    assert sql.count("JOIN") == 0  # comma-join form
+    assert sql.count("edge_") == 8

@@ -1,0 +1,16 @@
+"""Shared fixtures for the benchmark suite."""
+
+import pytest
+
+from repro.siemens import FleetConfig, deploy, generate_fleet
+
+
+@pytest.fixture(scope="session")
+def small_fleet():
+    return generate_fleet(FleetConfig(turbines=6, plants=3, correlated_pairs=3))
+
+
+@pytest.fixture()
+def fresh_deployment(small_fleet):
+    """A new deployment per test (gateway state is not reusable)."""
+    return deploy(fleet=small_fleet, stream_duration=30)

@@ -1,0 +1,47 @@
+"""All 20 catalog tasks on live dashboards (Figure 3's monitoring view).
+
+Registers the complete diagnostic catalog against one deployment, runs
+it, and renders the per-task dashboard the demo shows to attendees.
+
+Run:  python examples/diagnostics_dashboard.py
+"""
+
+from repro.siemens import (
+    Dashboard,
+    FleetConfig,
+    deploy,
+    diagnostic_catalog,
+    generate_fleet,
+)
+
+
+def main() -> None:
+    fleet = generate_fleet(
+        FleetConfig(turbines=6, plants=3, correlated_pairs=3)
+    )
+    deployment = deploy(fleet=fleet, stream_duration=40)
+
+    catalog = diagnostic_catalog()
+    fleet_total = 0
+    for task in catalog:
+        _, translation = deployment.register_task(
+            task.starql, name=f"{task.task_id:02d}-{task.name}"[:28]
+        )
+        fleet_total += translation.fleet_size
+    print(f"registered {len(catalog)} STARQL diagnostic tasks "
+          f"({fleet_total} unfolded SQL blocks)\n")
+
+    dashboard = Dashboard()
+    seconds = deployment.gateway.run(
+        max_windows=15, on_result=dashboard.observe
+    )
+    print(dashboard.render())
+
+    stats = deployment.engine.cache.stats
+    print(f"\nran in {seconds:.2f}s; wCache: {stats.hits} hits / "
+          f"{stats.misses} misses (hit rate {stats.hit_rate:.0%}) — "
+          "20 concurrent tasks shared the same materialised windows")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Demo scenario S2: the performance showcase.
+
+Measures real single-node engine throughput, calibrates the cluster
+simulator with it, then reproduces the demo's two headline sweeps:
+
+* node scaling 1 -> 128 (throughput toward the 10M tuples/sec claim);
+* concurrency 1 -> 1024 registered diagnostic tasks.
+
+Run:  python examples/performance_showcase.py
+"""
+
+from repro.exastream import (
+    ClusterParameters,
+    ClusterSimulator,
+    GatewayServer,
+    StreamEngine,
+    calibrate,
+)
+from repro.relational import Column, SQLType
+from repro.streams import ListSource, Stream, StreamSchema
+
+
+def measured_single_node_throughput() -> float:
+    """Tuples/second of the real in-process engine on a windowed AVG."""
+    schema = StreamSchema(
+        (
+            Column("ts", SQLType.REAL),
+            Column("sid", SQLType.INTEGER),
+            Column("val", SQLType.REAL),
+        ),
+        time_column="ts",
+    )
+    rows = [
+        (float(t), s, 50.0 + (t * s) % 17)
+        for t in range(240)
+        for s in range(40)
+    ]
+    engine = StreamEngine()
+    engine.register_stream(ListSource(Stream("S", schema), rows))
+    gateway = GatewayServer(engine)
+    gateway.register(
+        "SELECT w.sid AS s, AVG(w.val) AS m "
+        "FROM timeSlidingWindow(S, 10, 5) AS w GROUP BY w.sid",
+        name="probe",
+    )
+    seconds = gateway.run(keep_results=False)
+    return engine.metrics.total_tuples_in / seconds
+
+
+def main() -> None:
+    throughput = measured_single_node_throughput()
+    print(f"measured single-node engine throughput: {throughput:,.0f} tuples/s")
+    service = calibrate(throughput)
+
+    print("\n== node scaling (fixed workload of 256 tasks) ==")
+    simulator = ClusterSimulator(
+        ClusterParameters(nodes=1, tuple_service_seconds=service)
+    )
+    results = simulator.sweep_nodes(
+        [1, 2, 4, 8, 16, 32, 64, 128],
+        num_queries=256,
+        windows_per_query=50,
+        tuples_per_window=2000,
+    )
+    base = results[0].throughput
+    print(f"{'nodes':>6} {'tuples/s':>15} {'speedup':>8} {'util':>6}")
+    for result in results:
+        print(
+            f"{result.nodes:>6} {result.throughput:>15,.0f} "
+            f"{result.throughput / base:>8.1f} {result.utilisation:>6.0%}"
+        )
+    print(f"peak simulated throughput: {results[-1].throughput:,.0f} tuples/s")
+
+    print("\n== concurrent diagnostic tasks (16 nodes) ==")
+    simulator = ClusterSimulator(
+        ClusterParameters(nodes=16, tuple_service_seconds=service)
+    )
+    print(f"{'tasks':>6} {'tuples/s':>15} {'sec/window':>12}")
+    for tasks in (1, 4, 16, 64, 256, 1024):
+        result = simulator.run(
+            num_queries=tasks, windows_per_query=20, tuples_per_window=2000
+        )
+        per_window = result.simulated_seconds / result.windows_processed
+        print(f"{tasks:>6} {result.throughput:>15,.0f} {per_window:>12.6f}")
+    print(
+        "\nthe per-window latency stays flat while registered tasks grow "
+        "to 1024 — the demo's 'thousand concurrent diagnostic tasks' claim"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Quickstart: the paper's Figure 1 end-to-end in ~80 lines.
+
+Builds a miniature deployment (ontology, mappings, one static table, one
+measurement stream), registers the monotonic-increase diagnostic task in
+STARQL, and shows all three evaluation stages: enrichment, unfolding and
+execution.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.optique import OptiquePlatform
+from repro.rdf import Namespace
+from repro.siemens import (
+    FleetConfig,
+    build_siemens_mappings,
+    build_siemens_ontology,
+    generate_fleet,
+)
+from repro.siemens.deployment import MONOTONIC_MACRO
+
+FIG1 = """
+PREFIX sie: <http://siemens.com/ontology#>
+PREFIX diag: <http://siemens.com/diagnostics#>
+CREATE STREAM S_out AS
+CONSTRUCT GRAPH NOW { ?c2 rdf:type diag:MonInc }
+FROM STREAM S_Msmt [NOW-"PT10S"^^xsd:duration, NOW]->"PT1S"^^xsd:duration,
+STATIC DATA <http://siemens.com/data>,
+ONTOLOGY <http://siemens.com/ontology>
+USING PULSE WITH FREQUENCY = "1S"
+WHERE {?c1 a sie:Assembly. ?c2 a sie:Sensor. ?c2 sie:inAssembly ?c1.}
+SEQUENCE BY StdSeq AS seq
+HAVING MONOTONIC.HAVING(?c2, sie:hasValue)
+"""
+
+
+def main() -> None:
+    # 1. a small synthetic fleet with one injected failure ramp
+    fleet = generate_fleet(FleetConfig(turbines=3, plants=2))
+    platform = OptiquePlatform(
+        ontology=build_siemens_ontology(),
+        mappings=build_siemens_mappings(),
+    )
+    platform.attach_database("plant", fleet.plant_db)
+    sensors = fleet.ramp_sensors[:1] + fleet.sensor_ids[:5]
+    platform.register_stream(
+        fleet.measurement_source(sensors, duration_seconds=25)
+    )
+    platform.register_macro(MONOTONIC_MACRO)
+
+    # 2. register the STARQL task: enrichment + unfolding happen here
+    task = platform.register_task(FIG1, name="fig1")
+    print("== STARQL (input) ==")
+    print(FIG1.strip())
+    print("\n== fleet of unfolded low-level queries ==")
+    print(f"{task.fleet_size} SQL block(s) over the static sources")
+    print("\n== generated SQL(+) ==")
+    print(task.translation.sql[:600], "...\n")
+
+    # 3. execute: the ramp sensor alone must raise diag:MonInc alerts
+    platform.run(max_windows=20)
+    alerts = task.alerts()
+    alerted = sorted({str(s).rsplit("/", 1)[-1] for s, _, _ in alerts})
+    print(f"alerts raised for sensors: {alerted}")
+    print(f"injected ramp sensor     : {fleet.ramp_sensors[0]}")
+    assert fleet.ramp_sensors[0] in alerted, "the ramp sensor must alert"
+    print("\nOK: the Figure 1 diagnostic task fires exactly on the ramp.")
+
+
+if __name__ == "__main__":
+    main()

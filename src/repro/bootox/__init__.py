@@ -1,0 +1,38 @@
+"""BOOTOX: bootstrapping ontologies and mappings from relational data."""
+
+from .alignment import (
+    AlignmentResult,
+    Correspondence,
+    align,
+    conservativity_violations,
+    match_classes,
+)
+from .direct import BootstrapResult, DirectMapper
+from .implicit_fk import ImplicitKey, apply_implicit_keys, discover_implicit_keys
+from .keywords import JoinTree, KeywordHit, KeywordMapper
+from .naming import camel_case, class_name_for_table, property_name_for_column
+from .provenance import ProvenanceCatalog, ProvenanceRecord
+from .quality import QualityReport, verify_deployment
+
+__all__ = [
+    "AlignmentResult",
+    "Correspondence",
+    "align",
+    "conservativity_violations",
+    "match_classes",
+    "BootstrapResult",
+    "DirectMapper",
+    "ImplicitKey",
+    "apply_implicit_keys",
+    "discover_implicit_keys",
+    "JoinTree",
+    "KeywordHit",
+    "KeywordMapper",
+    "camel_case",
+    "class_name_for_table",
+    "property_name_for_column",
+    "ProvenanceCatalog",
+    "ProvenanceRecord",
+    "QualityReport",
+    "verify_deployment",
+]

@@ -1,0 +1,165 @@
+"""Ontology importing and alignment.
+
+"BOOTOX also allows to incorporate third party OWL 2 ontologies in an
+existing OPTIQUE deployment using ontology alignment techniques" with
+"checks for undesired logical consequences" (the project's Year-2 notes
+call this the conservativity check).
+
+The matcher scores lexical similarity between class/property names; the
+checker verifies that adding the alignment axioms does not entail *new*
+subsumptions between two terms of the same input ontology (a violation
+of conservativity — almost always a sign of a wrong correspondence).
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from dataclasses import dataclass, field
+
+from ..ontology import (
+    AtomicClass,
+    Ontology,
+    Reasoner,
+    SubClassOf,
+)
+from ..rdf import IRI
+
+__all__ = ["Correspondence", "AlignmentResult", "align", "conservativity_violations"]
+
+
+@dataclass(frozen=True)
+class Correspondence:
+    """A candidate equivalence between two ontology terms."""
+
+    left: IRI
+    right: IRI
+    similarity: float
+
+    def axioms(self) -> list[SubClassOf]:
+        return [
+            SubClassOf(AtomicClass(self.left), AtomicClass(self.right)),
+            SubClassOf(AtomicClass(self.right), AtomicClass(self.left)),
+        ]
+
+
+@dataclass
+class AlignmentResult:
+    """Accepted/rejected correspondences plus the merged ontology."""
+
+    accepted: list[Correspondence]
+    rejected: list[tuple[Correspondence, str]]
+    merged: Ontology
+
+
+def _tokens(iri: IRI) -> list[str]:
+    name = iri.local_name
+    parts = re.findall(r"[A-Z]?[a-z0-9]+", name.replace("_", " ").replace("-", " "))
+    return [p.lower() for p in parts if p]
+
+
+def _similarity(a: IRI, b: IRI) -> float:
+    """Blend of string ratio and token Jaccard."""
+    name_a, name_b = a.local_name.lower(), b.local_name.lower()
+    ratio = difflib.SequenceMatcher(None, name_a, name_b).ratio()
+    tokens_a, tokens_b = set(_tokens(a)), set(_tokens(b))
+    if tokens_a or tokens_b:
+        jaccard = len(tokens_a & tokens_b) / len(tokens_a | tokens_b)
+    else:
+        jaccard = 0.0
+    return 0.6 * ratio + 0.4 * jaccard
+
+
+def match_classes(
+    left: Ontology, right: Ontology, threshold: float = 0.85
+) -> list[Correspondence]:
+    """Best-match class correspondences above the threshold (1:1)."""
+    candidates: list[Correspondence] = []
+    for a in sorted(left.classes, key=lambda i: i.value):
+        best: Correspondence | None = None
+        for b in sorted(right.classes, key=lambda i: i.value):
+            score = _similarity(a, b)
+            if score >= threshold and (best is None or score > best.similarity):
+                best = Correspondence(a, b, score)
+        if best is not None:
+            candidates.append(best)
+    # enforce 1:1 on the right side, keeping highest scores
+    candidates.sort(key=lambda c: -c.similarity)
+    taken: set[IRI] = set()
+    unique = []
+    for candidate in candidates:
+        if candidate.right in taken:
+            continue
+        taken.add(candidate.right)
+        unique.append(candidate)
+    return unique
+
+
+def conservativity_violations(
+    base: Ontology,
+    addition: list[SubClassOf],
+    scope: set[IRI],
+) -> list[tuple[IRI, IRI]]:
+    """New subsumptions among ``scope`` terms caused by ``addition``.
+
+    Implements the "undesired logical consequences" check: classify the
+    ontology before and after adding the axioms, and report any
+    subsumption between two scope terms that appears only after.
+    """
+    before = Reasoner(base).classify()
+    extended = Ontology(iri=base.iri)
+    extended.extend(base.axioms)
+    extended.extend(addition)
+    after = Reasoner(extended).classify()
+    violations = []
+    for cls in sorted(scope, key=lambda i: i.value):
+        new_superclasses = after.get(cls, set()) - before.get(cls, set())
+        for sup in sorted(new_superclasses, key=lambda i: i.value):
+            if sup in scope and sup != cls:
+                violations.append((cls, sup))
+    return violations
+
+
+def align(
+    deployment: Ontology,
+    imported: Ontology,
+    threshold: float = 0.85,
+) -> AlignmentResult:
+    """Align and import a third-party ontology into a deployment.
+
+    Each candidate correspondence is admitted only when it causes no
+    conservativity violation w.r.t. either input ontology; admitted
+    axioms are added incrementally so later candidates are checked
+    against earlier ones.
+    """
+    merged = Ontology(iri=deployment.iri)
+    merged.extend(deployment.axioms)
+    merged.classes |= deployment.classes
+    merged.object_properties |= deployment.object_properties
+    merged.data_properties |= deployment.data_properties
+    merged.extend(imported.axioms)
+    merged.classes |= imported.classes
+    merged.object_properties |= imported.object_properties
+    merged.data_properties |= imported.data_properties
+
+    accepted: list[Correspondence] = []
+    rejected: list[tuple[Correspondence, str]] = []
+    for candidate in match_classes(deployment, imported, threshold):
+        axioms = candidate.axioms()
+        bad = conservativity_violations(
+            merged, axioms, deployment.classes
+        ) + conservativity_violations(merged, axioms, imported.classes)
+        if bad:
+            rejected.append(
+                (
+                    candidate,
+                    "introduces "
+                    + ", ".join(
+                        f"{a.local_name} ⊑ {b.local_name}" for a, b in bad[:3]
+                    ),
+                )
+            )
+            continue
+        merged.extend(axioms)
+        accepted.append(candidate)
+    return AlignmentResult(accepted, rejected, merged)

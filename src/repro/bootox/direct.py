@@ -1,0 +1,283 @@
+"""The direct-mapping bootstrapper.
+
+"BOOTOX can map two tables like Turbine and Country into classes by
+projecting them on primary keys, and the attribute locatedIn of Turbine
+into an object property between these two classes if there is either an
+explicit or implicit foreign key between Turbine and Country."
+
+Given relational (and stream) schemas, this module emits:
+
+* one OWL class per table, with an IRI-template subject map over the
+  primary key;
+* one object property per foreign key (domain/range axioms included);
+* one data property per remaining column, with XSD datatypes derived
+  from the SQL types;
+* R2RML-style mapping assertions for all of the above — stream schemas
+  yield ``is_stream`` mappings whose logical tables read the stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..mappings import (
+    ColumnSpec,
+    MappingAssertion,
+    MappingCollection,
+    Template,
+    TemplateSpec,
+)
+from ..ontology import (
+    AtomicClass,
+    Attribute,
+    Existential,
+    Ontology,
+    Role,
+    SubClassOf,
+)
+from ..rdf import IRI, Namespace, XSD
+from ..relational import Column, ForeignKey, Schema, SQLType, Table
+from ..streams import StreamSchema
+from .naming import class_name_for_table, property_name_for_column
+
+__all__ = ["BootstrapResult", "DirectMapper"]
+
+
+_XSD_FOR_SQL = {
+    SQLType.INTEGER: XSD.integer,
+    SQLType.REAL: XSD.double,
+    SQLType.TEXT: XSD.string,
+    SQLType.TIMESTAMP: XSD.dateTime,
+    SQLType.BOOLEAN: XSD.boolean,
+}
+
+
+@dataclass
+class BootstrapResult:
+    """Everything one bootstrapping pass produced."""
+
+    ontology: Ontology
+    mappings: MappingCollection
+    class_for_table: dict[str, IRI] = field(default_factory=dict)
+    subject_template_for_table: dict[str, Template] = field(default_factory=dict)
+    warnings: list[str] = field(default_factory=list)
+
+    def merge(self, other: "BootstrapResult") -> "BootstrapResult":
+        """Combine two passes (e.g. static schema + stream schemas)."""
+        self.ontology.extend(other.ontology.axioms)
+        self.ontology.classes |= other.ontology.classes
+        self.ontology.object_properties |= other.ontology.object_properties
+        self.ontology.data_properties |= other.ontology.data_properties
+        self.mappings.extend(other.mappings.assertions)
+        self.class_for_table.update(other.class_for_table)
+        self.subject_template_for_table.update(other.subject_template_for_table)
+        self.warnings.extend(other.warnings)
+        return self
+
+
+class DirectMapper:
+    """Bootstrap an ontology + mappings from relational schemas."""
+
+    def __init__(
+        self,
+        vocabulary: Namespace,
+        data_namespace: Namespace | None = None,
+    ) -> None:
+        self.vocabulary = vocabulary
+        self.data_namespace = data_namespace or Namespace(
+            vocabulary.base.rstrip("#/") + "/data/"
+        )
+
+    # -- static schemas ------------------------------------------------------
+
+    def bootstrap_schema(
+        self, schema: Schema, source_name: str
+    ) -> BootstrapResult:
+        """Bootstrap one static schema."""
+        result = BootstrapResult(Ontology(iri=f"urn:bootox:{schema.name}"),
+                                 MappingCollection())
+        for table in schema:
+            self._bootstrap_table(table, source_name, result, is_stream=False)
+        for table in schema:
+            self._bootstrap_foreign_keys(table, result)
+        return result
+
+    # -- stream schemas ----------------------------------------------------------
+
+    def bootstrap_stream(
+        self,
+        stream_name: str,
+        schema: StreamSchema,
+        source_name: str,
+        subject_columns: tuple[str, ...] | None = None,
+        subject_template: Template | None = None,
+    ) -> BootstrapResult:
+        """Bootstrap mappings for one stream.
+
+        Stream tuples describe *measurements of an entity*; the entity key
+        (``subject_columns``) defaults to every non-time, non-numeric
+        column.  Each remaining column becomes a stream-mapped data
+        property (``hasValue``-style).
+        """
+        result = BootstrapResult(Ontology(iri=f"urn:bootox:stream:{stream_name}"),
+                                 MappingCollection())
+        if subject_columns is None:
+            subject_columns = tuple(
+                c.name
+                for c in schema.columns
+                if c.name != schema.time_column and c.type == SQLType.TEXT
+            )[:1]
+        if not subject_columns:
+            result.warnings.append(
+                f"stream {stream_name}: no subject column found; skipped"
+            )
+            return result
+        if subject_template is None:
+            subject_template = Template(
+                self.data_namespace.base
+                + stream_name.lower()
+                + "/"
+                + "/".join("{" + c + "}" for c in subject_columns)
+            )
+        projected = ", ".join(
+            dict.fromkeys(
+                (schema.time_column,) + subject_columns
+            )
+        )
+        for column in schema.columns:
+            if column.name == schema.time_column or column.name in subject_columns:
+                continue
+            prop = self.vocabulary[property_name_for_column(column.name)]
+            result.ontology.declare_data_property(prop)
+            result.mappings.add(
+                MappingAssertion.for_property(
+                    prop,
+                    TemplateSpec(subject_template),
+                    ColumnSpec(column.name, _XSD_FOR_SQL[column.type]),
+                    f"SELECT {projected}, {column.name} FROM {stream_name}",
+                    source_name=source_name,
+                    is_stream=True,
+                    identifier=f"{stream_name}.{column.name}",
+                )
+            )
+        result.subject_template_for_table[stream_name] = subject_template
+        return result
+
+    # -- internals ------------------------------------------------------------------
+
+    def _bootstrap_table(
+        self,
+        table: Table,
+        source_name: str,
+        result: BootstrapResult,
+        is_stream: bool,
+    ) -> None:
+        if not table.primary_key:
+            result.warnings.append(
+                f"table {table.name}: no primary key; rows have no stable "
+                "identity, table skipped"
+            )
+            return
+        cls_iri = self.vocabulary[class_name_for_table(table.name)]
+        result.ontology.declare_class(cls_iri)
+        template = Template(
+            self.data_namespace.base
+            + table.name.lower()
+            + "/"
+            + "/".join("{" + c + "}" for c in table.primary_key)
+        )
+        result.class_for_table[table.name] = cls_iri
+        result.subject_template_for_table[table.name] = template
+        pk_list = ", ".join(table.primary_key)
+        result.mappings.add(
+            MappingAssertion.for_class(
+                cls_iri,
+                TemplateSpec(template),
+                f"SELECT {pk_list} FROM {table.name}",
+                source_name=source_name,
+                is_stream=is_stream,
+                identifier=f"{table.name}",
+            )
+        )
+        fk_columns = {c for fk in table.foreign_keys for c in fk.columns}
+        for column in table.columns:
+            if column.name in table.primary_key or column.name in fk_columns:
+                continue
+            prop = self.vocabulary[property_name_for_column(column.name)]
+            result.ontology.declare_data_property(prop)
+            result.ontology.add(
+                SubClassOf(Existential(Attribute(prop)), AtomicClass(cls_iri))
+            )
+            result.mappings.add(
+                MappingAssertion.for_property(
+                    prop,
+                    TemplateSpec(template),
+                    ColumnSpec(column.name, _XSD_FOR_SQL[column.type]),
+                    f"SELECT {pk_list}, {column.name} FROM {table.name}",
+                    source_name=source_name,
+                    is_stream=is_stream,
+                    identifier=f"{table.name}.{column.name}",
+                )
+            )
+
+    def _bootstrap_foreign_keys(
+        self, table: Table, result: BootstrapResult
+    ) -> None:
+        if table.name not in result.class_for_table:
+            return
+        cls_iri = result.class_for_table[table.name]
+        template = result.subject_template_for_table[table.name]
+        for fk in table.foreign_keys:
+            target_iri = result.class_for_table.get(fk.referenced_table)
+            target_template = result.subject_template_for_table.get(
+                fk.referenced_table
+            )
+            if target_iri is None or target_template is None:
+                result.warnings.append(
+                    f"fk {table.name}->{fk.referenced_table}: target not mapped"
+                )
+                continue
+            prop = self.vocabulary[
+                property_name_for_column(
+                    fk.columns[0], target_iri.local_name
+                )
+            ]
+            result.ontology.declare_object_property(prop)
+            result.ontology.add(
+                SubClassOf(Existential(Role(prop)), AtomicClass(cls_iri))
+            )
+            result.ontology.add(
+                SubClassOf(
+                    Existential(Role(prop, inverse=True)), AtomicClass(target_iri)
+                )
+            )
+            # The object template instantiates the *referenced* key columns
+            # with this table's FK columns.
+            rename = dict(zip(fk.referenced_columns, fk.columns))
+            object_template = Template(
+                _rename_placeholders(target_template.pattern, rename)
+            )
+            pk_list = ", ".join(table.primary_key)
+            fk_list = ", ".join(fk.columns)
+            source_mapping = next(
+                m
+                for m in result.mappings.for_predicate(cls_iri)
+            )
+            result.mappings.add(
+                MappingAssertion.for_property(
+                    prop,
+                    TemplateSpec(template),
+                    TemplateSpec(object_template),
+                    f"SELECT {pk_list}, {fk_list} FROM {table.name}",
+                    source_name=source_mapping.source_name,
+                    is_stream=source_mapping.is_stream,
+                    identifier=f"{table.name}.{fk_list}",
+                )
+            )
+
+
+def _rename_placeholders(pattern: str, rename: dict[str, str]) -> str:
+    out = pattern
+    for old, new in rename.items():
+        out = out.replace("{" + old + "}", "{" + new + "}")
+    return out

@@ -1,0 +1,143 @@
+"""Implicit foreign key discovery (inclusion-dependency mining).
+
+BOOTOX maps columns to object properties "if there is either an explicit
+or *implicit* foreign key" between two tables.  Implicit keys are mined
+from the data: a column whose value set is contained in another table's
+primary key is a foreign key candidate, scored by containment and name
+affinity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..relational import Database, ForeignKey, Schema, SQLType, Table
+
+__all__ = ["ImplicitKey", "discover_implicit_keys", "apply_implicit_keys"]
+
+
+@dataclass(frozen=True)
+class ImplicitKey:
+    """A discovered inclusion dependency."""
+
+    table: str
+    column: str
+    referenced_table: str
+    referenced_column: str
+    containment: float  # fraction of values found in the referenced key
+    name_affinity: float
+
+    @property
+    def confidence(self) -> float:
+        """Blend of containment (dominant) and name similarity."""
+        return 0.8 * self.containment + 0.2 * self.name_affinity
+
+    def as_foreign_key(self) -> ForeignKey:
+        return ForeignKey(
+            (self.column,), self.referenced_table, (self.referenced_column,)
+        )
+
+
+def _name_affinity(column: str, table: str, ref_column: str) -> float:
+    """Cheap token-based similarity between a column and its target key."""
+    column_l = column.lower()
+    table_l = table.lower().rstrip("s")
+    ref_l = ref_column.lower()
+    score = 0.0
+    if column_l == ref_l:
+        score += 0.6
+    if table_l and table_l in column_l:
+        score += 0.4
+    if column_l.endswith("_id") and column_l[:-3] in table_l:
+        score += 0.4
+    return min(score, 1.0)
+
+
+def discover_implicit_keys(
+    database: Database,
+    min_containment: float = 1.0,
+    max_values: int = 100_000,
+) -> list[ImplicitKey]:
+    """Mine implicit FKs from data.
+
+    Candidate pairs: any non-key column vs any single-column primary key
+    of another table with a compatible type.  ``min_containment`` of 1.0
+    requires perfect inclusion (the safe default); lower it to tolerate
+    dirty data.
+    """
+    schema = database.schema
+    keyed_tables: list[tuple[Table, str]] = [
+        (t, t.primary_key[0]) for t in schema if len(t.primary_key) == 1
+    ]
+    key_values: dict[str, set] = {}
+    for table, key_column in keyed_tables:
+        key_values[table.name] = set(
+            database.distinct_values(table.name, key_column)
+        )
+
+    discovered: list[ImplicitKey] = []
+    for table in schema:
+        explicit = {
+            (fk.columns[0], fk.referenced_table)
+            for fk in table.foreign_keys
+            if len(fk.columns) == 1
+        }
+        for column in table.columns:
+            if column.name in table.primary_key:
+                continue
+            values: set | None = None
+            for target, key_column in keyed_tables:
+                if target.name == table.name:
+                    continue
+                if (column.name, target.name) in explicit:
+                    continue
+                target_type = target.column(key_column).type
+                if column.type != target_type:
+                    continue
+                if values is None:
+                    values = set(
+                        database.distinct_values(table.name, column.name)[:max_values]
+                    )
+                if not values:
+                    continue
+                containment = len(values & key_values[target.name]) / len(values)
+                if containment >= min_containment:
+                    discovered.append(
+                        ImplicitKey(
+                            table=table.name,
+                            column=column.name,
+                            referenced_table=target.name,
+                            referenced_column=key_column,
+                            containment=containment,
+                            name_affinity=_name_affinity(
+                                column.name, target.name, key_column
+                            ),
+                        )
+                    )
+    discovered.sort(key=lambda k: (-k.confidence, k.table, k.column))
+    return discovered
+
+
+def apply_implicit_keys(
+    schema: Schema, keys: list[ImplicitKey], min_confidence: float = 0.8
+) -> int:
+    """Add high-confidence discovered keys to the schema (returns count).
+
+    A column gets at most one foreign key — the highest-confidence
+    candidate wins.
+    """
+    taken: set[tuple[str, str]] = set()
+    added = 0
+    for key in keys:
+        if key.confidence < min_confidence:
+            continue
+        slot = (key.table, key.column)
+        if slot in taken:
+            continue
+        table = schema[key.table]
+        if any(key.column in fk.columns for fk in table.foreign_keys):
+            continue
+        table.foreign_keys.append(key.as_foreign_key())
+        taken.add(slot)
+        added += 1
+    return added

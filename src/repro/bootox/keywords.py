@@ -1,0 +1,220 @@
+"""Keyword-driven mapping discovery.
+
+"For more complex mappings, BOOTOX requires users to provide a set of
+examples of entities from the class, e.g., Turbine, where each example is
+a set of keywords, e.g., {albatros, gas, 2008}.  Then the system turns
+these keywords into SQL queries by exploiting graph based techniques
+similar to [DISCOVER] for keyword-based query answering over DBs."
+
+Implementation: hits of each keyword are located in (table, column)
+pairs; the schema graph (tables = nodes, FKs = edges) is searched for a
+minimal join tree connecting one hit per keyword (a Steiner-tree
+approximation over networkx shortest paths); the tree is rendered as a
+candidate SQL query projecting the identity of a chosen *center* table.
+Examples are generalised by intersecting the candidate queries' join
+trees and keeping per-column predicates only when every example agrees.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..mappings import MappingAssertion, Template, TemplateSpec
+from ..rdf import IRI
+from ..relational import Database, SQLType
+
+__all__ = ["KeywordHit", "JoinTree", "KeywordMapper"]
+
+
+@dataclass(frozen=True)
+class KeywordHit:
+    """One keyword located in one column of one table."""
+
+    keyword: str
+    table: str
+    column: str
+    exact: bool
+
+
+@dataclass
+class JoinTree:
+    """A connected set of tables with the FK joins linking them."""
+
+    tables: set[str]
+    joins: list[tuple[str, str, str, str]]  # (table, column, ref_table, ref_column)
+
+    @property
+    def size(self) -> int:
+        return len(self.tables)
+
+
+class KeywordMapper:
+    """Discover mapping SQL from example keyword sets."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._graph = self._schema_graph()
+
+    def _schema_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        for table in self.database.schema:
+            graph.add_node(table.name)
+        for table in self.database.schema:
+            for fk in table.foreign_keys:
+                if fk.referenced_table in self.database.schema:
+                    graph.add_edge(
+                        table.name,
+                        fk.referenced_table,
+                        join=(
+                            table.name,
+                            fk.columns[0],
+                            fk.referenced_table,
+                            fk.referenced_columns[0],
+                        ),
+                    )
+        return graph
+
+    # -- keyword location -------------------------------------------------------
+
+    def find_hits(self, keyword: str, limit_per_table: int = 5) -> list[KeywordHit]:
+        """Locate a keyword in TEXT columns (exact, then substring)."""
+        hits: list[KeywordHit] = []
+        for table in self.database.schema:
+            found = 0
+            for column in table.columns:
+                if column.type != SQLType.TEXT or found >= limit_per_table:
+                    continue
+                exact = self.database.query(
+                    f"SELECT 1 FROM {table.name} WHERE LOWER({column.name}) = ? "
+                    "LIMIT 1",
+                    (keyword.lower(),),
+                )
+                if exact:
+                    hits.append(KeywordHit(keyword, table.name, column.name, True))
+                    found += 1
+                    continue
+                partial = self.database.query(
+                    f"SELECT 1 FROM {table.name} "
+                    f"WHERE LOWER({column.name}) LIKE ? LIMIT 1",
+                    (f"%{keyword.lower()}%",),
+                )
+                if partial:
+                    hits.append(KeywordHit(keyword, table.name, column.name, False))
+                    found += 1
+        return hits
+
+    # -- join tree construction -----------------------------------------------------
+
+    def join_tree(self, tables: set[str]) -> JoinTree | None:
+        """Approximate Steiner tree connecting ``tables`` in the FK graph."""
+        tables = {t for t in tables if t in self._graph}
+        if not tables:
+            return None
+        terminals = sorted(tables)
+        covered = {terminals[0]}
+        joins: list[tuple[str, str, str, str]] = []
+        for terminal in terminals[1:]:
+            if terminal in covered:
+                continue
+            best_path: list[str] | None = None
+            for anchor in sorted(covered):
+                try:
+                    path = nx.shortest_path(self._graph, anchor, terminal)
+                except nx.NetworkXNoPath:
+                    continue
+                if best_path is None or len(path) < len(best_path):
+                    best_path = path
+            if best_path is None:
+                return None  # disconnected schema
+            for a, b in zip(best_path, best_path[1:]):
+                if b not in covered or a not in covered:
+                    joins.append(self._graph.edges[a, b]["join"])
+                covered.add(a)
+                covered.add(b)
+        return JoinTree(covered, joins)
+
+    # -- example generalisation --------------------------------------------------------
+
+    def discover(
+        self,
+        target_class: IRI,
+        examples: list[set[str]],
+        center_table: str | None = None,
+        source_name: str = "default",
+    ) -> MappingAssertion | None:
+        """Generalise example keyword sets into one candidate mapping.
+
+        Each example yields hit tables; the center (the table whose rows
+        become class members) is the table hit by the most examples unless
+        given.  Predicates kept are those columns where *every* example
+        had a hit.
+        """
+        if not examples:
+            return None
+        per_example_hits = [
+            list(
+                itertools.chain.from_iterable(
+                    self.find_hits(keyword) for keyword in example
+                )
+            )
+            for example in examples
+        ]
+        if any(not hits for hits in per_example_hits):
+            return None
+
+        if center_table is None:
+            counts: dict[str, int] = {}
+            for hits in per_example_hits:
+                for table in {h.table for h in hits}:
+                    counts[table] = counts.get(table, 0) + 1
+            center_table = max(sorted(counts), key=lambda t: counts[t])
+
+        table = self.database.schema[center_table]
+        if not table.primary_key:
+            return None
+
+        # columns constrained in every example (on any reachable table)
+        common_columns: set[tuple[str, str]] | None = None
+        for hits in per_example_hits:
+            columns = {(h.table, h.column) for h in hits}
+            common_columns = (
+                columns if common_columns is None else common_columns & columns
+            )
+        common_columns = common_columns or set()
+
+        involved = {center_table} | {t for t, _ in common_columns}
+        tree = self.join_tree(involved)
+        if tree is None:
+            tree = JoinTree({center_table}, [])
+            common_columns = {
+                (t, c) for t, c in common_columns if t == center_table
+            }
+
+        pk_list = ", ".join(
+            f"{center_table}.{c}" for c in table.primary_key
+        )
+        from_clause = ", ".join(sorted(tree.tables))
+        predicates = [
+            f"{t}.{c} IS NOT NULL" for t, c in sorted(common_columns)
+        ]
+        predicates.extend(
+            f"{jt}.{jc} = {rt}.{rc}" for jt, jc, rt, rc in tree.joins
+        )
+        sql = f"SELECT {pk_list} FROM {from_clause}"
+        if predicates:
+            sql += " WHERE " + " AND ".join(predicates)
+
+        template = Template(
+            f"urn:bootox:{center_table}/"
+            + "/".join("{" + c + "}" for c in table.primary_key)
+        )
+        return MappingAssertion.for_class(
+            target_class,
+            TemplateSpec(template),
+            sql,
+            source_name=source_name,
+            identifier=f"keyword:{target_class.local_name}",
+        )

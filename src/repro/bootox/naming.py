@@ -1,0 +1,71 @@
+"""Deterministic naming rules for bootstrapped vocabulary.
+
+BOOTOX derives ontology vocabulary from relational identifiers.  The
+rules below are deliberately simple and deterministic so bootstrapped
+deployments are reproducible: snake_case tables become CamelCase classes
+(naively singularised), columns become ``hasX`` properties.
+"""
+
+from __future__ import annotations
+
+__all__ = ["class_name_for_table", "property_name_for_column", "camel_case"]
+
+_IRREGULAR_PLURALS = {
+    "assemblies": "assembly",
+    "countries": "country",
+    "batches": "batch",
+    "statuses": "status",
+    "histories": "history",
+    "properties": "property",
+    "facilities": "facility",
+}
+
+
+def _singularize(word: str) -> str:
+    lowered = word.lower()
+    if lowered in _IRREGULAR_PLURALS:
+        return _IRREGULAR_PLURALS[lowered]
+    if lowered.endswith("ies") and len(lowered) > 3:
+        return lowered[:-3] + "y"
+    if lowered.endswith("ses") and len(lowered) > 3:
+        return lowered[:-2]
+    if lowered.endswith("s") and not lowered.endswith("ss") and len(lowered) > 1:
+        return lowered[:-1]
+    return lowered
+
+
+def camel_case(identifier: str, capitalize_first: bool = True) -> str:
+    """``gas_turbine_units`` -> ``GasTurbineUnits`` (or lower-first)."""
+    parts = [p for p in identifier.replace("-", "_").split("_") if p]
+    if not parts:
+        return identifier
+    head = parts[0].capitalize() if capitalize_first else parts[0].lower()
+    return head + "".join(p.capitalize() for p in parts[1:])
+
+
+def class_name_for_table(table_name: str) -> str:
+    """``gas_turbines`` -> ``GasTurbine``."""
+    parts = [p for p in table_name.replace("-", "_").split("_") if p]
+    if not parts:
+        return camel_case(table_name)
+    parts[-1] = _singularize(parts[-1])
+    return "".join(p.capitalize() for p in parts)
+
+
+def property_name_for_column(column_name: str, target_class: str | None = None) -> str:
+    """Derive a property name from a column.
+
+    FK columns named ``assembly_id``/``aid`` pointing at ``Assembly``
+    become ``hasAssembly``; plain data columns ``serial_number`` become
+    ``hasSerialNumber``.
+    """
+    stripped = column_name
+    for suffix in ("_id", "_fk", "_key"):
+        if stripped.lower().endswith(suffix):
+            stripped = stripped[: -len(suffix)]
+            break
+    if target_class is not None:
+        if not stripped or len(stripped) <= 3:
+            return f"has{target_class}"
+        return f"has{camel_case(stripped)}"
+    return f"has{camel_case(stripped)}"

@@ -1,0 +1,76 @@
+"""Provenance bootstrapping.
+
+The OPTIQUE platform's "provenance bootstrapper" generates "mappings to
+query for where answers come from".  We record, per mapping assertion,
+the source metadata needed to answer that question, and can annotate any
+unfolded fleet with the provenance of each disjunct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..mappings import MappingAssertion, MappingCollection, UnfoldingResult
+from ..rdf import IRI
+from ..sql import BaseTable, SelectQuery
+
+__all__ = ["ProvenanceRecord", "ProvenanceCatalog"]
+
+
+@dataclass(frozen=True)
+class ProvenanceRecord:
+    """Where one ontological term's data comes from."""
+
+    predicate: IRI
+    source_name: str
+    tables: tuple[str, ...]
+    is_stream: bool
+    mapping_id: str
+
+
+class ProvenanceCatalog:
+    """Provenance records for every assertion of a mapping collection."""
+
+    def __init__(self, mappings: MappingCollection) -> None:
+        self._records: list[ProvenanceRecord] = [
+            self._record_for(m) for m in mappings
+        ]
+        self._by_predicate: dict[IRI, list[ProvenanceRecord]] = {}
+        for record in self._records:
+            self._by_predicate.setdefault(record.predicate, []).append(record)
+
+    @staticmethod
+    def _record_for(assertion: MappingAssertion) -> ProvenanceRecord:
+        tables: list[str] = []
+        source = assertion.source
+        if isinstance(source, SelectQuery):
+            for item in source.from_:
+                if isinstance(item, BaseTable):
+                    tables.append(item.name)
+        return ProvenanceRecord(
+            predicate=assertion.predicate,
+            source_name=assertion.source_name,
+            tables=tuple(tables),
+            is_stream=assertion.is_stream,
+            mapping_id=assertion.identifier,
+        )
+
+    def for_predicate(self, predicate: IRI) -> list[ProvenanceRecord]:
+        """All sources feeding one ontological term."""
+        return list(self._by_predicate.get(predicate, []))
+
+    def sources_of_fleet(self, unfolding: UnfoldingResult) -> dict[int, set[str]]:
+        """Per-disjunct source sets of an unfolded fleet."""
+        return {
+            index: set(disjunct.sources)
+            for index, disjunct in enumerate(unfolding.disjuncts)
+        }
+
+    def stream_predicates(self) -> set[IRI]:
+        """Ontological terms whose data is (at least partly) streaming."""
+        return {
+            record.predicate for record in self._records if record.is_stream
+        }
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,119 @@
+"""Quality verification of bootstrapped assets.
+
+OPTIQUE offers "semi-automatic quality verification and optimisation" of
+ontologies and mappings before deployment.  The report below covers the
+checks the demo relies on: OWL 2 QL profile conformance, mapping
+well-formedness (templates reference projected columns, SQL parses), and
+workload coverage (can the 20 catalog tasks be answered?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..mappings import (
+    ColumnSpec,
+    MappingAssertion,
+    MappingCollection,
+    TemplateSpec,
+)
+from ..ontology import Ontology, check_owl2ql
+from ..rdf import IRI
+from ..sql import SelectQuery
+
+__all__ = ["QualityReport", "verify_deployment"]
+
+
+@dataclass
+class QualityReport:
+    """Outcome of a deployment verification pass."""
+
+    profile_conformant: bool
+    profile_violations: list[str] = field(default_factory=list)
+    broken_mappings: list[str] = field(default_factory=list)
+    unmapped_terms: list[IRI] = field(default_factory=list)
+    uncovered_workload_terms: list[IRI] = field(default_factory=list)
+    class_count: int = 0
+    object_property_count: int = 0
+    data_property_count: int = 0
+    mapping_count: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.profile_conformant
+            and not self.broken_mappings
+            and not self.uncovered_workload_terms
+        )
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "ISSUES"
+        return (
+            f"[{status}] {self.class_count} classes, "
+            f"{self.object_property_count} object properties, "
+            f"{self.data_property_count} data properties, "
+            f"{self.mapping_count} mappings; "
+            f"{len(self.broken_mappings)} broken mappings, "
+            f"{len(self.unmapped_terms)} unmapped terms, "
+            f"{len(self.uncovered_workload_terms)} uncovered workload terms"
+        )
+
+
+def _check_mapping(assertion: MappingAssertion) -> str | None:
+    """One mapping's well-formedness; returns an error string or None."""
+    source = assertion.source
+    if not isinstance(source, SelectQuery):
+        outputs = set(source.output_names())
+    else:
+        outputs = set(source.output_names())
+    missing = assertion.referenced_columns() - outputs
+    if missing:
+        return (
+            f"{assertion.identifier or assertion.predicate.local_name}: "
+            f"term maps reference unprojected columns {sorted(missing)}"
+        )
+    if isinstance(assertion.object, ColumnSpec) and isinstance(
+        assertion.subject, ColumnSpec
+    ):
+        return (
+            f"{assertion.identifier}: subject must be an IRI template, "
+            "not a literal column"
+        )
+    return None
+
+
+def verify_deployment(
+    ontology: Ontology,
+    mappings: MappingCollection,
+    workload_terms: set[IRI] | None = None,
+) -> QualityReport:
+    """Verify a bootstrapped (or edited) deployment.
+
+    ``workload_terms`` are the ontological terms used by the intended
+    query catalog; terms without any mapping make those queries
+    unanswerable and fail the report.
+    """
+    profile = check_owl2ql(ontology)
+    report = QualityReport(
+        profile_conformant=profile.conformant,
+        profile_violations=[str(v) for v in profile.violations],
+        class_count=len(ontology.classes),
+        object_property_count=len(ontology.object_properties),
+        data_property_count=len(ontology.data_properties),
+        mapping_count=len(mappings),
+    )
+    for assertion in mappings:
+        error = _check_mapping(assertion)
+        if error:
+            report.broken_mappings.append(error)
+
+    mapped = mappings.mapped_predicates()
+    declared = (
+        ontology.classes | ontology.object_properties | ontology.data_properties
+    )
+    report.unmapped_terms = sorted(declared - mapped, key=lambda i: i.value)
+    if workload_terms:
+        report.uncovered_workload_terms = sorted(
+            workload_terms - mapped, key=lambda i: i.value
+        )
+    return report

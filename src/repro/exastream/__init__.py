@@ -1,0 +1,62 @@
+"""EXASTREAM: the distributed stream engine (gateway, planner, scheduler,
+per-node engines, UDFs and the cluster simulator)."""
+
+from .engine import PlanRuntime, StreamEngine, WindowResult
+from .gateway import GatewayServer, RegisteredQuery
+from .metrics import EngineMetrics, QueryMetrics, Stopwatch
+from .operators import Relation, StaticTable, compile_expr, hash_join, nested_loop_join
+from .plan import (
+    AggregateCall,
+    AggregateSpec,
+    ContinuousPlan,
+    OutputColumn,
+    StaticRef,
+    WindowedStreamRef,
+)
+from .planner import PlanningError, plan_select, plan_sql
+from .scheduler import OperatorPlacement, Scheduler, WorkerNode, plan_operators
+from .simulation import (
+    ClusterParameters,
+    ClusterSimulator,
+    SimulationResult,
+    calibrate,
+)
+from .udf import ScalarUDF, SequenceUDF, UDFRegistry, builtin_registry, fuse
+
+__all__ = [
+    "PlanRuntime",
+    "StreamEngine",
+    "WindowResult",
+    "GatewayServer",
+    "RegisteredQuery",
+    "EngineMetrics",
+    "QueryMetrics",
+    "Stopwatch",
+    "Relation",
+    "StaticTable",
+    "compile_expr",
+    "hash_join",
+    "nested_loop_join",
+    "AggregateCall",
+    "AggregateSpec",
+    "ContinuousPlan",
+    "OutputColumn",
+    "StaticRef",
+    "WindowedStreamRef",
+    "PlanningError",
+    "plan_select",
+    "plan_sql",
+    "OperatorPlacement",
+    "Scheduler",
+    "WorkerNode",
+    "plan_operators",
+    "ClusterParameters",
+    "ClusterSimulator",
+    "SimulationResult",
+    "calibrate",
+    "ScalarUDF",
+    "SequenceUDF",
+    "UDFRegistry",
+    "builtin_registry",
+    "fuse",
+]

@@ -1,0 +1,391 @@
+"""The per-node Stream Engine: window-at-a-time plan execution.
+
+Each worker node runs one :class:`StreamEngine` instance (Figure 2).  The
+engine owns the registered stream sources, attached static databases, the
+shared window cache (wCache) and the adaptive indexer, and executes
+:class:`~repro.exastream.plan.ContinuousPlan` objects window by window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+from ..relational import Database
+from ..sql import BinOp, Col, Expr
+from ..streams import (
+    AdaptiveIndexer,
+    SharedWindowReader,
+    StreamSource,
+    WindowCache,
+)
+from .metrics import EngineMetrics, QueryMetrics, Stopwatch
+from .operators import Relation, StaticTable, compile_expr, hash_join, nested_loop_join
+from .plan import AggregateSpec, ContinuousPlan, StaticRef, WindowedStreamRef
+from .udf import UDFRegistry, builtin_registry
+
+__all__ = ["WindowResult", "StreamEngine", "PlanRuntime"]
+
+
+@dataclass
+class WindowResult:
+    """Output rows of one query for one window instance."""
+
+    query: str
+    window_id: int
+    window_end: float
+    columns: list[str]
+    rows: list[tuple]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def _expr_aliases(expr: Expr) -> set[str]:
+    """All table aliases a predicate references."""
+    if isinstance(expr, Col):
+        return {expr.table} if expr.table else set()
+    if isinstance(expr, BinOp):
+        return _expr_aliases(expr.left) | _expr_aliases(expr.right)
+    from ..sql import Func, UnaryOp
+
+    if isinstance(expr, UnaryOp):
+        return _expr_aliases(expr.operand)
+    if isinstance(expr, Func):
+        out: set[str] = set()
+        for arg in expr.args:
+            out |= _expr_aliases(arg)
+        return out
+    return set()
+
+
+def _as_equi_join(expr: Expr) -> tuple[str, str, str, str] | None:
+    """Decompose ``a.x = b.y`` into (alias_a, col_a, alias_b, col_b)."""
+    if (
+        isinstance(expr, BinOp)
+        and expr.op == "="
+        and isinstance(expr.left, Col)
+        and isinstance(expr.right, Col)
+        and expr.left.table
+        and expr.right.table
+        and expr.left.table != expr.right.table
+    ):
+        return (expr.left.table, expr.left.name, expr.right.table, expr.right.name)
+    return None
+
+
+@dataclass
+class PlanRuntime:
+    """A plan bound to engine resources, ready to execute windows."""
+
+    plan: ContinuousPlan
+    readers: dict[str, SharedWindowReader]
+    statics: dict[str, StaticTable]
+    stream_columns: dict[str, list[str]]
+    udfs: UDFRegistry
+    metrics: QueryMetrics
+
+    def _load_batch(self, ref: WindowedStreamRef, tuples: list) -> Relation:
+        relation = Relation(self.stream_columns[ref.alias], tuples)
+        if not ref.computed:
+            return relation
+        fns = [compile_expr(c.expr, relation, self.udfs) for c in ref.computed]
+        columns = relation.columns + [
+            f"{ref.alias}.{c.name}" for c in ref.computed
+        ]
+        rows = [row + tuple(fn(row) for fn in fns) for row in tuples]
+        return Relation(columns, rows)
+
+    def execute_window(self, window_id: int) -> WindowResult | None:
+        """Run one window instance; ``None`` when any stream is exhausted."""
+        watch = Stopwatch()
+        batches: dict[str, Relation] = {}
+        window_end = 0.0
+        for ref in self.plan.windows:
+            batch = self.readers[ref.reader_key].window(window_id)
+            if batch is None:
+                return None
+            window_end = batch.end
+            self.metrics.tuples_in += len(batch)
+            batches[ref.alias] = self._load_batch(ref, batch.tuples)
+        relation = self._join_all(batches)
+        relation = self._apply_residual_filters(relation)
+        rows, columns = self._finalize(relation)
+        self.metrics.windows_processed += 1
+        self.metrics.tuples_out += len(rows)
+        self.metrics.wall_seconds += watch.elapsed()
+        return WindowResult(self.plan.name, window_id, window_end, columns, rows)
+
+    # -- join pipeline -------------------------------------------------------
+
+    def _join_all(self, batches: dict[str, Relation]) -> Relation:
+        plan = self.plan
+        equi: list[tuple[str, str, str, str]] = []
+        for predicate in plan.join_predicates:
+            decomposed = _as_equi_join(predicate)
+            if decomposed is not None:
+                equi.append(decomposed)
+
+        # Per-alias filter pushdown.
+        single_alias: dict[str, list[Expr]] = {}
+        for predicate in plan.filters:
+            aliases = _expr_aliases(predicate)
+            if len(aliases) == 1:
+                single_alias.setdefault(next(iter(aliases)), []).append(predicate)
+
+        def load(alias: str) -> Relation:
+            if alias in batches:
+                relation = batches[alias]
+            else:
+                relation = self.statics[alias].relation
+            for predicate in single_alias.get(alias, ()):
+                fn = compile_expr(predicate, relation, self.udfs)
+                relation = Relation(
+                    relation.columns, [r for r in relation.rows if fn(r)]
+                )
+            return relation
+
+        pending = [w.alias for w in plan.windows] + [s.alias for s in plan.statics]
+        current = load(pending.pop(0))
+        joined = {plan.windows[0].alias}
+        while pending:
+            # pick an alias connected to the joined set by an equi-join
+            chosen = None
+            keys: tuple[list[str], list[str]] | None = None
+            for alias in pending:
+                left_keys: list[str] = []
+                right_keys: list[str] = []
+                for a, ac, b, bc in equi:
+                    if a in joined and b == alias:
+                        left_keys.append(f"{a}.{ac}")
+                        right_keys.append(f"{b}.{bc}")
+                    elif b in joined and a == alias:
+                        left_keys.append(f"{b}.{bc}")
+                        right_keys.append(f"{a}.{ac}")
+                if left_keys:
+                    chosen = alias
+                    keys = (left_keys, right_keys)
+                    break
+            if chosen is None:  # cross join fallback
+                chosen = pending[0]
+                keys = None
+            pending.remove(chosen)
+            joined.add(chosen)
+            if chosen in self.statics and keys is not None:
+                static = self.statics[chosen]
+                # indexed stream-static join: probe the static hash index
+                static_keys = [k.split(".", 1)[1] for k in keys[1]]
+                current = static.join_probe(current, keys[0], keys[1])
+            else:
+                right = load(chosen)
+                if keys is not None:
+                    current = hash_join(current, right, keys[0], keys[1])
+                else:
+                    current = nested_loop_join(current, right)
+        return current
+
+    def _apply_residual_filters(self, relation: Relation) -> Relation:
+        residual = []
+        for predicate in self.plan.filters:
+            if len(_expr_aliases(predicate)) > 1:
+                residual.append(predicate)
+        for predicate in self.plan.join_predicates:
+            if _as_equi_join(predicate) is None:
+                residual.append(predicate)
+        if not residual:
+            return relation
+        fns = [compile_expr(p, relation, self.udfs) for p in residual]
+        rows = [r for r in relation.rows if all(fn(r) for fn in fns)]
+        return Relation(relation.columns, rows)
+
+    # -- output stage -----------------------------------------------------------
+
+    def _finalize(self, relation: Relation) -> tuple[list[tuple], list[str]]:
+        plan = self.plan
+        if plan.aggregate is not None:
+            rows, columns = self._aggregate(relation, plan.aggregate)
+        else:
+            fns = [
+                compile_expr(c.expr, relation, self.udfs) for c in plan.projection
+            ]
+            rows = [tuple(fn(row) for fn in fns) for row in relation.rows]
+            columns = [c.name for c in plan.projection]
+        if plan.distinct:
+            rows = list(dict.fromkeys(rows))
+        return rows, columns
+
+    def _aggregate(
+        self, relation: Relation, spec: AggregateSpec
+    ) -> tuple[list[tuple], list[str]]:
+        group_fns = [compile_expr(e, relation, self.udfs) for e in spec.group_by]
+        groups: dict[tuple, list[tuple]] = {}
+        for row in relation.rows:
+            groups.setdefault(tuple(fn(row) for fn in group_fns), []).append(row)
+
+        out_columns = list(spec.group_names) + [c.output_name for c in spec.calls]
+        out_rows: list[tuple] = []
+        for key, members in groups.items():
+            values: list[Any] = list(key)
+            for call in spec.calls:
+                values.append(self._aggregate_call(call, members, relation))
+            out_rows.append(tuple(values))
+
+        result = Relation(out_columns, out_rows)
+        if spec.having:
+            fns = [compile_expr(p, result, self.udfs) for p in spec.having]
+            result.rows = [r for r in result.rows if all(fn(r) for fn in fns)]
+        return result.rows, out_columns
+
+    def _aggregate_call(
+        self, call, members: list[tuple], relation: Relation
+    ) -> Any:
+        name = call.function.upper()
+        if name in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
+            if call.argument is None:
+                if name != "COUNT":
+                    raise ValueError(f"{name} requires an argument")
+                return len(members)
+            fn = compile_expr(call.argument, relation, self.udfs)
+            values = [v for v in (fn(m) for m in members) if v is not None]
+            if name == "COUNT":
+                return len(values)
+            if not values:
+                return None
+            if name == "SUM":
+                return sum(values)
+            if name == "AVG":
+                return sum(values) / len(values)
+            if name == "MIN":
+                return min(values)
+            return max(values)
+        udf = self.udfs.sequence(name)
+        if udf is None:
+            raise ValueError(f"unknown aggregate or sequence UDF {name!r}")
+        columns = {
+            expected: relation.index_of(actual)
+            for expected, actual in call.argument_columns
+        }
+        return udf(members, columns)
+
+
+class StreamEngine:
+    """One node's engine: sources, databases, caches and plan execution."""
+
+    def __init__(
+        self,
+        udfs: UDFRegistry | None = None,
+        cache_capacity: int = 4096,
+        adaptive_indexing: bool = True,
+    ) -> None:
+        self.udfs = udfs or builtin_registry()
+        self.cache = WindowCache(cache_capacity)
+        self.indexer = AdaptiveIndexer(enabled=adaptive_indexing)
+        self.metrics = EngineMetrics()
+        self._sources: dict[str, StreamSource] = {}
+        self._databases: dict[str, Database] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register_stream(self, source: StreamSource) -> None:
+        """Register a stream source under its stream name."""
+        self._sources[source.stream.name] = source
+
+    def attach_database(self, name: str, database: Database) -> None:
+        """Attach a static database under a source name."""
+        self._databases[name] = database
+
+    def stream(self, name: str) -> StreamSource:
+        return self._sources[name]
+
+    def database(self, name: str) -> Database:
+        return self._databases[name]
+
+    def locate_table(self, table: str) -> str | None:
+        """The attached database containing ``table``, or ``None``."""
+        for name, database in self._databases.items():
+            if table in database.schema:
+                return name
+        return None
+
+    @property
+    def stream_names(self) -> set[str]:
+        return set(self._sources)
+
+    # -- plan binding ------------------------------------------------------------
+
+    def bind(
+        self,
+        plan: ContinuousPlan,
+        shared_readers: dict[str, SharedWindowReader] | None = None,
+    ) -> PlanRuntime:
+        """Bind a plan to sources/databases, producing a runtime.
+
+        ``shared_readers`` lets the gateway share window materialisation
+        (the wCache behaviour) across concurrently registered queries.
+        """
+        readers: dict[str, SharedWindowReader] = {}
+        stream_columns: dict[str, list[str]] = {}
+        for ref in self.plan_window_refs(plan):
+            # the pulse anchor is part of the sharing identity: two queries
+            # only share materialised windows when their grids coincide
+            shared_key = f"{ref.reader_key}@{plan.start}"
+            if shared_readers is not None and shared_key in shared_readers:
+                reader = shared_readers[shared_key]
+            else:
+                source = self._sources.get(ref.stream)
+                if source is None:
+                    raise KeyError(f"stream {ref.stream!r} is not registered")
+                reader = SharedWindowReader(
+                    shared_key,
+                    lambda src=source: iter(src),
+                    ref.spec,
+                    source.stream.schema.time_index,
+                    self.cache,
+                    start=plan.start,
+                )
+                if shared_readers is not None:
+                    shared_readers[shared_key] = reader
+            readers[ref.reader_key] = reader
+            source = self._sources[ref.stream]
+            stream_columns[ref.alias] = [
+                f"{ref.alias}.{c}" for c in source.stream.schema.column_names
+            ]
+
+        statics: dict[str, StaticTable] = {}
+        for ref in plan.statics:
+            database = self._databases.get(ref.source)
+            if database is None:
+                raise KeyError(f"database {ref.source!r} is not attached")
+            names, rows = database.query_with_names(ref.sql)
+            relation = Relation([f"{ref.alias}.{n}" for n in names], rows)
+            statics[ref.alias] = StaticTable(relation)
+
+        return PlanRuntime(
+            plan=plan,
+            readers=readers,
+            statics=statics,
+            stream_columns=stream_columns,
+            udfs=self.udfs,
+            metrics=self.metrics.query(plan.name),
+        )
+
+    @staticmethod
+    def plan_window_refs(plan: ContinuousPlan) -> list[WindowedStreamRef]:
+        return list(plan.windows)
+
+    # -- execution -----------------------------------------------------------------
+
+    def run_continuous(
+        self,
+        plan: ContinuousPlan,
+        max_windows: int | None = None,
+    ) -> Iterator[WindowResult]:
+        """Execute one plan until stream end (or ``max_windows``)."""
+        runtime = self.bind(plan)
+        window_id = 0
+        while max_windows is None or window_id < max_windows:
+            result = runtime.execute_window(window_id)
+            if result is None:
+                return
+            yield result
+            window_id += 1

@@ -1,0 +1,133 @@
+"""The Asynchronous Gateway Server: query registration and shared runs.
+
+"Queries are registered through the Asynchronous Gateway Server.  Each
+registered query passes through the EXAREME parser and then is fed to the
+Scheduler module."  Our gateway accepts either SQL(+) text (parsed and
+planned) or ready :class:`~repro.exastream.plan.ContinuousPlan` objects,
+keeps the catalog of registered continuous queries, and drives them over
+*shared* window readers so the wCache benefits apply across queries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from ..streams import SharedWindowReader
+from .engine import PlanRuntime, StreamEngine, WindowResult
+from .metrics import Stopwatch
+from .plan import ContinuousPlan
+from .planner import plan_sql
+from .scheduler import Scheduler
+
+__all__ = ["RegisteredQuery", "GatewayServer"]
+
+
+@dataclass
+class RegisteredQuery:
+    """A continuous query registered at the gateway."""
+
+    name: str
+    plan: ContinuousPlan
+    runtime: PlanRuntime
+    sink: list[WindowResult] = field(default_factory=list)
+    active: bool = True
+    next_window: int = 0
+
+    def results(self) -> list[WindowResult]:
+        return self.sink
+
+
+class GatewayServer:
+    """Front door of the distributed engine (single-node execution core).
+
+    The gateway registers queries, lets the :class:`Scheduler` place their
+    operators on workers (for placement/ balance accounting), and executes
+    all active queries round-robin, window by window, against shared
+    readers.
+    """
+
+    def __init__(self, engine: StreamEngine, scheduler: Scheduler | None = None):
+        self.engine = engine
+        self.scheduler = scheduler
+        self._queries: dict[str, RegisteredQuery] = {}
+        self._shared_readers: dict[str, SharedWindowReader] = {}
+        self._name_counter = itertools.count(1)
+
+    # -- registration ----------------------------------------------------------
+
+    def register(
+        self,
+        query: str | ContinuousPlan,
+        name: str | None = None,
+    ) -> RegisteredQuery:
+        """Register SQL(+) text or a prepared plan as a continuous query."""
+        if isinstance(query, str):
+            plan = plan_sql(query, self.engine, name=name)
+        else:
+            plan = query
+        if name is None:
+            name = plan.name or f"q{next(self._name_counter)}"
+        if name in self._queries:
+            raise ValueError(f"query name {name!r} already registered")
+        plan.name = name
+        runtime = self.engine.bind(plan, shared_readers=self._shared_readers)
+        registered = RegisteredQuery(name=name, plan=plan, runtime=runtime)
+        self._queries[name] = registered
+        if self.scheduler is not None:
+            self.scheduler.place(plan)
+        return registered
+
+    def deregister(self, name: str) -> None:
+        """Remove a query from the catalog."""
+        self._queries.pop(name, None)
+        if self.scheduler is not None:
+            self.scheduler.remove(name)
+
+    def query(self, name: str) -> RegisteredQuery:
+        return self._queries[name]
+
+    @property
+    def queries(self) -> list[RegisteredQuery]:
+        return list(self._queries.values())
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(
+        self,
+        max_windows: int | None = None,
+        on_result: Callable[[WindowResult], None] | None = None,
+        keep_results: bool = True,
+    ) -> float:
+        """Drive every active query until exhaustion (or ``max_windows``).
+
+        Round-robin over queries per window id keeps all readers near the
+        cache frontier, so shared windows are materialised exactly once.
+        Returns total wall seconds.
+        """
+        watch = Stopwatch()
+        active = [q for q in self._queries.values() if q.active]
+        while active:
+            still_active = []
+            for registered in active:
+                if (
+                    max_windows is not None
+                    and registered.next_window >= max_windows
+                ):
+                    registered.active = False
+                    continue
+                result = registered.runtime.execute_window(registered.next_window)
+                if result is None:
+                    registered.active = False
+                    continue
+                registered.next_window += 1
+                if keep_results:
+                    registered.sink.append(result)
+                if on_result is not None:
+                    on_result(result)
+                still_active.append(registered)
+            active = still_active
+        elapsed = watch.elapsed()
+        self.engine.metrics.wall_seconds += elapsed
+        return elapsed

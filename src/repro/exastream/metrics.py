@@ -1,0 +1,83 @@
+"""Execution metrics: throughput, latency and per-query counters.
+
+The demo's performance scenario (S2) monitors "the throughput and
+progress of parallel query execution"; these counters are what the
+dashboards and benchmarks read.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["QueryMetrics", "EngineMetrics", "Stopwatch"]
+
+
+class Stopwatch:
+    """A tiny perf_counter wrapper used by the engine's hot loops."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    def restart(self) -> float:
+        now = time.perf_counter()
+        elapsed = now - self._start
+        self._start = now
+        return elapsed
+
+
+@dataclass
+class QueryMetrics:
+    """Counters for one registered continuous query."""
+
+    query_name: str = ""
+    windows_processed: int = 0
+    tuples_in: int = 0
+    tuples_out: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Input tuples per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.tuples_in / self.wall_seconds
+
+    def merge(self, other: "QueryMetrics") -> None:
+        self.windows_processed += other.windows_processed
+        self.tuples_in += other.tuples_in
+        self.tuples_out += other.tuples_out
+        self.wall_seconds += other.wall_seconds
+
+
+@dataclass
+class EngineMetrics:
+    """Aggregated counters for one engine run."""
+
+    per_query: dict[str, QueryMetrics] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def query(self, name: str) -> QueryMetrics:
+        metrics = self.per_query.get(name)
+        if metrics is None:
+            metrics = QueryMetrics(query_name=name)
+            self.per_query[name] = metrics
+        return metrics
+
+    @property
+    def total_tuples_in(self) -> int:
+        return sum(m.tuples_in for m in self.per_query.values())
+
+    @property
+    def total_tuples_out(self) -> int:
+        return sum(m.tuples_out for m in self.per_query.values())
+
+    @property
+    def throughput(self) -> float:
+        """Total input tuples per second of engine wall time."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_tuples_in / self.wall_seconds

@@ -1,0 +1,232 @@
+"""Physical operator layer: compiled expressions, relations and joins.
+
+The per-node Stream Engine executes window-at-a-time dataflows over plain
+Python tuples.  Scalar expressions from the SQL(+) AST are *compiled* to
+closures once per plan (not interpreted per tuple), and scalar UDF chains
+are fused (:func:`repro.exastream.udf.fuse`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from ..sql import BinOp, Col, Expr, Func, Lit, Star, UnaryOp
+from ..streams import AdaptiveIndexer
+from .udf import UDFRegistry
+
+__all__ = ["Relation", "compile_expr", "hash_join", "nested_loop_join", "StaticTable"]
+
+
+@dataclass
+class Relation:
+    """A batch of tuples with qualified column names (``alias.column``)."""
+
+    columns: list[str]
+    rows: list[tuple]
+
+    def __post_init__(self) -> None:
+        self.colmap = {name: i for i, name in enumerate(self.columns)}
+        # unqualified fallbacks (only when unambiguous)
+        seen: dict[str, int | None] = {}
+        for i, name in enumerate(self.columns):
+            if "." in name:
+                bare = name.split(".", 1)[1]
+                seen[bare] = i if bare not in seen else None
+        for bare, index in seen.items():
+            if index is not None and bare not in self.colmap:
+                self.colmap[bare] = index
+
+    def index_of(self, column: str) -> int:
+        """Resolve a (possibly unqualified) column reference."""
+        if column in self.colmap:
+            return self.colmap[column]
+        raise KeyError(f"unknown column {column!r}; have {self.columns}")
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+RowFn = Callable[[tuple], Any]
+
+
+_ARITHMETIC: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "%": lambda a, b: a % b,
+    "||": lambda a, b: str(a) + str(b),
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a is not None and b is not None and a < b,
+    "<=": lambda a, b: a is not None and b is not None and a <= b,
+    ">": lambda a, b: a is not None and b is not None and a > b,
+    ">=": lambda a, b: a is not None and b is not None and a >= b,
+    "AND": lambda a, b: bool(a) and bool(b),
+    "OR": lambda a, b: bool(a) or bool(b),
+}
+
+
+def compile_expr(
+    expr: Expr,
+    relation: Relation,
+    registry: UDFRegistry | None = None,
+) -> RowFn:
+    """Compile a scalar expression into a ``row -> value`` closure.
+
+    Aggregate functions are *not* handled here (see the engine's
+    aggregation stage); scalar UDFs resolve through ``registry``.
+    """
+    if isinstance(expr, Lit):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, Col):
+        name = f"{expr.table}.{expr.name}" if expr.table else expr.name
+        index = relation.index_of(name)
+        return lambda row: row[index]
+    if isinstance(expr, UnaryOp):
+        inner = compile_expr(expr.operand, relation, registry)
+        if expr.op == "NOT":
+            return lambda row: not inner(row)
+        if expr.op == "-":
+            return lambda row: -inner(row)
+        raise ValueError(f"unsupported unary operator {expr.op!r}")
+    if isinstance(expr, BinOp):
+        if expr.op == "IS":
+            inner = compile_expr(expr.left, relation, registry)
+            return lambda row: inner(row) is None
+        if expr.op == "IS NOT":
+            inner = compile_expr(expr.left, relation, registry)
+            return lambda row: inner(row) is not None
+        if expr.op == "LIKE":
+            left = compile_expr(expr.left, relation, registry)
+            pattern = expr.right
+            if not isinstance(pattern, Lit) or not isinstance(pattern.value, str):
+                raise ValueError("LIKE requires a string literal pattern")
+            import re
+
+            regex = re.compile(
+                re.escape(pattern.value).replace("%", ".*").replace("_", ".")
+            )
+            return lambda row: (
+                left(row) is not None and regex.fullmatch(str(left(row))) is not None
+            )
+        op = _ARITHMETIC.get(expr.op)
+        if op is None:
+            raise ValueError(f"unsupported operator {expr.op!r}")
+        left = compile_expr(expr.left, relation, registry)
+        right = compile_expr(expr.right, relation, registry)
+        return lambda row: op(left(row), right(row))
+    if isinstance(expr, Func):
+        if expr.name == "IN_LIST":
+            target = compile_expr(expr.args[0], relation, registry)
+            values = []
+            for arg in expr.args[1:]:
+                if not isinstance(arg, Lit):
+                    raise ValueError("IN list must contain literals")
+                values.append(arg.value)
+            candidates = set(values)
+            return lambda row: target(row) in candidates
+        if registry is not None:
+            udf = registry.scalar(expr.name)
+            if udf is not None:
+                compiled = [compile_expr(a, relation, registry) for a in expr.args]
+                fn = udf.fn
+                if len(compiled) == 1:
+                    single = compiled[0]
+                    return lambda row: fn(single(row))
+                return lambda row: fn(*[c(row) for c in compiled])
+        raise ValueError(f"unknown scalar function {expr.name!r}")
+    if isinstance(expr, Star):
+        raise ValueError("* is not a scalar expression")
+    raise TypeError(f"cannot compile expression {expr!r}")
+
+
+def hash_join(
+    left: Relation,
+    right: Relation,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+) -> Relation:
+    """Equi-join two relations, building the hash table on the smaller."""
+    if len(left_keys) != len(right_keys):
+        raise ValueError("join key arity mismatch")
+    build, probe = (left, right) if len(left) <= len(right) else (right, left)
+    build_keys, probe_keys = (
+        (left_keys, right_keys) if build is left else (right_keys, left_keys)
+    )
+    build_idx = [build.index_of(k) for k in build_keys]
+    probe_idx = [probe.index_of(k) for k in probe_keys]
+    table: dict[tuple, list[tuple]] = {}
+    for row in build.rows:
+        table.setdefault(tuple(row[i] for i in build_idx), []).append(row)
+    out_rows: list[tuple] = []
+    left_is_build = build is left
+    for row in probe.rows:
+        matches = table.get(tuple(row[i] for i in probe_idx))
+        if not matches:
+            continue
+        for match in matches:
+            if left_is_build:
+                out_rows.append(match + row)
+            else:
+                out_rows.append(row + match)
+    return Relation(left.columns + right.columns, out_rows)
+
+
+def nested_loop_join(
+    left: Relation,
+    right: Relation,
+    predicate: RowFn | None = None,
+) -> Relation:
+    """Cross product with an optional post-filter (non-equi joins)."""
+    combined = Relation(left.columns + right.columns, [])
+    rows = []
+    for l_row in left.rows:
+        for r_row in right.rows:
+            row = l_row + r_row
+            if predicate is None or predicate(row):
+                rows.append(row)
+    combined.rows = rows
+    return combined
+
+
+class StaticTable:
+    """A static relation materialised once, with lazy per-key hash indexes.
+
+    Used as the build side of stream-static joins: "combine streaming
+    attributes ... with metadata that remain invariant in time".
+    """
+
+    def __init__(self, relation: Relation) -> None:
+        self.relation = relation
+        self._indexes: dict[tuple[int, ...], dict[tuple, list[tuple]]] = {}
+
+    def index_for(self, key_columns: Sequence[str]) -> dict[tuple, list[tuple]]:
+        key = tuple(self.relation.index_of(c) for c in key_columns)
+        index = self._indexes.get(key)
+        if index is None:
+            index = {}
+            for row in self.relation.rows:
+                index.setdefault(tuple(row[i] for i in key), []).append(row)
+            self._indexes[key] = index
+        return index
+
+    def join_probe(
+        self,
+        probe: Relation,
+        probe_keys: Sequence[str],
+        static_keys: Sequence[str],
+    ) -> Relation:
+        """Join ``probe`` (stream side) against this static table."""
+        index = self.index_for(static_keys)
+        probe_idx = [probe.index_of(k) for k in probe_keys]
+        rows: list[tuple] = []
+        for row in probe.rows:
+            matches = index.get(tuple(row[i] for i in probe_idx))
+            if not matches:
+                continue
+            for match in matches:
+                rows.append(row + match)
+        return Relation(probe.columns + self.relation.columns, rows)

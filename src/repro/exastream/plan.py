@@ -1,0 +1,146 @@
+"""Continuous-query plans: the engine's intermediate representation.
+
+A :class:`ContinuousPlan` is what the STARQL2SQL(+) translator emits for
+execution (alongside the SQL(+) text for display), and what the SQL(+)
+planner produces from parsed gateway queries.  It is a window-driven
+SELECT-PROJECT-JOIN-AGGREGATE block:
+
+* one or more *windowed streams* (all share the window/pulse grid),
+* zero or more *static relations* (SQL evaluated once per deployment),
+* equi-join predicates + residual filters,
+* either a plain projection or a grouped aggregation whose aggregate
+  functions may be sequence UDFs (HAVING macros).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..sql import Expr
+from ..streams import WindowSpec
+
+__all__ = [
+    "WindowedStreamRef",
+    "StaticRef",
+    "AggregateCall",
+    "AggregateSpec",
+    "OutputColumn",
+    "ContinuousPlan",
+]
+
+
+@dataclass(frozen=True)
+class WindowedStreamRef:
+    """One input stream with its window parameters (``FROM STREAM ...``).
+
+    ``computed`` adds derived columns to every window tuple as it is
+    scanned (e.g. the IRI-template string identifying the measured sensor,
+    so ontology-level joins become plain equi-joins).
+    """
+
+    stream: str
+    spec: WindowSpec
+    alias: str
+    computed: tuple["OutputColumn", ...] = ()
+
+    @property
+    def reader_key(self) -> str:
+        """Cache identity: same stream + same window grid share batches."""
+        return (
+            f"{self.stream}[{self.spec.range_seconds}/"
+            f"{self.spec.slide_seconds}]"
+        )
+
+
+@dataclass(frozen=True)
+class StaticRef:
+    """One static relation (``STATIC DATA ...``): SQL over a database."""
+
+    source: str  # database name
+    sql: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """One output of an aggregation.
+
+    ``function`` is COUNT/SUM/AVG/MIN/MAX or a registered sequence UDF
+    name; ``argument_columns`` maps the UDF's expected column names to
+    qualified plan columns (sequence UDFs read several columns at once).
+    """
+
+    function: str
+    output_name: str
+    argument: Expr | None = None
+    argument_columns: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """GROUP BY + aggregate calls + post-aggregation HAVING predicates."""
+
+    group_by: tuple[Expr, ...]
+    group_names: tuple[str, ...]
+    calls: tuple[AggregateCall, ...]
+    having: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class OutputColumn:
+    """A plain projection output."""
+
+    expr: Expr
+    name: str
+
+
+@dataclass
+class ContinuousPlan:
+    """A full continuous query ready for execution."""
+
+    name: str
+    windows: list[WindowedStreamRef]
+    statics: list[StaticRef] = field(default_factory=list)
+    join_predicates: list[Expr] = field(default_factory=list)
+    filters: list[Expr] = field(default_factory=list)
+    projection: list[OutputColumn] = field(default_factory=list)
+    aggregate: AggregateSpec | None = None
+    start: float | None = None  # PULSE START anchor
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.windows:
+            raise ValueError("a continuous plan needs at least one stream")
+        specs = {w.spec for w in self.windows}
+        if len(specs) > 1:
+            raise ValueError(
+                "all windowed streams of one plan must share the window spec"
+            )
+        aliases = [w.alias for w in self.windows] + [s.alias for s in self.statics]
+        if len(set(aliases)) != len(aliases):
+            raise ValueError("duplicate aliases in plan")
+        if self.aggregate is None and not self.projection:
+            raise ValueError("plan needs a projection or an aggregation")
+
+    @property
+    def spec(self) -> WindowSpec:
+        return self.windows[0].spec
+
+    def output_names(self) -> list[str]:
+        """Column names of the produced result rows."""
+        if self.aggregate is not None:
+            return list(self.aggregate.group_names) + [
+                c.output_name for c in self.aggregate.calls
+            ]
+        return [c.name for c in self.projection]
+
+    def operator_count(self) -> int:
+        """Rough operator count (scheduler load unit)."""
+        return (
+            len(self.windows)
+            + len(self.statics)
+            + len(self.join_predicates)
+            + len(self.filters)
+            + (1 if self.aggregate else 1)
+        )

@@ -1,0 +1,339 @@
+"""The SQL(+) query planner: parsed gateway text -> continuous plans.
+
+"The system's query planner is responsible for choosing an optimal plan
+depending on the query, the available stream/static data sources, and the
+execution environment."  Planning decisions made here:
+
+* stream table functions (``timeSlidingWindow``/``wCache``) become
+  windowed stream scans that share the engine's window cache;
+* bare tables are located in the attached static databases and read once;
+* WHERE conjunctions split into equi-join predicates vs residual filters
+  (the runtime pushes single-source filters below joins);
+* GROUP BY blocks become aggregation specs, mapping SQL aggregate
+  functions and registered sequence UDFs onto the engine's aggregate
+  stage (aggregates without GROUP BY form one whole-window group).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from ..sql import (
+    BaseTable,
+    BinOp,
+    Col,
+    Expr,
+    Func,
+    Join,
+    Lit,
+    Query,
+    SelectQuery,
+    Star,
+    SubSelect,
+    TableExpr,
+    TableFunction,
+    UnaryOp,
+    parse_sql,
+    print_expr,
+    print_query,
+)
+from ..streams import WindowSpec
+from .plan import (
+    AggregateCall,
+    AggregateSpec,
+    ContinuousPlan,
+    OutputColumn,
+    StaticRef,
+    WindowedStreamRef,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import StreamEngine
+
+__all__ = ["plan_sql", "PlanningError"]
+
+_SQL_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+_STREAM_FUNCTIONS = {"timeslidingwindow", "wcache"}
+
+
+class PlanningError(ValueError):
+    """Raised when SQL(+) text cannot be planned as a continuous query."""
+
+
+def plan_sql(
+    text: str, engine: "StreamEngine", name: str | None = None
+) -> ContinuousPlan:
+    """Parse and plan SQL(+) text against an engine's catalogs."""
+    query = parse_sql(text)
+    if not isinstance(query, SelectQuery):
+        raise PlanningError("continuous queries must be single SELECT blocks")
+    return plan_select(query, engine, name=name)
+
+
+def plan_select(
+    query: SelectQuery, engine: "StreamEngine", name: str | None = None
+) -> ContinuousPlan:
+    """Plan a parsed SELECT block as a :class:`ContinuousPlan`."""
+    windows: list[WindowedStreamRef] = []
+    statics: list[StaticRef] = []
+    conditions: list[Expr] = list(query.where)
+    alias_counter = itertools.count(1)
+
+    def visit(table: TableExpr) -> None:
+        if isinstance(table, Join):
+            visit(table.left)
+            visit(table.right)
+            if table.condition is not None:
+                conditions.append(table.condition)
+            return
+        if isinstance(table, TableFunction):
+            fn_name = table.name.lower()
+            if fn_name not in _STREAM_FUNCTIONS:
+                raise PlanningError(f"unknown table function {table.name!r}")
+            if len(table.args) != 3:
+                raise PlanningError(
+                    f"{table.name} expects (stream, range, slide)"
+                )
+            stream_arg, range_arg, slide_arg = table.args
+            if not isinstance(stream_arg, BaseTable):
+                raise PlanningError("first window argument must be a stream name")
+            if not isinstance(range_arg, Lit) or not isinstance(slide_arg, Lit):
+                raise PlanningError("window range/slide must be literals")
+            alias = table.alias or stream_arg.name
+            windows.append(
+                WindowedStreamRef(
+                    stream=stream_arg.name,
+                    spec=WindowSpec(float(range_arg.value), float(slide_arg.value)),
+                    alias=alias,
+                )
+            )
+            return
+        if isinstance(table, BaseTable):
+            source = engine.locate_table(table.name)
+            if source is None:
+                if table.name in engine.stream_names:
+                    raise PlanningError(
+                        f"stream {table.name!r} must be wrapped in "
+                        "timeSlidingWindow(...)"
+                    )
+                raise PlanningError(f"unknown table {table.name!r}")
+            alias = table.alias or table.name
+            statics.append(
+                StaticRef(
+                    source=source,
+                    sql=f"SELECT * FROM {table.name}",
+                    alias=alias,
+                )
+            )
+            return
+        if isinstance(table, SubSelect):
+            source = _static_subselect_source(table.query, engine)
+            statics.append(
+                StaticRef(
+                    source=source,
+                    sql=print_query(table.query),
+                    alias=table.alias,
+                )
+            )
+            return
+        raise PlanningError(f"unsupported FROM item {table!r}")
+
+    for item in query.from_:
+        visit(item)
+    if not windows:
+        raise PlanningError("a continuous query needs at least one stream window")
+
+    join_predicates: list[Expr] = []
+    filters: list[Expr] = []
+    for predicate in conditions:
+        if _is_equi_join(predicate):
+            join_predicates.append(predicate)
+        else:
+            filters.append(predicate)
+
+    aggregate = _plan_aggregation(query, engine)
+    projection: list[OutputColumn] = []
+    if aggregate is None:
+        for item in query.select:
+            if isinstance(item.expr, Star):
+                raise PlanningError(
+                    "SELECT * is not supported in continuous queries; "
+                    "project explicit columns"
+                )
+            projection.append(
+                OutputColumn(item.expr, item.alias or print_expr(item.expr))
+            )
+
+    return ContinuousPlan(
+        name=name or "",
+        windows=windows,
+        statics=statics,
+        join_predicates=join_predicates,
+        filters=filters,
+        projection=projection,
+        aggregate=aggregate,
+        distinct=query.distinct,
+    )
+
+
+def _static_subselect_source(query: Query, engine: "StreamEngine") -> str:
+    """Locate the database a static subselect reads from."""
+    tables: list[str] = []
+
+    def collect(q: Query) -> None:
+        if isinstance(q, SelectQuery):
+            for item in q.from_:
+                _collect_tables(item, tables)
+        else:
+            for select in q.selects:
+                collect(select)
+
+    collect(query)
+    for table in tables:
+        source = engine.locate_table(table)
+        if source is not None:
+            return source
+    raise PlanningError(f"cannot locate static tables {tables!r} in any database")
+
+
+def _collect_tables(table: TableExpr, out: list[str]) -> None:
+    if isinstance(table, BaseTable):
+        out.append(table.name)
+    elif isinstance(table, Join):
+        _collect_tables(table.left, out)
+        _collect_tables(table.right, out)
+    elif isinstance(table, SubSelect):
+        if isinstance(table.query, SelectQuery):
+            for item in table.query.from_:
+                _collect_tables(item, out)
+
+
+def _is_equi_join(expr: Expr) -> bool:
+    return (
+        isinstance(expr, BinOp)
+        and expr.op == "="
+        and isinstance(expr.left, Col)
+        and isinstance(expr.right, Col)
+        and expr.left.table is not None
+        and expr.right.table is not None
+        and expr.left.table != expr.right.table
+    )
+
+
+def _contains_aggregate(expr: Expr, engine: "StreamEngine") -> bool:
+    if isinstance(expr, Func):
+        if expr.name.upper() in _SQL_AGGREGATES:
+            return True
+        if engine.udfs.sequence(expr.name) is not None:
+            return True
+        return any(_contains_aggregate(a, engine) for a in expr.args)
+    if isinstance(expr, BinOp):
+        return _contains_aggregate(expr.left, engine) or _contains_aggregate(
+            expr.right, engine
+        )
+    if isinstance(expr, UnaryOp):
+        return _contains_aggregate(expr.operand, engine)
+    return False
+
+
+def _plan_aggregation(
+    query: SelectQuery, engine: "StreamEngine"
+) -> AggregateSpec | None:
+    has_aggregate = any(
+        _contains_aggregate(item.expr, engine) for item in query.select
+    )
+    if not query.group_by and not has_aggregate:
+        if query.having:
+            raise PlanningError("HAVING requires aggregation")
+        return None
+
+    group_exprs = tuple(query.group_by)
+    group_printed = [print_expr(e) for e in group_exprs]
+    group_names: list[str] = []
+    calls: list[AggregateCall] = []
+    call_by_text: dict[str, str] = {}
+
+    for item in query.select:
+        expr = item.expr
+        printed = print_expr(expr)
+        if printed in group_printed:
+            group_names.append(item.alias or _default_name(expr))
+            continue
+        if not isinstance(expr, Func):
+            raise PlanningError(
+                f"non-aggregated select item {printed!r} outside GROUP BY"
+            )
+        calls.append(_plan_call(expr, item.alias, engine))
+        call_by_text[printed] = calls[-1].output_name
+
+    # Pad group names when some group keys are not projected.
+    while len(group_names) < len(group_exprs):
+        group_names.append(f"g{len(group_names)}")
+
+    having = tuple(
+        _rewrite_having(p, call_by_text, engine) for p in query.having
+    )
+    return AggregateSpec(
+        group_by=group_exprs,
+        group_names=tuple(group_names),
+        calls=tuple(calls),
+        having=having,
+    )
+
+
+def _default_name(expr: Expr) -> str:
+    if isinstance(expr, Col):
+        return expr.name
+    return print_expr(expr)
+
+
+def _plan_call(
+    expr: Func, alias: str | None, engine: "StreamEngine"
+) -> AggregateCall:
+    fn_name = expr.name.upper()
+    output = alias or print_expr(expr)
+    if fn_name in _SQL_AGGREGATES:
+        if len(expr.args) == 1 and isinstance(expr.args[0], Star):
+            return AggregateCall(fn_name, output, argument=None)
+        if len(expr.args) != 1:
+            raise PlanningError(f"{fn_name} takes exactly one argument")
+        return AggregateCall(fn_name, output, argument=expr.args[0])
+    udf = engine.udfs.sequence(fn_name)
+    if udf is None:
+        raise PlanningError(f"unknown aggregate function {expr.name!r}")
+    if len(expr.args) != len(udf.arg_names):
+        raise PlanningError(
+            f"{udf.name} expects {len(udf.arg_names)} column arguments"
+        )
+    mapping = []
+    for role, arg in zip(udf.arg_names, expr.args):
+        if not isinstance(arg, Col):
+            raise PlanningError(
+                f"sequence UDF {udf.name} arguments must be plain columns"
+            )
+        qualified = f"{arg.table}.{arg.name}" if arg.table else arg.name
+        mapping.append((role, qualified))
+    return AggregateCall(udf.name, output, argument_columns=tuple(mapping))
+
+
+def _rewrite_having(
+    expr: Expr, call_by_text: dict[str, str], engine: "StreamEngine"
+) -> Expr:
+    """Replace aggregate calls in HAVING by their output column names."""
+    printed = print_expr(expr)
+    if printed in call_by_text:
+        return Col(None, call_by_text[printed])
+    if isinstance(expr, Func) and _contains_aggregate(expr, engine):
+        raise PlanningError(
+            f"HAVING aggregate {printed!r} must also appear in SELECT"
+        )
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _rewrite_having(expr.left, call_by_text, engine),
+            _rewrite_having(expr.right, call_by_text, engine),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _rewrite_having(expr.operand, call_by_text, engine))
+    return expr

@@ -1,0 +1,217 @@
+"""GAV / R2RML-style mappings.
+
+A mapping assertion relates one ontological term to a query over the data,
+in the paper's notation::
+
+    Turbine(f(~x))  <-  EXISTS ~y . SQL(~x, ~y)
+
+``f`` is an IRI template turning source tuples into object identifiers.
+Property mappings carry a second term map for the object position; data
+property objects are typed literals built from columns.
+
+Every assertion records *which* source it reads (a static database or a
+registered stream), so the unfolding stage can route the generated SQL(+)
+to the right backend.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Union
+
+from ..rdf import IRI, Literal, Term, XSD
+from ..sql import Query, parse_sql
+
+__all__ = [
+    "Template",
+    "TemplateSpec",
+    "ColumnSpec",
+    "ConstantSpec",
+    "TermSpec",
+    "MappingAssertion",
+    "MappingCollection",
+]
+
+
+_PLACEHOLDER_RE = re.compile(r"\{([A-Za-z_][A-Za-z_0-9]*)\}")
+
+
+@dataclass(frozen=True)
+class Template:
+    """An IRI template such as ``http://ex.org/turbine/{plant}/{tid}``.
+
+    >>> t = Template("urn:turbine/{tid}")
+    >>> t.columns
+    ('tid',)
+    >>> t.render({"tid": 7})
+    'urn:turbine/7'
+    >>> t.match("urn:turbine/7")
+    {'tid': '7'}
+    """
+
+    pattern: str
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return tuple(_PLACEHOLDER_RE.findall(self.pattern))
+
+    @property
+    def shape(self) -> str:
+        """The pattern with placeholders blanked — two templates can only
+        produce equal IRIs when their shapes coincide."""
+        return _PLACEHOLDER_RE.sub("{}", self.pattern)
+
+    def render(self, values: dict[str, object]) -> str:
+        """Instantiate the template with column ``values``."""
+        def replace(match: re.Match[str]) -> str:
+            return str(values[match.group(1)])
+
+        return _PLACEHOLDER_RE.sub(replace, self.pattern)
+
+    def match(self, iri_value: str) -> dict[str, str] | None:
+        """Invert the template against a concrete IRI, or ``None``."""
+        regex_parts: list[str] = []
+        names: list[str] = []
+        last = 0
+        for m in _PLACEHOLDER_RE.finditer(self.pattern):
+            regex_parts.append(re.escape(self.pattern[last : m.start()]))
+            regex_parts.append("([^/#]+)")
+            names.append(m.group(1))
+            last = m.end()
+        regex_parts.append(re.escape(self.pattern[last:]))
+        match = re.fullmatch("".join(regex_parts), iri_value)
+        if match is None:
+            return None
+        return dict(zip(names, match.groups()))
+
+
+@dataclass(frozen=True)
+class TemplateSpec:
+    """Subject/object built by an IRI template over source columns."""
+
+    template: Template
+
+    def referenced_columns(self) -> tuple[str, ...]:
+        return self.template.columns
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Object built from a single source column as a typed literal."""
+
+    column: str
+    datatype: IRI = XSD.string
+
+    def referenced_columns(self) -> tuple[str, ...]:
+        return (self.column,)
+
+
+@dataclass(frozen=True)
+class ConstantSpec:
+    """A constant term (rare, but R2RML allows it)."""
+
+    term: Term
+
+    def referenced_columns(self) -> tuple[str, ...]:
+        return ()
+
+
+TermSpec = Union[TemplateSpec, ColumnSpec, ConstantSpec]
+
+
+@dataclass(frozen=True)
+class MappingAssertion:
+    """One mapping: ontological predicate <- SQL source.
+
+    ``object`` is ``None`` for class mappings.  ``source`` is the logical
+    table: any SQL(+) SELECT over the source's schema.
+    """
+
+    predicate: IRI
+    subject: TermSpec
+    source: Query
+    object: TermSpec | None = None
+    source_name: str = "default"
+    is_stream: bool = False
+    identifier: str = ""
+
+    @property
+    def is_class_mapping(self) -> bool:
+        return self.object is None
+
+    def referenced_columns(self) -> set[str]:
+        """All source columns the term maps read."""
+        columns = set(self.subject.referenced_columns())
+        if self.object is not None:
+            columns |= set(self.object.referenced_columns())
+        return columns
+
+    @staticmethod
+    def for_class(
+        cls: IRI,
+        subject: TermSpec,
+        sql: str | Query,
+        source_name: str = "default",
+        is_stream: bool = False,
+        identifier: str = "",
+    ) -> "MappingAssertion":
+        """Build a class mapping, parsing ``sql`` when given as text."""
+        query = parse_sql(sql) if isinstance(sql, str) else sql
+        return MappingAssertion(
+            cls, subject, query, None, source_name, is_stream, identifier
+        )
+
+    @staticmethod
+    def for_property(
+        prop: IRI,
+        subject: TermSpec,
+        obj: TermSpec,
+        sql: str | Query,
+        source_name: str = "default",
+        is_stream: bool = False,
+        identifier: str = "",
+    ) -> "MappingAssertion":
+        """Build a property mapping, parsing ``sql`` when given as text."""
+        query = parse_sql(sql) if isinstance(sql, str) else sql
+        return MappingAssertion(
+            prop, subject, query, obj, source_name, is_stream, identifier
+        )
+
+
+@dataclass
+class MappingCollection:
+    """All mapping assertions of a deployment, indexed by predicate."""
+
+    assertions: list[MappingAssertion] = field(default_factory=list)
+    _by_predicate: dict[IRI, list[MappingAssertion]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        for assertion in self.assertions:
+            self._by_predicate.setdefault(assertion.predicate, []).append(assertion)
+
+    def add(self, assertion: MappingAssertion) -> "MappingCollection":
+        """Register one assertion."""
+        self.assertions.append(assertion)
+        self._by_predicate.setdefault(assertion.predicate, []).append(assertion)
+        return self
+
+    def extend(self, assertions: Iterable[MappingAssertion]) -> "MappingCollection":
+        for assertion in assertions:
+            self.add(assertion)
+        return self
+
+    def for_predicate(self, predicate: IRI) -> list[MappingAssertion]:
+        """Assertions whose target is ``predicate`` (empty when unmapped)."""
+        return self._by_predicate.get(predicate, [])
+
+    def mapped_predicates(self) -> set[IRI]:
+        return set(self._by_predicate)
+
+    def __len__(self) -> int:
+        return len(self.assertions)
+
+    def __iter__(self) -> Iterator[MappingAssertion]:
+        return iter(self.assertions)

@@ -1,0 +1,129 @@
+"""Saving and loading mapping collections.
+
+Demo scenario S3 has attendees "bootstrapping ontologies and mappings,
+saving them, and observing and possibly improving them in devoted
+editors".  This module provides the persistence half: a stable JSON
+document format for :class:`~repro.mappings.model.MappingCollection`
+round-trips, so bootstrapped assets can be exported, hand-edited and
+re-imported.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..rdf import IRI
+from ..sql import parse_sql, print_query
+from .model import (
+    ColumnSpec,
+    ConstantSpec,
+    MappingAssertion,
+    MappingCollection,
+    Template,
+    TemplateSpec,
+    TermSpec,
+)
+
+__all__ = ["mappings_to_dict", "mappings_from_dict", "dump_mappings", "load_mappings"]
+
+_FORMAT = "optique-mappings/1"
+
+
+def _spec_to_dict(spec: TermSpec | None) -> dict[str, Any] | None:
+    if spec is None:
+        return None
+    if isinstance(spec, TemplateSpec):
+        return {"kind": "template", "pattern": spec.template.pattern}
+    if isinstance(spec, ColumnSpec):
+        return {
+            "kind": "column",
+            "column": spec.column,
+            "datatype": spec.datatype.value,
+        }
+    if isinstance(spec, ConstantSpec):
+        from ..rdf import Literal
+
+        term = spec.term
+        if isinstance(term, IRI):
+            return {"kind": "constant", "iri": term.value}
+        if isinstance(term, Literal):
+            return {
+                "kind": "constant",
+                "literal": term.lexical,
+                "datatype": term.datatype.value,
+            }
+    raise ValueError(f"cannot serialise term spec {spec!r}")
+
+
+def _spec_from_dict(data: dict[str, Any] | None) -> TermSpec | None:
+    if data is None:
+        return None
+    kind = data.get("kind")
+    if kind == "template":
+        return TemplateSpec(Template(data["pattern"]))
+    if kind == "column":
+        return ColumnSpec(data["column"], IRI(data["datatype"]))
+    if kind == "constant":
+        from ..rdf import Literal
+
+        if "iri" in data:
+            return ConstantSpec(IRI(data["iri"]))
+        return ConstantSpec(Literal(data["literal"], IRI(data["datatype"])))
+    raise ValueError(f"unknown term spec kind {kind!r}")
+
+
+def mappings_to_dict(collection: MappingCollection) -> dict[str, Any]:
+    """The JSON-able document form of a mapping collection."""
+    return {
+        "format": _FORMAT,
+        "mappings": [
+            {
+                "predicate": assertion.predicate.value,
+                "subject": _spec_to_dict(assertion.subject),
+                "object": _spec_to_dict(assertion.object),
+                "source": print_query(assertion.source),
+                "source_name": assertion.source_name,
+                "is_stream": assertion.is_stream,
+                "id": assertion.identifier,
+            }
+            for assertion in collection
+        ],
+    }
+
+
+def mappings_from_dict(document: dict[str, Any]) -> MappingCollection:
+    """Rebuild a collection from its document form (validates format)."""
+    if document.get("format") != _FORMAT:
+        raise ValueError(
+            f"unsupported mapping document format {document.get('format')!r}"
+        )
+    collection = MappingCollection()
+    for entry in document["mappings"]:
+        subject = _spec_from_dict(entry["subject"])
+        if subject is None:
+            raise ValueError("mapping entry without a subject map")
+        collection.add(
+            MappingAssertion(
+                predicate=IRI(entry["predicate"]),
+                subject=subject,
+                source=parse_sql(entry["source"]),
+                object=_spec_from_dict(entry.get("object")),
+                source_name=entry.get("source_name", "default"),
+                is_stream=bool(entry.get("is_stream", False)),
+                identifier=entry.get("id", ""),
+            )
+        )
+    return collection
+
+
+def dump_mappings(collection: MappingCollection, path: str) -> None:
+    """Write a collection to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(mappings_to_dict(collection), handle, indent=2, sort_keys=True)
+
+
+def load_mappings(path: str) -> MappingCollection:
+    """Read a collection back from a JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        return mappings_from_dict(json.load(handle))

@@ -1,0 +1,50 @@
+"""OWL 2 QL ontologies: model, parser, reasoner and profile checker."""
+
+from .model import (
+    AtomicClass,
+    Attribute,
+    Axiom,
+    ClassAssertion,
+    ClassExpression,
+    DisjointClasses,
+    DisjointProperties,
+    Existential,
+    Ontology,
+    PropertyAssertion,
+    PropertyExpression,
+    Role,
+    SubClassOf,
+    SubPropertyOf,
+    Thing,
+    normalize,
+)
+from .parser import OntologySyntaxError, parse_ontology, serialize_ontology
+from .profile import ProfileReport, ProfileViolation, check_owl2ql
+from .reasoner import InconsistentOntologyError, Reasoner
+
+__all__ = [
+    "AtomicClass",
+    "Attribute",
+    "Axiom",
+    "ClassAssertion",
+    "ClassExpression",
+    "DisjointClasses",
+    "DisjointProperties",
+    "Existential",
+    "Ontology",
+    "PropertyAssertion",
+    "PropertyExpression",
+    "Role",
+    "SubClassOf",
+    "SubPropertyOf",
+    "Thing",
+    "normalize",
+    "OntologySyntaxError",
+    "parse_ontology",
+    "serialize_ontology",
+    "ProfileReport",
+    "ProfileViolation",
+    "check_owl2ql",
+    "InconsistentOntologyError",
+    "Reasoner",
+]

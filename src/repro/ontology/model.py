@@ -1,0 +1,370 @@
+"""OWL 2 QL (DL-Lite_R) ontology model.
+
+OPTIQUE's enrichment stage rewrites STARQL queries against an OWL 2 QL
+TBox.  This module defines the expression and axiom vocabulary of that
+profile: atomic classes, (inverse) object properties, data properties,
+existential restrictions, and positive/negative inclusion axioms.
+
+Qualified existentials on the right-hand side (``A SubClassOf some P. B``)
+are part of OWL 2 QL; :func:`normalize` encodes them with fresh sub-roles so
+the rewriting engine only ever sees the classic DL-Lite_R axiom shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Union
+
+from ..rdf import IRI, Literal, Term
+
+__all__ = [
+    "AtomicClass",
+    "Existential",
+    "Thing",
+    "ClassExpression",
+    "Role",
+    "Attribute",
+    "PropertyExpression",
+    "SubClassOf",
+    "SubPropertyOf",
+    "DisjointClasses",
+    "DisjointProperties",
+    "ClassAssertion",
+    "PropertyAssertion",
+    "Axiom",
+    "Ontology",
+    "normalize",
+]
+
+
+# --------------------------------------------------------------------------
+# Property expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Role:
+    """An object property, possibly inverted (``P`` or ``P^-``)."""
+
+    iri: IRI
+    inverse: bool = False
+
+    def inverted(self) -> "Role":
+        """The inverse role: ``P`` becomes ``P^-`` and vice versa."""
+        return Role(self.iri, not self.inverse)
+
+    def __str__(self) -> str:
+        return f"{self.iri.local_name}^-" if self.inverse else self.iri.local_name
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    """A data property.  Attributes have no inverse in OWL 2 QL."""
+
+    iri: IRI
+
+    @property
+    def inverse(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return self.iri.local_name
+
+
+PropertyExpression = Union[Role, Attribute]
+
+
+# --------------------------------------------------------------------------
+# Class expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class AtomicClass:
+    """A named class such as ``sie:Turbine``."""
+
+    iri: IRI
+
+    def __str__(self) -> str:
+        return self.iri.local_name
+
+
+@dataclass(frozen=True, slots=True)
+class Existential:
+    """``some property [filler]`` — unqualified when ``filler`` is ``None``.
+
+    ``Existential(Role(P))`` denotes the domain of ``P``;
+    ``Existential(Role(P, inverse=True))`` its range.
+    """
+
+    property: PropertyExpression
+    filler: AtomicClass | None = None
+
+    def __str__(self) -> str:
+        if self.filler is None:
+            return f"∃{self.property}"
+        return f"∃{self.property}.{self.filler}"
+
+
+@dataclass(frozen=True, slots=True)
+class Thing:
+    """``owl:Thing`` — the top class."""
+
+    def __str__(self) -> str:
+        return "⊤"
+
+
+ClassExpression = Union[AtomicClass, Existential, Thing]
+
+
+# --------------------------------------------------------------------------
+# Axioms
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SubClassOf:
+    """Positive class inclusion ``sub ⊑ sup``."""
+
+    sub: ClassExpression
+    sup: ClassExpression
+
+    def __str__(self) -> str:
+        return f"{self.sub} ⊑ {self.sup}"
+
+
+@dataclass(frozen=True, slots=True)
+class SubPropertyOf:
+    """Positive property inclusion ``sub ⊑ sup`` (roles may be inverted)."""
+
+    sub: PropertyExpression
+    sup: PropertyExpression
+
+    def __str__(self) -> str:
+        return f"{self.sub} ⊑ {self.sup}"
+
+
+@dataclass(frozen=True, slots=True)
+class DisjointClasses:
+    """Negative inclusion ``a ⊓ b ⊑ ⊥``."""
+
+    a: ClassExpression
+    b: ClassExpression
+
+
+@dataclass(frozen=True, slots=True)
+class DisjointProperties:
+    """Negative property inclusion."""
+
+    a: PropertyExpression
+    b: PropertyExpression
+
+
+@dataclass(frozen=True, slots=True)
+class ClassAssertion:
+    """ABox membership assertion ``C(individual)``."""
+
+    cls: AtomicClass
+    individual: IRI
+
+
+@dataclass(frozen=True, slots=True)
+class PropertyAssertion:
+    """ABox property assertion ``P(subject, value)``."""
+
+    property: PropertyExpression
+    subject: IRI
+    value: Term
+
+
+Axiom = Union[
+    SubClassOf,
+    SubPropertyOf,
+    DisjointClasses,
+    DisjointProperties,
+    ClassAssertion,
+    PropertyAssertion,
+]
+
+
+# --------------------------------------------------------------------------
+# Ontology container
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Ontology:
+    """A TBox (+optional ABox) with declaration bookkeeping.
+
+    The container keeps axioms in insertion order and exposes typed views
+    used by the reasoner and the rewriting engine.
+    """
+
+    iri: str = "urn:ontology"
+    axioms: list[Axiom] = field(default_factory=list)
+    classes: set[IRI] = field(default_factory=set)
+    object_properties: set[IRI] = field(default_factory=set)
+    data_properties: set[IRI] = field(default_factory=set)
+
+    # -- declarations ------------------------------------------------------
+
+    def declare_class(self, iri: IRI) -> AtomicClass:
+        """Declare a named class and return its expression."""
+        self.classes.add(iri)
+        return AtomicClass(iri)
+
+    def declare_object_property(self, iri: IRI) -> Role:
+        """Declare an object property and return its (direct) role."""
+        self.object_properties.add(iri)
+        return Role(iri)
+
+    def declare_data_property(self, iri: IRI) -> Attribute:
+        """Declare a data property and return its attribute expression."""
+        self.data_properties.add(iri)
+        return Attribute(iri)
+
+    # -- axiom entry points -------------------------------------------------
+
+    def add(self, axiom: Axiom) -> "Ontology":
+        """Append an axiom, auto-declaring the vocabulary it mentions."""
+        self.axioms.append(axiom)
+        for expr in _mentioned_expressions(axiom):
+            if isinstance(expr, AtomicClass):
+                self.classes.add(expr.iri)
+            elif isinstance(expr, Role):
+                self.object_properties.add(expr.iri)
+            elif isinstance(expr, Attribute):
+                self.data_properties.add(expr.iri)
+        return self
+
+    def extend(self, axioms: Iterable[Axiom]) -> "Ontology":
+        """Append all ``axioms``."""
+        for axiom in axioms:
+            self.add(axiom)
+        return self
+
+    # -- typed axiom views ---------------------------------------------------
+
+    @property
+    def class_inclusions(self) -> list[SubClassOf]:
+        return [a for a in self.axioms if isinstance(a, SubClassOf)]
+
+    @property
+    def property_inclusions(self) -> list[SubPropertyOf]:
+        return [a for a in self.axioms if isinstance(a, SubPropertyOf)]
+
+    @property
+    def disjoint_classes(self) -> list[DisjointClasses]:
+        return [a for a in self.axioms if isinstance(a, DisjointClasses)]
+
+    @property
+    def disjoint_properties(self) -> list[DisjointProperties]:
+        return [a for a in self.axioms if isinstance(a, DisjointProperties)]
+
+    @property
+    def class_assertions(self) -> list[ClassAssertion]:
+        return [a for a in self.axioms if isinstance(a, ClassAssertion)]
+
+    @property
+    def property_assertions(self) -> list[PropertyAssertion]:
+        return [a for a in self.axioms if isinstance(a, PropertyAssertion)]
+
+    def tbox(self) -> list[Axiom]:
+        """Terminological axioms only (no assertions)."""
+        return [
+            a
+            for a in self.axioms
+            if not isinstance(a, (ClassAssertion, PropertyAssertion))
+        ]
+
+    def abox(self) -> list[Axiom]:
+        """Assertional axioms only."""
+        return [
+            a for a in self.axioms if isinstance(a, (ClassAssertion, PropertyAssertion))
+        ]
+
+    def term_count(self) -> int:
+        """Number of declared vocabulary terms."""
+        return (
+            len(self.classes) + len(self.object_properties) + len(self.data_properties)
+        )
+
+    def __len__(self) -> int:
+        return len(self.axioms)
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"Ontology({self.iri!r}, {len(self.axioms)} axioms, "
+            f"{self.term_count()} terms)"
+        )
+
+
+def _mentioned_expressions(axiom: Axiom) -> Iterator[object]:
+    """Yield every class/property expression mentioned in ``axiom``."""
+    if isinstance(axiom, SubClassOf):
+        yield from _class_parts(axiom.sub)
+        yield from _class_parts(axiom.sup)
+    elif isinstance(axiom, SubPropertyOf):
+        yield axiom.sub
+        yield axiom.sup
+    elif isinstance(axiom, DisjointClasses):
+        yield from _class_parts(axiom.a)
+        yield from _class_parts(axiom.b)
+    elif isinstance(axiom, DisjointProperties):
+        yield axiom.a
+        yield axiom.b
+    elif isinstance(axiom, ClassAssertion):
+        yield axiom.cls
+    elif isinstance(axiom, PropertyAssertion):
+        yield axiom.property
+
+
+def _class_parts(expr: ClassExpression) -> Iterator[object]:
+    if isinstance(expr, AtomicClass):
+        yield expr
+    elif isinstance(expr, Existential):
+        yield expr.property
+        if expr.filler is not None:
+            yield expr.filler
+
+
+# --------------------------------------------------------------------------
+# Normalisation: eliminate qualified existentials on the RHS
+# --------------------------------------------------------------------------
+
+
+def normalize(ontology: Ontology) -> Ontology:
+    """Rewrite ``B ⊑ ∃P.C`` axioms into classic DL-Lite_R shape.
+
+    Each qualified right-hand-side existential is encoded with a fresh
+    auxiliary role ``P_aux``::
+
+        B ⊑ ∃P.C   ~>   P_aux ⊑ P,  ∃P_aux⁻ ⊑ C,  B ⊑ ∃P_aux
+
+    The encoding is answer-preserving for query rewriting (Calvanese et
+    al. 2007).  Qualified existentials on the *left* side are simply split
+    (``∃P.C ⊑ D`` keeps its meaning only partially in DL-Lite_R; BootOX never
+    emits that shape and the parser rejects it).
+    """
+    result = Ontology(iri=ontology.iri)
+    result.classes |= ontology.classes
+    result.object_properties |= ontology.object_properties
+    result.data_properties |= ontology.data_properties
+    fresh = 0
+    for axiom in ontology.axioms:
+        if (
+            isinstance(axiom, SubClassOf)
+            and isinstance(axiom.sup, Existential)
+            and axiom.sup.filler is not None
+        ):
+            base = axiom.sup.property
+            if not isinstance(base, Role):
+                raise ValueError("qualified existential over a data property")
+            fresh += 1
+            aux = Role(IRI(f"{base.iri.value}__aux{fresh}"), base.inverse)
+            result.add(SubPropertyOf(aux, base))
+            result.add(SubClassOf(Existential(aux.inverted()), axiom.sup.filler))
+            result.add(SubClassOf(axiom.sub, Existential(aux)))
+        else:
+            result.add(axiom)
+    return result

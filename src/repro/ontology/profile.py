@@ -1,0 +1,122 @@
+"""OWL 2 QL profile checking.
+
+STARQL's polynomial-time enrichment guarantee only holds when the TBox is
+inside OWL 2 QL.  OPTIQUE therefore validates every ontology (bootstrapped
+or imported) against the profile before deployment; this module implements
+that check for our axiom model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .model import (
+    AtomicClass,
+    Attribute,
+    Axiom,
+    ClassAssertion,
+    ClassExpression,
+    DisjointClasses,
+    DisjointProperties,
+    Existential,
+    Ontology,
+    PropertyAssertion,
+    SubClassOf,
+    SubPropertyOf,
+    Thing,
+)
+
+__all__ = ["ProfileReport", "ProfileViolation", "check_owl2ql"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProfileViolation:
+    """A single axiom outside the OWL 2 QL profile."""
+
+    axiom: Axiom
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.reason}: {self.axiom}"
+
+
+@dataclass
+class ProfileReport:
+    """Outcome of an OWL 2 QL profile check."""
+
+    violations: list[ProfileViolation] = field(default_factory=list)
+
+    @property
+    def conformant(self) -> bool:
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.conformant
+
+
+def _is_subclass_expression(expr: ClassExpression) -> bool:
+    """LHS grammar: named class | unqualified existential."""
+    if isinstance(expr, (AtomicClass, Thing)):
+        return True
+    return isinstance(expr, Existential) and expr.filler is None
+
+
+def _is_superclass_expression(expr: ClassExpression) -> bool:
+    """RHS grammar: named class | existential with named filler."""
+    if isinstance(expr, (AtomicClass, Thing)):
+        return True
+    if isinstance(expr, Existential):
+        return expr.filler is None or isinstance(expr.filler, AtomicClass)
+    return False
+
+
+def check_owl2ql(ontology: Ontology) -> ProfileReport:
+    """Validate every axiom of ``ontology`` against OWL 2 QL.
+
+    The check runs on the *raw* (un-normalised) ontology, so users see
+    violations in terms of the axioms they wrote.
+    """
+    report = ProfileReport()
+    for axiom in ontology.axioms:
+        if isinstance(axiom, SubClassOf):
+            if not _is_subclass_expression(axiom.sub):
+                report.violations.append(
+                    ProfileViolation(
+                        axiom, "subclass position allows only basic concepts"
+                    )
+                )
+            if not _is_superclass_expression(axiom.sup):
+                report.violations.append(
+                    ProfileViolation(
+                        axiom,
+                        "superclass position allows only named classes and "
+                        "existentials with named fillers",
+                    )
+                )
+        elif isinstance(axiom, SubPropertyOf):
+            sub_is_attr = isinstance(axiom.sub, Attribute)
+            sup_is_attr = isinstance(axiom.sup, Attribute)
+            if sub_is_attr != sup_is_attr:
+                report.violations.append(
+                    ProfileViolation(
+                        axiom, "cannot mix object and data properties"
+                    )
+                )
+        elif isinstance(axiom, DisjointClasses):
+            if not _is_subclass_expression(axiom.a) or not _is_subclass_expression(
+                axiom.b
+            ):
+                report.violations.append(
+                    ProfileViolation(
+                        axiom, "disjointness allows only basic concepts"
+                    )
+                )
+        elif isinstance(
+            axiom, (DisjointProperties, ClassAssertion, PropertyAssertion)
+        ):
+            continue  # always inside the profile
+        else:  # pragma: no cover - future axiom kinds
+            report.violations.append(
+                ProfileViolation(axiom, "axiom kind outside OWL 2 QL")
+            )
+    return report

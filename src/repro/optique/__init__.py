@@ -1,0 +1,5 @@
+"""OPTIQUE platform facade: deployment, verification, query lifecycle."""
+
+from .platform import OptiquePlatform, RegisteredTask
+
+__all__ = ["OptiquePlatform", "RegisteredTask"]

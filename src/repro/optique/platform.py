@@ -1,0 +1,166 @@
+"""The OPTIQUE platform facade.
+
+One object wiring the full OBSSDI lifecycle end-to-end:
+
+* **deployment assets** — ontology + mappings, either hand-curated or
+  bootstrapped with BOOTOX (``bootstrap_from``) and then refined;
+* **verification** — OWL 2 QL profile + mapping quality checks;
+* **query processing** — STARQL in, enrichment → unfolding → SQL(+) →
+  EXASTREAM execution, answers out, dashboards updated.
+
+This is the API the examples and the demo scenarios (S1-S3) use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bootox import DirectMapper, ProvenanceCatalog, QualityReport, verify_deployment
+from ..exastream import GatewayServer, Scheduler, StreamEngine, WindowResult
+from ..mappings import MappingCollection
+from ..ontology import Ontology
+from ..rdf import IRI, Namespace
+from ..relational import Database, Schema
+from ..siemens.dashboard import Dashboard
+from ..starql import (
+    MacroRegistry,
+    STARQLTranslator,
+    TranslationResult,
+    parse_aggregate_macro,
+    parse_starql,
+)
+from ..streams import StreamSource
+
+__all__ = ["RegisteredTask", "OptiquePlatform"]
+
+
+@dataclass
+class RegisteredTask:
+    """One continuous diagnostic task registered on the platform."""
+
+    name: str
+    translation: TranslationResult
+    registered: object  # exastream.RegisteredQuery
+
+    @property
+    def fleet_size(self) -> int:
+        return self.translation.fleet_size
+
+    def alerts(self) -> list[tuple]:
+        """All CONSTRUCTed triples produced so far."""
+        triples = []
+        for result in self.registered.results():
+            for row in result.rows:
+                triples.extend(self.translation.construct.triples_for(row))
+        return triples
+
+
+class OptiquePlatform:
+    """End-to-end OBSSDI system instance."""
+
+    def __init__(
+        self,
+        ontology: Ontology | None = None,
+        mappings: MappingCollection | None = None,
+        workers: int = 4,
+        primary_keys: dict[str, tuple[str, ...]] | None = None,
+    ) -> None:
+        self.ontology = ontology or Ontology()
+        self.mappings = mappings or MappingCollection()
+        self.engine = StreamEngine()
+        self.scheduler = Scheduler(workers)
+        self.gateway = GatewayServer(self.engine, scheduler=self.scheduler)
+        self.macros = MacroRegistry()
+        self.dashboard = Dashboard()
+        self.primary_keys = dict(primary_keys or {})
+        self._translator: STARQLTranslator | None = None
+        self._tasks: dict[str, RegisteredTask] = {}
+
+    # -- deployment assets ------------------------------------------------------
+
+    def attach_database(self, name: str, database: Database) -> None:
+        """Attach a static source and record its primary keys."""
+        self.engine.attach_database(name, database)
+        for table in database.schema:
+            if table.primary_key:
+                self.primary_keys[table.name] = table.primary_key
+        self._translator = None
+
+    def register_stream(self, source: StreamSource) -> None:
+        self.engine.register_stream(source)
+
+    def bootstrap_from(
+        self,
+        schema: Schema,
+        database: Database,
+        source_name: str,
+        vocabulary: Namespace,
+    ) -> QualityReport:
+        """BOOTOX a static source into the deployment (S3 scenario)."""
+        mapper = DirectMapper(vocabulary)
+        result = mapper.bootstrap_schema(schema, source_name)
+        self.ontology.extend(result.ontology.axioms)
+        self.ontology.classes |= result.ontology.classes
+        self.ontology.object_properties |= result.ontology.object_properties
+        self.ontology.data_properties |= result.ontology.data_properties
+        self.mappings.extend(result.mappings.assertions)
+        self.attach_database(source_name, database)
+        return self.verify()
+
+    def register_macro(self, text: str) -> None:
+        """Register a CREATE AGGREGATE macro from text."""
+        self.macros.register(parse_aggregate_macro(text))
+        self._translator = None
+
+    def verify(self, workload_terms: set[IRI] | None = None) -> QualityReport:
+        """Quality verification of the current assets."""
+        return verify_deployment(self.ontology, self.mappings, workload_terms)
+
+    def provenance(self) -> ProvenanceCatalog:
+        """Provenance catalog over the current mappings."""
+        return ProvenanceCatalog(self.mappings)
+
+    # -- query processing -----------------------------------------------------------
+
+    @property
+    def translator(self) -> STARQLTranslator:
+        if self._translator is None:
+            self._translator = STARQLTranslator(
+                self.ontology,
+                self.mappings,
+                self.engine,
+                self.macros,
+                primary_keys=self.primary_keys,
+            )
+        return self._translator
+
+    def register_task(
+        self, starql_text: str, name: str | None = None
+    ) -> RegisteredTask:
+        """Translate and register one STARQL diagnostic task."""
+        query = parse_starql(starql_text)
+        translation = self.translator.translate(query, name=name)
+        registered = self.gateway.register(
+            translation.plan, name=translation.plan.name
+        )
+        task = RegisteredTask(translation.plan.name, translation, registered)
+        self._tasks[task.name] = task
+        return task
+
+    def run(self, max_windows: int | None = None) -> float:
+        """Run all registered tasks; dashboard panels update as results
+        arrive.  Returns wall-clock seconds."""
+        return self.gateway.run(
+            max_windows=max_windows, on_result=self.dashboard.observe
+        )
+
+    def task(self, name: str) -> RegisteredTask:
+        return self._tasks[name]
+
+    @property
+    def tasks(self) -> list[RegisteredTask]:
+        return list(self._tasks.values())
+
+    def total_fleet_size(self) -> int:
+        """Low-level queries generated across all registered tasks."""
+        return sum(t.fleet_size for t in self._tasks.values())

@@ -1,0 +1,35 @@
+"""Conjunctive queries, UCQs, BGP parsing, evaluation and containment."""
+
+from .bgp import BGPSyntaxError, format_bgp, parse_bgp
+from .containment import find_homomorphism, is_contained_in, minimize_ucq
+from .cq import (
+    Atom,
+    ClassAtom,
+    ConjunctiveQuery,
+    Filter,
+    PropertyAtom,
+    UnionOfConjunctiveQueries,
+    canonical_form,
+    fresh_variable,
+)
+from .evaluation import evaluate_cq, evaluate_ucq, match_atom
+
+__all__ = [
+    "BGPSyntaxError",
+    "format_bgp",
+    "parse_bgp",
+    "find_homomorphism",
+    "is_contained_in",
+    "minimize_ucq",
+    "Atom",
+    "ClassAtom",
+    "ConjunctiveQuery",
+    "Filter",
+    "PropertyAtom",
+    "UnionOfConjunctiveQueries",
+    "canonical_form",
+    "fresh_variable",
+    "evaluate_cq",
+    "evaluate_ucq",
+    "match_atom",
+]

@@ -1,0 +1,284 @@
+"""Conjunctive queries over ontology vocabularies.
+
+A conjunctive query (CQ) is the logical core of both the STARQL ``WHERE``
+clause and the rewriting/unfolding pipeline.  Atoms are either unary
+(class membership) or binary (object/data property), and a query carries a
+tuple of distinguished (answer) variables plus an optional set of filters
+that travel untouched through enrichment.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from ..rdf import IRI, Literal, Term, Variable
+
+__all__ = [
+    "Atom",
+    "ClassAtom",
+    "PropertyAtom",
+    "Filter",
+    "ConjunctiveQuery",
+    "UnionOfConjunctiveQueries",
+    "fresh_variable",
+    "canonical_form",
+]
+
+_fresh_counter = itertools.count()
+
+
+def fresh_variable(prefix: str = "v") -> Variable:
+    """A globally fresh variable (used by reduction and unfolding steps)."""
+    return Variable(f"{prefix}_{next(_fresh_counter)}")
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A query atom ``predicate(args)`` with arity 1 or 2."""
+
+    predicate: IRI
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.args) not in (1, 2):
+            raise ValueError(f"atom arity must be 1 or 2, got {len(self.args)}")
+
+    @property
+    def is_class_atom(self) -> bool:
+        return len(self.args) == 1
+
+    @property
+    def is_property_atom(self) -> bool:
+        return len(self.args) == 2
+
+    def variables(self) -> Iterator[Variable]:
+        """Yield the variables occurring in the atom (with repeats)."""
+        for arg in self.args:
+            if isinstance(arg, Variable):
+                yield arg
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Atom":
+        """Apply a variable substitution to the atom."""
+        return Atom(
+            self.predicate,
+            tuple(
+                mapping.get(arg, arg) if isinstance(arg, Variable) else arg
+                for arg in self.args
+            ),
+        )
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.predicate.local_name}({inner})"
+
+
+def ClassAtom(cls: IRI, term: Term) -> Atom:
+    """Convenience constructor for a unary atom ``cls(term)``."""
+    return Atom(cls, (term,))
+
+
+def PropertyAtom(prop: IRI, subject: Term, value: Term) -> Atom:
+    """Convenience constructor for a binary atom ``prop(subject, value)``."""
+    return Atom(prop, (subject, value))
+
+
+_COMPARATORS: dict[str, Callable[[object, object], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Filter:
+    """A comparison filter ``left op right`` preserved through rewriting."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ValueError(f"unsupported comparison operator {self.op!r}")
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Filter":
+        def sub(term: Term) -> Term:
+            return mapping.get(term, term) if isinstance(term, Variable) else term
+
+        return Filter(self.op, sub(self.left), sub(self.right))
+
+    def evaluate(self, binding: Mapping[Variable, Term]) -> bool:
+        """Evaluate the filter under ``binding``; unbound variables fail."""
+
+        def value(term: Term) -> object | None:
+            if isinstance(term, Variable):
+                term = binding.get(term)  # type: ignore[assignment]
+                if term is None:
+                    return None
+            if isinstance(term, Literal):
+                return term.to_python()
+            return term
+
+        left, right = value(self.left), value(self.right)
+        if left is None or right is None:
+            return False
+        try:
+            return _COMPARATORS[self.op](left, right)
+        except TypeError:
+            return False
+
+    def variables(self) -> Iterator[Variable]:
+        for term in (self.left, self.right):
+            if isinstance(term, Variable):
+                yield term
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """``q(answer_vars) :- atoms, filters``.
+
+    ``answer_variables`` is a tuple (ordered, may repeat); every answer
+    variable must occur in some atom.
+    """
+
+    answer_variables: tuple[Variable, ...]
+    atoms: tuple[Atom, ...]
+    filters: tuple[Filter, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        body_vars = set(self.body_variables())
+        missing = [v for v in self.answer_variables if v not in body_vars]
+        if missing:
+            raise ValueError(
+                f"answer variables not bound in body: {[str(v) for v in missing]}"
+            )
+
+    def body_variables(self) -> Iterator[Variable]:
+        """Variables occurring in atoms (with repeats)."""
+        for atom in self.atoms:
+            yield from atom.variables()
+
+    def all_variables(self) -> set[Variable]:
+        return set(self.body_variables()) | {
+            v for f in self.filters for v in f.variables()
+        }
+
+    def existential_variables(self) -> set[Variable]:
+        """Body variables that are not answer variables."""
+        return set(self.body_variables()) - set(self.answer_variables)
+
+    def variable_occurrences(self) -> dict[Variable, int]:
+        """Count occurrences of each variable across atoms."""
+        counts: dict[Variable, int] = {}
+        for var in self.body_variables():
+            counts[var] = counts.get(var, 0) + 1
+        return counts
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "ConjunctiveQuery":
+        """Apply a substitution to atoms, filters and answer variables.
+
+        Substituting an answer variable by a constant is not allowed here
+        (rewriting never does it); it raises ``ValueError``.
+        """
+        new_answers = []
+        for var in self.answer_variables:
+            target = mapping.get(var, var)
+            if not isinstance(target, Variable):
+                raise ValueError(f"cannot map answer variable {var} to {target}")
+            new_answers.append(target)
+        return ConjunctiveQuery(
+            tuple(new_answers),
+            tuple(atom.substitute(mapping) for atom in self.atoms),
+            tuple(f.substitute(mapping) for f in self.filters),
+        )
+
+    def with_atoms(self, atoms: Sequence[Atom]) -> "ConjunctiveQuery":
+        """Copy of the query with its atom list replaced."""
+        return replace(self, atoms=tuple(atoms))
+
+    def __str__(self) -> str:
+        head = ", ".join(str(v) for v in self.answer_variables)
+        body = " ∧ ".join(str(a) for a in self.atoms)
+        if self.filters:
+            body += " ∧ " + " ∧ ".join(str(f) for f in self.filters)
+        return f"q({head}) :- {body}"
+
+
+@dataclass(frozen=True)
+class UnionOfConjunctiveQueries:
+    """A UCQ: the output of enrichment, the input of unfolding."""
+
+    disjuncts: tuple[ConjunctiveQuery, ...]
+
+    def __post_init__(self) -> None:
+        if not self.disjuncts:
+            raise ValueError("a UCQ needs at least one disjunct")
+        arity = len(self.disjuncts[0].answer_variables)
+        if any(len(q.answer_variables) != arity for q in self.disjuncts):
+            raise ValueError("all UCQ disjuncts must share the answer arity")
+
+    @property
+    def answer_variables(self) -> tuple[Variable, ...]:
+        return self.disjuncts[0].answer_variables
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
+        return iter(self.disjuncts)
+
+    def __str__(self) -> str:
+        return "\n UNION ".join(str(q) for q in self.disjuncts)
+
+
+def canonical_form(query: ConjunctiveQuery) -> tuple:
+    """A renaming-invariant key for duplicate elimination in UCQs.
+
+    Variables are numbered by first occurrence in (answer tuple, then sorted
+    atom list); two CQs equal up to variable renaming map to the same key.
+    """
+    order: dict[Variable, int] = {}
+
+    def key_of(term: Term) -> object:
+        if isinstance(term, Variable):
+            if term not in order:
+                order[term] = len(order)
+            return ("var", order[term])
+        return ("const", term)
+
+    for var in query.answer_variables:
+        key_of(var)
+
+    # Sort atoms by a renaming-invariant shape first, then assign numbers.
+    def shape(atom: Atom) -> tuple:
+        return (
+            atom.predicate.value,
+            tuple(
+                ("const", a) if not isinstance(a, Variable) else ("var",)
+                for a in atom.args
+            ),
+        )
+
+    atoms = sorted(query.atoms, key=shape)
+    atom_keys = tuple(
+        (atom.predicate.value, tuple(key_of(a) for a in atom.args)) for atom in atoms
+    )
+    filter_keys = tuple(
+        sorted(
+            (f.op, key_of(f.left), key_of(f.right))
+            for f in query.filters
+        )
+    )
+    return (
+        tuple(order[v] for v in query.answer_variables),
+        atom_keys,
+        filter_keys,
+    )

@@ -1,0 +1,106 @@
+"""In-memory evaluation of conjunctive queries over RDF graphs.
+
+This is the reference evaluator used by STARQL's formal semantics and by
+the test-suite to cross-check the relational pipeline: the same query must
+return the same certain answers whether it runs here (rewriting +
+graph matching) or through unfolding + SQL.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from ..rdf import IRI, RDF, Graph, Term, Variable
+from .cq import Atom, ConjunctiveQuery, UnionOfConjunctiveQueries
+
+__all__ = ["evaluate_cq", "evaluate_ucq", "match_atom"]
+
+
+def match_atom(
+    graph: Graph, atom: Atom, binding: Mapping[Variable, Term]
+) -> Iterator[dict[Variable, Term]]:
+    """Yield extensions of ``binding`` matching ``atom`` in ``graph``.
+
+    Class atoms ``C(x)`` match ``(x, rdf:type, C)`` triples; property atoms
+    match plain triples.
+    """
+
+    def resolve(term: Term) -> Term | None:
+        if isinstance(term, Variable):
+            return binding.get(term)
+        return term
+
+    if atom.is_class_atom:
+        subject = resolve(atom.args[0])
+        pattern = (subject, RDF.type, atom.predicate)
+    else:
+        subject = resolve(atom.args[0])
+        obj = resolve(atom.args[1])
+        pattern = (subject, atom.predicate, obj)
+
+    for s, _, o in graph.triples(*pattern):
+        extended = dict(binding)
+        consistent = True
+        pairs = (
+            [(atom.args[0], s)]
+            if atom.is_class_atom
+            else [(atom.args[0], s), (atom.args[1], o)]
+        )
+        for arg, value in pairs:
+            if isinstance(arg, Variable):
+                bound = extended.get(arg)
+                if bound is None:
+                    extended[arg] = value
+                elif bound != value:
+                    consistent = False
+                    break
+            elif arg != value:
+                consistent = False
+                break
+        if consistent:
+            yield extended
+
+
+def _join_atoms(
+    graph: Graph,
+    atoms: tuple[Atom, ...],
+    binding: dict[Variable, Term],
+) -> Iterator[dict[Variable, Term]]:
+    if not atoms:
+        yield binding
+        return
+    # Greedy ordering: evaluate the most-bound atom first to cut the
+    # intermediate result size (a tiny query optimiser).
+    def boundness(atom: Atom) -> int:
+        return sum(
+            1
+            for arg in atom.args
+            if not isinstance(arg, Variable) or arg in binding
+        )
+
+    best_index = max(range(len(atoms)), key=lambda i: boundness(atoms[i]))
+    first = atoms[best_index]
+    rest = atoms[:best_index] + atoms[best_index + 1 :]
+    for extended in match_atom(graph, first, binding):
+        yield from _join_atoms(graph, rest, extended)
+
+
+def evaluate_cq(
+    graph: Graph, query: ConjunctiveQuery
+) -> set[tuple[Term, ...]]:
+    """All answers to ``query`` over ``graph`` (set semantics)."""
+    answers: set[tuple[Term, ...]] = set()
+    for binding in _join_atoms(graph, query.atoms, {}):
+        if all(f.evaluate(binding) for f in query.filters):
+            answers.add(tuple(binding[v] for v in query.answer_variables))
+    return answers
+
+
+def evaluate_ucq(
+    graph: Graph, query: UnionOfConjunctiveQueries
+) -> set[tuple[Term, ...]]:
+    """All answers to a UCQ: the union of its disjuncts' answers."""
+    answers: set[tuple[Term, ...]] = set()
+    for disjunct in query:
+        answers |= evaluate_cq(graph, disjunct)
+    return answers

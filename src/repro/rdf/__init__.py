@@ -1,0 +1,31 @@
+"""RDF substrate: terms, namespaces and an indexed triple store."""
+
+from .graph import Graph, Triple
+from .namespace import OWL, RDF, RDFS, XSD_NS, Namespace, PrefixMap
+from .terms import (
+    IRI,
+    XSD,
+    BlankNode,
+    Literal,
+    Term,
+    Variable,
+    term_from_python,
+)
+
+__all__ = [
+    "Graph",
+    "Triple",
+    "Namespace",
+    "PrefixMap",
+    "RDF",
+    "RDFS",
+    "OWL",
+    "XSD_NS",
+    "IRI",
+    "XSD",
+    "BlankNode",
+    "Literal",
+    "Term",
+    "Variable",
+    "term_from_python",
+]

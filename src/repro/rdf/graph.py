@@ -1,0 +1,162 @@
+"""An indexed in-memory RDF graph with pattern matching.
+
+The graph backs three parts of the system: ontology ABoxes (static data
+translated to RDF), the per-window "states" of STARQL's sequencing
+semantics, and the CONSTRUCTed output streams.  Triples are indexed on all
+three positions so that any single-wildcard pattern is answered from a hash
+lookup rather than a scan.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from .terms import IRI, Term, Variable
+
+__all__ = ["Triple", "Graph"]
+
+
+Triple = tuple[Term, IRI, Term]
+
+
+def _is_pattern_term(term: Term | None) -> bool:
+    return term is None or isinstance(term, Variable)
+
+
+class Graph:
+    """A set of RDF triples with SPO/POS/OSP hash indexes.
+
+    >>> g = Graph()
+    >>> s, p = IRI("urn:s"), IRI("urn:p")
+    >>> _ = g.add((s, p, IRI("urn:o")))
+    >>> len(g)
+    1
+    """
+
+    def __init__(self, triples: Iterable[Triple] = ()) -> None:
+        self._triples: set[Triple] = set()
+        self._spo: dict[Term, dict[IRI, set[Term]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._pos: dict[IRI, dict[Term, set[Term]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._osp: dict[Term, dict[Term, set[IRI]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        for triple in triples:
+            self.add(triple)
+
+    def add(self, triple: Triple) -> "Graph":
+        """Insert ``triple``; duplicates are ignored.  Returns ``self``."""
+        if triple in self._triples:
+            return self
+        s, p, o = triple
+        if not (s.is_ground() and p.is_ground() and o.is_ground()):
+            raise ValueError(f"cannot add non-ground triple: {triple}")
+        self._triples.add(triple)
+        self._spo[s][p].add(o)
+        self._pos[p][o].add(s)
+        self._osp[o][s].add(p)
+        return self
+
+    def discard(self, triple: Triple) -> None:
+        """Remove ``triple`` when present."""
+        if triple not in self._triples:
+            return
+        s, p, o = triple
+        self._triples.remove(triple)
+        self._spo[s][p].discard(o)
+        self._pos[p][o].discard(s)
+        self._osp[o][s].discard(p)
+
+    def update(self, triples: Iterable[Triple]) -> "Graph":
+        """Insert every triple from ``triples``.  Returns ``self``."""
+        for triple in triples:
+            self.add(triple)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def triples(
+        self,
+        subject: Term | None = None,
+        predicate: IRI | None = None,
+        obj: Term | None = None,
+    ) -> Iterator[Triple]:
+        """Yield triples matching the pattern; ``None``/Variable = wildcard.
+
+        The most selective available index is chosen per call.
+        """
+        s = None if _is_pattern_term(subject) else subject
+        p = None if _is_pattern_term(predicate) else predicate
+        o = None if _is_pattern_term(obj) else obj
+
+        if s is not None and p is not None and o is not None:
+            if (s, p, o) in self._triples:
+                yield (s, p, o)
+            return
+        if s is not None and p is not None:
+            for obj_term in self._spo.get(s, {}).get(p, ()):
+                yield (s, p, obj_term)
+            return
+        if p is not None and o is not None:
+            for subj in self._pos.get(p, {}).get(o, ()):
+                yield (subj, p, o)
+            return
+        if s is not None and o is not None:
+            for pred in self._osp.get(o, {}).get(s, ()):
+                yield (s, pred, o)
+            return
+        if s is not None:
+            for pred, objs in self._spo.get(s, {}).items():
+                for obj_term in objs:
+                    yield (s, pred, obj_term)
+            return
+        if p is not None:
+            for obj_term, subjs in self._pos.get(p, {}).items():
+                for subj in subjs:
+                    yield (subj, p, obj_term)
+            return
+        if o is not None:
+            for subj, preds in self._osp.get(o, {}).items():
+                for pred in preds:
+                    yield (subj, pred, o)
+            return
+        yield from self._triples
+
+    def subjects(self, predicate: IRI, obj: Term) -> Iterator[Term]:
+        """Yield subjects ``s`` with ``(s, predicate, obj)`` in the graph."""
+        for s, _, _ in self.triples(None, predicate, obj):
+            yield s
+
+    def objects(self, subject: Term, predicate: IRI) -> Iterator[Term]:
+        """Yield objects ``o`` with ``(subject, predicate, o)`` in the graph."""
+        for _, _, o in self.triples(subject, predicate, None):
+            yield o
+
+    def value(self, subject: Term, predicate: IRI) -> Term | None:
+        """Return one object for (subject, predicate) or ``None``."""
+        for o in self.objects(subject, predicate):
+            return o
+        return None
+
+    def copy(self) -> "Graph":
+        """A shallow copy (terms are immutable, so this is safe)."""
+        return Graph(self._triples)
+
+    def __or__(self, other: "Graph") -> "Graph":
+        merged = self.copy()
+        merged.update(other)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"Graph(<{len(self)} triples>)"

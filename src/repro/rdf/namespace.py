@@ -1,0 +1,87 @@
+"""Namespace helpers and the W3C vocabularies used throughout the system."""
+
+from __future__ import annotations
+
+from .terms import IRI
+
+__all__ = ["Namespace", "RDF", "RDFS", "OWL", "XSD_NS", "PrefixMap"]
+
+
+class Namespace:
+    """A factory for IRIs sharing a common prefix.
+
+    >>> SIE = Namespace("http://siemens.com/ontology#")
+    >>> SIE.Turbine
+    IRI(value='http://siemens.com/ontology#Turbine')
+    >>> SIE["hasValue"].local_name
+    'hasValue'
+    """
+
+    def __init__(self, base: str) -> None:
+        if not base:
+            raise ValueError("namespace base must be non-empty")
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        return self._base
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return IRI(self._base + name)
+
+    def __getitem__(self, name: str) -> IRI:
+        return IRI(self._base + name)
+
+    def __contains__(self, iri: IRI) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self._base)
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"Namespace({self._base!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD_NS = Namespace("http://www.w3.org/2001/XMLSchema#")
+
+
+class PrefixMap:
+    """A bidirectional prefix <-> namespace registry for (de)serialisation."""
+
+    def __init__(self) -> None:
+        self._by_prefix: dict[str, str] = {}
+        self.bind("rdf", RDF.base)
+        self.bind("rdfs", RDFS.base)
+        self.bind("owl", OWL.base)
+        self.bind("xsd", XSD_NS.base)
+
+    def bind(self, prefix: str, base: str) -> None:
+        """Register ``prefix`` for ``base``, replacing a prior binding."""
+        self._by_prefix[prefix] = base
+
+    def expand(self, qname: str) -> IRI:
+        """Expand a ``prefix:local`` qualified name into an IRI."""
+        if ":" not in qname:
+            raise ValueError(f"not a qualified name: {qname!r}")
+        prefix, local = qname.split(":", 1)
+        if prefix not in self._by_prefix:
+            raise KeyError(f"unbound prefix {prefix!r}")
+        return IRI(self._by_prefix[prefix] + local)
+
+    def shrink(self, iri: IRI) -> str:
+        """Compact an IRI into ``prefix:local`` form when a prefix matches."""
+        best: tuple[str, str] | None = None
+        for prefix, base in self._by_prefix.items():
+            if iri.value.startswith(base):
+                if best is None or len(base) > len(best[1]):
+                    best = (prefix, base)
+        if best is None:
+            return iri.n3()
+        prefix, base = best
+        return f"{prefix}:{iri.value[len(base):]}"
+
+    def bindings(self) -> dict[str, str]:
+        """A copy of the current prefix bindings."""
+        return dict(self._by_prefix)

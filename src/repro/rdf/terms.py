@@ -1,0 +1,193 @@
+"""RDF term model: IRIs, literals, blank nodes and query variables.
+
+This module provides the value layer shared by the whole system: ontologies,
+mappings, queries and streaming ABox assertions are all built from these
+terms.  The design deliberately mirrors the RDF 1.1 abstract syntax while
+staying plain Python: terms are immutable, hashable and cheap to create.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+__all__ = [
+    "Term",
+    "IRI",
+    "BlankNode",
+    "Literal",
+    "Variable",
+    "XSD",
+    "term_from_python",
+]
+
+
+class Term:
+    """Abstract base class for all RDF terms."""
+
+    __slots__ = ()
+
+    def n3(self) -> str:
+        """Return the N3/Turtle surface form of the term."""
+        raise NotImplementedError
+
+    def is_ground(self) -> bool:
+        """Return ``True`` when the term contains no query variable."""
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class IRI(Term):
+    """An Internationalised Resource Identifier.
+
+    >>> IRI("http://example.org/Turbine").local_name
+    'Turbine'
+    """
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.value:
+            raise ValueError("IRI value must be a non-empty string")
+
+    def n3(self) -> str:
+        return f"<{self.value}>"
+
+    @property
+    def local_name(self) -> str:
+        """The fragment after the last ``#`` or ``/`` separator."""
+        for sep in ("#", "/"):
+            if sep in self.value:
+                return self.value.rsplit(sep, 1)[1]
+        return self.value
+
+    @property
+    def namespace(self) -> str:
+        """The prefix up to and including the last ``#`` or ``/``."""
+        for sep in ("#", "/"):
+            if sep in self.value:
+                return self.value.rsplit(sep, 1)[0] + sep
+        return ""
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class BlankNode(Term):
+    """An RDF blank node with a local identifier."""
+
+    label: str
+
+    def n3(self) -> str:
+        return f"_:{self.label}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"_:{self.label}"
+
+
+class XSD:
+    """Commonly used XML Schema datatype IRIs."""
+
+    _NS = "http://www.w3.org/2001/XMLSchema#"
+
+    string = IRI(_NS + "string")
+    integer = IRI(_NS + "integer")
+    decimal = IRI(_NS + "decimal")
+    double = IRI(_NS + "double")
+    boolean = IRI(_NS + "boolean")
+    dateTime = IRI(_NS + "dateTime")
+    duration = IRI(_NS + "duration")
+    time = IRI(_NS + "time")
+
+
+_PY_TO_XSD = {
+    bool: XSD.boolean,
+    int: XSD.integer,
+    float: XSD.double,
+    str: XSD.string,
+    _dt.datetime: XSD.dateTime,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Literal(Term):
+    """An RDF literal with an optional datatype and language tag.
+
+    The native Python value is derived eagerly so that comparisons and
+    arithmetic in query evaluation never re-parse the lexical form.
+    """
+
+    lexical: str
+    datatype: IRI = field(default=XSD.string)
+    language: str | None = None
+
+    def n3(self) -> str:
+        escaped = self.lexical.replace("\\", "\\\\").replace('"', '\\"')
+        if self.language:
+            return f'"{escaped}"@{self.language}'
+        if self.datatype == XSD.string:
+            return f'"{escaped}"'
+        return f'"{escaped}"^^{self.datatype.n3()}'
+
+    def to_python(self) -> Any:
+        """Convert the literal to the closest native Python value."""
+        dt = self.datatype
+        if dt == XSD.integer:
+            return int(self.lexical)
+        if dt in (XSD.decimal, XSD.double):
+            return float(self.lexical)
+        if dt == XSD.boolean:
+            return self.lexical in ("true", "1")
+        if dt == XSD.dateTime:
+            return _dt.datetime.fromisoformat(self.lexical)
+        return self.lexical
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.lexical
+
+
+@dataclass(frozen=True, slots=True)
+class Variable(Term):
+    """A query variable, written ``?name`` in SPARQL/STARQL syntax."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name.startswith("?"):
+            raise ValueError(f"variable name must not include '?': {self.name!r}")
+
+    def n3(self) -> str:
+        return f"?{self.name}"
+
+    def is_ground(self) -> bool:
+        return False
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"?{self.name}"
+
+
+GroundTerm = Union[IRI, BlankNode, Literal]
+
+
+def term_from_python(value: Any) -> Term:
+    """Wrap a native Python value as an RDF term.
+
+    Existing terms pass through unchanged; other values become typed
+    literals using the XSD mapping (bool before int, as bool is an int
+    subclass in Python).
+    """
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, bool):
+        return Literal("true" if value else "false", XSD.boolean)
+    if isinstance(value, int):
+        return Literal(str(value), XSD.integer)
+    if isinstance(value, float):
+        return Literal(repr(value), XSD.double)
+    if isinstance(value, _dt.datetime):
+        return Literal(value.isoformat(), XSD.dateTime)
+    if isinstance(value, str):
+        return Literal(value, XSD.string)
+    raise TypeError(f"cannot convert {type(value).__name__} to an RDF term")

@@ -1,0 +1,14 @@
+"""Relational substrate: schema model and SQLite-backed static storage."""
+
+from .database import Database, Row
+from .schema import Column, ForeignKey, Schema, SQLType, Table
+
+__all__ = [
+    "Database",
+    "Row",
+    "Column",
+    "ForeignKey",
+    "Schema",
+    "SQLType",
+    "Table",
+]

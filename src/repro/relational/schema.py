@@ -1,0 +1,158 @@
+"""Relational schema model: tables, columns, keys and schemas.
+
+BOOTOX bootstraps ontologies from these schema objects; the unfolding
+stage uses primary keys for self-join elimination; the Siemens generator
+builds several *structurally different* source schemas over the same
+domain — the heterogeneity the paper's fleet-of-queries problem stems
+from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator
+
+__all__ = ["SQLType", "Column", "ForeignKey", "Table", "Schema"]
+
+
+class SQLType(str, Enum):
+    """The column types used across the system (SQLite affinity names)."""
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+    TIMESTAMP = "TIMESTAMP"
+    BOOLEAN = "BOOLEAN"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Column:
+    """A table column."""
+
+    name: str
+    type: SQLType = SQLType.TEXT
+    nullable: bool = True
+    comment: str = ""
+
+    def __str__(self) -> str:
+        null = "" if self.nullable else " NOT NULL"
+        return f"{self.name} {self.type}{null}"
+
+
+@dataclass(frozen=True, slots=True)
+class ForeignKey:
+    """A (possibly composite) foreign key reference."""
+
+    columns: tuple[str, ...]
+    referenced_table: str
+    referenced_columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.referenced_columns):
+            raise ValueError("foreign key column count mismatch")
+
+    def __str__(self) -> str:
+        return (
+            f"FOREIGN KEY ({', '.join(self.columns)}) REFERENCES "
+            f"{self.referenced_table}({', '.join(self.referenced_columns)})"
+        )
+
+
+@dataclass
+class Table:
+    """A relational table definition."""
+
+    name: str
+    columns: list[Column]
+    primary_key: tuple[str, ...] = ()
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in table {self.name}")
+        for key in self.primary_key:
+            if key not in names:
+                raise ValueError(f"primary key column {key!r} not in {self.name}")
+        for fk in self.foreign_keys:
+            for column in fk.columns:
+                if column not in names:
+                    raise ValueError(
+                        f"foreign key column {column!r} not in {self.name}"
+                    )
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name; raises ``KeyError`` when absent."""
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise KeyError(f"no column {name!r} in table {self.name}")
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    def non_key_columns(self) -> list[Column]:
+        """Columns that are neither in the PK nor in any FK."""
+        fk_columns = {c for fk in self.foreign_keys for c in fk.columns}
+        return [
+            c
+            for c in self.columns
+            if c.name not in self.primary_key and c.name not in fk_columns
+        ]
+
+    def ddl(self) -> str:
+        """CREATE TABLE statement (SQLite syntax)."""
+        parts = [str(c) for c in self.columns]
+        if self.primary_key:
+            parts.append(f"PRIMARY KEY ({', '.join(self.primary_key)})")
+        parts.extend(str(fk) for fk in self.foreign_keys)
+        inner = ",\n  ".join(parts)
+        return f"CREATE TABLE {self.name} (\n  {inner}\n)"
+
+
+@dataclass
+class Schema:
+    """A named collection of tables (one data source's local schema)."""
+
+    name: str
+    tables: dict[str, Table] = field(default_factory=dict)
+
+    def add(self, table: Table) -> "Schema":
+        """Register ``table``; raises on duplicate names."""
+        if table.name in self.tables:
+            raise ValueError(f"duplicate table {table.name!r} in schema {self.name}")
+        self.tables[table.name] = table
+        return self
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self.tables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+    def __getitem__(self, name: str) -> Table:
+        return self.tables[name]
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def referencing_tables(self, target: str) -> list[tuple[Table, ForeignKey]]:
+        """All (table, fk) pairs whose fk points at ``target``."""
+        result = []
+        for table in self:
+            for fk in table.foreign_keys:
+                if fk.referenced_table == target:
+                    result.append((table, fk))
+        return result
+
+    def ddl(self) -> str:
+        """DDL for the whole schema in insertion order."""
+        return ";\n\n".join(t.ddl() for t in self) + ";"

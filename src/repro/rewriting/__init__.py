@@ -1,0 +1,5 @@
+"""Query enrichment: PerfectRef rewriting over OWL 2 QL TBoxes."""
+
+from .perfectref import PerfectRef, RewritingStats
+
+__all__ = ["PerfectRef", "RewritingStats"]

@@ -1,0 +1,331 @@
+"""PerfectRef query rewriting — OPTIQUE's *enrichment* stage.
+
+Given a conjunctive query and an OWL 2 QL TBox, PerfectRef (Calvanese et
+al., 2007) computes a union of conjunctive queries whose evaluation over
+the raw data yields exactly the certain answers of the original query over
+data + ontology.  The paper calls this step *enrichment*: "the ontological
+query is automatically reformulated with the help of axioms in another
+ontological query in order to access as much of relevant data as possible".
+
+Enrichment is polynomial in the size of the TBox for a fixed query — the
+property benchmarked by E5 in DESIGN.md.
+
+The implementation follows the textbook algorithm:
+
+* ``τ`` replaces every non-distinguished variable that occurs exactly once
+  with the *anonymous* variable ``_`` (each occurrence independent);
+* step (a) applies every applicable positive inclusion ``I`` to every atom
+  ``g``, replacing ``g`` by ``gr(g, I)``;
+* step (b) *reduces* pairs of unifiable atoms, which can turn bound
+  variables into unbound ones and enable further applications of (a).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..ontology import (
+    AtomicClass,
+    Attribute,
+    Existential,
+    Ontology,
+    PropertyExpression,
+    Role,
+    SubClassOf,
+    SubPropertyOf,
+    Thing,
+    normalize,
+)
+from ..queries import (
+    Atom,
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+    canonical_form,
+    fresh_variable,
+    minimize_ucq,
+)
+from ..rdf import IRI, Term, Variable
+
+__all__ = ["PerfectRef", "RewritingStats"]
+
+
+_ANON_PREFIX = "_anon"
+_anon_counter = itertools.count()
+
+
+def _anon() -> Variable:
+    """A fresh anonymous ('unbound') variable."""
+    return Variable(f"{_ANON_PREFIX}{next(_anon_counter)}")
+
+
+def _is_anon(term: Term) -> bool:
+    return isinstance(term, Variable) and term.name.startswith(_ANON_PREFIX)
+
+
+def _resolve_substitution(
+    mapping: dict[Variable, Term]
+) -> dict[Variable, Term]:
+    """Chase a triangular substitution to its fixpoint.
+
+    ``{x -> y, y -> c}`` becomes ``{x -> c, y -> c}`` so that one
+    application fully resolves every variable (unification builds the
+    triangular form, which is acyclic by construction).
+    """
+
+    def walk(term: Term) -> Term:
+        while isinstance(term, Variable) and term in mapping:
+            term = mapping[term]
+        return term
+
+    return {var: walk(target) for var, target in mapping.items()}
+
+
+@dataclass
+class RewritingStats:
+    """Instrumentation for the enrichment benchmarks."""
+
+    iterations: int = 0
+    atom_rewrites: int = 0
+    reductions: int = 0
+    generated: int = 0
+    final_size: int = 0
+
+
+@dataclass
+class PerfectRef:
+    """Rewriting engine bound to one (normalised) TBox.
+
+    >>> onto = Ontology()
+    >>> a = onto.declare_class(IRI("urn:GasTurbine"))
+    >>> b = onto.declare_class(IRI("urn:Turbine"))
+    >>> _ = onto.add(SubClassOf(a, b))
+    >>> engine = PerfectRef(onto)
+    >>> x = Variable("x")
+    >>> q = ConjunctiveQuery((x,), (Atom(b.iri, (x,)),))
+    >>> len(engine.rewrite(q))
+    2
+    """
+
+    ontology: Ontology
+    max_queries: int = 100_000
+    stats: RewritingStats = field(default_factory=RewritingStats)
+
+    def __post_init__(self) -> None:
+        self.ontology = normalize(self.ontology)
+        # Index positive inclusions by the predicate their RHS talks about,
+        # so applicability checks touch only relevant axioms.
+        self._class_axioms: dict[IRI, list[SubClassOf]] = {}
+        self._domain_axioms: dict[IRI, list[SubClassOf]] = {}
+        self._range_axioms: dict[IRI, list[SubClassOf]] = {}
+        for axiom in self.ontology.class_inclusions:
+            sup = axiom.sup
+            if isinstance(sup, AtomicClass):
+                self._class_axioms.setdefault(sup.iri, []).append(axiom)
+            elif isinstance(sup, Existential) and sup.filler is None:
+                prop = sup.property
+                bucket = (
+                    self._range_axioms
+                    if getattr(prop, "inverse", False)
+                    else self._domain_axioms
+                )
+                bucket.setdefault(prop.iri, []).append(axiom)
+        self._role_axioms: dict[IRI, list[SubPropertyOf]] = {}
+        for axiom in self.ontology.property_inclusions:
+            self._role_axioms.setdefault(axiom.sup.iri, []).append(axiom)
+
+    # -- public API -----------------------------------------------------------
+
+    def rewrite(self, query: ConjunctiveQuery) -> UnionOfConjunctiveQueries:
+        """Compute the perfect rewriting of ``query`` as a minimised UCQ."""
+        self.stats = RewritingStats()
+        seed = self._tau(query)
+        seen: dict[tuple, ConjunctiveQuery] = {canonical_form(seed): seed}
+        frontier = [seed]
+        while frontier:
+            self.stats.iterations += 1
+            next_frontier: list[ConjunctiveQuery] = []
+            for current in frontier:
+                for candidate in self._expand(current):
+                    key = canonical_form(candidate)
+                    if key not in seen:
+                        if len(seen) >= self.max_queries:
+                            raise RuntimeError(
+                                "rewriting exceeded max_queries = "
+                                f"{self.max_queries}"
+                            )
+                        seen[key] = candidate
+                        next_frontier.append(candidate)
+            frontier = next_frontier
+        self.stats.generated = len(seen)
+        result = minimize_ucq(
+            UnionOfConjunctiveQueries(tuple(self._strip_anon(q) for q in seen.values()))
+        )
+        self.stats.final_size = len(result)
+        return result
+
+    # -- tau: anonymise unshared existential variables -------------------------
+
+    def _tau(self, query: ConjunctiveQuery) -> ConjunctiveQuery:
+        counts = query.variable_occurrences()
+        filter_vars = {v for f in query.filters for v in f.variables()}
+        mapping: dict[Variable, Term] = {}
+        answer_vars = set(query.answer_variables)
+        new_atoms = []
+        for atom in query.atoms:
+            args = []
+            for arg in atom.args:
+                if (
+                    isinstance(arg, Variable)
+                    and arg not in answer_vars
+                    and arg not in filter_vars
+                    and counts.get(arg, 0) == 1
+                    and not _is_anon(arg)
+                ):
+                    args.append(_anon())
+                else:
+                    args.append(arg)
+            new_atoms.append(Atom(atom.predicate, tuple(args)))
+        return query.with_atoms(new_atoms)
+
+    def _strip_anon(self, query: ConjunctiveQuery) -> ConjunctiveQuery:
+        """Replace anonymous markers with ordinary fresh variables."""
+        mapping: dict[Variable, Term] = {}
+        atoms = []
+        for atom in query.atoms:
+            args = []
+            for arg in atom.args:
+                if _is_anon(arg):
+                    args.append(mapping.setdefault(arg, fresh_variable("e")))
+                else:
+                    args.append(arg)
+            atoms.append(Atom(atom.predicate, tuple(args)))
+        return query.with_atoms(atoms)
+
+    # -- expansion --------------------------------------------------------------
+
+    def _expand(self, query: ConjunctiveQuery) -> Iterable[ConjunctiveQuery]:
+        # (a) axiom application
+        for index, atom in enumerate(query.atoms):
+            for replacement in self._atom_rewritings(atom):
+                self.stats.atom_rewrites += 1
+                atoms = list(query.atoms)
+                atoms[index] = replacement
+                yield self._tau(query.with_atoms(atoms))
+        # (b) reduction of unifiable atom pairs
+        for i, j in itertools.combinations(range(len(query.atoms)), 2):
+            reduced = self._reduce(query, i, j)
+            if reduced is not None:
+                self.stats.reductions += 1
+                yield self._tau(reduced)
+
+    def _atom_rewritings(self, atom: Atom) -> Iterable[Atom]:
+        if atom.is_class_atom:
+            yield from self._rewrite_class_atom(atom)
+        else:
+            yield from self._rewrite_property_atom(atom)
+
+    def _rewrite_class_atom(self, atom: Atom) -> Iterable[Atom]:
+        x = atom.args[0]
+        for axiom in self._class_axioms.get(atom.predicate, ()):
+            yield self._atom_for_concept(axiom.sub, x)
+
+    def _rewrite_property_atom(self, atom: Atom) -> Iterable[Atom]:
+        s, o = atom.args
+        # I = B ⊑ ∃P applicable to P(x, _)
+        if _is_anon(o):
+            for axiom in self._domain_axioms.get(atom.predicate, ()):
+                yield self._atom_for_concept(axiom.sub, s)
+        # I = B ⊑ ∃P⁻ applicable to P(_, x)
+        if _is_anon(s):
+            for axiom in self._range_axioms.get(atom.predicate, ()):
+                yield self._atom_for_concept(axiom.sub, o)
+        # role inclusions Q ⊑ P (possibly inverted) always applicable
+        for axiom in self._role_axioms.get(atom.predicate, ()):
+            sub, sup = axiom.sub, axiom.sup
+            if isinstance(sub, Attribute) or isinstance(sup, Attribute):
+                if not sup.inverse:
+                    yield Atom(sub.iri, (s, o))
+                continue
+            if sup.inverse == sub.inverse:
+                yield Atom(sub.iri, (s, o))
+            else:
+                yield Atom(sub.iri, (o, s))
+
+    def _atom_for_concept(self, concept, term: Term) -> Atom:
+        if isinstance(concept, AtomicClass):
+            return Atom(concept.iri, (term,))
+        if isinstance(concept, Existential) and concept.filler is None:
+            prop = concept.property
+            if getattr(prop, "inverse", False):
+                return Atom(prop.iri, (_anon(), term))
+            return Atom(prop.iri, (term, _anon()))
+        if isinstance(concept, Thing):
+            raise ValueError("owl:Thing cannot appear on an axiom LHS usefully")
+        raise ValueError(f"unexpected concept in normalised TBox: {concept}")
+
+    # -- reduction ---------------------------------------------------------------
+
+    def _reduce(
+        self, query: ConjunctiveQuery, i: int, j: int
+    ) -> ConjunctiveQuery | None:
+        """Unify atoms ``i`` and ``j`` and apply the (resolved) mgu.
+
+        Reductions that would bind an answer variable to a constant cannot
+        be represented by our head model and are skipped; such reductions
+        require a constant in the query body aligned with an answer
+        variable and do not occur in STARQL workloads.
+        """
+        g1, g2 = query.atoms[i], query.atoms[j]
+        if g1.predicate != g2.predicate or len(g1.args) != len(g2.args):
+            return None
+        mgu = self._unify(g1, g2)
+        if mgu is None:
+            return None
+        resolved = _resolve_substitution(mgu)
+        for var in query.answer_variables:
+            target = resolved.get(var)
+            if target is not None and not isinstance(target, Variable):
+                return None
+        atoms = [
+            atom.substitute(resolved)
+            for k, atom in enumerate(query.atoms)
+            if k != j
+        ]
+        try:
+            return ConjunctiveQuery(
+                tuple(resolved.get(v, v) for v in query.answer_variables),  # type: ignore[misc]
+                tuple(atoms),
+                tuple(f.substitute(resolved) for f in query.filters),
+            )
+        except ValueError:
+            return None
+
+    @staticmethod
+    def _unify(g1: Atom, g2: Atom) -> dict[Variable, Term] | None:
+        """Triangular mgu; resolve with :func:`_resolve_substitution`."""
+        """Most general unifier treating anonymous variables as wildcards."""
+        mapping: dict[Variable, Term] = {}
+
+        def walk(term: Term) -> Term:
+            while isinstance(term, Variable) and term in mapping:
+                term = mapping[term]
+            return term
+
+        for a, b in zip(g1.args, g2.args):
+            a, b = walk(a), walk(b)
+            if a == b:
+                continue
+            # Prefer replacing anonymous vars, then ordinary vars.
+            if _is_anon(a):
+                mapping[a] = b
+            elif _is_anon(b):
+                mapping[b] = a
+            elif isinstance(a, Variable):
+                mapping[a] = b
+            elif isinstance(b, Variable):
+                mapping[b] = a
+            else:
+                return None
+        return mapping

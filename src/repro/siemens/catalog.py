@@ -1,0 +1,335 @@
+"""The catalog of 20 Siemens diagnostic tasks.
+
+"For the demonstration purpose we selected 20 diagnostic tasks typical
+for Siemens Energy service centres and expressed these tasks in
+STARQL."  Every task below is a complete STARQL program over the Siemens
+ontology; task 1 is the paper's Figure 1.  The catalog drives the
+fleet-size benchmark (E2) and the concurrency showcase (E3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DiagnosticTask", "diagnostic_catalog"]
+
+_PREFIXES = """
+PREFIX sie: <http://siemens.com/ontology#>
+PREFIX diag: <http://siemens.com/diagnostics#>
+"""
+
+
+@dataclass(frozen=True)
+class DiagnosticTask:
+    """One catalog entry."""
+
+    task_id: int
+    name: str
+    description: str
+    starql: str
+
+
+def _task(task_id, name, description, body) -> DiagnosticTask:
+    return DiagnosticTask(task_id, name, description, _PREFIXES + body)
+
+
+def diagnostic_catalog() -> list[DiagnosticTask]:
+    """All 20 diagnostic tasks."""
+    tasks = [
+        _task(
+            1,
+            "monotonic-increase-failure",
+            "Figure 1: failure preceded by monotonic temperature increase "
+            "within 10 seconds",
+            """
+CREATE STREAM S_out_1 AS
+CONSTRUCT GRAPH NOW { ?c2 rdf:type diag:MonInc }
+FROM STREAM S_Msmt [NOW-"PT10S"^^xsd:duration, NOW]->"PT1S"^^xsd:duration,
+STATIC DATA <http://siemens.com/data>, ONTOLOGY <http://siemens.com/ontology>
+USING PULSE WITH FREQUENCY = "1S"
+WHERE {?c1 a sie:Assembly. ?c2 a sie:Sensor. ?c2 sie:inAssembly ?c1.}
+SEQUENCE BY StdSeq AS seq
+HAVING MONOTONIC.HAVING(?c2, sie:hasValue)
+""",
+        ),
+        _task(
+            2,
+            "overheating-average",
+            "Average temperature of any temperature sensor above 95 within "
+            "a 20s window",
+            """
+CREATE STREAM S_out_2 AS
+CONSTRUCT GRAPH NOW { ?s rdf:type diag:Overheating }
+FROM STREAM S_Msmt [NOW-"PT20S"^^xsd:duration, NOW]->"PT5S"^^xsd:duration,
+STATIC DATA <http://siemens.com/data>, ONTOLOGY <http://siemens.com/ontology>
+WHERE {?s a sie:TemperatureSensor.}
+SEQUENCE BY StdSeq AS seq
+HAVING AVG(?s, sie:hasValue) > 95
+""",
+        ),
+        _task(
+            3,
+            "pressure-drop",
+            "Minimum pressure below 15 for pressure sensors in a rotor "
+            "assembly",
+            """
+CREATE STREAM S_out_3 AS
+CONSTRUCT GRAPH NOW { ?s rdf:type diag:PressureDrop }
+FROM STREAM S_Msmt [NOW-"PT15S"^^xsd:duration, NOW]->"PT5S"^^xsd:duration,
+STATIC DATA <http://siemens.com/data>, ONTOLOGY <http://siemens.com/ontology>
+WHERE {?s a sie:PressureSensor. ?s sie:inAssembly ?a. ?a a sie:Rotor.}
+SEQUENCE BY StdSeq AS seq
+HAVING MIN(?s, sie:hasValue) < 15
+""",
+        ),
+        _task(
+            4,
+            "vibration-spike",
+            "Vibration maximum above 80 on any vibration sensor",
+            """
+CREATE STREAM S_out_4 AS
+CONSTRUCT GRAPH NOW { ?s rdf:type diag:VibrationAnomaly }
+FROM STREAM S_Msmt [NOW-"PT10S"^^xsd:duration, NOW]->"PT2S"^^xsd:duration,
+STATIC DATA <http://siemens.com/data>, ONTOLOGY <http://siemens.com/ontology>
+WHERE {?s a sie:VibrationSensor.}
+SEQUENCE BY StdSeq AS seq
+HAVING MAX(?s, sie:hasValue) > 80
+""",
+        ),
+        _task(
+            5,
+            "pearson-correlation",
+            "Pearson correlation above 0.9 between main sensors of two "
+            "assemblies of the same turbine",
+            """
+CREATE STREAM S_out_5 AS
+CONSTRUCT GRAPH NOW { ?s1 rdf:type diag:CorrelatedDrift }
+FROM STREAM S_Msmt [NOW-"PT30S"^^xsd:duration, NOW]->"PT10S"^^xsd:duration,
+STATIC DATA <http://siemens.com/data>, ONTOLOGY <http://siemens.com/ontology>
+WHERE {?s1 a sie:Sensor. ?s2 a sie:Sensor. ?s1 sie:inAssembly ?a1.
+       ?s2 sie:inAssembly ?a2. ?t sie:hasPart ?a1. ?t sie:hasPart ?a2.}
+SEQUENCE BY StdSeq AS seq
+HAVING PEARSON(?s1, sie:hasValue, ?s2, sie:hasValue) > 0.9
+""",
+        ),
+        _task(
+            6,
+            "failure-message",
+            "Any sensor of a gas turbine reporting a failure message",
+            """
+CREATE STREAM S_out_6 AS
+CONSTRUCT GRAPH NOW { ?s rdf:type diag:SensorFault }
+FROM STREAM S_Msmt [NOW-"PT5S"^^xsd:duration, NOW]->"PT1S"^^xsd:duration,
+STATIC DATA <http://siemens.com/data>, ONTOLOGY <http://siemens.com/ontology>
+WHERE {?s a sie:Sensor. ?s sie:inAssembly ?a. ?t sie:hasPart ?a.
+       ?t a sie:GasTurbine.}
+SEQUENCE BY StdSeq AS seq
+HAVING FAILURE.SEEN(?s)
+""",
+        ),
+        _task(
+            7,
+            "temperature-slope",
+            "Positive temperature trend (slope > 1.5/s) over 15 seconds",
+            """
+CREATE STREAM S_out_7 AS
+CONSTRUCT GRAPH NOW { ?s rdf:type diag:EfficiencyLoss }
+FROM STREAM S_Msmt [NOW-"PT15S"^^xsd:duration, NOW]->"PT5S"^^xsd:duration,
+STATIC DATA <http://siemens.com/data>, ONTOLOGY <http://siemens.com/ontology>
+WHERE {?s a sie:TemperatureSensor.}
+SEQUENCE BY StdSeq AS seq
+HAVING SLOPE(?s, sie:hasValue) > 1.5
+""",
+        ),
+        _task(
+            8,
+            "reading-spread",
+            "Value spread (max - min) above 18 within 10 seconds",
+            """
+CREATE STREAM S_out_8 AS
+CONSTRUCT GRAPH NOW { ?s rdf:type diag:LoadImbalance }
+FROM STREAM S_Msmt [NOW-"PT10S"^^xsd:duration, NOW]->"PT5S"^^xsd:duration,
+STATIC DATA <http://siemens.com/data>, ONTOLOGY <http://siemens.com/ontology>
+WHERE {?s a sie:Sensor.}
+SEQUENCE BY StdSeq AS seq
+HAVING SPREAD(?s, sie:hasValue) > 18
+""",
+        ),
+        _task(
+            9,
+            "main-sensor-overheat",
+            "Main sensors of any assembly averaging above 90",
+            """
+CREATE STREAM S_out_9 AS
+CONSTRUCT GRAPH NOW { ?s rdf:type diag:Overheating }
+FROM STREAM S_Msmt [NOW-"PT10S"^^xsd:duration, NOW]->"PT2S"^^xsd:duration,
+STATIC DATA <http://siemens.com/data>, ONTOLOGY <http://siemens.com/ontology>
+WHERE {?s sie:isMainSensorOf ?a.}
+SEQUENCE BY StdSeq AS seq
+HAVING AVG(?s, sie:hasValue) > 90
+""",
+        ),
+        _task(
+            10,
+            "strictly-increasing",
+            "Strictly increasing readings on any bearing sensor",
+            """
+CREATE STREAM S_out_10 AS
+CONSTRUCT GRAPH NOW { ?s rdf:type diag:BearingWear }
+FROM STREAM S_Msmt [NOW-"PT8S"^^xsd:duration, NOW]->"PT2S"^^xsd:duration,
+STATIC DATA <http://siemens.com/data>, ONTOLOGY <http://siemens.com/ontology>
+WHERE {?s a sie:Sensor. ?s sie:inAssembly ?a. ?a a sie:Bearing.}
+SEQUENCE BY StdSeq AS seq
+HAVING STRICT.INCREASE(?s, sie:hasValue)
+""",
+        ),
+        _task(
+            11,
+            "count-activity",
+            "Sensors producing more than 8 readings in 10 seconds "
+            "(chattering)",
+            """
+CREATE STREAM S_out_11 AS
+CONSTRUCT GRAPH NOW { ?s rdf:type diag:SensorFault }
+FROM STREAM S_Msmt [NOW-"PT10S"^^xsd:duration, NOW]->"PT5S"^^xsd:duration,
+STATIC DATA <http://siemens.com/data>, ONTOLOGY <http://siemens.com/ontology>
+WHERE {?s a sie:Sensor.}
+SEQUENCE BY StdSeq AS seq
+HAVING COUNT(?s, sie:hasValue) > 8
+""",
+        ),
+        _task(
+            12,
+            "steam-turbine-pressure",
+            "Average pressure above 60 on sensors of steam turbines",
+            """
+CREATE STREAM S_out_12 AS
+CONSTRUCT GRAPH NOW { ?s rdf:type diag:PressureDrop }
+FROM STREAM S_Msmt [NOW-"PT20S"^^xsd:duration, NOW]->"PT10S"^^xsd:duration,
+STATIC DATA <http://siemens.com/data>, ONTOLOGY <http://siemens.com/ontology>
+WHERE {?s a sie:PressureSensor. ?s sie:inAssembly ?a. ?t sie:hasPart ?a.
+       ?t a sie:SteamTurbine.}
+SEQUENCE BY StdSeq AS seq
+HAVING AVG(?s, sie:hasValue) > 60
+""",
+        ),
+        _task(
+            13,
+            "burner-flame-instability",
+            "High spread on burner sensors (flame instability)",
+            """
+CREATE STREAM S_out_13 AS
+CONSTRUCT GRAPH NOW { ?s rdf:type diag:FlameInstability }
+FROM STREAM S_Msmt [NOW-"PT6S"^^xsd:duration, NOW]->"PT2S"^^xsd:duration,
+STATIC DATA <http://siemens.com/data>, ONTOLOGY <http://siemens.com/ontology>
+WHERE {?s a sie:Sensor. ?s sie:inAssembly ?a. ?a a sie:Burner.}
+SEQUENCE BY StdSeq AS seq
+HAVING SPREAD(?s, sie:hasValue) > 12
+""",
+        ),
+        _task(
+            14,
+            "cooling-degradation",
+            "Rising trend on cooling-system sensors",
+            """
+CREATE STREAM S_out_14 AS
+CONSTRUCT GRAPH NOW { ?s rdf:type diag:CoolingDegradation }
+FROM STREAM S_Msmt [NOW-"PT20S"^^xsd:duration, NOW]->"PT5S"^^xsd:duration,
+STATIC DATA <http://siemens.com/data>, ONTOLOGY <http://siemens.com/ontology>
+WHERE {?s a sie:Sensor. ?s sie:inAssembly ?a. ?a a sie:CoolingSystem.}
+SEQUENCE BY StdSeq AS seq
+HAVING SLOPE(?s, sie:hasValue) > 0.8
+""",
+        ),
+        _task(
+            15,
+            "monotonic-decrease-guard",
+            "Monotonic increase check on rotational speed sensors",
+            """
+CREATE STREAM S_out_15 AS
+CONSTRUCT GRAPH NOW { ?s rdf:type diag:SpeedExcursion }
+FROM STREAM S_Msmt [NOW-"PT12S"^^xsd:duration, NOW]->"PT3S"^^xsd:duration,
+STATIC DATA <http://siemens.com/data>, ONTOLOGY <http://siemens.com/ontology>
+WHERE {?s a sie:RotationalSpeedSensor.}
+SEQUENCE BY StdSeq AS seq
+HAVING MONOTONIC.HAVING(?s, sie:hasValue)
+""",
+        ),
+        _task(
+            16,
+            "combined-threshold",
+            "Average above 85 AND spread above 8 (sustained hot and "
+            "unstable)",
+            """
+CREATE STREAM S_out_16 AS
+CONSTRUCT GRAPH NOW { ?s rdf:type diag:Overheating }
+FROM STREAM S_Msmt [NOW-"PT10S"^^xsd:duration, NOW]->"PT5S"^^xsd:duration,
+STATIC DATA <http://siemens.com/data>, ONTOLOGY <http://siemens.com/ontology>
+WHERE {?s a sie:TemperatureSensor.}
+SEQUENCE BY StdSeq AS seq
+HAVING AVG(?s, sie:hasValue) > 85 AND SPREAD(?s, sie:hasValue) > 8
+""",
+        ),
+        _task(
+            17,
+            "either-anomaly",
+            "Failure seen OR strongly rising trend on fuel-system sensors",
+            """
+CREATE STREAM S_out_17 AS
+CONSTRUCT GRAPH NOW { ?s rdf:type diag:TripEvent }
+FROM STREAM S_Msmt [NOW-"PT10S"^^xsd:duration, NOW]->"PT5S"^^xsd:duration,
+STATIC DATA <http://siemens.com/data>, ONTOLOGY <http://siemens.com/ontology>
+WHERE {?s a sie:Sensor. ?s sie:inAssembly ?a. ?a a sie:FuelSystem.}
+SEQUENCE BY StdSeq AS seq
+HAVING FAILURE.SEEN(?s) OR SLOPE(?s, sie:hasValue) > 1.8
+""",
+        ),
+        _task(
+            18,
+            "exhaust-emission",
+            "Average flow readings above 70 on exhaust sensors of gas "
+            "turbines",
+            """
+CREATE STREAM S_out_18 AS
+CONSTRUCT GRAPH NOW { ?s rdf:type diag:EmissionSpike }
+FROM STREAM S_Msmt [NOW-"PT15S"^^xsd:duration, NOW]->"PT5S"^^xsd:duration,
+STATIC DATA <http://siemens.com/data>, ONTOLOGY <http://siemens.com/ontology>
+WHERE {?s a sie:FlowSensor. ?s sie:inAssembly ?a. ?a a sie:ExhaustSystem.
+       ?t sie:hasPart ?a. ?t a sie:GasTurbine.}
+SEQUENCE BY StdSeq AS seq
+HAVING AVG(?s, sie:hasValue) > 70
+""",
+        ),
+        _task(
+            19,
+            "quiet-sensor",
+            "Sensors reporting fewer than 3 readings in 12 seconds "
+            "(possible outage)",
+            """
+CREATE STREAM S_out_19 AS
+CONSTRUCT GRAPH NOW { ?s rdf:type diag:SensorFault }
+FROM STREAM S_Msmt [NOW-"PT12S"^^xsd:duration, NOW]->"PT6S"^^xsd:duration,
+STATIC DATA <http://siemens.com/data>, ONTOLOGY <http://siemens.com/ontology>
+WHERE {?s a sie:Sensor.}
+SEQUENCE BY StdSeq AS seq
+HAVING COUNT(?s, sie:hasValue) < 3
+""",
+        ),
+        _task(
+            20,
+            "power-sensor-excursion",
+            "Power sensors of recent turbines exceeding 100 at peak",
+            """
+CREATE STREAM S_out_20 AS
+CONSTRUCT GRAPH NOW { ?s rdf:type diag:FrequencyDeviation }
+FROM STREAM S_Msmt [NOW-"PT10S"^^xsd:duration, NOW]->"PT2S"^^xsd:duration,
+STATIC DATA <http://siemens.com/data>, ONTOLOGY <http://siemens.com/ontology>
+WHERE {?s a sie:PowerSensor. ?s sie:inAssembly ?a. ?t sie:hasPart ?a.
+       ?t sie:hasCommissioningYear ?y. FILTER(?y >= 2008)}
+SEQUENCE BY StdSeq AS seq
+HAVING MAX(?s, sie:hasValue) > 100
+""",
+        ),
+    ]
+    assert len(tasks) == 20
+    return tasks

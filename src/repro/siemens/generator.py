@@ -1,0 +1,336 @@
+"""Deterministic synthetic Siemens fleet and measurement streams.
+
+The real demo data — 950 turbines, >100,000 sensors, 2002-2011 streams —
+is proprietary; the paper notes it was "anonymised in a way that
+preserves the patterns needed for demo diagnostic tasks".  This
+generator produces a synthetic fleet with the same cardinalities and
+exactly those patterns:
+
+* **monotonic ramps** ending in a failure flag (Figure 1's task fires);
+* **correlated sensor pairs** sharing a latent signal (the Pearson task
+  fires);
+* stationary noise everywhere else (no false positives at reasonable
+  thresholds).
+
+Everything derives from one seed; two runs produce identical bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..relational import Database
+from ..streams import ListSource, Stream, StreamSource
+from .schemas import (
+    event_stream_schema,
+    history_schema,
+    legacy_schema,
+    measurement_stream_schema,
+    plant_schema,
+)
+
+__all__ = ["FleetConfig", "SiemensFleet", "generate_fleet"]
+
+_QUANTITIES = [
+    "temperature",
+    "pressure",
+    "vibration",
+    "rotational_speed",
+    "flow",
+    "power",
+]
+
+_MODELS = ["SGT-400", "SGT-600", "SGT-800", "SGT5-4000F", "SST-600", "SST-5000"]
+
+_COUNTRIES = [
+    "Germany",
+    "Norway",
+    "United Kingdom",
+    "Spain",
+    "Italy",
+    "Netherlands",
+    "Poland",
+    "Austria",
+    "Sweden",
+    "Finland",
+    "France",
+    "Denmark",
+]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Scale and pattern parameters of one synthetic deployment.
+
+    The paper-scale configuration is ``FleetConfig(turbines=950,
+    assemblies_per_turbine=8, sensors_per_assembly=14)`` (= 106,400
+    sensors); tests use tiny fleets.
+    """
+
+    turbines: int = 950
+    assemblies_per_turbine: int = 8
+    sensors_per_assembly: int = 14
+    plants: int = 40
+    seed: int = 7
+    legacy_fraction: float = 0.2  # share of fleet mirrored in the legacy source
+    ramp_fraction: float = 0.05  # sensors with injected failure ramps
+    correlated_pairs: int = 10
+
+    @property
+    def sensor_count(self) -> int:
+        return (
+            self.turbines
+            * self.assemblies_per_turbine
+            * self.sensors_per_assembly
+        )
+
+
+@dataclass
+class SiemensFleet:
+    """A generated deployment: static databases + stream factories."""
+
+    config: FleetConfig
+    plant_db: Database
+    legacy_db: Database
+    history_db: Database
+    sensor_ids: list[str]
+    turbine_ids: list[str]
+    ramp_sensors: list[str]
+    correlated: list[tuple[str, str]]
+
+    def measurement_source(
+        self,
+        sensors: list[str] | None = None,
+        duration_seconds: int = 60,
+        hz: float = 1.0,
+        ramp_start: float = 5.0,
+        ramp_length: float = 10.0,
+        stream_name: str = "S_Msmt",
+    ) -> StreamSource:
+        """A replayable measurement stream over ``sensors``.
+
+        Ramp sensors rise monotonically from ``ramp_start`` for
+        ``ramp_length`` seconds, then raise their failure flag; correlated
+        pairs track a shared latent signal; everything else is stationary
+        noise around a per-sensor baseline.
+        """
+        chosen = sensors if sensors is not None else self.sensor_ids[:100]
+        rng = np.random.default_rng(self.config.seed + 1)
+        ramp_set = set(self.ramp_sensors)
+        latent_of: dict[str, int] = {}
+        for index, (a, b) in enumerate(self.correlated):
+            latent_of[a] = index
+            latent_of[b] = index
+
+        ticks = np.arange(0.0, duration_seconds, 1.0 / hz)
+        latents = rng.standard_normal((len(self.correlated) or 1, len(ticks)))
+        baselines = {s: 40.0 + 30.0 * rng.random() for s in chosen}
+        noise = rng.standard_normal((len(chosen), len(ticks)))
+
+        rows: list[tuple] = []
+        for tick_index, t in enumerate(ticks):
+            for sensor_index, sid in enumerate(chosen):
+                base = baselines[sid]
+                failure = 0
+                if sid in ramp_set:
+                    if ramp_start <= t < ramp_start + ramp_length:
+                        value = base + (t - ramp_start) * 2.0
+                    elif t >= ramp_start + ramp_length:
+                        value = base + ramp_length * 2.0
+                        failure = 1 if t < ramp_start + ramp_length + 2 else 0
+                    else:
+                        value = base
+                elif sid in latent_of:
+                    value = base + 5.0 * latents[latent_of[sid], tick_index]
+                else:
+                    value = base + 0.8 * noise[sensor_index, tick_index]
+                rows.append((float(t), sid, round(float(value), 4), failure))
+        return ListSource(
+            Stream(stream_name, measurement_stream_schema()), rows
+        )
+
+    def event_source(
+        self,
+        duration_seconds: int = 60,
+        events_per_minute: float = 6.0,
+        stream_name: str = "S_Events",
+    ) -> StreamSource:
+        """A replayable turbine event stream."""
+        rng = np.random.default_rng(self.config.seed + 2)
+        count = max(1, int(duration_seconds / 60.0 * events_per_minute))
+        times = np.sort(rng.uniform(0, duration_seconds, count))
+        kinds = ["start", "stop", "trip", "load_change"]
+        rows = [
+            (
+                float(times[i]),
+                self.turbine_ids[int(rng.integers(len(self.turbine_ids)))],
+                kinds[int(rng.integers(len(kinds)))],
+                int(rng.integers(1, 4)),
+            )
+            for i in range(count)
+        ]
+        return ListSource(Stream(stream_name, event_stream_schema()), rows)
+
+
+def generate_fleet(config: FleetConfig | None = None) -> SiemensFleet:
+    """Generate the full deployment (databases populated, ids listed)."""
+    config = config or FleetConfig()
+    rng = np.random.default_rng(config.seed)
+
+    plant_db = Database(plant_schema())
+    legacy_db = Database(legacy_schema())
+    history_db = Database(history_schema())
+
+    countries = [(i + 1, name) for i, name in enumerate(_COUNTRIES)]
+    plant_db.insert("countries", countries)
+    plants = [
+        (
+            p + 1,
+            f"Plant-{p + 1:03d}",
+            int(rng.integers(1, len(countries) + 1)),
+            float(np.round(rng.uniform(50, 800), 1)),
+        )
+        for p in range(config.plants)
+    ]
+    plant_db.insert("plants", plants)
+
+    turbine_rows = []
+    assembly_rows = []
+    sensor_rows = []
+    turbine_ids: list[str] = []
+    sensor_ids: list[str] = []
+    for t in range(config.turbines):
+        tid = f"t{t + 1:04d}"
+        turbine_ids.append(tid)
+        kind = "gas" if rng.random() < 0.7 else "steam"
+        turbine_rows.append(
+            (
+                tid,
+                _MODELS[int(rng.integers(len(_MODELS)))],
+                kind,
+                int(rng.integers(1, config.plants + 1)),
+                int(rng.integers(2002, 2012)),
+            )
+        )
+        for a in range(config.assemblies_per_turbine):
+            aid = f"{tid}-a{a + 1}"
+            assembly_rows.append(
+                (aid, tid, ["rotor", "stator", "burner", "bearing",
+                            "compressor_stage", "cooling_system",
+                            "fuel_system", "exhaust_system"][a % 8])
+            )
+            for s in range(config.sensors_per_assembly):
+                sid = f"{aid}-s{s + 1:02d}"
+                sensor_ids.append(sid)
+                quantity = _QUANTITIES[s % len(_QUANTITIES)]
+                sensor_rows.append(
+                    (
+                        sid,
+                        aid,
+                        quantity,
+                        {"temperature": "celsius", "pressure": "bar"}.get(
+                            quantity, "si"
+                        ),
+                        float(np.round(rng.uniform(80, 120), 1)),
+                        1 if s == 0 else 0,
+                    )
+                )
+    plant_db.insert("turbines", turbine_rows)
+    plant_db.insert("assemblies", assembly_rows)
+    plant_db.insert("sensors", sensor_rows)
+
+    # weather for a week
+    weather_rows = []
+    for p in range(config.plants):
+        for day in range(7):
+            weather_rows.append(
+                (
+                    p + 1,
+                    f"2011-06-{day + 1:02d}",
+                    float(np.round(rng.uniform(-5, 35), 1)),
+                    float(np.round(rng.uniform(20, 95), 1)),
+                )
+            )
+    plant_db.insert("weather", weather_rows)
+
+    # legacy mirror of part of the fleet (implicit FKs only)
+    legacy_count = max(1, int(config.turbines * config.legacy_fraction))
+    equip_rows = [
+        (
+            f"EQ{tid.upper()}",
+            "GT" if turbine_rows[i][2] == "gas" else "ST",
+            f"SITE{int(rng.integers(1, 20)):02d}",
+            turbine_rows[i][1],
+        )
+        for i, tid in enumerate(turbine_ids[:legacy_count])
+    ]
+    legacy_db.insert("EQUIP", equip_rows)
+    meas_rows = []
+    for i, tid in enumerate(turbine_ids[:legacy_count]):
+        for s in range(4):
+            meas_rows.append(
+                (
+                    f"MP-{tid}-{s}",
+                    f"EQ{tid.upper()}",
+                    _QUANTITIES[s % len(_QUANTITIES)].upper(),
+                    "degC" if s % len(_QUANTITIES) == 0 else "SI",
+                )
+            )
+    legacy_db.insert("MEASPOINT", meas_rows)
+
+    # service history
+    event_rows = []
+    event_id = 0
+    for tid in turbine_ids:
+        for _ in range(int(rng.integers(0, 4))):
+            event_id += 1
+            event_rows.append(
+                (
+                    event_id,
+                    tid,
+                    f"20{int(rng.integers(2, 12)):02d}-"
+                    f"{int(rng.integers(1, 13)):02d}-"
+                    f"{int(rng.integers(1, 29)):02d}",
+                    ["inspection", "repair", "overhaul"][int(rng.integers(3))],
+                    "",
+                )
+            )
+    history_db.insert("service_events", event_rows)
+    hours_rows = []
+    for tid in turbine_ids:
+        for year in range(2009, 2012):
+            hours_rows.append(
+                (
+                    tid,
+                    year,
+                    float(np.round(rng.uniform(1000, 8000), 1)),
+                    int(rng.integers(5, 120)),
+                )
+            )
+    history_db.insert("operating_hours", hours_rows)
+
+    # pattern injection choices
+    ramp_count = max(1, int(len(sensor_ids) * config.ramp_fraction))
+    ramp_sensors = [
+        sensor_ids[int(i)]
+        for i in rng.choice(len(sensor_ids), size=ramp_count, replace=False)
+    ]
+    correlated: list[tuple[str, str]] = []
+    available = [s for s in sensor_ids if s not in set(ramp_sensors)]
+    for pair_index in range(min(config.correlated_pairs, len(available) // 2)):
+        correlated.append(
+            (available[2 * pair_index], available[2 * pair_index + 1])
+        )
+
+    return SiemensFleet(
+        config=config,
+        plant_db=plant_db,
+        legacy_db=legacy_db,
+        history_db=history_db,
+        sensor_ids=sensor_ids,
+        turbine_ids=turbine_ids,
+        ramp_sensors=sorted(ramp_sensors),
+        correlated=correlated,
+    )

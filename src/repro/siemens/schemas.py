@@ -1,0 +1,197 @@
+"""The heterogeneous Siemens source schemas.
+
+The paper's central pain point is that diagnostic queries are
+"semantically the same ... but syntactically different (they are over
+different schemata)".  We model that heterogeneity with two structurally
+different relational schemas covering the same domain (a modern ``plant``
+schema and a ``legacy`` one), a service-history schema, plus the
+measurement stream layout.
+"""
+
+from __future__ import annotations
+
+from ..relational import Column, ForeignKey, Schema, SQLType, Table
+from ..streams import StreamSchema
+
+__all__ = [
+    "plant_schema",
+    "legacy_schema",
+    "history_schema",
+    "measurement_stream_schema",
+    "event_stream_schema",
+]
+
+
+def plant_schema() -> Schema:
+    """The modern source: plants, turbines, assemblies, sensors, weather."""
+    schema = Schema("plant")
+    schema.add(
+        Table(
+            "countries",
+            [
+                Column("country_id", SQLType.INTEGER, nullable=False),
+                Column("name", SQLType.TEXT),
+            ],
+            primary_key=("country_id",),
+        )
+    )
+    schema.add(
+        Table(
+            "plants",
+            [
+                Column("plant_id", SQLType.INTEGER, nullable=False),
+                Column("name", SQLType.TEXT),
+                Column("country_id", SQLType.INTEGER),
+                Column("capacity_mw", SQLType.REAL),
+            ],
+            primary_key=("plant_id",),
+            foreign_keys=[ForeignKey(("country_id",), "countries", ("country_id",))],
+        )
+    )
+    schema.add(
+        Table(
+            "turbines",
+            [
+                Column("tid", SQLType.TEXT, nullable=False),
+                Column("model", SQLType.TEXT),
+                Column("kind", SQLType.TEXT),  # 'gas' | 'steam'
+                Column("plant_id", SQLType.INTEGER),
+                Column("commissioned", SQLType.INTEGER),
+            ],
+            primary_key=("tid",),
+            foreign_keys=[ForeignKey(("plant_id",), "plants", ("plant_id",))],
+        )
+    )
+    schema.add(
+        Table(
+            "assemblies",
+            [
+                Column("aid", SQLType.TEXT, nullable=False),
+                Column("tid", SQLType.TEXT),
+                Column("kind", SQLType.TEXT),
+            ],
+            primary_key=("aid",),
+            foreign_keys=[ForeignKey(("tid",), "turbines", ("tid",))],
+        )
+    )
+    schema.add(
+        Table(
+            "sensors",
+            [
+                Column("sid", SQLType.TEXT, nullable=False),
+                Column("aid", SQLType.TEXT),
+                Column("quantity", SQLType.TEXT),  # 'temperature', 'pressure', ...
+                Column("unit", SQLType.TEXT),
+                Column("threshold", SQLType.REAL),
+                Column("is_main", SQLType.INTEGER),
+            ],
+            primary_key=("sid",),
+            foreign_keys=[ForeignKey(("aid",), "assemblies", ("aid",))],
+        )
+    )
+    schema.add(
+        Table(
+            "weather",
+            [
+                Column("plant_id", SQLType.INTEGER, nullable=False),
+                Column("day", SQLType.TEXT, nullable=False),
+                Column("ambient_temp", SQLType.REAL),
+                Column("humidity", SQLType.REAL),
+            ],
+            primary_key=("plant_id", "day"),
+            foreign_keys=[ForeignKey(("plant_id",), "plants", ("plant_id",))],
+        )
+    )
+    return schema
+
+
+def legacy_schema() -> Schema:
+    """A structurally different legacy source for the same domain.
+
+    Equipment and measuring points live in two generic tables with
+    type-code columns — no explicit foreign keys (they are implicit, to
+    be discovered from data by BOOTOX).
+    """
+    schema = Schema("legacy")
+    schema.add(
+        Table(
+            "EQUIP",
+            [
+                Column("EQ_NO", SQLType.TEXT, nullable=False),
+                Column("EQ_TYPE", SQLType.TEXT),  # 'GT'/'ST'
+                Column("SITE", SQLType.TEXT),
+                Column("MODEL_CD", SQLType.TEXT),
+            ],
+            primary_key=("EQ_NO",),
+        )
+    )
+    schema.add(
+        Table(
+            "MEASPOINT",
+            [
+                Column("MP_NO", SQLType.TEXT, nullable=False),
+                Column("EQ_NO", SQLType.TEXT),  # implicit FK to EQUIP
+                Column("MP_KIND", SQLType.TEXT),
+                Column("ENG_UNIT", SQLType.TEXT),
+            ],
+            primary_key=("MP_NO",),
+        )
+    )
+    return schema
+
+
+def history_schema() -> Schema:
+    """Service history: exploitation and repairs."""
+    schema = Schema("history")
+    schema.add(
+        Table(
+            "service_events",
+            [
+                Column("event_id", SQLType.INTEGER, nullable=False),
+                Column("tid", SQLType.TEXT),
+                Column("day", SQLType.TEXT),
+                Column("kind", SQLType.TEXT),  # 'inspection'|'repair'|'overhaul'
+                Column("notes", SQLType.TEXT),
+            ],
+            primary_key=("event_id",),
+        )
+    )
+    schema.add(
+        Table(
+            "operating_hours",
+            [
+                Column("tid", SQLType.TEXT, nullable=False),
+                Column("year", SQLType.INTEGER, nullable=False),
+                Column("hours", SQLType.REAL),
+                Column("starts", SQLType.INTEGER),
+            ],
+            primary_key=("tid", "year"),
+        )
+    )
+    return schema
+
+
+def measurement_stream_schema() -> StreamSchema:
+    """S_Msmt: timestamped sensor measurements with a failure flag."""
+    return StreamSchema(
+        (
+            Column("ts", SQLType.REAL, nullable=False),
+            Column("sid", SQLType.TEXT, nullable=False),
+            Column("val", SQLType.REAL),
+            Column("failure", SQLType.INTEGER),
+        ),
+        time_column="ts",
+    )
+
+
+def event_stream_schema() -> StreamSchema:
+    """S_Events: discrete turbine events (trips, starts, mode changes)."""
+    return StreamSchema(
+        (
+            Column("ts", SQLType.REAL, nullable=False),
+            Column("tid", SQLType.TEXT, nullable=False),
+            Column("event_kind", SQLType.TEXT),
+            Column("severity", SQLType.INTEGER),
+        ),
+        time_column="ts",
+    )

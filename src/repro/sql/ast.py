@@ -1,0 +1,321 @@
+"""SQL(+) abstract syntax.
+
+SQL(+) is EXASTREAM's dialect: standard SQL extended with "the essential
+operators for stream handling" — table-valued functions such as
+``timeSlidingWindow(stream, range, slide)`` and ``wCache(...)`` appearing
+in ``FROM`` position.  The unfolding stage emits this AST; the printer
+renders it; the EXASTREAM planner compiles it to operator pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+__all__ = [
+    "Expr",
+    "Col",
+    "Lit",
+    "BinOp",
+    "UnaryOp",
+    "Func",
+    "Star",
+    "SelectItem",
+    "TableExpr",
+    "BaseTable",
+    "SubSelect",
+    "TableFunction",
+    "Join",
+    "SelectQuery",
+    "UnionQuery",
+    "Query",
+    "col",
+    "lit",
+    "eq",
+    "and_all",
+]
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for scalar expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Col(Expr):
+    """A column reference, optionally qualified by a table alias."""
+
+    table: str | None
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Lit(Expr):
+    """A literal constant (str, int, float, bool or None)."""
+
+    value: object
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp(Expr):
+    """A binary operation: comparisons, arithmetic, AND/OR, string concat."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class UnaryOp(Expr):
+    """NOT / negation."""
+
+    op: str
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+@dataclass(frozen=True, slots=True)
+class Func(Expr):
+    """A (possibly aggregate) function call."""
+
+    name: str
+    args: tuple[Expr, ...]
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class Star(Expr):
+    """``*`` or ``alias.*``."""
+
+    table: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclass(frozen=True, slots=True)
+class SelectItem:
+    """One projection: an expression with an optional output alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+    def __str__(self) -> str:
+        if self.alias:
+            return f"{self.expr} AS {self.alias}"
+        return str(self.expr)
+
+
+# --------------------------------------------------------------------------
+# Table expressions
+# --------------------------------------------------------------------------
+
+
+class TableExpr:
+    """Base class for FROM-position expressions."""
+
+    __slots__ = ()
+
+    @property
+    def binding_name(self) -> str:
+        """The alias under which columns of this source are visible."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class BaseTable(TableExpr):
+    """A named table or registered stream."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.name
+
+    def __str__(self) -> str:
+        return f"{self.name} AS {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True, slots=True)
+class SubSelect(TableExpr):
+    """A parenthesised subquery with a mandatory alias."""
+
+    query: "Query"
+    alias: str
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias
+
+    def __str__(self) -> str:
+        return f"({self.query}) AS {self.alias}"
+
+
+@dataclass(frozen=True, slots=True)
+class TableFunction(TableExpr):
+    """A table-valued function — SQL(+)'s stream extension point.
+
+    ``timeSlidingWindow(S_Msmt, 10, 1)`` groups stream tuples into windows
+    and adds a ``window_id`` column; ``wCache(source, key)`` exposes the
+    shared window cache.
+    """
+
+    name: str
+    args: tuple[object, ...]  # Expr | TableExpr | Query
+    alias: str | None = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.name
+
+    def __str__(self) -> str:
+        rendered = []
+        for arg in self.args:
+            if isinstance(arg, (SelectQuery, UnionQuery)):
+                rendered.append(f"({arg})")
+            else:
+                rendered.append(str(arg))
+        inner = ", ".join(rendered)
+        text = f"{self.name}({inner})"
+        return f"{text} AS {self.alias}" if self.alias else text
+
+
+@dataclass(frozen=True, slots=True)
+class Join(TableExpr):
+    """An explicit join between two table expressions."""
+
+    left: TableExpr
+    right: TableExpr
+    condition: Expr | None
+    kind: str = "INNER"
+
+    @property
+    def binding_name(self) -> str:  # pragma: no cover - joins are unnamed
+        raise ValueError("a JOIN has no binding name")
+
+    def __str__(self) -> str:
+        if self.condition is None:
+            return f"{self.left} CROSS JOIN {self.right}"
+        return f"{self.left} {self.kind} JOIN {self.right} ON {self.condition}"
+
+
+# --------------------------------------------------------------------------
+# Queries
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A single SELECT block.
+
+    ``where`` holds a conjunction (list) of predicates — the natural shape
+    of unfolded conjunctive queries.
+    """
+
+    select: tuple[SelectItem, ...]
+    from_: tuple[TableExpr, ...]
+    where: tuple[Expr, ...] = field(default=())
+    group_by: tuple[Expr, ...] = field(default=())
+    having: tuple[Expr, ...] = field(default=())
+    order_by: tuple[Expr, ...] = field(default=())
+    limit: int | None = None
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        from .printer import print_query
+
+        return print_query(self)
+
+    def output_names(self) -> list[str]:
+        """The column names this query produces (aliases or expr text)."""
+        names = []
+        for item in self.select:
+            if item.alias:
+                names.append(item.alias)
+            elif isinstance(item.expr, Col):
+                names.append(item.expr.name)
+            else:
+                names.append(str(item.expr))
+        return names
+
+
+@dataclass(frozen=True)
+class UnionQuery:
+    """A UNION [ALL] of SELECT blocks — the shape of unfolded UCQs."""
+
+    selects: tuple[SelectQuery, ...]
+    all: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.selects:
+            raise ValueError("UNION of zero queries")
+
+    def __str__(self) -> str:
+        from .printer import print_query
+
+        return print_query(self)
+
+    def output_names(self) -> list[str]:
+        return self.selects[0].output_names()
+
+
+Query = Union[SelectQuery, UnionQuery]
+
+
+# --------------------------------------------------------------------------
+# Construction helpers
+# --------------------------------------------------------------------------
+
+
+def col(name: str, table: str | None = None) -> Col:
+    """Shorthand column constructor: ``col("x", "t") == Col("t", "x")``."""
+    return Col(table, name)
+
+
+def lit(value: object) -> Lit:
+    """Shorthand literal constructor."""
+    return Lit(value)
+
+
+def eq(left: Expr, right: Expr) -> BinOp:
+    """Equality predicate."""
+    return BinOp("=", left, right)
+
+
+def and_all(predicates: Sequence[Expr]) -> Expr | None:
+    """Fold predicates into one conjunction (None when empty)."""
+    result: Expr | None = None
+    for predicate in predicates:
+        result = predicate if result is None else BinOp("AND", result, predicate)
+    return result

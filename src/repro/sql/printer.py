@@ -1,0 +1,113 @@
+"""Rendering SQL(+) ASTs to query text.
+
+The printed text is valid SQLite for queries without stream extensions
+(used to run static parts against :mod:`repro.relational`), while stream
+table functions print in EXASTREAM's SQL(+) surface syntax.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    BaseTable,
+    BinOp,
+    Col,
+    Expr,
+    Func,
+    Join,
+    Lit,
+    Query,
+    SelectItem,
+    SelectQuery,
+    Star,
+    SubSelect,
+    TableExpr,
+    TableFunction,
+    UnaryOp,
+    UnionQuery,
+)
+
+__all__ = ["print_query", "print_expr"]
+
+
+def print_expr(expr: Expr) -> str:
+    """Render a scalar expression."""
+    if isinstance(expr, (Col, Lit, Star)):
+        return str(expr)
+    if isinstance(expr, BinOp):
+        return f"({print_expr(expr.left)} {expr.op} {print_expr(expr.right)})"
+    if isinstance(expr, UnaryOp):
+        return f"({expr.op} {print_expr(expr.operand)})"
+    if isinstance(expr, Func):
+        inner = ", ".join(print_expr(a) for a in expr.args)
+        if expr.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{expr.name}({inner})"
+    raise TypeError(f"cannot print expression {expr!r}")
+
+
+def _print_table(table: TableExpr) -> str:
+    if isinstance(table, BaseTable):
+        return f"{table.name} AS {table.alias}" if table.alias else table.name
+    if isinstance(table, SubSelect):
+        return f"({print_query(table.query)}) AS {table.alias}"
+    if isinstance(table, TableFunction):
+        parts = []
+        for arg in table.args:
+            if isinstance(arg, (SelectQuery, UnionQuery)):
+                parts.append(f"({print_query(arg)})")
+            elif isinstance(arg, Expr):
+                parts.append(print_expr(arg))
+            elif isinstance(arg, TableExpr):
+                parts.append(_print_table(arg))
+            else:
+                parts.append(str(arg))
+        text = f"{table.name}({', '.join(parts)})"
+        return f"{text} AS {table.alias}" if table.alias else text
+    if isinstance(table, Join):
+        left = _print_table(table.left)
+        right = _print_table(table.right)
+        if table.condition is None:
+            return f"{left} CROSS JOIN {right}"
+        return f"{left} {table.kind} JOIN {right} ON {print_expr(table.condition)}"
+    raise TypeError(f"cannot print table expression {table!r}")
+
+
+def _print_select(query: SelectQuery) -> str:
+    parts = ["SELECT"]
+    if query.distinct:
+        parts.append("DISTINCT")
+    items = []
+    for item in query.select:
+        text = print_expr(item.expr)
+        if item.alias:
+            text += f" AS {item.alias}"
+        items.append(text)
+    parts.append(", ".join(items))
+    if query.from_:
+        parts.append("FROM")
+        parts.append(", ".join(_print_table(t) for t in query.from_))
+    if query.where:
+        parts.append("WHERE")
+        parts.append(" AND ".join(print_expr(p) for p in query.where))
+    if query.group_by:
+        parts.append("GROUP BY")
+        parts.append(", ".join(print_expr(e) for e in query.group_by))
+    if query.having:
+        parts.append("HAVING")
+        parts.append(" AND ".join(print_expr(p) for p in query.having))
+    if query.order_by:
+        parts.append("ORDER BY")
+        parts.append(", ".join(print_expr(e) for e in query.order_by))
+    if query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
+    return " ".join(parts)
+
+
+def print_query(query: Query) -> str:
+    """Render a SELECT or UNION query."""
+    if isinstance(query, SelectQuery):
+        return _print_select(query)
+    if isinstance(query, UnionQuery):
+        keyword = " UNION ALL " if query.all else " UNION "
+        return keyword.join(_print_select(s) for s in query.selects)
+    raise TypeError(f"cannot print query {query!r}")

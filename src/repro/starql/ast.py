@@ -1,0 +1,206 @@
+"""STARQL abstract syntax.
+
+A STARQL query (Figure 1 of the paper) has the shape::
+
+    CREATE STREAM S_out AS
+    CONSTRUCT GRAPH NOW { ?c2 rdf:type :MonInc }
+    FROM STREAM S_Msmt [NOW-"PT10S"^^xsd:duration, NOW]->"PT1S"^^xsd:duration,
+         STATIC DATA <iri>,
+         ONTOLOGY <iri>
+    USING PULSE WITH START = "00:10:00CET", FREQUENCY = "PT1S"
+    WHERE { ... basic graph pattern ... }
+    SEQUENCE BY StdSeq AS seq
+    HAVING MONOTONIC.HAVING(?c2, sie:hasValue)
+
+plus ``CREATE AGGREGATE`` macro definitions whose bodies are first-order
+conditions over the window's state sequence (EXISTS/FORALL over state
+indexes, GRAPH patterns per state, value comparisons).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+from ..queries import Atom, Filter
+from ..rdf import IRI, PrefixMap, Term, Variable
+
+__all__ = [
+    "WindowClause",
+    "PulseClause",
+    "GraphPattern",
+    "Comparison",
+    "MacroCall",
+    "AggregateComparison",
+    "Exists",
+    "Forall",
+    "BoolOp",
+    "Implies",
+    "HavingExpr",
+    "AggregateMacro",
+    "STARQLQuery",
+]
+
+
+@dataclass(frozen=True)
+class WindowClause:
+    """``FROM STREAM name [NOW - range, NOW] -> slide``."""
+
+    stream: str
+    range_seconds: float
+    slide_seconds: float
+
+
+@dataclass(frozen=True)
+class PulseClause:
+    """``USING PULSE WITH START = ..., FREQUENCY = ...``."""
+
+    start_seconds: float | None
+    frequency_seconds: float
+
+
+# ---------------------------------------------------------------------------
+# HAVING mini-language
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GraphPattern:
+    """``GRAPH ?i { pattern }`` — atoms evaluated in the state ``?i``.
+
+    Atoms may mention macro parameters (``$var``/``$attr``) before
+    substitution; property atoms with a missing object (the paper's
+    ``{$var sie:showsFailure}``) are encoded with a fresh object variable
+    and ``existential=True`` semantics.
+    """
+
+    state: Variable
+    atoms: tuple[Atom, ...]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A comparison between state indexes or between data values."""
+
+    op: str
+    left: Term
+    right: Term
+
+
+@dataclass(frozen=True)
+class MacroCall:
+    """``NAME.NAME(args)`` in HAVING position."""
+
+    name: str
+    args: tuple[Term, ...]
+
+
+@dataclass(frozen=True)
+class AggregateComparison:
+    """``fn(?var, attr) op value`` — window aggregate over an attribute.
+
+    ``fn`` is AVG/MIN/MAX/SUM/COUNT or a sequence UDF such as SLOPE.
+    ``second`` supports two-attribute aggregates (PEARSON).
+    """
+
+    function: str
+    subject: Variable
+    attribute: IRI
+    op: str
+    value: Term
+    second_subject: Variable | None = None
+    second_attribute: IRI | None = None
+
+
+@dataclass(frozen=True)
+class Exists:
+    """``EXISTS ?k IN SEQ : body``."""
+
+    variables: tuple[Variable, ...]
+    body: "HavingExpr"
+
+
+@dataclass(frozen=True)
+class Forall:
+    """``FORALL ?i < ?j IN seq, ?x, ?y : body``.
+
+    ``index_variables`` are quantified over state indexes with the parsed
+    ordering constraints recorded in ``index_constraints``; ``value_variables``
+    are universally quantified data variables bound by GRAPH patterns in
+    the body's premise.
+    """
+
+    index_variables: tuple[Variable, ...]
+    index_constraints: tuple[Comparison, ...]
+    value_variables: tuple[Variable, ...]
+    body: "HavingExpr"
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    """AND / OR / NOT over having expressions."""
+
+    op: str  # "AND" | "OR" | "NOT"
+    operands: tuple["HavingExpr", ...]
+
+
+@dataclass(frozen=True)
+class Implies:
+    """``IF premise THEN conclusion``."""
+
+    premise: "HavingExpr"
+    conclusion: "HavingExpr"
+
+
+HavingExpr = Union[
+    GraphPattern,
+    Comparison,
+    MacroCall,
+    AggregateComparison,
+    Exists,
+    Forall,
+    BoolOp,
+    Implies,
+]
+
+
+@dataclass
+class AggregateMacro:
+    """``CREATE AGGREGATE name(params) AS HAVING body``."""
+
+    name: str
+    parameters: tuple[str, ...]  # e.g. ("$var", "$attr")
+    body: HavingExpr
+
+
+@dataclass
+class STARQLQuery:
+    """A parsed STARQL continuous query."""
+
+    output_stream: str
+    construct_atoms: tuple[Atom, ...]
+    windows: tuple[WindowClause, ...]
+    static_data: tuple[str, ...]
+    ontology_iri: str | None
+    pulse: PulseClause | None
+    where_atoms: tuple[Atom, ...]
+    where_filters: tuple[Filter, ...]
+    sequence_method: str
+    sequence_alias: str
+    having: HavingExpr | None
+    prefixes: PrefixMap = field(default_factory=PrefixMap)
+    text: str = ""
+
+    def where_variables(self) -> tuple[Variable, ...]:
+        """Distinct WHERE variables in first-occurrence order."""
+        seen: dict[Variable, None] = {}
+        for atom in self.where_atoms:
+            for var in atom.variables():
+                seen.setdefault(var)
+        return tuple(seen)
+
+    def construct_variables(self) -> set[Variable]:
+        out: set[Variable] = set()
+        for atom in self.construct_atoms:
+            out |= set(atom.variables())
+        return out

@@ -1,0 +1,272 @@
+"""Reference (formal) semantics for STARQL.
+
+This module evaluates a STARQL query *directly* over RDF: stream tuples
+are converted to timestamped ABox assertions through the stream mappings,
+windows follow CQL snapshot semantics, window contents become StdSeq
+state graphs, WHERE bindings are certain answers over the static ABox
+(+TBox), and HAVING conditions are checked by the
+:class:`~repro.starql.macros.HavingEvaluator` over the state graphs with
+ontology-aware atom expansion.
+
+It is deliberately simple and slow — the point is to be an executable
+specification against which the compiled SQL(+)/EXASTREAM pipeline is
+cross-checked (the tests assert both paths produce identical alerts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..exastream.engine import StreamEngine
+from ..exastream.operators import Relation, compile_expr
+from ..mappings import (
+    ColumnSpec,
+    MappingAssertion,
+    MappingCollection,
+    TemplateSpec,
+)
+from ..ontology import Ontology
+from ..queries import (
+    Atom,
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+    evaluate_ucq,
+)
+from ..rdf import IRI, Graph, Literal, RDF, Term, Variable, term_from_python
+from ..rewriting import PerfectRef
+from ..sql import BaseTable, SelectQuery
+from ..streams import WindowSpec, time_sliding_window
+from .ast import STARQLQuery
+from .macros import GraphStates, HavingEvaluator, MacroRegistry
+
+__all__ = ["ReferenceResult", "ReferenceEvaluator", "static_abox_graph"]
+
+
+def static_abox_graph(ontology: Ontology) -> Graph:
+    """Materialise an ontology's ABox assertions as an RDF graph."""
+    graph = Graph()
+    for assertion in ontology.class_assertions:
+        graph.add((assertion.individual, RDF.type, assertion.cls.iri))
+    for assertion in ontology.property_assertions:
+        prop = assertion.property
+        subject, value = assertion.subject, assertion.value
+        if getattr(prop, "inverse", False):
+            if not isinstance(value, IRI):
+                continue
+            subject, value = value, subject
+        graph.add((subject, prop.iri, value))
+    return graph
+
+
+@dataclass
+class ReferenceResult:
+    """Alerts produced for one window."""
+
+    window_id: int
+    window_end: float
+    triples: set[tuple]
+
+
+class ReferenceEvaluator:
+    """Evaluate STARQL queries via the formal semantics."""
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        mappings: MappingCollection,
+        engine: StreamEngine,
+        static_graph: Graph,
+        macros: MacroRegistry | None = None,
+    ) -> None:
+        self.ontology = ontology
+        self.mappings = mappings
+        self.engine = engine
+        self.static_graph = static_graph
+        self.macros = macros or MacroRegistry()
+        self._rewriter = PerfectRef(ontology)
+        self._expansion_cache: dict[IRI, list[Atom]] = {}
+
+    # -- main entry -----------------------------------------------------------
+
+    def evaluate(
+        self, query: STARQLQuery, max_windows: int | None = None
+    ) -> list[ReferenceResult]:
+        """All window results of ``query`` over the registered streams."""
+        answer_vars = query.where_variables()
+        cq = ConjunctiveQuery(answer_vars, query.where_atoms, query.where_filters)
+        enriched = self._rewriter.rewrite(cq)
+        bindings = [
+            dict(zip(answer_vars, row))
+            for row in sorted(
+                evaluate_ucq(self.static_graph, enriched), key=str
+            )
+        ]
+
+        stream_name = query.windows[0].stream
+        spec = WindowSpec(
+            query.windows[0].range_seconds, query.windows[0].slide_seconds
+        )
+        start = query.pulse.start_seconds if query.pulse else None
+
+        results: list[ReferenceResult] = []
+        for window_id, (end, state_graphs) in enumerate(
+            self._window_state_graphs(stream_name, spec, start)
+        ):
+            if max_windows is not None and window_id >= max_windows:
+                break
+            triples: set[tuple] = set()
+            states = GraphStates(
+                state_graphs, self.static_graph, expander=self._expand_atom
+            )
+            evaluator = HavingEvaluator(states, self.macros)
+            for binding in bindings:
+                env = {
+                    var: (value.to_python() if isinstance(value, Literal) else value)
+                    for var, value in binding.items()
+                }
+                if query.having is None or evaluator.is_satisfied(
+                    query.having, env
+                ):
+                    triples |= set(self._construct(query, binding))
+            results.append(ReferenceResult(window_id, end, triples))
+        return results
+
+    # -- stream -> RDF ----------------------------------------------------------
+
+    def _stream_mappings(self, stream_name: str) -> list[MappingAssertion]:
+        out = []
+        for assertion in self.mappings:
+            if not assertion.is_stream:
+                continue
+            source = assertion.source
+            if (
+                isinstance(source, SelectQuery)
+                and len(source.from_) == 1
+                and isinstance(source.from_[0], BaseTable)
+                and source.from_[0].name == stream_name
+            ):
+                out.append(assertion)
+        return out
+
+    def _window_state_graphs(
+        self,
+        stream_name: str,
+        spec: WindowSpec,
+        start: float | None,
+    ) -> Iterator[tuple[float, list[Graph]]]:
+        source = self.engine.stream(stream_name)
+        schema = source.stream.schema
+        time_index = schema.time_index
+        assertions = self._stream_mappings(stream_name)
+        base_relation = Relation(list(schema.column_names), [])
+        compiled = []
+        for assertion in assertions:
+            predicates = [
+                compile_expr(p, base_relation)
+                for p in assertion.source.where
+            ]
+            compiled.append((assertion, predicates))
+
+        for batch in time_sliding_window(iter(source), spec, time_index, start):
+            by_ts: dict[float, list[tuple]] = {}
+            for item in batch.tuples:
+                by_ts.setdefault(item[time_index], []).append(item)
+            graphs: list[Graph] = []
+            for ts in sorted(by_ts):
+                graph = Graph()
+                for item in by_ts[ts]:
+                    for assertion, predicates in compiled:
+                        if not all(p(item) for p in predicates):
+                            continue
+                        graph.update(self._tuple_triples(assertion, schema, item))
+                graphs.append(graph)
+            yield batch.end, graphs
+
+    @staticmethod
+    def _tuple_triples(assertion: MappingAssertion, schema, item) -> list[tuple]:
+        def column_value(name: str):
+            return item[schema.index_of(name)]
+
+        subject_spec = assertion.subject
+        if not isinstance(subject_spec, TemplateSpec):
+            return []
+        values = {
+            c: column_value(c) for c in subject_spec.template.columns
+        }
+        if any(v is None for v in values.values()):
+            return []
+        subject = IRI(subject_spec.template.render(values))
+        if assertion.object is None:
+            return [(subject, RDF.type, assertion.predicate)]
+        obj = assertion.object
+        if isinstance(obj, ColumnSpec):
+            value = column_value(obj.column)
+            if value is None:
+                return []
+            return [
+                (
+                    subject,
+                    assertion.predicate,
+                    Literal(str(value), obj.datatype),
+                )
+            ]
+        return []
+
+    # -- ontology-aware atom expansion ---------------------------------------------
+
+    def _expand_atom(self, atom: Atom) -> list[Atom]:
+        """Single-atom enrichment for state-graph patterns."""
+        cached = self._expansion_cache.get(atom.predicate)
+        if cached is None:
+            variables = tuple(
+                Variable(f"ex{i}") for i in range(len(atom.args))
+            )
+            query = ConjunctiveQuery(variables, (Atom(atom.predicate, variables),))
+            rewritten = self._rewriter.rewrite(query)
+            cached = [
+                disjunct.atoms[0]
+                for disjunct in rewritten
+                if len(disjunct.atoms) == 1
+                and disjunct.answer_variables
+                == tuple(disjunct.atoms[0].args)[: len(variables)]
+            ]
+            self._expansion_cache[atom.predicate] = cached
+        out = []
+        for template in cached:
+            mapping = {}
+            ok = True
+            for template_arg, actual in zip(template.args, atom.args):
+                if isinstance(template_arg, Variable):
+                    mapping[template_arg] = actual
+                elif template_arg != actual:
+                    ok = False
+                    break
+            if ok:
+                out.append(template.substitute(mapping))
+        return out or [atom]
+
+    # -- construct -------------------------------------------------------------------
+
+    @staticmethod
+    def _construct(
+        query: STARQLQuery, binding: dict[Variable, Term]
+    ) -> list[tuple]:
+        def resolve(term: Term) -> Term:
+            if isinstance(term, Variable):
+                return binding[term]
+            return term
+
+        triples = []
+        for atom in query.construct_atoms:
+            if atom.is_class_atom:
+                triples.append((resolve(atom.args[0]), RDF.type, atom.predicate))
+            else:
+                triples.append(
+                    (
+                        resolve(atom.args[0]),
+                        atom.predicate,
+                        resolve(atom.args[1]),
+                    )
+                )
+        return triples

@@ -1,0 +1,634 @@
+"""STARQL2SQL(+): enrichment, unfolding and plan generation.
+
+This is OPTIQUE's full three-stage evaluation pipeline for one STARQL
+query:
+
+1. **enrichment** — the WHERE pattern is rewritten against the OWL 2 QL
+   TBox (PerfectRef), so implied bindings are not missed;
+2. **unfolding** — the enriched UCQ is translated through the mappings
+   into a *fleet* of SQL blocks over the static sources (the paper's
+   "fleet with a large number of low-level data queries");
+3. **execution plan** — HAVING macros/aggregates are compiled to sequence
+   UDFs, their attributes resolved through *stream* mappings, and the
+   whole query becomes one :class:`~repro.exastream.plan.ContinuousPlan`
+   plus printable SQL(+) text.
+
+The output also carries a :class:`ConstructTemplate` that turns result
+rows back into RDF triples for the CONSTRUCTed output stream.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..exastream.engine import StreamEngine
+from ..exastream.plan import (
+    AggregateCall,
+    AggregateSpec,
+    ContinuousPlan,
+    OutputColumn,
+    StaticRef,
+    WindowedStreamRef,
+)
+from ..mappings import (
+    ColumnSpec,
+    MappingAssertion,
+    MappingCollection,
+    TemplateSpec,
+    Unfolder,
+    UnfoldingResult,
+)
+from ..ontology import Ontology
+from ..queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from ..rdf import IRI, Literal, Term, Variable
+from ..rewriting import PerfectRef
+from ..sql import (
+    BaseTable,
+    BinOp,
+    Col,
+    Expr,
+    Func,
+    Lit,
+    SelectItem,
+    SelectQuery,
+    SubSelect,
+    TableFunction,
+    UnionQuery,
+    print_query,
+)
+from ..streams import WindowSpec
+from .ast import (
+    AggregateComparison,
+    BoolOp,
+    HavingExpr,
+    MacroCall,
+    STARQLQuery,
+)
+from .macros import MacroRegistry, collect_attributes, compile_macro
+
+__all__ = ["TranslationError", "ConstructTemplate", "TranslationResult", "STARQLTranslator"]
+
+_translator_counter = itertools.count(1)
+
+
+class TranslationError(ValueError):
+    """Raised when a STARQL query cannot be translated."""
+
+
+@dataclass
+class ConstructTemplate:
+    """Rebuild CONSTRUCT triples from engine result rows."""
+
+    output_stream: str
+    atoms: tuple  # construct atoms (class or property)
+    slots: dict[Variable, int]  # variable -> result column index
+    constructors: dict[Variable, Any]  # variable -> TermConstructor
+
+    def triples_for(self, row: tuple) -> list[tuple]:
+        """RDF triples asserted by one result row (GRAPH NOW contents)."""
+        from ..rdf import RDF
+
+        def resolve(term: Term) -> Term:
+            if isinstance(term, Variable):
+                value = row[self.slots[term]]
+                constructor = self.constructors.get(term)
+                if constructor is not None:
+                    return constructor.construct(value)
+                return IRI(str(value))
+            return term
+
+        triples = []
+        for atom in self.atoms:
+            if atom.is_class_atom:
+                triples.append((resolve(atom.args[0]), RDF.type, atom.predicate))
+            else:
+                triples.append(
+                    (resolve(atom.args[0]), atom.predicate, resolve(atom.args[1]))
+                )
+        return triples
+
+
+@dataclass
+class TranslationResult:
+    """Everything produced for one STARQL query."""
+
+    plan: ContinuousPlan
+    sql: str
+    fleet_size: int
+    enriched: UnionOfConjunctiveQueries
+    unfolding: UnfoldingResult
+    construct: ConstructTemplate
+    starql: STARQLQuery
+
+
+@dataclass
+class _StreamAttribute:
+    """A HAVING attribute resolved through a stream mapping."""
+
+    attribute: IRI
+    stream_table: str
+    subject_template: TemplateSpec
+    value_column: str
+    key_columns: tuple[str, ...]
+
+
+class STARQLTranslator:
+    """Translator bound to one deployment (ontology + mappings + engine)."""
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        mappings: MappingCollection,
+        engine: StreamEngine,
+        macros: MacroRegistry | None = None,
+        primary_keys: dict[str, tuple[str, ...]] | None = None,
+        use_tmappings: bool = True,
+    ) -> None:
+        self.ontology = ontology
+        self.mappings = mappings
+        self.engine = engine
+        self.macros = macros or MacroRegistry()
+        if use_tmappings:
+            # Ontop-style compilation: the class/role hierarchy is folded
+            # into the mappings; the rewriter handles only the residual
+            # existential axioms.  This avoids PerfectRef's exponential
+            # UCQ blowup on multi-atom WHERE clauses over large TBoxes.
+            from ..mappings.saturation import (
+                existential_subontology,
+                saturate_mappings,
+            )
+
+            self.saturated = saturate_mappings(mappings, ontology)
+            self._rewriter = PerfectRef(existential_subontology(ontology))
+        else:
+            self.saturated = mappings
+            self._rewriter = PerfectRef(ontology)
+        self._unfolder = Unfolder(self.saturated, primary_keys)
+
+    # -- public API -----------------------------------------------------------
+
+    def translate(
+        self, query: STARQLQuery, name: str | None = None
+    ) -> TranslationResult:
+        """Run enrichment + unfolding and build the continuous plan."""
+        answer_vars = query.where_variables()
+        if not answer_vars:
+            raise TranslationError("WHERE pattern binds no variables")
+        cq = ConjunctiveQuery(answer_vars, query.where_atoms, query.where_filters)
+
+        enriched = self._rewriter.rewrite(cq)
+        unfolding = self._unfolder.unfold(enriched)
+        if not unfolding.disjuncts:
+            raise TranslationError(
+                "WHERE pattern unfolds to nothing: no mappings for its terms"
+            )
+        # WHERE bindings come from the static sources; disjuncts that read
+        # streams (e.g. sensors known only through measurements) are not
+        # retrievable at registration time and are dropped.
+        static_disjuncts = [d for d in unfolding.disjuncts if not d.uses_stream]
+        if not static_disjuncts:
+            raise TranslationError(
+                "WHERE pattern unfolds to stream-only sources; it must bind "
+                "entities from static data"
+            )
+        sources = {s for d in static_disjuncts for s in d.sources}
+        if len(sources) != 1:
+            raise TranslationError(
+                f"WHERE unfolds across multiple static sources {sources}; "
+                "deploy a federated view first"
+            )
+        static_source = next(iter(sources))
+
+        static_alias = "st"
+        # UNION (distinct) across blocks: redundant disjuncts must not
+        # duplicate binding rows, or COUNT-style aggregates would inflate.
+        if len(static_disjuncts) == 1:
+            static_sql = print_query(static_disjuncts[0].select)
+        else:
+            static_sql = print_query(
+                UnionQuery(
+                    tuple(d.select for d in static_disjuncts), all=False
+                )
+            )
+        unfolding = UnfoldingResult(static_disjuncts, unfolding.answer_variables)
+        output_names = [
+            f"v{i}_{v.name}" for i, v in enumerate(unfolding.answer_variables)
+        ]
+        var_column: dict[Variable, str] = {
+            v: n for v, n in zip(unfolding.answer_variables, output_names)
+        }
+
+        spec = WindowSpec(
+            query.windows[0].range_seconds, query.windows[0].slide_seconds
+        )
+        pulse_start = query.pulse.start_seconds if query.pulse else None
+
+        builder = _PlanBuilder(
+            translator=self,
+            query=query,
+            spec=spec,
+            static_alias=static_alias,
+            static_source=static_source,
+            static_sql=static_sql,
+            var_column=var_column,
+            pulse_start=pulse_start,
+        )
+        if query.having is not None:
+            builder.add_having(query.having)
+        plan = builder.build(name or f"starql_{next(_translator_counter)}")
+
+        constructors = dict(unfolding.disjuncts[0].constructors)
+        slots = {}
+        group_names = plan.output_names()
+        for var in query.construct_variables():
+            column = f"{static_alias}.{var_column.get(var, '')}"
+            short = var_column.get(var)
+            if short is None:
+                raise TranslationError(
+                    f"CONSTRUCT variable ?{var.name} is not bound in WHERE"
+                )
+            # output columns are named after the static projection
+            slots[var] = group_names.index(short)
+        construct = ConstructTemplate(
+            output_stream=query.output_stream,
+            atoms=query.construct_atoms,
+            slots=slots,
+            constructors=constructors,
+        )
+
+        sql_text = self._render_sql(plan, static_sql)
+        return TranslationResult(
+            plan=plan,
+            sql=sql_text,
+            fleet_size=unfolding.fleet_size,
+            enriched=enriched,
+            unfolding=unfolding,
+            construct=construct,
+            starql=query,
+        )
+
+    # -- SQL(+) rendering -------------------------------------------------------
+
+    def _render_sql(self, plan: ContinuousPlan, static_sql: str) -> str:
+        from ..sql import parse_sql
+
+        from_items: list = []
+        for window in plan.windows:
+            from_items.append(
+                TableFunction(
+                    "timeSlidingWindow",
+                    (
+                        BaseTable(window.stream),
+                        Lit(window.spec.range_seconds),
+                        Lit(window.spec.slide_seconds),
+                    ),
+                    alias=window.alias,
+                )
+            )
+        for static in plan.statics:
+            from_items.append(SubSelect(parse_sql(static.sql), static.alias))
+
+        if plan.aggregate is not None:
+            select_items = [
+                SelectItem(expr, name)
+                for expr, name in zip(
+                    plan.aggregate.group_by, plan.aggregate.group_names
+                )
+            ]
+            for call in plan.aggregate.calls:
+                if call.argument is not None:
+                    args: tuple = (call.argument,)
+                else:
+                    args = tuple(
+                        Col(*actual.split(".", 1))
+                        if "." in actual
+                        else Col(None, actual)
+                        for _, actual in call.argument_columns
+                    )
+                select_items.append(
+                    SelectItem(Func(call.function, args), call.output_name)
+                )
+            rendered = SelectQuery(
+                select=tuple(select_items),
+                from_=tuple(from_items),
+                where=tuple(plan.join_predicates + plan.filters),
+                group_by=plan.aggregate.group_by,
+                having=plan.aggregate.having,
+            )
+        else:
+            rendered = SelectQuery(
+                select=tuple(
+                    SelectItem(c.expr, c.name) for c in plan.projection
+                ),
+                from_=tuple(from_items),
+                where=tuple(plan.join_predicates + plan.filters),
+                distinct=plan.distinct,
+            )
+        return print_query(rendered)
+
+    # -- attribute resolution -----------------------------------------------------
+
+    def resolve_stream_attribute(self, attribute: IRI) -> _StreamAttribute:
+        """Find the stream mapping providing values of ``attribute``."""
+        candidates = [
+            m
+            for m in self.saturated.for_predicate(attribute)
+            if m.is_stream
+        ]
+        if not candidates:
+            raise TranslationError(
+                f"attribute {attribute.local_name} has no stream mapping"
+            )
+        mapping = candidates[0]
+        source = mapping.source
+        if not isinstance(source, SelectQuery) or len(source.from_) != 1:
+            raise TranslationError(
+                f"stream mapping for {attribute.local_name} must read one stream"
+            )
+        base = source.from_[0]
+        if not isinstance(base, BaseTable):
+            raise TranslationError("stream mapping source must be a base stream")
+        if not isinstance(mapping.subject, TemplateSpec):
+            raise TranslationError("stream mapping subject must be a template")
+        obj = mapping.object
+        if not isinstance(obj, ColumnSpec):
+            raise TranslationError(
+                f"stream mapping object for {attribute.local_name} must be a column"
+            )
+        # resolve projection aliases back to stream columns
+        rename: dict[str, str] = {}
+        for item in source.select:
+            if isinstance(item.expr, Col):
+                rename[item.alias or item.expr.name] = item.expr.name
+        key_columns = tuple(
+            rename.get(c, c) for c in mapping.subject.template.columns
+        )
+        return _StreamAttribute(
+            attribute=attribute,
+            stream_table=base.name,
+            subject_template=mapping.subject,
+            value_column=rename.get(obj.column, obj.column),
+            key_columns=key_columns,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Plan assembly
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _PlanBuilder:
+    translator: STARQLTranslator
+    query: STARQLQuery
+    spec: WindowSpec
+    static_alias: str
+    static_source: str
+    static_sql: str
+    var_column: dict[Variable, str]
+    pulse_start: float | None
+
+    _windows: dict[str, WindowedStreamRef] = field(default_factory=dict)
+    _window_computed: dict[str, list[OutputColumn]] = field(default_factory=dict)
+    _joins: list[Expr] = field(default_factory=list)
+    _calls: list[AggregateCall] = field(default_factory=list)
+    _having: list[Expr] = field(default_factory=list)
+    _alias_counter: itertools.count = field(default_factory=lambda: itertools.count(1))
+    _call_counter: itertools.count = field(default_factory=lambda: itertools.count(0))
+
+    # -- having translation -------------------------------------------------
+
+    def add_having(self, expr: HavingExpr) -> None:
+        """Translate the HAVING clause into calls + predicates."""
+        predicate = self._translate(expr)
+        self._having.append(predicate)
+
+    def _translate(self, expr: HavingExpr) -> Expr:
+        if isinstance(expr, MacroCall):
+            return self._translate_macro(expr)
+        if isinstance(expr, AggregateComparison):
+            return self._translate_aggregate(expr)
+        if isinstance(expr, BoolOp):
+            if expr.op == "NOT":
+                from ..sql import UnaryOp
+
+                return UnaryOp("NOT", self._translate(expr.operands[0]))
+            combined = self._translate(expr.operands[0])
+            for operand in expr.operands[1:]:
+                combined = BinOp(expr.op, combined, self._translate(operand))
+            return combined
+        raise TranslationError(
+            "top-level HAVING supports macro calls, window aggregates and "
+            f"boolean combinations; got {type(expr).__name__}"
+        )
+
+    def _translate_macro(self, call: MacroCall) -> Expr:
+        body = self.translator.macros.expand(call)
+        subject = call.args[0]
+        if not isinstance(subject, Variable):
+            raise TranslationError("macro subject must be a WHERE variable")
+        attributes = sorted(collect_attributes(body), key=lambda a: a.value)
+        if not attributes:
+            raise TranslationError(
+                f"macro {call.name} references no stream attributes"
+            )
+        resolved = [
+            self.translator.resolve_stream_attribute(a) for a in attributes
+        ]
+        streams = {r.stream_table for r in resolved}
+        if len(streams) > 1:
+            raise TranslationError(
+                "one macro must read attributes of a single stream; "
+                f"got {streams}"
+            )
+        alias = self._window_for(resolved[0], subject)
+        source = self.translator.engine.stream(resolved[0].stream_table)
+        ts_column = source.stream.schema.time_column
+
+        roles = {r.attribute: f"attr{i}" for i, r in enumerate(resolved)}
+        udf_fn = compile_macro(body, subject, roles)
+        udf_name = f"MACRO_{call.name.replace('.', '_')}_{next(self._call_counter)}"
+        arg_names = ("ts",) + tuple(roles[r.attribute] for r in resolved)
+        self.translator.engine.udfs.register_sequence(udf_name, udf_fn, arg_names)
+
+        columns = [("ts", f"{alias}.{ts_column}")]
+        for r in resolved:
+            columns.append((roles[r.attribute], f"{alias}.{r.value_column}"))
+        output = f"cond{len(self._calls)}"
+        self._calls.append(
+            AggregateCall(udf_name, output, argument_columns=tuple(columns))
+        )
+        return BinOp("=", Col(None, output), Lit(True))
+
+    def _translate_aggregate(self, agg: AggregateComparison) -> Expr:
+        resolved = self.translator.resolve_stream_attribute(agg.attribute)
+        alias = self._window_for(resolved, agg.subject)
+        output = f"cond{len(self._calls)}"
+        if agg.function == "PEARSON":
+            if agg.second_subject is None or agg.second_attribute is None:
+                raise TranslationError("PEARSON needs two (var, attribute) pairs")
+            second = self.translator.resolve_stream_attribute(agg.second_attribute)
+            alias2 = self._window_for(
+                second, agg.second_subject, force_new=agg.second_subject != agg.subject
+            )
+            source = self.translator.engine.stream(resolved.stream_table)
+            ts = source.stream.schema.time_column
+            if alias2 != alias:
+                self._joins.append(
+                    BinOp("=", Col(alias, ts), Col(alias2, ts))
+                )
+            self._calls.append(
+                AggregateCall(
+                    "PEARSON",
+                    output,
+                    argument_columns=(
+                        ("x", f"{alias}.{resolved.value_column}"),
+                        ("y", f"{alias2}.{second.value_column}"),
+                    ),
+                )
+            )
+        elif agg.function in ("SLOPE", "SPREAD"):
+            source = self.translator.engine.stream(resolved.stream_table)
+            ts = source.stream.schema.time_column
+            columns = [("val", f"{alias}.{resolved.value_column}")]
+            if agg.function == "SLOPE":
+                columns.insert(0, ("ts", f"{alias}.{ts}"))
+            self._calls.append(
+                AggregateCall(
+                    agg.function, output, argument_columns=tuple(columns)
+                )
+            )
+        else:
+            self._calls.append(
+                AggregateCall(
+                    agg.function,
+                    output,
+                    argument=Col(alias, resolved.value_column),
+                )
+            )
+        value: Expr
+        if isinstance(agg.value, Literal):
+            value = Lit(agg.value.to_python())
+        else:
+            raise TranslationError("aggregate comparisons need literal bounds")
+        return BinOp(agg.op, Col(None, output), value)
+
+    # -- window/stream management ------------------------------------------------
+
+    def _window_for(
+        self,
+        attribute: _StreamAttribute,
+        subject: Variable,
+        force_new: bool = False,
+    ) -> str:
+        """The window alias joining ``subject`` to its measurements."""
+        subject_column = self.var_column.get(subject)
+        if subject_column is None:
+            raise TranslationError(
+                f"HAVING subject ?{subject.name} is not bound in WHERE"
+            )
+        key = f"{attribute.stream_table}|{subject.name}"
+        if not force_new and key in self._windows:
+            return self._windows[key].alias
+
+        alias = f"w{next(self._alias_counter)}"
+        window_clause = None
+        for clause in self.query.windows:
+            if clause.stream == attribute.stream_table:
+                window_clause = clause
+                break
+        if window_clause is None and len(self.query.windows) == 1:
+            window_clause = self.query.windows[0]
+        if window_clause is None:
+            raise TranslationError(
+                f"no FROM STREAM clause matches stream {attribute.stream_table!r}"
+            )
+        if window_clause.stream != attribute.stream_table:
+            raise TranslationError(
+                f"attribute {attribute.attribute.local_name} lives on stream "
+                f"{attribute.stream_table!r} but the query windows "
+                f"{window_clause.stream!r}"
+            )
+
+        # computed column: the subject IRI built from the template
+        template = attribute.subject_template.template
+        uri_expr = _template_expr(template, alias, attribute.key_columns)
+        computed = OutputColumn(uri_expr, "subject_uri")
+        ref = WindowedStreamRef(
+            stream=attribute.stream_table,
+            spec=WindowSpec(
+                window_clause.range_seconds, window_clause.slide_seconds
+            ),
+            alias=alias,
+            computed=(computed,),
+        )
+        self._windows[key] = ref
+        self._joins.append(
+            BinOp(
+                "=",
+                Col(alias, "subject_uri"),
+                Col(self.static_alias, subject_column),
+            )
+        )
+        return alias
+
+    # -- assembly ----------------------------------------------------------------
+
+    def build(self, name: str) -> ContinuousPlan:
+        if not self._windows:
+            # No HAVING attributes: gate output on the pulse of the first
+            # declared stream (pure static bindings per window).
+            clause = self.query.windows[0]
+            self._windows["__pulse__"] = WindowedStreamRef(
+                stream=clause.stream,
+                spec=WindowSpec(clause.range_seconds, clause.slide_seconds),
+                alias="w0",
+            )
+        group_by = tuple(
+            Col(self.static_alias, column)
+            for column in self.var_column.values()
+        )
+        group_names = tuple(self.var_column.values())
+        aggregate = AggregateSpec(
+            group_by=group_by,
+            group_names=group_names,
+            calls=tuple(self._calls),
+            having=tuple(self._having),
+        )
+        return ContinuousPlan(
+            name=name,
+            windows=list(self._windows.values()),
+            statics=[
+                StaticRef(
+                    source=self.static_source,
+                    sql=self.static_sql,
+                    alias=self.static_alias,
+                )
+            ],
+            join_predicates=self._joins,
+            filters=[],
+            projection=[],
+            aggregate=aggregate,
+            start=self.pulse_start,
+        )
+
+
+def _template_expr(template, alias: str, key_columns: Sequence[str]) -> Expr:
+    """Concatenation expression building a template IRI from stream columns."""
+    pattern = template.pattern
+    parts: list[Expr] = []
+    cursor = 0
+    for placeholder, column in zip(template.columns, key_columns):
+        start = pattern.index("{" + placeholder + "}", cursor)
+        if start > cursor:
+            parts.append(Lit(pattern[cursor:start]))
+        parts.append(Col(alias, column))
+        cursor = start + len(placeholder) + 2
+    if cursor < len(pattern):
+        parts.append(Lit(pattern[cursor:]))
+    expr = parts[0]
+    for part in parts[1:]:
+        expr = BinOp("||", expr, part)
+    return expr

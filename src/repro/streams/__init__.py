@@ -1,0 +1,32 @@
+"""Stream substrate: CQL windows, wCache, sequencing, indexing, LSH."""
+
+from .adaptive_index import AdaptiveIndexer, AdaptiveIndexStats, BatchIndex
+from .lsh import LSHCorrelator, StreamSignature, exact_pearson
+from .sequence import SequencingError, State, StateSequence, build_sequence
+from .stream import ListSource, Stream, StreamSchema, StreamSource, merge_sources
+from .wcache import SharedWindowReader, WindowCache, WindowCacheStats
+from .window import WindowBatch, WindowSpec, time_sliding_window
+
+__all__ = [
+    "AdaptiveIndexer",
+    "AdaptiveIndexStats",
+    "BatchIndex",
+    "LSHCorrelator",
+    "StreamSignature",
+    "exact_pearson",
+    "SequencingError",
+    "State",
+    "StateSequence",
+    "build_sequence",
+    "ListSource",
+    "Stream",
+    "StreamSchema",
+    "StreamSource",
+    "merge_sources",
+    "SharedWindowReader",
+    "WindowCache",
+    "WindowCacheStats",
+    "WindowBatch",
+    "WindowSpec",
+    "time_sliding_window",
+]

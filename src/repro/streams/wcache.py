@@ -1,0 +1,142 @@
+"""wCache: the shared window index.
+
+The second core EXASTREAM UDF.  Quoting the paper: "wCache acts as an
+index for answering efficiently equality constraints on the time column
+when processing infinite streams ... WCache will then produce results to
+multiple queries accessing different streams."
+
+Concretely: many registered continuous queries read the *same* windowed
+stream.  Without the cache each query re-materialises every window; with
+it, the first reader pays the materialisation and later readers answer
+``window_id = k`` lookups from the shared store.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from .window import WindowBatch, WindowSpec, time_sliding_window
+
+__all__ = ["WindowCacheStats", "WindowCache", "SharedWindowReader"]
+
+
+@dataclass
+class WindowCacheStats:
+    """Hit/miss counters for the wCache ablation benchmark (E8)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    materialised_tuples: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class WindowCache:
+    """An LRU store of window batches keyed by ``(stream, window_id)``.
+
+    ``capacity`` bounds the number of cached batches; infinite streams
+    need eviction, and sliding windows mean old ids are never asked for
+    again once every query has moved past them.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._store: OrderedDict[tuple[str, int], WindowBatch] = OrderedDict()
+        self.stats = WindowCacheStats()
+
+    def get(self, stream_name: str, window_id: int) -> WindowBatch | None:
+        """Cached batch for the window, or ``None`` (counts hit/miss)."""
+        key = (stream_name, window_id)
+        batch = self._store.get(key)
+        if batch is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._store.move_to_end(key)
+        return batch
+
+    def put(self, stream_name: str, batch: WindowBatch) -> None:
+        """Insert a materialised batch, evicting LRU entries when full."""
+        key = (stream_name, batch.window_id)
+        if key not in self._store:
+            self.stats.materialised_tuples += len(batch)
+        self._store[key] = batch
+        self._store.move_to_end(key)
+        while len(self._store) > self._capacity:
+            self._store.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: tuple[str, int]) -> bool:
+        return key in self._store
+
+
+class SharedWindowReader:
+    """Demand-driven windowing of one stream, shared across queries.
+
+    The first query asking for window ``k`` advances the underlying
+    iterator far enough to materialise it (a miss); subsequent queries for
+    ``k`` are cache hits.  This is the execution-side face of the
+    ``wCache`` UDF.
+    """
+
+    def __init__(
+        self,
+        stream_name: str,
+        tuples: Iterator[tuple[Any, ...]] | Callable[[], Iterator[tuple[Any, ...]]],
+        spec: WindowSpec,
+        time_index: int,
+        cache: WindowCache,
+        start: float | None = None,
+    ) -> None:
+        source = tuples() if callable(tuples) else tuples
+        self._windows = time_sliding_window(source, spec, time_index, start)
+        self._stream_name = stream_name
+        self._cache = cache
+        self._exhausted = False
+        self._max_seen = -1
+
+    @property
+    def stream_name(self) -> str:
+        return self._stream_name
+
+    def window(self, window_id: int) -> WindowBatch | None:
+        """Fetch window ``window_id``, materialising forward as needed.
+
+        Returns ``None`` when the stream ends before that window closes or
+        when the window was already evicted (a query lagging too far).
+        """
+        cached = self._cache.get(self._stream_name, window_id)
+        if cached is not None:
+            return cached
+        if window_id <= self._max_seen or self._exhausted:
+            return None
+        for batch in self._windows:
+            self._cache.put(self._stream_name, batch)
+            self._max_seen = batch.window_id
+            if batch.window_id == window_id:
+                return batch
+            if batch.window_id > window_id:  # pragma: no cover - defensive
+                return None
+        self._exhausted = True
+        return None
+
+    def all_windows(self) -> Iterator[WindowBatch]:
+        """Iterate every remaining window (also populating the cache)."""
+        window_id = self._max_seen + 1
+        while True:
+            batch = self.window(window_id)
+            if batch is None:
+                return
+            yield batch
+            window_id += 1

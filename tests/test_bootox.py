@@ -1,0 +1,353 @@
+"""Tests for BOOTOX: naming, direct mapping, implicit FKs, keyword
+discovery, alignment and quality verification."""
+
+import pytest
+
+from repro.bootox import (
+    DirectMapper,
+    KeywordMapper,
+    ProvenanceCatalog,
+    align,
+    apply_implicit_keys,
+    camel_case,
+    class_name_for_table,
+    conservativity_violations,
+    discover_implicit_keys,
+    match_classes,
+    property_name_for_column,
+    verify_deployment,
+)
+from repro.mappings import Unfolder
+from repro.queries import UnionOfConjunctiveQueries
+from repro.ontology import (
+    AtomicClass,
+    Ontology,
+    SubClassOf,
+    check_owl2ql,
+)
+from repro.queries import ClassAtom, ConjunctiveQuery, PropertyAtom
+from repro.rdf import IRI, Namespace, Variable
+from repro.relational import Column, Database, ForeignKey, Schema, SQLType, Table
+
+NS = Namespace("http://boot.test/onto#")
+
+
+def plant_schema():
+    schema = Schema("plant")
+    schema.add(
+        Table(
+            "countries",
+            [Column("cid", SQLType.INTEGER), Column("name", SQLType.TEXT)],
+            primary_key=("cid",),
+        )
+    )
+    schema.add(
+        Table(
+            "gas_turbines",
+            [
+                Column("tid", SQLType.INTEGER),
+                Column("model", SQLType.TEXT),
+                Column("year", SQLType.INTEGER),
+                Column("cid", SQLType.INTEGER),
+            ],
+            primary_key=("tid",),
+            foreign_keys=[ForeignKey(("cid",), "countries", ("cid",))],
+        )
+    )
+    return schema
+
+
+class TestNaming:
+    @pytest.mark.parametrize(
+        "table,expected",
+        [
+            ("gas_turbines", "GasTurbine"),
+            ("assemblies", "Assembly"),
+            ("countries", "Country"),
+            ("sensors", "Sensor"),
+            ("EQUIP", "Equip"),
+            ("service_events", "ServiceEvent"),
+        ],
+    )
+    def test_class_names(self, table, expected):
+        assert class_name_for_table(table) == expected
+
+    def test_property_names(self):
+        assert property_name_for_column("serial_number") == "hasSerialNumber"
+        assert property_name_for_column("cid", "Country") == "hasCountry"
+        assert property_name_for_column("assembly_id", "Assembly") == "hasAssembly"
+
+    def test_camel_case(self):
+        assert camel_case("a_b_c") == "ABC"
+        assert camel_case("temp_sensor", capitalize_first=False) == "tempSensor"
+
+
+class TestDirectMapper:
+    def bootstrap(self):
+        return DirectMapper(NS).bootstrap_schema(plant_schema(), "plant")
+
+    def test_classes_created(self):
+        result = self.bootstrap()
+        assert NS.GasTurbine in result.ontology.classes
+        assert NS.Country in result.ontology.classes
+
+    def test_data_properties_with_domains(self):
+        result = self.bootstrap()
+        assert NS.hasModel in result.ontology.data_properties
+        assert NS.hasYear in result.ontology.data_properties
+
+    def test_fk_becomes_object_property(self):
+        result = self.bootstrap()
+        assert NS.hasCountry in result.ontology.object_properties
+
+    def test_profile_conformant(self):
+        result = self.bootstrap()
+        assert check_owl2ql(result.ontology).conformant
+
+    def test_mappings_unfold_and_execute(self):
+        result = self.bootstrap()
+        db = Database(plant_schema())
+        db.insert("countries", [(1, "Germany")])
+        db.insert("gas_turbines", [(7, "SGT-400", 2008, 1)])
+        x, y = Variable("x"), Variable("y")
+        cq = ConjunctiveQuery(
+            (x, y),
+            (
+                ClassAtom(NS.GasTurbine, x),
+                PropertyAtom(NS.hasCountry, x, y),
+            ),
+        )
+        unfolder = Unfolder(
+            result.mappings,
+            primary_keys={"gas_turbines": ("tid",), "countries": ("cid",)},
+        )
+        unfolding = unfolder.unfold(UnionOfConjunctiveQueries((cq,)))
+        assert unfolding.fleet_size == 1
+        rows = db.query(unfolding.sql())
+        assert len(rows) == 1
+        assert rows[0][0].endswith("gas_turbines/7")
+        assert rows[0][1].endswith("countries/1")
+
+    def test_table_without_pk_skipped_with_warning(self):
+        schema = Schema("s")
+        schema.add(Table("nokey", [Column("a")]))
+        result = DirectMapper(NS).bootstrap_schema(schema, "s")
+        assert result.warnings
+        assert not result.mappings.assertions
+
+    def test_stream_bootstrap(self):
+        from repro.siemens import measurement_stream_schema
+
+        result = DirectMapper(NS).bootstrap_stream(
+            "S_Msmt", measurement_stream_schema(), "ms"
+        )
+        assert NS.hasVal in result.ontology.data_properties
+        stream_maps = [m for m in result.mappings if m.is_stream]
+        assert len(stream_maps) == 2  # val and failure
+
+    def test_merge(self):
+        a = self.bootstrap()
+        b = DirectMapper(NS).bootstrap_stream(
+            "S_Msmt",
+            __import__("repro.siemens", fromlist=["measurement_stream_schema"])
+            .measurement_stream_schema(),
+            "ms",
+        )
+        merged = a.merge(b)
+        assert NS.hasVal in merged.ontology.data_properties
+        assert NS.GasTurbine in merged.ontology.classes
+
+
+class TestImplicitKeys:
+    def database(self):
+        schema = Schema("legacy")
+        schema.add(
+            Table(
+                "EQUIP",
+                [Column("EQ_NO", SQLType.TEXT), Column("SITE", SQLType.TEXT)],
+                primary_key=("EQ_NO",),
+            )
+        )
+        schema.add(
+            Table(
+                "MEASPOINT",
+                [
+                    Column("MP_NO", SQLType.TEXT),
+                    Column("EQ_NO", SQLType.TEXT),
+                    Column("NOTE", SQLType.TEXT),
+                ],
+                primary_key=("MP_NO",),
+            )
+        )
+        db = Database(schema)
+        db.insert("EQUIP", [("E1", "a"), ("E2", "b")])
+        db.insert(
+            "MEASPOINT",
+            [("M1", "E1", "zzz"), ("M2", "E1", "yyy"), ("M3", "E2", "xxx")],
+        )
+        return db
+
+    def test_inclusion_found(self):
+        keys = discover_implicit_keys(self.database())
+        best = keys[0]
+        assert (best.table, best.column) == ("MEASPOINT", "EQ_NO")
+        assert best.referenced_table == "EQUIP"
+        assert best.containment == 1.0
+        assert best.confidence > 0.8
+
+    def test_non_contained_column_not_reported(self):
+        keys = discover_implicit_keys(self.database())
+        assert not any(k.column == "NOTE" for k in keys)
+
+    def test_apply_adds_fks(self):
+        db = self.database()
+        keys = discover_implicit_keys(db)
+        added = apply_implicit_keys(db.schema, keys)
+        assert added == 1
+        fks = db.schema["MEASPOINT"].foreign_keys
+        assert fks and fks[0].referenced_table == "EQUIP"
+
+    def test_apply_idempotent(self):
+        db = self.database()
+        keys = discover_implicit_keys(db)
+        apply_implicit_keys(db.schema, keys)
+        assert apply_implicit_keys(db.schema, keys) == 0
+
+
+class TestKeywordMapper:
+    def database(self):
+        schema = plant_schema()
+        db = Database(schema)
+        db.insert("countries", [(1, "Germany"), (2, "Norway")])
+        db.insert(
+            "gas_turbines",
+            [
+                (1, "Albatros", 2008, 1),
+                (2, "Albatros", 2009, 2),
+                (3, "Phoenix", 2010, 1),
+            ],
+        )
+        return db
+
+    def test_find_hits(self):
+        mapper = KeywordMapper(self.database())
+        hits = mapper.find_hits("albatros")
+        assert any(
+            h.table == "gas_turbines" and h.column == "model" for h in hits
+        )
+
+    def test_join_tree_connects_tables(self):
+        mapper = KeywordMapper(self.database())
+        tree = mapper.join_tree({"gas_turbines", "countries"})
+        assert tree.tables == {"gas_turbines", "countries"}
+        assert len(tree.joins) == 1
+
+    def test_discover_generalises_examples(self):
+        db = self.database()
+        mapper = KeywordMapper(db)
+        mapping = mapper.discover(
+            NS.Turbine,
+            [{"albatros", "germany"}, {"albatros", "norway"}],
+            source_name="plant",
+        )
+        assert mapping is not None
+        sql = str(mapping.source)
+        assert "gas_turbines" in sql
+        rows = db.query(sql)
+        assert rows  # candidate query returns example rows
+
+    def test_discover_fails_without_hits(self):
+        mapper = KeywordMapper(self.database())
+        assert mapper.discover(NS.Turbine, [{"nonexistentkeyword"}]) is None
+
+
+class TestAlignment:
+    def ontologies(self):
+        left = Ontology()
+        left.declare_class(IRI("urn:l#Turbine"))
+        left.declare_class(IRI("urn:l#GasTurbine"))
+        left.add(
+            SubClassOf(
+                AtomicClass(IRI("urn:l#GasTurbine")),
+                AtomicClass(IRI("urn:l#Turbine")),
+            )
+        )
+        right = Ontology()
+        right.declare_class(IRI("urn:r#Turbine"))
+        right.declare_class(IRI("urn:r#WindTurbine"))
+        right.add(
+            SubClassOf(
+                AtomicClass(IRI("urn:r#WindTurbine")),
+                AtomicClass(IRI("urn:r#Turbine")),
+            )
+        )
+        return left, right
+
+    def test_match_classes(self):
+        left, right = self.ontologies()
+        matches = match_classes(left, right)
+        pairs = {(m.left.local_name, m.right.local_name) for m in matches}
+        assert ("Turbine", "Turbine") in pairs
+
+    def test_align_accepts_safe_correspondences(self):
+        left, right = self.ontologies()
+        result = align(left, right)
+        assert any(c.left.local_name == "Turbine" for c in result.accepted)
+        # merged ontology entails nothing new inside each source
+        assert not conservativity_violations(
+            result.merged, [], left.classes
+        )
+
+    def test_conservativity_rejects_collapsing_correspondence(self):
+        left = Ontology()
+        a = left.declare_class(IRI("urn:l#Pump"))
+        b = left.declare_class(IRI("urn:l#Compressor"))
+        right = Ontology()
+        c = right.declare_class(IRI("urn:r#PumpCompressor"))
+        # equating both left classes with the same right class would make
+        # Pump ⊑ Compressor — a new subsumption inside `left`
+        violations = conservativity_violations(
+            _merge(left, right),
+            [
+                SubClassOf(a, c),
+                SubClassOf(c, a),
+                SubClassOf(b, c),
+                SubClassOf(c, b),
+            ],
+            left.classes,
+        )
+        assert (IRI("urn:l#Pump"), IRI("urn:l#Compressor")) in violations
+
+
+def _merge(a, b):
+    merged = Ontology()
+    merged.extend(a.axioms)
+    merged.extend(b.axioms)
+    merged.classes |= a.classes | b.classes
+    return merged
+
+
+class TestQualityAndProvenance:
+    def test_verify_clean_deployment(self):
+        result = DirectMapper(NS).bootstrap_schema(plant_schema(), "plant")
+        report = verify_deployment(result.ontology, result.mappings)
+        assert report.profile_conformant
+        assert not report.broken_mappings
+        assert report.mapping_count == len(result.mappings)
+        assert "OK" in report.summary() or "ISSUES" in report.summary()
+
+    def test_uncovered_workload_detected(self):
+        result = DirectMapper(NS).bootstrap_schema(plant_schema(), "plant")
+        report = verify_deployment(
+            result.ontology, result.mappings, workload_terms={NS.NotMapped}
+        )
+        assert NS.NotMapped in report.uncovered_workload_terms
+        assert not report.ok
+
+    def test_provenance_catalog(self):
+        result = DirectMapper(NS).bootstrap_schema(plant_schema(), "plant")
+        catalog = ProvenanceCatalog(result.mappings)
+        records = catalog.for_predicate(NS.GasTurbine)
+        assert records and records[0].tables == ("gas_turbines",)
+        assert records[0].source_name == "plant"
+        assert not catalog.stream_predicates()

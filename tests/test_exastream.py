@@ -1,0 +1,376 @@
+"""Tests for the EXASTREAM engine: operators, planner, gateway, scheduler,
+UDFs, fusion and the cluster simulator."""
+
+import pytest
+
+from repro.exastream import (
+    ClusterParameters,
+    ClusterSimulator,
+    GatewayServer,
+    PlanningError,
+    Relation,
+    Scheduler,
+    StaticTable,
+    StreamEngine,
+    builtin_registry,
+    calibrate,
+    compile_expr,
+    fuse,
+    hash_join,
+    plan_sql,
+)
+from repro.relational import Column, Database, Schema, SQLType, Table
+from repro.sql import BinOp, Col, Func, Lit, UnaryOp, parse_sql
+from repro.streams import ListSource, Stream, StreamSchema
+
+
+def measurement_stream(rows, name="S_Msmt"):
+    schema = StreamSchema(
+        (
+            Column("ts", SQLType.REAL),
+            Column("sid", SQLType.INTEGER),
+            Column("val", SQLType.REAL),
+            Column("failure", SQLType.INTEGER),
+        ),
+        time_column="ts",
+    )
+    return ListSource(Stream(name, schema), rows)
+
+
+def info_db():
+    schema = Schema("plant")
+    schema.add(
+        Table(
+            "sensor_info",
+            [Column("sid", SQLType.INTEGER), Column("assembly", SQLType.TEXT)],
+            primary_key=("sid",),
+        )
+    )
+    db = Database(schema)
+    db.insert("sensor_info", [(1, "rotor"), (2, "stator"), (3, "burner")])
+    return db
+
+
+def engine_with_data(n_seconds=12):
+    rows = []
+    for t in range(n_seconds):
+        rows.append((float(t), 1, 50.0 + t, 1 if t == 9 else 0))
+        rows.append((float(t), 2, 60.0 - (t % 3), 0))
+    engine = StreamEngine()
+    engine.register_stream(measurement_stream(rows))
+    engine.attach_database("plant", info_db())
+    return engine
+
+
+class TestRelationAndExpr:
+    def test_colmap_with_fallback(self):
+        rel = Relation(["w.ts", "w.val"], [(0.0, 1.0)])
+        assert rel.index_of("w.ts") == 0
+        assert rel.index_of("val") == 1
+
+    def test_ambiguous_bare_name_not_registered(self):
+        rel = Relation(["a.x", "b.x"], [])
+        with pytest.raises(KeyError):
+            rel.index_of("x")
+
+    def test_compile_arithmetic(self):
+        rel = Relation(["v"], [])
+        fn = compile_expr(BinOp("+", Col(None, "v"), Lit(2)), rel)
+        assert fn((40,)) == 42
+
+    def test_compile_comparison_null_safe(self):
+        rel = Relation(["v"], [])
+        fn = compile_expr(BinOp(">", Col(None, "v"), Lit(1)), rel)
+        assert fn((None,)) is False
+
+    def test_compile_concat(self):
+        rel = Relation(["v"], [])
+        fn = compile_expr(BinOp("||", Lit("x"), Col(None, "v")), rel)
+        assert fn((7,)) == "x7"
+
+    def test_compile_not_and_or(self):
+        rel = Relation(["v"], [])
+        expr = BinOp(
+            "OR",
+            UnaryOp("NOT", BinOp("=", Col(None, "v"), Lit(1))),
+            BinOp("=", Col(None, "v"), Lit(2)),
+        )
+        fn = compile_expr(expr, rel)
+        assert fn((3,)) and fn((2,)) and not fn((1,))
+
+    def test_compile_in_list(self):
+        rel = Relation(["v"], [])
+        fn = compile_expr(Func("IN_LIST", (Col(None, "v"), Lit(1), Lit(2))), rel)
+        assert fn((1,)) and not fn((3,))
+
+    def test_compile_like(self):
+        rel = Relation(["v"], [])
+        fn = compile_expr(BinOp("LIKE", Col(None, "v"), Lit("gas%")), rel)
+        assert fn(("gas turbine",)) and not fn(("steam",))
+
+    def test_scalar_udf(self):
+        rel = Relation(["v"], [])
+        registry = builtin_registry()
+        fn = compile_expr(Func("C2F", (Col(None, "v"),)), rel, registry)
+        assert fn((100.0,)) == 212.0
+
+    def test_unknown_function_raises(self):
+        rel = Relation(["v"], [])
+        with pytest.raises(ValueError):
+            compile_expr(Func("NOPE", (Col(None, "v"),)), rel)
+
+
+class TestJoins:
+    def test_hash_join(self):
+        left = Relation(["a.k", "a.x"], [(1, "p"), (2, "q")])
+        right = Relation(["b.k", "b.y"], [(1, "r"), (1, "s"), (3, "t")])
+        joined = hash_join(left, right, ["a.k"], ["b.k"])
+        assert sorted(joined.rows) == [(1, "p", 1, "r"), (1, "p", 1, "s")]
+        assert joined.columns == ["a.k", "a.x", "b.k", "b.y"]
+
+    def test_hash_join_builds_on_smaller_side_keeps_order_of_columns(self):
+        left = Relation(["a.k"], [(1,), (2,), (3,)])
+        right = Relation(["b.k"], [(1,)])
+        joined = hash_join(left, right, ["a.k"], ["b.k"])
+        assert joined.columns == ["a.k", "b.k"]
+        assert joined.rows == [(1, 1)]
+
+    def test_static_table_index_reuse(self):
+        static = StaticTable(Relation(["s.k", "s.v"], [(1, "a"), (2, "b")]))
+        index1 = static.index_for(["s.k"])
+        index2 = static.index_for(["s.k"])
+        assert index1 is index2
+
+    def test_static_join_probe(self):
+        static = StaticTable(Relation(["s.k", "s.v"], [(1, "a"), (2, "b")]))
+        probe = Relation(["w.k"], [(1,), (1,), (9,)])
+        joined = static.join_probe(probe, ["w.k"], ["s.k"])
+        assert len(joined) == 2
+
+
+class TestFusion:
+    def test_fuse_empty_identity(self):
+        assert fuse([])(42) == 42
+
+    def test_fuse_composition_order(self):
+        stages = [lambda x: x + 1, lambda x: x * 2, lambda x: x - 3]
+        assert fuse(stages)(5) == (5 + 1) * 2 - 3
+
+    def test_fuse_many_stages(self):
+        stages = [lambda x, i=i: x + i for i in range(10)]
+        assert fuse(stages)(0) == sum(range(10))
+
+
+class TestPlannerAndGateway:
+    def test_sql_text_round_trip_through_engine(self):
+        engine = engine_with_data()
+        gateway = GatewayServer(engine)
+        q = gateway.register(
+            "SELECT w.sid AS sensor, AVG(w.val) AS m "
+            "FROM timeSlidingWindow(S_Msmt, 4, 2) AS w GROUP BY w.sid",
+            name="avg",
+        )
+        gateway.run()
+        assert len(q.results()) > 0
+        first = q.results()[0]
+        assert first.columns == ["sensor", "m"]
+
+    def test_stream_static_join(self):
+        engine = engine_with_data()
+        gateway = GatewayServer(engine)
+        q = gateway.register(
+            "SELECT s.assembly AS asm, COUNT(*) AS n "
+            "FROM timeSlidingWindow(S_Msmt, 4, 2) AS w, sensor_info AS s "
+            "WHERE w.sid = s.sid GROUP BY s.assembly",
+            name="join",
+        )
+        gateway.run(max_windows=3)
+        result = q.results()[2]
+        assert dict((r[0], r[1]) for r in result.rows) == {
+            "rotor": 5,
+            "stator": 5,
+        }
+
+    def test_filter_pushdown_semantics(self):
+        engine = engine_with_data()
+        gateway = GatewayServer(engine)
+        q = gateway.register(
+            "SELECT w.ts AS t, w.val AS v "
+            "FROM timeSlidingWindow(S_Msmt, 2, 2) AS w "
+            "WHERE w.sid = 1 AND w.val > 52",
+            name="filtered",
+        )
+        gateway.run(max_windows=4)
+        values = [row for r in q.results() for row in r.rows]
+        assert values and all(v > 52 for _, v in values)
+
+    def test_having(self):
+        engine = engine_with_data()
+        gateway = GatewayServer(engine)
+        q = gateway.register(
+            "SELECT w.sid AS s, MAX(w.val) AS mx "
+            "FROM timeSlidingWindow(S_Msmt, 4, 4) AS w "
+            "GROUP BY w.sid HAVING MAX(w.val) > 56",
+            name="hv",
+        )
+        gateway.run()
+        for result in q.results():
+            for row in result.rows:
+                assert row[1] > 56
+
+    def test_aggregate_without_group_by(self):
+        engine = engine_with_data()
+        gateway = GatewayServer(engine)
+        q = gateway.register(
+            "SELECT COUNT(*) AS n FROM timeSlidingWindow(S_Msmt, 2, 2) AS w",
+            name="count",
+        )
+        gateway.run(max_windows=2)
+        assert q.results()[1].rows[0][0] == 6  # ts in [0,2] x 2 sensors
+
+    def test_sequence_udf_in_sql(self):
+        engine = engine_with_data()
+        gateway = GatewayServer(engine)
+        q = gateway.register(
+            "SELECT w.sid AS s, MONOTONIC_HAVING(w.ts, w.val, w.failure) AS a "
+            "FROM timeSlidingWindow(S_Msmt, 10, 1) AS w GROUP BY w.sid",
+            name="mono",
+        )
+        gateway.run(max_windows=10)
+        final = dict(q.results()[9].rows)
+        assert final[1] is True and final[2] is False
+
+    def test_planner_rejects_bad_queries(self):
+        engine = engine_with_data()
+        with pytest.raises(PlanningError):
+            plan_sql("SELECT a FROM nowhere", engine)
+        with pytest.raises(PlanningError):
+            plan_sql("SELECT a FROM sensor_info", engine)  # no stream
+        with pytest.raises(PlanningError):
+            plan_sql("SELECT S_Msmt.val FROM S_Msmt", engine)  # unwrapped
+        with pytest.raises(PlanningError):
+            plan_sql(
+                "SELECT w.val FROM timeSlidingWindow(S_Msmt, 5, 1) AS w "
+                "HAVING COUNT(*) > 1",
+                engine,
+            )
+
+    def test_duplicate_name_rejected(self):
+        engine = engine_with_data()
+        gateway = GatewayServer(engine)
+        gateway.register(
+            "SELECT w.ts AS t FROM timeSlidingWindow(S_Msmt, 2, 2) AS w",
+            name="dup",
+        )
+        with pytest.raises(ValueError):
+            gateway.register(
+                "SELECT w.ts AS t FROM timeSlidingWindow(S_Msmt, 2, 2) AS w",
+                name="dup",
+            )
+
+    def test_shared_readers_across_queries(self):
+        engine = engine_with_data()
+        gateway = GatewayServer(engine)
+        sql = (
+            "SELECT w.sid AS s, AVG(w.val) AS m "
+            "FROM timeSlidingWindow(S_Msmt, 4, 2) AS w GROUP BY w.sid"
+        )
+        gateway.register(sql, name="a")
+        gateway.register(sql, name="b")
+        gateway.run(max_windows=4)
+        # second query hits the cache populated by the first
+        assert engine.cache.stats.hits > 0
+
+    def test_metrics_populated(self):
+        engine = engine_with_data()
+        gateway = GatewayServer(engine)
+        gateway.register(
+            "SELECT w.ts AS t FROM timeSlidingWindow(S_Msmt, 2, 2) AS w",
+            name="m",
+        )
+        gateway.run()
+        metrics = engine.metrics.per_query["m"]
+        assert metrics.tuples_in > 0
+        assert metrics.windows_processed > 0
+
+    def test_deregister_releases_scheduler_load(self):
+        engine = engine_with_data()
+        scheduler = Scheduler(2)
+        gateway = GatewayServer(engine, scheduler=scheduler)
+        gateway.register(
+            "SELECT w.ts AS t FROM timeSlidingWindow(S_Msmt, 2, 2) AS w",
+            name="x",
+        )
+        assert scheduler.total_load() > 0
+        gateway.deregister("x")
+        assert scheduler.total_load() == pytest.approx(0.0)
+
+
+class TestScheduler:
+    def plan(self, name="p", range_s=10.0):
+        engine = engine_with_data()
+        return plan_sql(
+            f"SELECT w.sid AS s, COUNT(*) AS n "
+            f"FROM timeSlidingWindow(S_Msmt, {range_s}, 1) AS w GROUP BY w.sid",
+            engine,
+            name=name,
+        )
+
+    def test_balance_across_workers(self):
+        scheduler = Scheduler(4)
+        for i in range(16):
+            scheduler.place(self.plan(name=f"q{i}"))
+        assert scheduler.balance() < 1.3
+
+    def test_scan_affinity(self):
+        scheduler = Scheduler(4)
+        p1 = scheduler.place(self.plan(name="q1"))
+        p2 = scheduler.place(self.plan(name="q2"))
+        scans1 = [p for p in p1 if p.operator.startswith("scan[")]
+        scans2 = [p for p in p2 if p.operator.startswith("scan[")]
+        assert scans1[0].worker == scans2[0].worker
+
+    def test_remove(self):
+        scheduler = Scheduler(2)
+        scheduler.place(self.plan(name="q1"))
+        load = scheduler.total_load()
+        scheduler.place(self.plan(name="q2"))
+        scheduler.remove("q2")
+        assert scheduler.total_load() == pytest.approx(load)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scheduler(0)
+
+
+class TestSimulator:
+    def test_throughput_increases_with_nodes(self):
+        params = ClusterParameters(nodes=1, tuple_service_seconds=1e-5)
+        sim = ClusterSimulator(params)
+        results = sim.sweep_nodes([1, 4, 16, 64], 32, 20, 500)
+        throughputs = [r.throughput for r in results]
+        assert throughputs == sorted(throughputs)
+        assert throughputs[-1] > throughputs[0] * 10
+
+    def test_speedup_sublinear_at_scale(self):
+        params = ClusterParameters(nodes=1, tuple_service_seconds=1e-6)
+        sim = ClusterSimulator(params)
+        results = sim.sweep_nodes([1, 128], 256, 10, 1000)
+        speedup = results[1].throughput / results[0].throughput
+        assert speedup < 128  # the serial coordinator caps scaling
+
+    def test_conservation(self):
+        params = ClusterParameters(nodes=8)
+        result = ClusterSimulator(params).run(10, 5, 100)
+        assert result.tuples_processed == 10 * 5 * 100
+        assert result.windows_processed == 50
+        assert 0 < result.utilisation <= 1
+
+    def test_calibrate(self):
+        assert calibrate(1_000_000) == pytest.approx(1e-6)
+        with pytest.raises(ValueError):
+            calibrate(0)
+
+    def test_node_count_validated(self):
+        with pytest.raises(ValueError):
+            ClusterParameters(nodes=0)

@@ -1,0 +1,232 @@
+"""Tests for the ontology model, parser, profile checker and normaliser."""
+
+import pytest
+
+from repro.ontology import (
+    AtomicClass,
+    Attribute,
+    ClassAssertion,
+    DisjointClasses,
+    Existential,
+    Ontology,
+    OntologySyntaxError,
+    PropertyAssertion,
+    Role,
+    SubClassOf,
+    SubPropertyOf,
+    Thing,
+    check_owl2ql,
+    normalize,
+    parse_ontology,
+    serialize_ontology,
+)
+from repro.rdf import IRI, Literal, XSD
+
+
+SIE = "http://siemens.com/ontology#"
+
+
+def iri(name):
+    return IRI(SIE + name)
+
+
+class TestModel:
+    def test_role_inversion(self):
+        r = Role(iri("hasPart"))
+        assert r.inverted().inverse
+        assert r.inverted().inverted() == r
+
+    def test_declarations(self):
+        onto = Ontology()
+        cls = onto.declare_class(iri("Turbine"))
+        prop = onto.declare_object_property(iri("hasPart"))
+        attr = onto.declare_data_property(iri("hasValue"))
+        assert cls.iri in onto.classes
+        assert prop.iri in onto.object_properties
+        assert attr.iri in onto.data_properties
+        assert onto.term_count() == 3
+
+    def test_add_autodeclares(self):
+        onto = Ontology()
+        onto.add(SubClassOf(AtomicClass(iri("A")), AtomicClass(iri("B"))))
+        assert iri("A") in onto.classes and iri("B") in onto.classes
+
+    def test_tbox_abox_split(self):
+        onto = Ontology()
+        onto.add(SubClassOf(AtomicClass(iri("A")), AtomicClass(iri("B"))))
+        onto.add(ClassAssertion(AtomicClass(iri("A")), iri("a1")))
+        assert len(onto.tbox()) == 1
+        assert len(onto.abox()) == 1
+
+    def test_typed_views(self):
+        onto = Ontology()
+        onto.add(SubClassOf(AtomicClass(iri("A")), AtomicClass(iri("B"))))
+        onto.add(SubPropertyOf(Role(iri("p")), Role(iri("q"))))
+        onto.add(DisjointClasses(AtomicClass(iri("A")), AtomicClass(iri("C"))))
+        assert len(onto.class_inclusions) == 1
+        assert len(onto.property_inclusions) == 1
+        assert len(onto.disjoint_classes) == 1
+
+
+class TestNormalize:
+    def test_qualified_existential_encoded(self):
+        onto = Ontology()
+        onto.add(
+            SubClassOf(
+                AtomicClass(iri("Turbine")),
+                Existential(Role(iri("hasPart")), AtomicClass(iri("Assembly"))),
+            )
+        )
+        result = normalize(onto)
+        # one qualified axiom becomes three DL-Lite_R axioms
+        assert len(result.axioms) == 3
+        kinds = [type(a).__name__ for a in result.axioms]
+        assert kinds.count("SubPropertyOf") == 1
+        assert kinds.count("SubClassOf") == 2
+        # no qualified existential remains
+        for axiom in result.class_inclusions:
+            if isinstance(axiom.sup, Existential):
+                assert axiom.sup.filler is None
+
+    def test_unqualified_untouched(self):
+        onto = Ontology()
+        onto.add(
+            SubClassOf(AtomicClass(iri("A")), Existential(Role(iri("p"))))
+        )
+        result = normalize(onto)
+        assert result.axioms == onto.axioms
+
+
+class TestParser:
+    DOC = f"""
+    Prefix(sie:=<{SIE}>)
+    Ontology(<http://siemens.com/ontology>
+      Declaration(Class(sie:Turbine))
+      Declaration(ObjectProperty(sie:hasPart))
+      Declaration(DataProperty(sie:hasValue))
+      SubClassOf(sie:GasTurbine sie:Turbine)
+      EquivalentClasses(sie:PowerUnit sie:Turbine)
+      SubClassOf(sie:Turbine ObjectSomeValuesFrom(sie:hasPart sie:Assembly))
+      ObjectPropertyDomain(sie:inAssembly sie:Sensor)
+      ObjectPropertyRange(sie:inAssembly sie:Assembly)
+      InverseObjectProperties(sie:hasPart sie:partOf)
+      SymmetricObjectProperty(sie:adjacentTo)
+      SubObjectPropertyOf(sie:hasMainSensor sie:hasSensor)
+      DataPropertyDomain(sie:hasValue sie:Sensor)
+      DisjointClasses(sie:Turbine sie:Sensor)
+      DisjointObjectProperties(sie:hasPart sie:monitors)
+      ClassAssertion(sie:Turbine sie:t1)
+      ObjectPropertyAssertion(sie:hasPart sie:t1 sie:a1)
+      DataPropertyAssertion(sie:hasValue sie:s1 "42.5"^^xsd:double)
+    )
+    """
+
+    def test_parse_counts(self):
+        onto = parse_ontology(self.DOC)
+        assert iri("Turbine") in onto.classes
+        assert iri("hasPart") in onto.object_properties
+        assert iri("hasValue") in onto.data_properties
+        assert len(onto.class_assertions) == 1
+        assert len(onto.property_assertions) == 2
+
+    def test_equivalent_classes_two_inclusions(self):
+        onto = parse_ontology(self.DOC)
+        pairs = {(str(a.sub), str(a.sup)) for a in onto.class_inclusions}
+        assert ("PowerUnit", "Turbine") in pairs
+        assert ("Turbine", "PowerUnit") in pairs
+
+    def test_inverse_properties(self):
+        onto = parse_ontology(self.DOC)
+        invs = [
+            a
+            for a in onto.property_inclusions
+            if {a.sub.iri.local_name, a.sup.iri.local_name} == {"hasPart", "partOf"}
+        ]
+        assert len(invs) == 2
+        assert any(a.sup.inverse for a in invs)
+
+    def test_symmetric_property(self):
+        onto = parse_ontology(self.DOC)
+        sym = [
+            a
+            for a in onto.property_inclusions
+            if a.sub.iri.local_name == "adjacentTo"
+        ]
+        assert len(sym) == 1 and sym[0].sup.inverse
+
+    def test_domain_becomes_existential(self):
+        onto = parse_ontology(self.DOC)
+        domains = [
+            a
+            for a in onto.class_inclusions
+            if isinstance(a.sub, Existential)
+            and a.sub.property.iri == iri("inAssembly")
+            and not a.sub.property.inverse
+        ]
+        assert domains and domains[0].sup == AtomicClass(iri("Sensor"))
+
+    def test_data_assertion_literal(self):
+        onto = parse_ontology(self.DOC)
+        data = [
+            a
+            for a in onto.property_assertions
+            if isinstance(a.property, Attribute)
+        ]
+        assert data[0].value == Literal("42.5", XSD.double)
+
+    def test_round_trip(self):
+        onto = parse_ontology(self.DOC)
+        text = serialize_ontology(onto)
+        again = parse_ontology(text)
+        assert len(again.axioms) == len(onto.axioms)
+        assert again.classes == onto.classes
+
+    def test_syntax_error_reported(self):
+        with pytest.raises(OntologySyntaxError):
+            parse_ontology("Ontology( Bogus(sie:A) )")
+
+    def test_unbound_prefix_rejected(self):
+        with pytest.raises(KeyError):
+            parse_ontology("Ontology( SubClassOf(nope:A nope:B) )")
+
+    def test_thing_parsed(self):
+        onto = parse_ontology(
+            "Ontology( SubClassOf(<urn:A> <http://www.w3.org/2002/07/owl#Thing>) )"
+        )
+        assert isinstance(onto.class_inclusions[0].sup, Thing)
+
+
+class TestProfile:
+    def test_conformant(self):
+        onto = Ontology()
+        onto.add(SubClassOf(AtomicClass(iri("A")), AtomicClass(iri("B"))))
+        onto.add(
+            SubClassOf(
+                AtomicClass(iri("A")),
+                Existential(Role(iri("p")), AtomicClass(iri("B"))),
+            )
+        )
+        assert check_owl2ql(onto).conformant
+
+    def test_qualified_lhs_rejected(self):
+        onto = Ontology()
+        onto.add(
+            SubClassOf(
+                Existential(Role(iri("p")), AtomicClass(iri("B"))),
+                AtomicClass(iri("A")),
+            )
+        )
+        report = check_owl2ql(onto)
+        assert not report.conformant
+        assert "subclass position" in str(report.violations[0])
+
+    def test_mixed_property_inclusion_rejected(self):
+        onto = Ontology()
+        onto.add(SubPropertyOf(Attribute(iri("u")), Role(iri("p"))))
+        assert not check_owl2ql(onto).conformant
+
+    def test_assertions_always_fine(self):
+        onto = Ontology()
+        onto.add(ClassAssertion(AtomicClass(iri("A")), iri("a")))
+        onto.add(PropertyAssertion(Role(iri("p")), iri("a"), iri("b")))
+        assert check_owl2ql(onto).conformant

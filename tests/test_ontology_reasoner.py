@@ -1,0 +1,179 @@
+"""Tests for classification and consistency reasoning."""
+
+import pytest
+
+from repro.ontology import (
+    AtomicClass,
+    Attribute,
+    ClassAssertion,
+    DisjointClasses,
+    DisjointProperties,
+    Existential,
+    InconsistentOntologyError,
+    Ontology,
+    PropertyAssertion,
+    Reasoner,
+    Role,
+    SubClassOf,
+    SubPropertyOf,
+    Thing,
+)
+from repro.rdf import IRI
+
+
+def iri(name):
+    return IRI("urn:t#" + name)
+
+
+def cls(name):
+    return AtomicClass(iri(name))
+
+
+def role(name, inv=False):
+    return Role(iri(name), inv)
+
+
+class TestClassification:
+    def build(self):
+        onto = Ontology()
+        onto.add(SubClassOf(cls("GasTurbine"), cls("Turbine")))
+        onto.add(SubClassOf(cls("SteamTurbine"), cls("Turbine")))
+        onto.add(SubClassOf(cls("Turbine"), cls("PowerUnit")))
+        return Reasoner(onto)
+
+    def test_direct(self):
+        r = self.build()
+        assert r.is_subclass_of(cls("GasTurbine"), cls("Turbine"))
+
+    def test_transitive(self):
+        r = self.build()
+        assert r.is_subclass_of(cls("GasTurbine"), cls("PowerUnit"))
+
+    def test_reflexive(self):
+        r = self.build()
+        assert r.is_subclass_of(cls("Turbine"), cls("Turbine"))
+
+    def test_not_converse(self):
+        r = self.build()
+        assert not r.is_subclass_of(cls("Turbine"), cls("GasTurbine"))
+
+    def test_thing_is_top(self):
+        r = self.build()
+        assert r.is_subclass_of(cls("GasTurbine"), Thing())
+
+    def test_superclasses(self):
+        r = self.build()
+        assert r.superclasses(cls("GasTurbine")) == {cls("Turbine"), cls("PowerUnit")}
+
+    def test_subclasses(self):
+        r = self.build()
+        assert r.subclasses(cls("Turbine")) == {cls("GasTurbine"), cls("SteamTurbine")}
+
+    def test_classify_all(self):
+        hierarchy = self.build().classify()
+        assert hierarchy[iri("GasTurbine")] == {iri("Turbine"), iri("PowerUnit")}
+        assert hierarchy[iri("PowerUnit")] == set()
+
+
+class TestRoleReasoning:
+    def test_role_hierarchy(self):
+        onto = Ontology()
+        onto.add(SubPropertyOf(role("hasMainSensor"), role("hasSensor")))
+        onto.add(SubPropertyOf(role("hasSensor"), role("hasPart")))
+        r = Reasoner(onto)
+        assert r.is_subproperty_of(role("hasMainSensor"), role("hasPart"))
+        assert not r.is_subproperty_of(role("hasPart"), role("hasMainSensor"))
+
+    def test_inverse_closure(self):
+        onto = Ontology()
+        onto.add(SubPropertyOf(role("p"), role("q")))
+        r = Reasoner(onto)
+        # p ⊑ q implies p^- ⊑ q^-
+        assert r.is_subproperty_of(role("p", True), role("q", True))
+
+    def test_existential_propagation(self):
+        onto = Ontology()
+        onto.add(SubPropertyOf(role("p"), role("q")))
+        onto.add(SubClassOf(Existential(role("q")), cls("Dom")))
+        r = Reasoner(onto)
+        # ∃p ⊑ ∃q ⊑ Dom
+        assert r.is_subclass_of(Existential(role("p")), cls("Dom"))
+        assert r.is_subclass_of(Existential(role("p", True)), Existential(role("q", True)))
+
+    def test_subproperties(self):
+        onto = Ontology()
+        onto.add(SubPropertyOf(role("a"), role("b")))
+        onto.add(SubPropertyOf(role("c"), role("b")))
+        r = Reasoner(onto)
+        assert role("a") in r.subproperties(role("b"))
+        assert role("c") in r.subproperties(role("b"))
+
+    def test_qualified_existential_via_normalisation(self):
+        onto = Ontology()
+        onto.add(SubClassOf(cls("Turbine"), Existential(role("hasPart"), cls("Assembly"))))
+        r = Reasoner(onto)
+        # Turbine ⊑ ∃hasPart follows from the encoding
+        assert r.is_subclass_of(cls("Turbine"), Existential(role("hasPart")))
+
+
+class TestConsistency:
+    def test_consistent(self):
+        onto = Ontology()
+        onto.add(DisjointClasses(cls("Turbine"), cls("Sensor")))
+        onto.add(ClassAssertion(cls("Turbine"), iri("t1")))
+        onto.add(ClassAssertion(cls("Sensor"), iri("s1")))
+        assert Reasoner(onto).is_consistent()
+
+    def test_direct_violation(self):
+        onto = Ontology()
+        onto.add(DisjointClasses(cls("Turbine"), cls("Sensor")))
+        onto.add(ClassAssertion(cls("Turbine"), iri("x")))
+        onto.add(ClassAssertion(cls("Sensor"), iri("x")))
+        with pytest.raises(InconsistentOntologyError):
+            Reasoner(onto).check_consistency()
+
+    def test_derived_violation_through_hierarchy(self):
+        onto = Ontology()
+        onto.add(SubClassOf(cls("GasTurbine"), cls("Turbine")))
+        onto.add(DisjointClasses(cls("Turbine"), cls("Sensor")))
+        onto.add(ClassAssertion(cls("GasTurbine"), iri("x")))
+        onto.add(ClassAssertion(cls("Sensor"), iri("x")))
+        assert not Reasoner(onto).is_consistent()
+
+    def test_domain_violation(self):
+        onto = Ontology()
+        # domain of monitors is Sensor, disjoint with Turbine
+        onto.add(SubClassOf(Existential(role("monitors")), cls("Sensor")))
+        onto.add(DisjointClasses(cls("Turbine"), cls("Sensor")))
+        onto.add(ClassAssertion(cls("Turbine"), iri("x")))
+        onto.add(PropertyAssertion(role("monitors"), iri("x"), iri("y")))
+        assert not Reasoner(onto).is_consistent()
+
+    def test_range_side(self):
+        onto = Ontology()
+        onto.add(SubClassOf(Existential(role("monitors", True)), cls("Asset")))
+        onto.add(DisjointClasses(cls("Asset"), cls("Sensor")))
+        onto.add(ClassAssertion(cls("Sensor"), iri("y")))
+        onto.add(PropertyAssertion(role("monitors"), iri("x"), iri("y")))
+        assert not Reasoner(onto).is_consistent()
+
+    def test_disjoint_properties_violation(self):
+        onto = Ontology()
+        onto.add(DisjointProperties(role("p"), role("q")))
+        onto.add(PropertyAssertion(role("p"), iri("a"), iri("b")))
+        onto.add(PropertyAssertion(role("q"), iri("a"), iri("b")))
+        assert not Reasoner(onto).is_consistent()
+
+    def test_disjoint_properties_different_pairs_ok(self):
+        onto = Ontology()
+        onto.add(DisjointProperties(role("p"), role("q")))
+        onto.add(PropertyAssertion(role("p"), iri("a"), iri("b")))
+        onto.add(PropertyAssertion(role("q"), iri("a"), iri("c")))
+        assert Reasoner(onto).is_consistent()
+
+    def test_attribute_domain(self):
+        onto = Ontology()
+        attr = Attribute(iri("hasValue"))
+        onto.add(SubClassOf(Existential(attr), cls("Sensor")))
+        r = Reasoner(onto)
+        assert r.is_subclass_of(Existential(attr), cls("Sensor"))

@@ -1,0 +1,242 @@
+"""Tests for CQs, BGP parsing, evaluation and containment."""
+
+import pytest
+
+from repro.queries import (
+    Atom,
+    BGPSyntaxError,
+    ClassAtom,
+    ConjunctiveQuery,
+    Filter,
+    PropertyAtom,
+    UnionOfConjunctiveQueries,
+    canonical_form,
+    evaluate_cq,
+    evaluate_ucq,
+    find_homomorphism,
+    format_bgp,
+    is_contained_in,
+    minimize_ucq,
+    parse_bgp,
+)
+from repro.rdf import IRI, RDF, Graph, Literal, PrefixMap, Variable, XSD
+
+
+NS = "urn:q#"
+
+
+def iri(name):
+    return IRI(NS + name)
+
+
+x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+class TestAtomAndCQ:
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Atom(iri("p"), (x, y, z))
+
+    def test_substitute(self):
+        atom = PropertyAtom(iri("p"), x, y)
+        out = atom.substitute({x: iri("a")})
+        assert out.args == (iri("a"), y)
+
+    def test_head_vars_must_be_bound(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery((x,), (ClassAtom(iri("C"), y),))
+
+    def test_existential_variables(self):
+        q = ConjunctiveQuery((x,), (PropertyAtom(iri("p"), x, y),))
+        assert q.existential_variables() == {y}
+
+    def test_filter_evaluation(self):
+        f = Filter("<", x, Literal("5", XSD.integer))
+        assert f.evaluate({x: Literal("3", XSD.integer)})
+        assert not f.evaluate({x: Literal("7", XSD.integer)})
+        assert not f.evaluate({})  # unbound fails
+
+    def test_filter_bad_op(self):
+        with pytest.raises(ValueError):
+            Filter("~", x, y)
+
+    def test_canonical_form_renaming_invariant(self):
+        q1 = ConjunctiveQuery((x,), (PropertyAtom(iri("p"), x, y),))
+        q2 = ConjunctiveQuery((z,), (PropertyAtom(iri("p"), z, w),))
+        assert canonical_form(q1) == canonical_form(q2)
+
+    def test_canonical_form_distinguishes_shapes(self):
+        q1 = ConjunctiveQuery((x,), (PropertyAtom(iri("p"), x, y),))
+        q2 = ConjunctiveQuery((x,), (PropertyAtom(iri("p"), x, x),))
+        assert canonical_form(q1) != canonical_form(q2)
+
+    def test_ucq_arity_checked(self):
+        q1 = ConjunctiveQuery((x,), (ClassAtom(iri("C"), x),))
+        q2 = ConjunctiveQuery((x, y), (PropertyAtom(iri("p"), x, y),))
+        with pytest.raises(ValueError):
+            UnionOfConjunctiveQueries((q1, q2))
+
+
+class TestBGP:
+    def pm(self):
+        pm = PrefixMap()
+        pm.bind("t", NS)
+        return pm
+
+    def test_basic(self):
+        atoms, filters = parse_bgp("{?s a t:Sensor . ?s t:hasValue ?v}", self.pm())
+        assert len(atoms) == 2 and not filters
+        assert atoms[0].is_class_atom
+        assert atoms[1].args == (Variable("s"), Variable("v"))
+
+    def test_semicolon_and_comma(self):
+        atoms, _ = parse_bgp(
+            "{?s a t:Sensor ; t:locatedIn ?a , ?b}", self.pm()
+        )
+        assert len(atoms) == 3
+        assert atoms[2].args == (Variable("s"), Variable("b"))
+
+    def test_filter(self):
+        _, filters = parse_bgp("{?s t:hasValue ?v . FILTER(?v > 90)}", self.pm())
+        assert filters[0].op == ">"
+        assert filters[0].right == Literal("90", XSD.integer)
+
+    def test_typed_literal(self):
+        atoms, _ = parse_bgp(
+            '{?s t:hasValue "1.5"^^xsd:double}', self.pm()
+        )
+        assert atoms[0].args[1] == Literal("1.5", XSD.double)
+
+    def test_iri_object(self):
+        atoms, _ = parse_bgp("{?s t:inAssembly t:a1}", self.pm())
+        assert atoms[0].args[1] == iri("a1")
+
+    def test_full_iri(self):
+        atoms, _ = parse_bgp("{<urn:q#s1> a t:Sensor}", self.pm())
+        assert atoms[0].args[0] == iri("s1")
+
+    def test_syntax_error(self):
+        with pytest.raises(BGPSyntaxError):
+            parse_bgp("{?s t:p}", self.pm())
+
+    def test_format_roundtrip(self):
+        text = "{?s a t:Sensor . ?s t:hasValue ?v . FILTER(?v >= 10)}"
+        atoms, filters = parse_bgp(text, self.pm())
+        rendered = format_bgp(atoms, filters, self.pm())
+        atoms2, filters2 = parse_bgp(rendered, self.pm())
+        assert atoms == atoms2 and filters == filters2
+
+
+class TestEvaluation:
+    def graph(self):
+        g = Graph()
+        g.add((iri("s1"), RDF.type, iri("Sensor")))
+        g.add((iri("s2"), RDF.type, iri("Sensor")))
+        g.add((iri("s1"), iri("inAssembly"), iri("a1")))
+        g.add((iri("s2"), iri("inAssembly"), iri("a2")))
+        g.add((iri("s1"), iri("hasValue"), Literal("95", XSD.integer)))
+        g.add((iri("s2"), iri("hasValue"), Literal("50", XSD.integer)))
+        return g
+
+    def test_single_atom(self):
+        q = ConjunctiveQuery((x,), (ClassAtom(iri("Sensor"), x),))
+        assert evaluate_cq(self.graph(), q) == {(iri("s1"),), (iri("s2"),)}
+
+    def test_join(self):
+        q = ConjunctiveQuery(
+            (x, y),
+            (ClassAtom(iri("Sensor"), x), PropertyAtom(iri("inAssembly"), x, y)),
+        )
+        assert evaluate_cq(self.graph(), q) == {
+            (iri("s1"), iri("a1")),
+            (iri("s2"), iri("a2")),
+        }
+
+    def test_constant_in_atom(self):
+        q = ConjunctiveQuery(
+            (x,), (PropertyAtom(iri("inAssembly"), x, iri("a1")),)
+        )
+        assert evaluate_cq(self.graph(), q) == {(iri("s1"),)}
+
+    def test_filter_applied(self):
+        q = ConjunctiveQuery(
+            (x,),
+            (PropertyAtom(iri("hasValue"), x, y),),
+            (Filter(">", y, Literal("60", XSD.integer)),),
+        )
+        assert evaluate_cq(self.graph(), q) == {(iri("s1"),)}
+
+    def test_repeated_variable(self):
+        g = Graph()
+        g.add((iri("n1"), iri("p"), iri("n1")))
+        g.add((iri("n1"), iri("p"), iri("n2")))
+        q = ConjunctiveQuery((x,), (PropertyAtom(iri("p"), x, x),))
+        assert evaluate_cq(g, q) == {(iri("n1"),)}
+
+    def test_empty_result(self):
+        q = ConjunctiveQuery((x,), (ClassAtom(iri("Missing"), x),))
+        assert evaluate_cq(self.graph(), q) == set()
+
+    def test_ucq_union(self):
+        q1 = ConjunctiveQuery((x,), (ClassAtom(iri("Sensor"), x),))
+        q2 = ConjunctiveQuery(
+            (x,), (PropertyAtom(iri("inAssembly"), x, iri("a1")),)
+        )
+        u = UnionOfConjunctiveQueries((q1, q2))
+        assert evaluate_ucq(self.graph(), u) == {(iri("s1"),), (iri("s2"),)}
+
+
+class TestContainment:
+    def test_identity(self):
+        q = ConjunctiveQuery((x,), (ClassAtom(iri("C"), x),))
+        assert is_contained_in(q, q)
+
+    def test_more_atoms_contained_in_fewer(self):
+        general = ConjunctiveQuery((x,), (PropertyAtom(iri("p"), x, y),))
+        specific = ConjunctiveQuery(
+            (x,),
+            (PropertyAtom(iri("p"), x, y), ClassAtom(iri("C"), x)),
+        )
+        assert is_contained_in(specific, general)
+        assert not is_contained_in(general, specific)
+
+    def test_constant_specialisation(self):
+        general = ConjunctiveQuery((x,), (PropertyAtom(iri("p"), x, y),))
+        specific = ConjunctiveQuery(
+            (x,), (PropertyAtom(iri("p"), x, iri("a")),)
+        )
+        assert is_contained_in(specific, general)
+        assert not is_contained_in(general, specific)
+
+    def test_homomorphism_respects_head(self):
+        q1 = ConjunctiveQuery((x,), (PropertyAtom(iri("p"), x, y),))
+        q2 = ConjunctiveQuery((y,), (PropertyAtom(iri("p"), x, y),))
+        # q1 answers first positions, q2 second positions
+        assert find_homomorphism(q1, q2) is None
+
+    def test_filters_checked_conservatively(self):
+        no_filter = ConjunctiveQuery((x,), (PropertyAtom(iri("p"), x, y),))
+        with_filter = ConjunctiveQuery(
+            (x,),
+            (PropertyAtom(iri("p"), x, y),),
+            (Filter(">", y, Literal("3", XSD.integer)),),
+        )
+        assert is_contained_in(with_filter, no_filter)
+        assert not is_contained_in(no_filter, with_filter)
+
+    def test_minimize_removes_duplicates_and_redundant(self):
+        q1 = ConjunctiveQuery((x,), (PropertyAtom(iri("p"), x, y),))
+        q1_renamed = ConjunctiveQuery((z,), (PropertyAtom(iri("p"), z, w),))
+        q2 = ConjunctiveQuery(
+            (x,),
+            (PropertyAtom(iri("p"), x, y), ClassAtom(iri("C"), x)),
+        )
+        result = minimize_ucq(UnionOfConjunctiveQueries((q2, q1, q1_renamed)))
+        assert len(result) == 1
+        assert len(result.disjuncts[0].atoms) == 1
+
+    def test_minimize_keeps_incomparable(self):
+        q1 = ConjunctiveQuery((x,), (ClassAtom(iri("A"), x),))
+        q2 = ConjunctiveQuery((x,), (ClassAtom(iri("B"), x),))
+        result = minimize_ucq(UnionOfConjunctiveQueries((q1, q2)))
+        assert len(result) == 2

@@ -1,0 +1,146 @@
+"""Unit and property tests for the indexed RDF graph."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rdf import IRI, Graph, Literal, Variable
+
+
+S = [IRI(f"urn:s{i}") for i in range(4)]
+P = [IRI(f"urn:p{i}") for i in range(3)]
+O = [IRI(f"urn:o{i}") for i in range(4)]
+
+
+def small_graph():
+    g = Graph()
+    g.add((S[0], P[0], O[0]))
+    g.add((S[0], P[0], O[1]))
+    g.add((S[0], P[1], O[0]))
+    g.add((S[1], P[0], O[0]))
+    return g
+
+
+class TestGraphBasics:
+    def test_len_and_contains(self):
+        g = small_graph()
+        assert len(g) == 4
+        assert (S[0], P[0], O[0]) in g
+        assert (S[3], P[0], O[0]) not in g
+
+    def test_duplicate_add_ignored(self):
+        g = small_graph()
+        g.add((S[0], P[0], O[0]))
+        assert len(g) == 4
+
+    def test_discard(self):
+        g = small_graph()
+        g.discard((S[0], P[0], O[0]))
+        assert len(g) == 3
+        assert (S[0], P[0], O[0]) not in g
+        assert list(g.triples(S[0], P[0], O[0])) == []
+
+    def test_discard_absent_is_noop(self):
+        g = small_graph()
+        g.discard((S[3], P[2], O[3]))
+        assert len(g) == 4
+
+    def test_non_ground_add_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add((Variable("x"), P[0], O[0]))
+
+    def test_union_operator(self):
+        g1 = Graph([(S[0], P[0], O[0])])
+        g2 = Graph([(S[1], P[0], O[0])])
+        merged = g1 | g2
+        assert len(merged) == 2
+        assert len(g1) == 1  # unchanged
+
+
+class TestPatternMatching:
+    def test_fully_bound(self):
+        g = small_graph()
+        assert len(list(g.triples(S[0], P[0], O[0]))) == 1
+
+    def test_sp_pattern(self):
+        g = small_graph()
+        assert len(list(g.triples(S[0], P[0], None))) == 2
+
+    def test_po_pattern(self):
+        g = small_graph()
+        assert {s for s, _, _ in g.triples(None, P[0], O[0])} == {S[0], S[1]}
+
+    def test_so_pattern(self):
+        g = small_graph()
+        assert len(list(g.triples(S[0], None, O[0]))) == 2
+
+    def test_s_only(self):
+        g = small_graph()
+        assert len(list(g.triples(S[0], None, None))) == 3
+
+    def test_p_only(self):
+        g = small_graph()
+        assert len(list(g.triples(None, P[0], None))) == 3
+
+    def test_o_only(self):
+        g = small_graph()
+        assert len(list(g.triples(None, None, O[0]))) == 3
+
+    def test_all_wildcards(self):
+        g = small_graph()
+        assert len(list(g.triples())) == 4
+
+    def test_variable_treated_as_wildcard(self):
+        g = small_graph()
+        v = Variable("x")
+        assert len(list(g.triples(v, P[0], v))) == 3
+
+    def test_subjects_objects_value(self):
+        g = small_graph()
+        assert set(g.subjects(P[0], O[0])) == {S[0], S[1]}
+        assert set(g.objects(S[0], P[0])) == {O[0], O[1]}
+        assert g.value(S[1], P[0]) == O[0]
+        assert g.value(S[3], P[0]) is None
+
+
+@st.composite
+def triples_strategy(draw):
+    s = draw(st.sampled_from(S))
+    p = draw(st.sampled_from(P))
+    o = draw(st.sampled_from(O))
+    return (s, p, o)
+
+
+class TestGraphProperties:
+    @given(st.lists(triples_strategy(), max_size=40))
+    def test_indexes_agree_with_set_semantics(self, triples):
+        g = Graph(triples)
+        expected = set(triples)
+        assert len(g) == len(expected)
+        assert set(g.triples()) == expected
+        for s, p, o in expected:
+            assert next(g.triples(s, p, o)) == (s, p, o)
+            assert (s, p, o) in set(g.triples(s, None, None))
+            assert (s, p, o) in set(g.triples(None, p, None))
+            assert (s, p, o) in set(g.triples(None, None, o))
+            assert (s, p, o) in set(g.triples(s, p, None))
+            assert (s, p, o) in set(g.triples(None, p, o))
+            assert (s, p, o) in set(g.triples(s, None, o))
+
+    @given(st.lists(triples_strategy(), max_size=30), st.lists(triples_strategy(), max_size=10))
+    def test_discard_inverse_of_add(self, base, removed):
+        g = Graph(base)
+        for t in removed:
+            g.discard(t)
+        expected = set(base) - set(removed)
+        assert set(g.triples()) == expected
+        # every index stays consistent after removal
+        for t in removed:
+            assert list(g.triples(*t)) == []
+
+    @given(st.lists(triples_strategy(), max_size=30))
+    def test_copy_independent(self, triples):
+        g = Graph(triples)
+        c = g.copy()
+        c.add((S[0], P[0], IRI("urn:extra")))
+        assert len(c) == len(g) + (1 if (S[0], P[0], IRI("urn:extra")) not in set(triples) else 0)

@@ -1,0 +1,155 @@
+"""Unit tests for RDF terms and namespaces."""
+
+import datetime
+
+import pytest
+
+from repro.rdf import (
+    IRI,
+    OWL,
+    RDF,
+    XSD,
+    BlankNode,
+    Literal,
+    Namespace,
+    PrefixMap,
+    Variable,
+    term_from_python,
+)
+
+
+class TestIRI:
+    def test_local_name_hash(self):
+        assert IRI("http://ex.org/onto#Turbine").local_name == "Turbine"
+
+    def test_local_name_slash(self):
+        assert IRI("http://ex.org/data/t1").local_name == "t1"
+
+    def test_namespace(self):
+        assert IRI("http://ex.org/onto#Turbine").namespace == "http://ex.org/onto#"
+
+    def test_n3(self):
+        assert IRI("urn:x").n3() == "<urn:x>"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            IRI("")
+
+    def test_equality_and_hash(self):
+        assert IRI("urn:a") == IRI("urn:a")
+        assert hash(IRI("urn:a")) == hash(IRI("urn:a"))
+        assert IRI("urn:a") != IRI("urn:b")
+
+    def test_is_ground(self):
+        assert IRI("urn:a").is_ground()
+
+
+class TestLiteral:
+    def test_integer_roundtrip(self):
+        assert Literal("42", XSD.integer).to_python() == 42
+
+    def test_double_roundtrip(self):
+        assert Literal("1.5", XSD.double).to_python() == 1.5
+
+    def test_boolean_roundtrip(self):
+        assert Literal("true", XSD.boolean).to_python() is True
+        assert Literal("false", XSD.boolean).to_python() is False
+
+    def test_datetime_roundtrip(self):
+        dt = datetime.datetime(2011, 6, 1, 12, 30)
+        lit = Literal(dt.isoformat(), XSD.dateTime)
+        assert lit.to_python() == dt
+
+    def test_n3_plain_string(self):
+        assert Literal("abc").n3() == '"abc"'
+
+    def test_n3_typed(self):
+        assert "^^" in Literal("42", XSD.integer).n3()
+
+    def test_n3_escaping(self):
+        assert Literal('say "hi"').n3() == '"say \\"hi\\""'
+
+    def test_language_tag(self):
+        assert Literal("Turbine", language="en").n3() == '"Turbine"@en'
+
+
+class TestVariable:
+    def test_n3(self):
+        assert Variable("x").n3() == "?x"
+
+    def test_not_ground(self):
+        assert not Variable("x").is_ground()
+
+    def test_rejects_question_mark(self):
+        with pytest.raises(ValueError):
+            Variable("?x")
+
+
+class TestBlankNode:
+    def test_n3(self):
+        assert BlankNode("b0").n3() == "_:b0"
+
+
+class TestTermFromPython:
+    def test_int(self):
+        assert term_from_python(3) == Literal("3", XSD.integer)
+
+    def test_bool_before_int(self):
+        assert term_from_python(True) == Literal("true", XSD.boolean)
+
+    def test_float(self):
+        assert term_from_python(2.5).datatype == XSD.double
+
+    def test_str(self):
+        assert term_from_python("x") == Literal("x", XSD.string)
+
+    def test_passthrough(self):
+        iri = IRI("urn:a")
+        assert term_from_python(iri) is iri
+
+    def test_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            term_from_python(object())
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        ns = Namespace("http://ex.org#")
+        assert ns.Turbine == IRI("http://ex.org#Turbine")
+
+    def test_item_access(self):
+        ns = Namespace("http://ex.org#")
+        assert ns["has-value"] == IRI("http://ex.org#has-value")
+
+    def test_contains(self):
+        ns = Namespace("http://ex.org#")
+        assert ns.Turbine in ns
+        assert IRI("urn:other") not in ns
+
+    def test_wellknown(self):
+        assert RDF.type.value.endswith("#type")
+        assert OWL.Thing.local_name == "Thing"
+
+
+class TestPrefixMap:
+    def test_expand(self):
+        pm = PrefixMap()
+        pm.bind("sie", "http://siemens.com#")
+        assert pm.expand("sie:Turbine") == IRI("http://siemens.com#Turbine")
+
+    def test_expand_unbound_raises(self):
+        with pytest.raises(KeyError):
+            PrefixMap().expand("nope:X")
+
+    def test_shrink(self):
+        pm = PrefixMap()
+        pm.bind("sie", "http://siemens.com#")
+        assert pm.shrink(IRI("http://siemens.com#Turbine")) == "sie:Turbine"
+
+    def test_shrink_falls_back_to_n3(self):
+        pm = PrefixMap()
+        assert pm.shrink(IRI("urn:zzz")) == "<urn:zzz>"
+
+    def test_default_bindings(self):
+        pm = PrefixMap()
+        assert pm.expand("rdf:type") == RDF.type

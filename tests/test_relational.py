@@ -1,0 +1,111 @@
+"""Tests for the relational schema model and SQLite-backed database."""
+
+import pytest
+
+from repro.relational import Column, Database, ForeignKey, Schema, SQLType, Table
+
+
+def plant_schema():
+    schema = Schema("plant")
+    schema.add(
+        Table(
+            "country",
+            [Column("cid", SQLType.INTEGER), Column("name", SQLType.TEXT)],
+            primary_key=("cid",),
+        )
+    )
+    schema.add(
+        Table(
+            "turbine",
+            [
+                Column("tid", SQLType.INTEGER),
+                Column("model", SQLType.TEXT),
+                Column("cid", SQLType.INTEGER),
+            ],
+            primary_key=("tid",),
+            foreign_keys=[ForeignKey(("cid",), "country", ("cid",))],
+        )
+    )
+    return schema
+
+
+class TestSchema:
+    def test_duplicate_table_rejected(self):
+        schema = plant_schema()
+        with pytest.raises(ValueError):
+            schema.add(Table("turbine", [Column("x")]))
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", [Column("a"), Column("a")])
+
+    def test_pk_must_exist(self):
+        with pytest.raises(ValueError):
+            Table("t", [Column("a")], primary_key=("b",))
+
+    def test_fk_column_must_exist(self):
+        with pytest.raises(ValueError):
+            Table(
+                "t",
+                [Column("a")],
+                foreign_keys=[ForeignKey(("b",), "x", ("y",))],
+            )
+
+    def test_fk_arity_checked(self):
+        with pytest.raises(ValueError):
+            ForeignKey(("a", "b"), "x", ("y",))
+
+    def test_lookup_helpers(self):
+        schema = plant_schema()
+        turbine = schema["turbine"]
+        assert turbine.column("model").type == SQLType.TEXT
+        assert turbine.has_column("cid")
+        assert not turbine.has_column("nope")
+        with pytest.raises(KeyError):
+            turbine.column("nope")
+        assert [c.name for c in turbine.non_key_columns()] == ["model"]
+
+    def test_referencing_tables(self):
+        schema = plant_schema()
+        refs = schema.referencing_tables("country")
+        assert len(refs) == 1 and refs[0][0].name == "turbine"
+
+    def test_ddl_contains_constraints(self):
+        ddl = plant_schema().ddl()
+        assert "PRIMARY KEY (tid)" in ddl
+        assert "FOREIGN KEY (cid) REFERENCES country(cid)" in ddl
+
+
+class TestDatabase:
+    def test_create_insert_query(self):
+        db = Database(plant_schema())
+        db.insert("country", [(1, "Germany"), (2, "Norway")])
+        db.insert("turbine", [(10, "SGT-400", 1), (11, "SGT-800", 2)])
+        assert db.row_count("turbine") == 2
+        rows = db.query(
+            "SELECT t.model, c.name FROM turbine t JOIN country c ON t.cid = c.cid "
+            "ORDER BY t.tid"
+        )
+        assert rows == [("SGT-400", "Germany"), ("SGT-800", "Norway")]
+
+    def test_insert_dicts_fills_missing_with_null(self):
+        db = Database(plant_schema())
+        db.insert_dicts("country", [{"cid": 1}])
+        assert db.query("SELECT name FROM country") == [(None,)]
+
+    def test_query_with_names(self):
+        db = Database(plant_schema())
+        db.insert("country", [(1, "Germany")])
+        names, rows = db.query_with_names("SELECT cid AS c, name FROM country")
+        assert names == ["c", "name"]
+        assert rows == [(1, "Germany")]
+
+    def test_distinct_values(self):
+        db = Database(plant_schema())
+        db.insert("country", [(1, "A"), (2, "A"), (3, None)])
+        assert db.distinct_values("country", "name") == ["A"]
+
+    def test_context_manager(self):
+        with Database(plant_schema()) as db:
+            db.insert("country", [(1, "X")])
+            assert db.row_count("country") == 1

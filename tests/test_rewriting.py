@@ -1,0 +1,321 @@
+"""Tests for PerfectRef enrichment, including a semantic property test.
+
+The property test cross-checks the rewriting against a materialisation
+reference: for TBoxes without existential-generating axioms, evaluating
+the original query over the saturated ABox must equal evaluating the
+rewritten UCQ over the raw ABox (soundness + completeness of
+enrichment).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ontology import (
+    AtomicClass,
+    Existential,
+    Ontology,
+    Role,
+    SubClassOf,
+    SubPropertyOf,
+)
+from repro.queries import (
+    ClassAtom,
+    ConjunctiveQuery,
+    PropertyAtom,
+    UnionOfConjunctiveQueries,
+    evaluate_cq,
+    evaluate_ucq,
+)
+from repro.rdf import IRI, RDF, Graph, Variable
+from repro.rewriting import PerfectRef
+
+
+NS = "urn:r#"
+
+
+def iri(name):
+    return IRI(NS + name)
+
+
+def cls(name):
+    return AtomicClass(iri(name))
+
+
+def role(name, inv=False):
+    return Role(iri(name), inv)
+
+
+x, y, w = Variable("x"), Variable("y"), Variable("w")
+
+
+def shapes(ucq):
+    """Readable disjunct shapes for assertions."""
+    out = set()
+    for q in ucq:
+        out.add(
+            tuple(
+                sorted(
+                    (a.predicate.local_name, len(a.args)) for a in q.atoms
+                )
+            )
+        )
+    return out
+
+
+class TestClassHierarchy:
+    def test_subclass_disjunct_added(self):
+        onto = Ontology()
+        onto.add(SubClassOf(cls("GasTurbine"), cls("Turbine")))
+        q = ConjunctiveQuery((x,), (ClassAtom(iri("Turbine"), x),))
+        ucq = PerfectRef(onto).rewrite(q)
+        assert shapes(ucq) == {(("Turbine", 1),), (("GasTurbine", 1),)}
+
+    def test_chain_of_subclasses(self):
+        onto = Ontology()
+        onto.add(SubClassOf(cls("A"), cls("B")))
+        onto.add(SubClassOf(cls("B"), cls("C")))
+        q = ConjunctiveQuery((x,), (ClassAtom(iri("C"), x),))
+        assert len(PerfectRef(onto).rewrite(q)) == 3
+
+    def test_unrelated_axioms_ignored(self):
+        onto = Ontology()
+        onto.add(SubClassOf(cls("D"), cls("E")))
+        q = ConjunctiveQuery((x,), (ClassAtom(iri("C"), x),))
+        assert len(PerfectRef(onto).rewrite(q)) == 1
+
+
+class TestDomainRange:
+    def test_domain_rewrites_class_atom(self):
+        onto = Ontology()
+        onto.add(SubClassOf(Existential(role("inAssembly")), cls("Sensor")))
+        q = ConjunctiveQuery((x,), (ClassAtom(iri("Sensor"), x),))
+        ucq = PerfectRef(onto).rewrite(q)
+        assert (("inAssembly", 2),) in shapes(ucq)
+
+    def test_range_rewrites_class_atom(self):
+        onto = Ontology()
+        onto.add(SubClassOf(Existential(role("inAssembly", True)), cls("Assembly")))
+        q = ConjunctiveQuery((x,), (ClassAtom(iri("Assembly"), x),))
+        ucq = PerfectRef(onto).rewrite(q)
+        assert (("inAssembly", 2),) in shapes(ucq)
+        # the variable must land in object position
+        prop_disjunct = next(
+            d for d in ucq if d.atoms[0].predicate == iri("inAssembly")
+        )
+        assert prop_disjunct.atoms[0].args[1] == x
+
+    def test_exists_axiom_applies_only_with_unbound_object(self):
+        onto = Ontology()
+        onto.add(SubClassOf(cls("Turbine"), Existential(role("hasPart"))))
+        bound = ConjunctiveQuery((x, y), (PropertyAtom(iri("hasPart"), x, y),))
+        assert len(PerfectRef(onto).rewrite(bound)) == 1
+        unbound = ConjunctiveQuery((x,), (PropertyAtom(iri("hasPart"), x, y),))
+        ucq = PerfectRef(onto).rewrite(unbound)
+        assert (("Turbine", 1),) in shapes(ucq)
+
+
+class TestRoleInclusions:
+    def test_direct(self):
+        onto = Ontology()
+        onto.add(SubPropertyOf(role("hasMainSensor"), role("hasSensor")))
+        q = ConjunctiveQuery((x, y), (PropertyAtom(iri("hasSensor"), x, y),))
+        ucq = PerfectRef(onto).rewrite(q)
+        assert (("hasMainSensor", 2),) in shapes(ucq)
+
+    def test_inverse_swaps_arguments(self):
+        onto = Ontology()
+        onto.add(SubPropertyOf(role("partOf"), role("hasPart", True)))
+        q = ConjunctiveQuery((x, y), (PropertyAtom(iri("hasPart"), x, y),))
+        ucq = PerfectRef(onto).rewrite(q)
+        swapped = next(
+            d for d in ucq if d.atoms[0].predicate == iri("partOf")
+        )
+        assert swapped.atoms[0].args == (y, x)
+
+
+class TestReductionStep:
+    def test_reduce_enables_existential_axiom(self):
+        onto = Ontology()
+        onto.add(SubClassOf(cls("A"), Existential(role("P"))))
+        q = ConjunctiveQuery(
+            (x,),
+            (PropertyAtom(iri("P"), x, y), PropertyAtom(iri("P"), x, w)),
+        )
+        ucq = PerfectRef(onto).rewrite(q)
+        assert (("A", 1),) in shapes(ucq)
+
+    def test_qualified_existential_rhs(self):
+        onto = Ontology()
+        onto.add(
+            SubClassOf(cls("Turbine"), Existential(role("hasPart"), cls("Assembly")))
+        )
+        # everything with a part that is an assembly — turbines qualify
+        q = ConjunctiveQuery(
+            (x,),
+            (PropertyAtom(iri("hasPart"), x, y), ClassAtom(iri("Assembly"), y)),
+        )
+        ucq = PerfectRef(onto).rewrite(q)
+        assert (("Turbine", 1),) in shapes(ucq)
+
+
+class TestFiltersAndStats:
+    def test_filters_preserved(self):
+        onto = Ontology()
+        onto.add(SubClassOf(cls("A"), cls("B")))
+        from repro.queries import Filter
+        from repro.rdf import Literal, XSD
+
+        q = ConjunctiveQuery(
+            (x, y),
+            (ClassAtom(iri("B"), x), PropertyAtom(iri("v"), x, y)),
+            (Filter(">", y, Literal("5", XSD.integer)),),
+        )
+        ucq = PerfectRef(onto).rewrite(q)
+        assert all(len(d.filters) == 1 for d in ucq)
+
+    def test_stats_populated(self):
+        onto = Ontology()
+        onto.add(SubClassOf(cls("A"), cls("B")))
+        engine = PerfectRef(onto)
+        engine.rewrite(ConjunctiveQuery((x,), (ClassAtom(iri("B"), x),)))
+        assert engine.stats.generated >= 2
+        assert engine.stats.final_size == 2
+
+    def test_max_queries_guard(self):
+        onto = Ontology()
+        for i in range(30):
+            onto.add(SubClassOf(cls(f"C{i}"), cls("Top")))
+        engine = PerfectRef(onto, max_queries=5)
+        with pytest.raises(RuntimeError):
+            engine.rewrite(ConjunctiveQuery((x,), (ClassAtom(iri("Top"), x),)))
+
+
+# ---------------------------------------------------------------------------
+# Semantic property test: rewriting == materialisation
+# ---------------------------------------------------------------------------
+
+CLASSES = ["A", "B", "C"]
+ROLES = ["p", "q"]
+INDIVIDUALS = [iri(f"i{k}") for k in range(4)]
+
+
+def saturate(graph, onto):
+    """Materialise all TBox consequences on named individuals."""
+    changed = True
+    while changed:
+        changed = False
+        additions = []
+        for axiom in onto.class_inclusions:
+            sub, sup = axiom.sub, axiom.sup
+            if isinstance(sup, Existential):
+                continue  # existential heads create no named facts
+            matches = []
+            if isinstance(sub, AtomicClass):
+                matches = [s for s, _, _ in graph.triples(None, RDF.type, sub.iri)]
+            elif isinstance(sub, Existential) and sub.filler is None:
+                prop = sub.property
+                if prop.inverse:
+                    matches = [o for _, _, o in graph.triples(None, prop.iri, None)]
+                else:
+                    matches = [s for s, _, _ in graph.triples(None, prop.iri, None)]
+            for node in matches:
+                triple = (node, RDF.type, sup.iri)
+                if triple not in graph:
+                    additions.append(triple)
+        for axiom in onto.property_inclusions:
+            sub, sup = axiom.sub, axiom.sup
+            for s, _, o in graph.triples(None, sub.iri, None):
+                pair = (o, s) if sub.inverse else (s, o)
+                if sup.inverse:
+                    pair = (pair[1], pair[0])
+                triple = (pair[0], sup.iri, pair[1])
+                if triple not in graph:
+                    additions.append(triple)
+        for triple in additions:
+            graph.add(triple)
+            changed = True
+    return graph
+
+
+@st.composite
+def safe_tbox(draw):
+    """TBoxes whose chase needs no fresh individuals."""
+    onto = Ontology()
+    n = draw(st.integers(0, 6))
+    for _ in range(n):
+        kind = draw(st.sampled_from(["cc", "dom", "rng", "rr", "rr_inv"]))
+        if kind == "cc":
+            a, b = draw(st.sampled_from(CLASSES)), draw(st.sampled_from(CLASSES))
+            onto.add(SubClassOf(cls(a), cls(b)))
+        elif kind == "dom":
+            p, a = draw(st.sampled_from(ROLES)), draw(st.sampled_from(CLASSES))
+            onto.add(SubClassOf(Existential(role(p)), cls(a)))
+        elif kind == "rng":
+            p, a = draw(st.sampled_from(ROLES)), draw(st.sampled_from(CLASSES))
+            onto.add(SubClassOf(Existential(role(p, True)), cls(a)))
+        elif kind == "rr":
+            p, q = draw(st.sampled_from(ROLES)), draw(st.sampled_from(ROLES))
+            onto.add(SubPropertyOf(role(p), role(q)))
+        else:
+            p, q = draw(st.sampled_from(ROLES)), draw(st.sampled_from(ROLES))
+            onto.add(SubPropertyOf(role(p), role(q, True)))
+    return onto
+
+
+@st.composite
+def random_abox(draw):
+    g = Graph()
+    for _ in range(draw(st.integers(0, 10))):
+        if draw(st.booleans()):
+            g.add(
+                (
+                    draw(st.sampled_from(INDIVIDUALS)),
+                    RDF.type,
+                    iri(draw(st.sampled_from(CLASSES))),
+                )
+            )
+        else:
+            g.add(
+                (
+                    draw(st.sampled_from(INDIVIDUALS)),
+                    iri(draw(st.sampled_from(ROLES))),
+                    draw(st.sampled_from(INDIVIDUALS)),
+                )
+            )
+    return g
+
+
+@st.composite
+def random_query(draw):
+    n_atoms = draw(st.integers(1, 3))
+    variables = [Variable(f"v{k}") for k in range(3)]
+    atoms = []
+    for _ in range(n_atoms):
+        if draw(st.booleans()):
+            atoms.append(
+                ClassAtom(
+                    iri(draw(st.sampled_from(CLASSES))),
+                    draw(st.sampled_from(variables)),
+                )
+            )
+        else:
+            atoms.append(
+                PropertyAtom(
+                    iri(draw(st.sampled_from(ROLES))),
+                    draw(st.sampled_from(variables)),
+                    draw(st.sampled_from(variables)),
+                )
+            )
+    body_vars = sorted({v for a in atoms for v in a.variables()}, key=str)
+    head_size = draw(st.integers(1, len(body_vars)))
+    return ConjunctiveQuery(tuple(body_vars[:head_size]), tuple(atoms))
+
+
+class TestRewritingSemantics:
+    @settings(max_examples=60, deadline=None)
+    @given(safe_tbox(), random_abox(), random_query())
+    def test_rewriting_equals_materialisation(self, onto, graph, query):
+        certain = evaluate_cq(saturate(graph.copy(), onto), query)
+        rewritten = PerfectRef(onto).rewrite(query)
+        via_rewriting = evaluate_ucq(graph, rewritten)
+        assert via_rewriting == certain

@@ -1,0 +1,156 @@
+"""Tests for T-mappings (mapping saturation) and the residual ontology."""
+
+import pytest
+
+from repro.mappings import (
+    ColumnSpec,
+    MappingAssertion,
+    MappingCollection,
+    Template,
+    TemplateSpec,
+)
+from repro.mappings.saturation import existential_subontology, saturate_mappings
+from repro.ontology import (
+    AtomicClass,
+    Existential,
+    Ontology,
+    Role,
+    SubClassOf,
+    SubPropertyOf,
+)
+from repro.rdf import IRI, Namespace, XSD
+
+NS = Namespace("urn:sat#")
+T = Template("urn:data/{id}")
+
+
+def base_mappings():
+    mc = MappingCollection()
+    mc.add(MappingAssertion.for_class(
+        NS.GasTurbine, TemplateSpec(T),
+        "SELECT id FROM turbines WHERE kind = 'gas'", source_name="db"))
+    mc.add(MappingAssertion.for_property(
+        NS.hasMainSensor, TemplateSpec(T), TemplateSpec(Template("urn:s/{sid}")),
+        "SELECT id, sid FROM sensors WHERE main = 1", source_name="db"))
+    return mc
+
+
+class TestSaturation:
+    def test_subclass_mapping_copied_up(self):
+        onto = Ontology()
+        onto.add(SubClassOf(AtomicClass(NS.GasTurbine), AtomicClass(NS.Turbine)))
+        saturated = saturate_mappings(base_mappings(), onto)
+        assert saturated.for_predicate(NS.Turbine)
+
+    def test_domain_projection(self):
+        onto = Ontology()
+        onto.add(SubClassOf(Existential(Role(NS.hasMainSensor)), AtomicClass(NS.Turbine)))
+        saturated = saturate_mappings(base_mappings(), onto)
+        turbine_maps = saturated.for_predicate(NS.Turbine)
+        assert turbine_maps and turbine_maps[0].is_class_mapping
+        assert isinstance(turbine_maps[0].subject, TemplateSpec)
+
+    def test_range_projection(self):
+        onto = Ontology()
+        onto.add(SubClassOf(
+            Existential(Role(NS.hasMainSensor, inverse=True)),
+            AtomicClass(NS.Sensor)))
+        saturated = saturate_mappings(base_mappings(), onto)
+        sensor_maps = saturated.for_predicate(NS.Sensor)
+        assert sensor_maps
+        # the subject is the *object* template of the property mapping
+        assert sensor_maps[0].subject.template.pattern == "urn:s/{sid}"
+
+    def test_literal_object_not_projected_to_class(self):
+        mc = MappingCollection()
+        mc.add(MappingAssertion.for_property(
+            NS.hasValue, TemplateSpec(T), ColumnSpec("v", XSD.double),
+            "SELECT id, v FROM m", source_name="db", is_stream=True))
+        onto = Ontology()
+        onto.add(SubClassOf(
+            Existential(Role(NS.hasValue, inverse=True)), AtomicClass(NS.Value)))
+        saturated = saturate_mappings(mc, onto)
+        assert not saturated.for_predicate(NS.Value)
+
+    def test_role_hierarchy_with_inverse(self):
+        onto = Ontology()
+        onto.add(SubPropertyOf(Role(NS.hasMainSensor), Role(NS.sensorOf, True)))
+        saturated = saturate_mappings(base_mappings(), onto)
+        inv_maps = saturated.for_predicate(NS.sensorOf)
+        assert inv_maps
+        # arguments swapped: subject is now the sensor template
+        assert inv_maps[0].subject.template.pattern == "urn:s/{sid}"
+
+    def test_identity_on_empty_tbox(self):
+        mc = base_mappings()
+        saturated = saturate_mappings(mc, Ontology())
+        assert len(saturated) == len(mc)
+
+    def test_pruning_removes_contained_mapping(self):
+        mc = base_mappings()
+        # a redundant specialisation of the GasTurbine mapping
+        mc.add(MappingAssertion.for_class(
+            NS.GasTurbine, TemplateSpec(T),
+            "SELECT id FROM turbines WHERE kind = 'gas' AND year > 2000",
+            source_name="db"))
+        saturated = saturate_mappings(mc, Ontology())
+        assert len(saturated.for_predicate(NS.GasTurbine)) == 1
+
+    def test_pruning_keeps_incomparable_mappings(self):
+        mc = base_mappings()
+        mc.add(MappingAssertion.for_class(
+            NS.GasTurbine, TemplateSpec(T),
+            "SELECT id FROM legacy_turbines WHERE type = 'GT'",
+            source_name="db"))
+        saturated = saturate_mappings(mc, Ontology())
+        assert len(saturated.for_predicate(NS.GasTurbine)) == 2
+
+    def test_saturation_answers_match_rewriting(self):
+        """Saturated unfolding == full PerfectRef unfolding (same answers)."""
+        import sqlite3
+
+        from repro.mappings import Unfolder
+        from repro.queries import ClassAtom, ConjunctiveQuery, UnionOfConjunctiveQueries
+        from repro.rdf import Variable
+        from repro.rewriting import PerfectRef
+
+        onto = Ontology()
+        onto.add(SubClassOf(AtomicClass(NS.GasTurbine), AtomicClass(NS.Turbine)))
+        onto.add(SubClassOf(
+            Existential(Role(NS.hasMainSensor)), AtomicClass(NS.Turbine)))
+        mc = base_mappings()
+
+        conn = sqlite3.connect(":memory:")
+        conn.execute("CREATE TABLE turbines (id INTEGER, kind TEXT)")
+        conn.execute("CREATE TABLE sensors (id INTEGER, sid INTEGER, main INTEGER)")
+        conn.executemany("INSERT INTO turbines VALUES (?, ?)",
+                         [(1, "gas"), (2, "steam")])
+        conn.executemany("INSERT INTO sensors VALUES (?, ?, ?)",
+                         [(2, 10, 1), (3, 11, 0)])
+
+        x = Variable("x")
+        q = ConjunctiveQuery((x,), (ClassAtom(NS.Turbine, x),))
+
+        # path A: full rewriting over raw mappings
+        ucq = PerfectRef(onto).rewrite(q)
+        sql_a = Unfolder(mc).unfold(ucq).sql()
+        # path B: trivial rewriting over saturated mappings
+        residual = existential_subontology(onto)
+        ucq_b = PerfectRef(residual).rewrite(q)
+        sql_b = Unfolder(saturate_mappings(mc, onto)).unfold(ucq_b).sql()
+
+        rows_a = set(conn.execute(sql_a).fetchall())
+        rows_b = set(conn.execute(sql_b).fetchall())
+        assert rows_a == rows_b == {("urn:data/1",), ("urn:data/2",)}
+
+
+class TestResidualOntology:
+    def test_keeps_only_existential_rhs(self):
+        onto = Ontology()
+        onto.add(SubClassOf(AtomicClass(NS.A), AtomicClass(NS.B)))
+        onto.add(SubClassOf(AtomicClass(NS.A), Existential(Role(NS.p))))
+        onto.add(SubPropertyOf(Role(NS.p), Role(NS.q)))
+        residual = existential_subontology(onto)
+        assert len(residual.class_inclusions) == 1
+        assert isinstance(residual.class_inclusions[0].sup, Existential)
+        assert len(residual.property_inclusions) == 1

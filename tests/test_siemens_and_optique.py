@@ -1,0 +1,203 @@
+"""Integration tests: the Siemens scenario and the OPTIQUE platform facade."""
+
+import pytest
+
+from repro.optique import OptiquePlatform
+from repro.rdf import Namespace
+from repro.siemens import (
+    Dashboard,
+    FleetConfig,
+    SIE,
+    build_siemens_mappings,
+    build_siemens_ontology,
+    deploy,
+    diagnostic_catalog,
+    generate_fleet,
+)
+from repro.ontology import check_owl2ql
+
+
+@pytest.fixture(scope="module")
+def small_fleet():
+    return generate_fleet(FleetConfig(turbines=4, plants=2, correlated_pairs=2))
+
+
+@pytest.fixture(scope="module")
+def deployment(small_fleet):
+    return deploy(fleet=small_fleet, stream_duration=25)
+
+
+class TestSiemensOntology:
+    def test_hundreds_of_terms(self):
+        onto = build_siemens_ontology()
+        assert onto.term_count() >= 150
+        assert len(onto.axioms) >= 150
+
+    def test_profile_conformant(self):
+        assert check_owl2ql(build_siemens_ontology()).conformant
+
+    def test_hierarchies_present(self):
+        from repro.ontology import AtomicClass, Reasoner
+
+        r = Reasoner(build_siemens_ontology())
+        assert r.is_subclass_of(
+            AtomicClass(SIE.HeavyDutyGasTurbine), AtomicClass(SIE.Turbine)
+        )
+        assert r.is_subclass_of(
+            AtomicClass(SIE.AnalogTemperatureSensor), AtomicClass(SIE.Sensor)
+        )
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_fleet(FleetConfig(turbines=3, plants=2))
+        b = generate_fleet(FleetConfig(turbines=3, plants=2))
+        assert a.sensor_ids == b.sensor_ids
+        assert a.ramp_sensors == b.ramp_sensors
+        rows_a = a.measurement_source(a.sensor_ids[:5], duration_seconds=5)
+        rows_b = b.measurement_source(b.sensor_ids[:5], duration_seconds=5)
+        assert list(rows_a) == list(rows_b)
+
+    def test_cardinalities(self, small_fleet):
+        cfg = small_fleet.config
+        assert len(small_fleet.turbine_ids) == cfg.turbines
+        assert len(small_fleet.sensor_ids) == cfg.sensor_count
+        assert small_fleet.plant_db.row_count("sensors") == cfg.sensor_count
+
+    def test_paper_scale_configuration(self):
+        cfg = FleetConfig()
+        assert cfg.turbines == 950
+        assert cfg.sensor_count > 100_000
+
+    def test_ramp_pattern_injected(self, small_fleet):
+        sid = small_fleet.ramp_sensors[0]
+        source = small_fleet.measurement_source(
+            [sid], duration_seconds=25, ramp_start=5, ramp_length=10
+        )
+        rows = list(source)
+        ramp = [r for r in rows if 5 <= r[0] < 15]
+        values = [r[2] for r in ramp]
+        assert values == sorted(values)
+        assert any(r[3] == 1 for r in rows)  # failure flag raised
+
+    def test_correlated_pair(self, small_fleet):
+        from repro.streams import exact_pearson
+
+        a, b = small_fleet.correlated[0]
+        source = small_fleet.measurement_source([a, b], duration_seconds=30)
+        series = {a: [], b: []}
+        for ts, sid, val, _ in source:
+            series[sid].append(val)
+        assert exact_pearson(series[a], series[b]) > 0.95
+
+    def test_event_source(self, small_fleet):
+        events = list(small_fleet.event_source(duration_seconds=60))
+        assert events
+        assert all(e[1] in small_fleet.turbine_ids for e in events)
+
+
+class TestCatalog:
+    def test_twenty_tasks(self):
+        catalog = diagnostic_catalog()
+        assert len(catalog) == 20
+        assert len({t.task_id for t in catalog}) == 20
+        assert len({t.name for t in catalog}) == 20
+
+    def test_all_parse(self):
+        from repro.starql import parse_starql
+
+        for task in diagnostic_catalog():
+            query = parse_starql(task.starql)
+            assert query.windows, task.name
+
+    def test_all_translate_and_register(self, deployment):
+        for task in diagnostic_catalog():
+            registered, translation = deployment.register_task(
+                task.starql, name=f"t{task.task_id}"
+            )
+            assert translation.fleet_size >= 1, task.name
+        assert len(deployment.gateway.queries) == 20
+
+    def test_fig1_task_fires_on_ramp_sensor(self, small_fleet):
+        dep = deploy(fleet=small_fleet, stream_duration=25)
+        task1 = diagnostic_catalog()[0]
+        registered, translation = dep.register_task(task1.starql, name="fig1")
+        dep.run(max_windows=20)
+        alerted = set()
+        for result in registered.results():
+            for row in result.rows:
+                triple = translation.construct.triples_for(row)[0]
+                alerted.add(triple[0].value.rsplit("/", 1)[-1])
+        streamed_ramps = {
+            s for s in small_fleet.ramp_sensors if s in _streamed(dep)
+        }
+        assert streamed_ramps <= alerted
+
+    def test_dashboard_collects(self, small_fleet):
+        dep = deploy(fleet=small_fleet, stream_duration=25)
+        for task in diagnostic_catalog()[:3]:
+            dep.register_task(task.starql, name=f"d{task.task_id}")
+        dash = Dashboard()
+        dep.gateway.run(max_windows=8, on_result=dash.observe)
+        assert len(dash.panels) == 3
+        rendered = dash.render()
+        assert "total alerts" in rendered
+        for panel in dash.panels:
+            assert panel.windows_seen > 0
+
+
+def _streamed(dep):
+    source = dep.engine.stream("S_Msmt")
+    return {row[1] for row in source.take(10_000)}
+
+
+class TestOptiquePlatform:
+    def test_bootstrap_and_query_lifecycle(self, small_fleet):
+        platform = OptiquePlatform()
+        NS = Namespace("http://siemens.com/ontology#")
+        from repro.siemens import plant_schema
+
+        report = platform.bootstrap_from(
+            plant_schema(), small_fleet.plant_db, "plant", NS
+        )
+        assert report.profile_conformant
+        assert platform.ontology.term_count() > 10
+        catalog = platform.provenance()
+        assert len(catalog) == len(platform.mappings)
+
+    def test_curated_deployment_runs_tasks(self, small_fleet):
+        platform = OptiquePlatform(
+            ontology=build_siemens_ontology(),
+            mappings=build_siemens_mappings(),
+        )
+        platform.attach_database("plant", small_fleet.plant_db)
+        platform.register_stream(
+            small_fleet.measurement_source(
+                small_fleet.sensor_ids[:10] + small_fleet.ramp_sensors[:1],
+                duration_seconds=20,
+            )
+        )
+        from repro.siemens.deployment import MONOTONIC_MACRO, FAILURE_MACRO
+
+        platform.register_macro(MONOTONIC_MACRO)
+        platform.register_macro(FAILURE_MACRO)
+        task = platform.register_task(
+            diagnostic_catalog()[0].starql, name="fig1"
+        )
+        platform.run(max_windows=18)
+        assert task.fleet_size >= 1
+        assert platform.dashboard.panel("fig1").windows_seen > 0
+        assert platform.total_fleet_size() >= 1
+        # the ramp sensor raises an alert through the full platform stack
+        alerts = task.alerts()
+        assert any(
+            small_fleet.ramp_sensors[0] in str(t[0]) for t in alerts
+        )
+
+    def test_verify_reports_workload_coverage(self):
+        platform = OptiquePlatform(
+            ontology=build_siemens_ontology(),
+            mappings=build_siemens_mappings(),
+        )
+        report = platform.verify(workload_terms={SIE.hasValue, SIE.Sensor})
+        assert not report.uncovered_workload_terms

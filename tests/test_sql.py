@@ -1,0 +1,159 @@
+"""Tests for the SQL(+) AST, printer and parser."""
+
+import pytest
+
+from repro.sql import (
+    BaseTable,
+    BinOp,
+    Col,
+    Func,
+    Join,
+    Lit,
+    SelectItem,
+    SelectQuery,
+    SQLSyntaxError,
+    Star,
+    SubSelect,
+    TableFunction,
+    UnaryOp,
+    UnionQuery,
+    and_all,
+    col,
+    eq,
+    lit,
+    parse_sql,
+    print_query,
+)
+
+
+class TestASTBasics:
+    def test_lit_rendering(self):
+        assert str(Lit(None)) == "NULL"
+        assert str(Lit(True)) == "TRUE"
+        assert str(Lit("o'brien")) == "'o''brien'"
+        assert str(Lit(3.5)) == "3.5"
+
+    def test_col_rendering(self):
+        assert str(Col("t", "x")) == "t.x"
+        assert str(Col(None, "x")) == "x"
+
+    def test_helpers(self):
+        assert eq(col("a"), lit(1)) == BinOp("=", Col(None, "a"), Lit(1))
+        assert and_all([]) is None
+        combined = and_all([eq(col("a"), lit(1)), eq(col("b"), lit(2))])
+        assert isinstance(combined, BinOp) and combined.op == "AND"
+
+    def test_output_names(self):
+        q = SelectQuery(
+            select=(
+                SelectItem(Col("t", "a"), "x"),
+                SelectItem(Col("t", "b")),
+                SelectItem(Func("COUNT", (Star(),))),
+            ),
+            from_=(BaseTable("t"),),
+        )
+        assert q.output_names() == ["x", "b", "COUNT(*)"]
+
+    def test_union_requires_selects(self):
+        with pytest.raises(ValueError):
+            UnionQuery(())
+
+
+class TestParserRoundTrips:
+    CASES = [
+        "SELECT a FROM t",
+        "SELECT DISTINCT a, b FROM t WHERE (a = 1)",
+        "SELECT t.a AS x FROM t AS u WHERE (u.a > 3.5)",
+        "SELECT a FROM t, s WHERE (t.id = s.id)",
+        "SELECT a FROM t INNER JOIN s ON (t.id = s.id)",
+        "SELECT a FROM t LEFT JOIN s ON (t.id = s.id)",
+        "SELECT COUNT(*) FROM t GROUP BY a HAVING (COUNT(*) > 2)",
+        "SELECT a FROM t ORDER BY a LIMIT 10",
+        "SELECT a FROM t UNION ALL SELECT b FROM s",
+        "SELECT AVG(v) AS m FROM timeSlidingWindow(S_Msmt, 10, 1) GROUP BY window_id",
+        "SELECT * FROM wCache(S_Msmt, window_id)",
+        "SELECT a FROM (SELECT a FROM t) AS sub",
+        "SELECT ('u' || id) AS uri FROM t",
+        "SELECT a FROM t WHERE a IS NULL",
+        "SELECT a FROM t WHERE a IS NOT NULL",
+        "SELECT a FROM t WHERE (name LIKE 'gas%')",
+        "SELECT ((a + b) * 2) FROM t",
+        "SELECT a FROM t WHERE ((a = 1) OR (b = 2))",
+        "SELECT a FROM t WHERE (NOT (a = 1))",
+    ]
+
+    @pytest.mark.parametrize("sql", CASES)
+    def test_round_trip_stable(self, sql):
+        once = print_query(parse_sql(sql))
+        twice = print_query(parse_sql(once))
+        assert once == twice
+
+    def test_where_conjunction_split(self):
+        q = parse_sql("SELECT a FROM t WHERE a = 1 AND b = 2 AND c = 3")
+        assert len(q.where) == 3
+
+    def test_table_function_args(self):
+        q = parse_sql("SELECT * FROM timeSlidingWindow(S_Msmt, 10, 1) AS w")
+        fn = q.from_[0]
+        assert isinstance(fn, TableFunction)
+        assert fn.name == "timeSlidingWindow"
+        assert isinstance(fn.args[0], BaseTable)
+        assert fn.args[1] == Lit(10)
+        assert fn.alias == "w"
+
+    def test_nested_query_in_table_function(self):
+        q = parse_sql(
+            "SELECT * FROM timeSlidingWindow((SELECT ts, v FROM raw), 10, 1)"
+        )
+        fn = q.from_[0]
+        assert isinstance(fn.args[0], SelectQuery)
+
+    def test_aggregates(self):
+        q = parse_sql("SELECT COUNT(DISTINCT a), MIN(b), MAX(b) FROM t")
+        count = q.select[0].expr
+        assert isinstance(count, Func) and count.distinct
+
+    def test_in_list(self):
+        q = parse_sql("SELECT a FROM t WHERE a IN (1, 2, 3)")
+        pred = q.where[0]
+        assert isinstance(pred, Func) and pred.name == "IN_LIST"
+        assert len(pred.args) == 4
+
+    def test_implicit_alias(self):
+        q = parse_sql("SELECT a x FROM t u")
+        assert q.select[0].alias == "x"
+        assert q.from_[0].alias == "u"
+
+    def test_union_not_all(self):
+        q = parse_sql("SELECT a FROM t UNION SELECT a FROM s")
+        assert isinstance(q, UnionQuery) and not q.all
+
+    def test_comments_skipped(self):
+        q = parse_sql("SELECT a -- comment\nFROM t")
+        assert q.from_[0].name == "t"
+
+    def test_errors(self):
+        for bad in ["SELECT", "SELECT FROM t", "SELECT a FROM", "FOO BAR",
+                    "SELECT a FROM t WHERE", "SELECT a FROM t )"]:
+            with pytest.raises(SQLSyntaxError):
+                parse_sql(bad)
+
+    def test_unary_minus(self):
+        q = parse_sql("SELECT -a FROM t")
+        assert isinstance(q.select[0].expr, UnaryOp)
+
+
+class TestSQLiteCompatibility:
+    """Printed static SQL must execute on sqlite3."""
+
+    def test_executes_on_sqlite(self):
+        import sqlite3
+
+        conn = sqlite3.connect(":memory:")
+        conn.execute("CREATE TABLE t (id INTEGER, name TEXT)")
+        conn.executemany("INSERT INTO t VALUES (?, ?)", [(1, "a"), (2, "b")])
+        q = parse_sql(
+            "SELECT ('urn:x/' || id) AS uri, name FROM t WHERE id >= 1 ORDER BY id"
+        )
+        rows = conn.execute(print_query(q)).fetchall()
+        assert rows == [("urn:x/1", "a"), ("urn:x/2", "b")]

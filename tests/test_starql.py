@@ -1,0 +1,390 @@
+"""Tests for STARQL: parser, macros, translator and the equivalence of
+the compiled relational path with the reference semantics."""
+
+import pytest
+
+from repro.exastream import GatewayServer, StreamEngine
+from repro.mappings import (
+    ColumnSpec,
+    MappingAssertion,
+    MappingCollection,
+    Template,
+    TemplateSpec,
+)
+from repro.ontology import parse_ontology
+from repro.rdf import IRI, Namespace, Variable, XSD
+from repro.relational import Column, Database, Schema, SQLType, Table
+from repro.starql import (
+    AggregateComparison,
+    Comparison,
+    Exists,
+    Forall,
+    GraphPattern,
+    HavingEvaluator,
+    Implies,
+    MacroCall,
+    MacroRegistry,
+    RelationalStates,
+    ReferenceEvaluator,
+    STARQLSyntaxError,
+    STARQLTranslator,
+    TranslationError,
+    parse_aggregate_macro,
+    parse_document,
+    parse_duration,
+    parse_starql,
+    static_abox_graph,
+)
+from repro.streams import ListSource, Stream, StreamSchema
+
+SIE = Namespace("http://siemens.com/ontology#")
+
+FIG1_QUERY = """
+PREFIX sie: <http://siemens.com/ontology#>
+PREFIX : <http://www.optique-project.eu/siemens#>
+CREATE STREAM S_out AS
+CONSTRUCT GRAPH NOW { ?c2 rdf:type :MonInc }
+FROM STREAM S_Msmt [NOW-"PT10S"^^xsd:duration, NOW]->"PT1S"^^xsd:duration,
+STATIC DATA <http://x/ABoxstatic>, ONTOLOGY <http://x/TBox>
+USING PULSE WITH START = "00:10:00CET", FREQUENCY = "1S"
+WHERE {?c1 a sie:Assembly. ?c2 a sie:Sensor. ?c2 sie:inAssembly ?c1.}
+SEQUENCE BY StdSeq AS seq
+HAVING MONOTONIC.HAVING(?c2, sie:hasValue)
+"""
+
+FIG1_MACRO = """
+PREFIX sie: <http://siemens.com/ontology#>
+CREATE AGGREGATE MONOTONIC:HAVING ($var,$attr) AS
+HAVING EXISTS ?k IN SEQ: GRAPH ?k { $var sie:showsFailure } AND
+FORALL ?i < ?j IN seq, ?x, ?y:
+(IF ( ?i < ?k AND ?j < ?k AND GRAPH ?i {$var $attr ?x}
+     AND GRAPH ?j {$var $attr ?y}) THEN ?x<=?y)
+"""
+
+
+class TestDurations:
+    @pytest.mark.parametrize(
+        "text,seconds",
+        [
+            ("PT10S", 10.0),
+            ("PT1M", 60.0),
+            ("PT2H", 7200.0),
+            ("PT1M30S", 90.0),
+            ("P1D", 86400.0),
+            ("10S", 10.0),
+            ("5M", 300.0),
+        ],
+    )
+    def test_parse(self, text, seconds):
+        assert parse_duration(text) == seconds
+
+    def test_bad_duration(self):
+        with pytest.raises(STARQLSyntaxError):
+            parse_duration("soon")
+
+
+class TestParser:
+    def test_fig1_query_shape(self):
+        q = parse_starql(FIG1_QUERY)
+        assert q.output_stream == "S_out"
+        assert q.windows[0].stream == "S_Msmt"
+        assert q.windows[0].range_seconds == 10.0
+        assert q.windows[0].slide_seconds == 1.0
+        assert q.pulse.start_seconds == 600
+        assert q.pulse.frequency_seconds == 1.0
+        assert len(q.where_atoms) == 3
+        assert q.sequence_method == "StdSeq"
+        assert isinstance(q.having, MacroCall)
+        assert q.having.name == "MONOTONIC.HAVING"
+
+    def test_construct_class_atom_normalised(self):
+        q = parse_starql(FIG1_QUERY)
+        atom = q.construct_atoms[0]
+        assert atom.is_class_atom
+        assert atom.predicate.local_name == "MonInc"
+
+    def test_fig1_macro_shape(self):
+        m = parse_aggregate_macro(FIG1_MACRO)
+        assert m.name == "MONOTONIC.HAVING"
+        assert m.parameters == ("$var", "$attr")
+        assert isinstance(m.body, Exists)
+        body = m.body.body
+        graph, forall = body.operands
+        assert isinstance(graph, GraphPattern)
+        assert isinstance(forall, Forall)
+        assert forall.index_constraints[0].op == "<"
+        assert isinstance(forall.body, Implies)
+
+    def test_document_with_query_and_macro(self):
+        queries, macros = parse_document(FIG1_QUERY + "\n" + FIG1_MACRO)
+        assert len(queries) == 1 and len(macros) == 1
+
+    def test_aggregate_comparison(self):
+        q = parse_starql(
+            FIG1_QUERY.replace(
+                "HAVING MONOTONIC.HAVING(?c2, sie:hasValue)",
+                "HAVING AVG(?c2, sie:hasValue) > 95",
+            )
+        )
+        assert isinstance(q.having, AggregateComparison)
+        assert q.having.function == "AVG"
+        assert q.having.op == ">"
+
+    def test_missing_stream_rejected(self):
+        bad = """
+        CREATE STREAM S AS CONSTRUCT GRAPH NOW { ?x rdf:type <urn:C> }
+        FROM STATIC DATA <urn:d>
+        WHERE { ?x a <urn:D> }
+        """
+        with pytest.raises(STARQLSyntaxError):
+            parse_starql(bad)
+
+    def test_filter_in_where(self):
+        q = parse_starql(
+            FIG1_QUERY.replace(
+                "?c2 sie:inAssembly ?c1.",
+                "?c2 sie:inAssembly ?c1. ?c2 sie:hasThreshold ?th. "
+                "FILTER(?th > 100)",
+            )
+        )
+        assert len(q.where_filters) == 1
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(STARQLSyntaxError):
+            parse_starql(FIG1_QUERY + " bogus trailing")
+
+
+class TestHavingEvaluator:
+    """Direct checks of the macro semantics on relational states."""
+
+    COLUMNS = {"ts": 0, "attr0": 1, "attr1": 2}
+
+    def states(self, rows):
+        return RelationalStates(
+            rows,
+            0,
+            {SIE.hasValue: 1, SIE.showsFailure: 2},
+            IRI("urn:s1"),
+        )
+
+    def macro_body(self):
+        macro = parse_aggregate_macro(FIG1_MACRO)
+        registry = MacroRegistry()
+        registry.register(macro)
+        call = MacroCall(
+            "MONOTONIC.HAVING", (Variable("s"), SIE.hasValue)
+        )
+        return registry.expand(call)
+
+    def run(self, rows):
+        body = self.macro_body()
+        evaluator = HavingEvaluator(self.states(rows))
+        return evaluator.is_satisfied(body, {Variable("s"): IRI("urn:s1")})
+
+    def test_monotonic_with_failure(self):
+        rows = [(0.0, 1.0, None), (1.0, 2.0, None), (2.0, 3.0, None),
+                (3.0, None, 1)]
+        assert self.run(rows)
+
+    def test_no_failure(self):
+        rows = [(0.0, 1.0, None), (1.0, 2.0, None)]
+        assert not self.run(rows)
+
+    def test_non_monotonic(self):
+        rows = [(0.0, 5.0, None), (1.0, 2.0, None), (2.0, 3.0, None),
+                (3.0, None, 1)]
+        assert not self.run(rows)
+
+    def test_decrease_after_failure_is_fine(self):
+        rows = [(0.0, 1.0, None), (1.0, 2.0, None), (2.0, None, 1),
+                (3.0, 0.5, None)]
+        assert self.run(rows)
+
+    def test_failure_flag_zero_is_no_failure(self):
+        rows = [(0.0, 1.0, 0), (1.0, 2.0, 0)]
+        assert not self.run(rows)
+
+    def test_exists_over_indexes(self):
+        states = self.states([(0.0, 1.0, None), (1.0, 5.0, None)])
+        k = Variable("k")
+        x = Variable("x")
+        expr = Exists(
+            (k,),
+            GraphPattern(k, (  # a reading above 4 exists in some state
+                __import__("repro.queries", fromlist=["PropertyAtom"]).PropertyAtom(
+                    SIE.hasValue, Variable("s"), x
+                ),
+            )),
+        )
+        # wrap with comparison via AND
+        from repro.starql import BoolOp
+
+        cond = Exists((k,), BoolOp("AND", (
+            GraphPattern(k, (
+                __import__("repro.queries", fromlist=["PropertyAtom"]).PropertyAtom(
+                    SIE.hasValue, Variable("s"), x
+                ),
+            )),
+            Comparison(">", x, __import__("repro.rdf", fromlist=["Literal"]).Literal("4", XSD.integer)),
+        )))
+        evaluator = HavingEvaluator(states)
+        assert evaluator.is_satisfied(cond, {Variable("s"): IRI("urn:s1")})
+
+
+def tiny_deployment():
+    """A minimal ontology/mappings/engine triple shared by tests."""
+    onto = parse_ontology(
+        """
+        Prefix(sie:=<http://siemens.com/ontology#>)
+        Ontology(<http://t/onto>
+          SubClassOf(sie:TemperatureSensor sie:Sensor)
+          ObjectPropertyDomain(sie:inAssembly sie:Sensor)
+          ObjectPropertyRange(sie:inAssembly sie:Assembly)
+          ClassAssertion(sie:Assembly sie:a1)
+          ClassAssertion(sie:TemperatureSensor sie:s1)
+          ClassAssertion(sie:TemperatureSensor sie:s2)
+          ObjectPropertyAssertion(sie:inAssembly sie:s1 sie:a1)
+          ObjectPropertyAssertion(sie:inAssembly sie:s2 sie:a1)
+        )
+        """
+    )
+    sensor_t = Template("http://siemens.com/ontology#{sid}")
+    assembly_t = Template("http://siemens.com/ontology#{aid}")
+    mc = MappingCollection()
+    mc.add(MappingAssertion.for_class(
+        SIE.Sensor, TemplateSpec(sensor_t), "SELECT sid FROM sensors",
+        source_name="db"))
+    mc.add(MappingAssertion.for_class(
+        SIE.TemperatureSensor, TemplateSpec(sensor_t),
+        "SELECT sid FROM sensors WHERE kind = 'temperature'",
+        source_name="db"))
+    mc.add(MappingAssertion.for_class(
+        SIE.Assembly, TemplateSpec(assembly_t),
+        "SELECT aid FROM assemblies", source_name="db"))
+    mc.add(MappingAssertion.for_property(
+        SIE.inAssembly, TemplateSpec(sensor_t), TemplateSpec(assembly_t),
+        "SELECT sid, aid FROM sensors", source_name="db"))
+    mc.add(MappingAssertion.for_property(
+        SIE.hasValue, TemplateSpec(sensor_t), ColumnSpec("val", XSD.double),
+        "SELECT ts, sid, val FROM S_Msmt", source_name="ms", is_stream=True))
+    mc.add(MappingAssertion.for_property(
+        SIE.showsFailure, TemplateSpec(sensor_t),
+        ColumnSpec("failure", XSD.boolean),
+        "SELECT ts, sid, failure FROM S_Msmt WHERE failure = 1",
+        source_name="ms", is_stream=True))
+
+    schema = Schema("db")
+    schema.add(Table("assemblies", [Column("aid", SQLType.TEXT)],
+                     primary_key=("aid",)))
+    schema.add(Table("sensors", [Column("sid", SQLType.TEXT),
+                                 Column("aid", SQLType.TEXT),
+                                 Column("kind", SQLType.TEXT)],
+                     primary_key=("sid",)))
+    db = Database(schema)
+    db.insert("assemblies", [("a1",)])
+    db.insert("sensors", [("s1", "a1", "temperature"),
+                          ("s2", "a1", "temperature")])
+
+    sschema = StreamSchema(
+        (Column("ts", SQLType.REAL), Column("sid", SQLType.TEXT),
+         Column("val", SQLType.REAL), Column("failure", SQLType.INTEGER)),
+        time_column="ts")
+    rows = []
+    for t in range(12):
+        rows.append((float(t), "s1", 50.0 + t, 1 if t == 8 else 0))
+        rows.append((float(t), "s2", 60.0 + (1 if t % 2 == 0 else -1) * t,
+                     1 if t == 8 else 0))
+    engine = StreamEngine()
+    engine.register_stream(ListSource(Stream("S_Msmt", sschema), rows))
+    engine.attach_database("db", db)
+
+    macros = MacroRegistry()
+    macros.register(parse_aggregate_macro(FIG1_MACRO))
+    translator = STARQLTranslator(
+        onto, mc, engine, macros,
+        primary_keys={"sensors": ("sid",), "assemblies": ("aid",)})
+    return onto, mc, engine, macros, translator
+
+
+class TestTranslator:
+    def test_fig1_translates(self):
+        _, _, engine, _, translator = tiny_deployment()
+        result = translator.translate(parse_starql(FIG1_QUERY), name="fig1")
+        assert result.fleet_size >= 1
+        assert "timeSlidingWindow(S_Msmt" in result.sql
+        assert "GROUP BY" in result.sql
+        assert result.plan.aggregate is not None
+        assert result.plan.windows[0].spec.range_seconds == 10.0
+
+    def test_unknown_attribute_rejected(self):
+        _, _, _, _, translator = tiny_deployment()
+        bad = FIG1_QUERY.replace("sie:hasValue", "sie:noSuchAttr")
+        with pytest.raises(TranslationError):
+            translator.translate(parse_starql(bad))
+
+    def test_construct_var_must_be_bound(self):
+        _, _, _, _, translator = tiny_deployment()
+        bad = FIG1_QUERY.replace("{ ?c2 rdf:type :MonInc }",
+                                 "{ ?zz rdf:type :MonInc }")
+        with pytest.raises(TranslationError):
+            translator.translate(parse_starql(bad))
+
+    def test_relational_path_matches_reference_semantics(self):
+        onto, mc, engine, macros, translator = tiny_deployment()
+        query = parse_starql(FIG1_QUERY.replace(
+            'USING PULSE WITH START = "00:10:00CET", FREQUENCY = "1S"', ""))
+        result = translator.translate(query, name="fig1")
+        gateway = GatewayServer(engine)
+        registered = gateway.register(result.plan)
+        gateway.run(max_windows=12)
+        relational = {}
+        for wr in registered.results():
+            triples = set()
+            for row in wr.rows:
+                triples |= set(result.construct.triples_for(row))
+            relational[wr.window_id] = triples
+
+        reference = ReferenceEvaluator(
+            onto, mc, engine, static_abox_graph(onto), macros)
+        for ref in reference.evaluate(query, max_windows=12):
+            assert relational[ref.window_id] == ref.triples
+
+    def test_aggregate_comparison_path(self):
+        onto, mc, engine, macros, translator = tiny_deployment()
+        text = FIG1_QUERY.replace(
+            "HAVING MONOTONIC.HAVING(?c2, sie:hasValue)",
+            "HAVING AVG(?c2, sie:hasValue) > 55",
+        ).replace('USING PULSE WITH START = "00:10:00CET", FREQUENCY = "1S"', "")
+        result = translator.translate(parse_starql(text), name="avg_task")
+        gateway = GatewayServer(engine)
+        registered = gateway.register(result.plan)
+        gateway.run(max_windows=12)
+        alerts = [
+            result.construct.triples_for(row)[0][0].value
+            for wr in registered.results()
+            for row in wr.rows
+        ]
+        assert any("s1" in a for a in alerts)
+
+    def test_enrichment_visible_in_static_sql(self):
+        """TemperatureSensor data answers the Sensor query (T-mappings)."""
+        _, _, _, _, translator = tiny_deployment()
+        result = translator.translate(parse_starql(FIG1_QUERY))
+        # bindings come from the sensors table (the only static source)
+        assert "sensors" in result.sql
+
+
+class TestSubstitutionErrors:
+    def test_wrong_arity_macro_call(self):
+        macros = MacroRegistry()
+        macros.register(parse_aggregate_macro(FIG1_MACRO))
+        from repro.starql import MacroError
+
+        with pytest.raises(MacroError):
+            macros.expand(MacroCall("MONOTONIC.HAVING", (Variable("x"),)))
+
+    def test_unknown_macro(self):
+        from repro.starql import MacroError
+
+        with pytest.raises(MacroError):
+            MacroRegistry().expand(MacroCall("NOPE", ()))

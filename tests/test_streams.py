@@ -1,0 +1,334 @@
+"""Tests for streams: windows, wCache, sequences, adaptive index, LSH."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import Column, SQLType
+from repro.streams import (
+    AdaptiveIndexer,
+    LSHCorrelator,
+    ListSource,
+    SequencingError,
+    SharedWindowReader,
+    Stream,
+    StreamSchema,
+    WindowCache,
+    WindowSpec,
+    build_sequence,
+    exact_pearson,
+    merge_sources,
+    time_sliding_window,
+)
+from repro.streams.window import WindowBatch
+
+
+def schema():
+    return StreamSchema(
+        (
+            Column("ts", SQLType.REAL),
+            Column("sensor", SQLType.INTEGER),
+            Column("val", SQLType.REAL),
+        ),
+        time_column="ts",
+    )
+
+
+def msmt_stream():
+    return Stream("S_Msmt", schema())
+
+
+class TestStreamSchema:
+    def test_time_index(self):
+        assert schema().time_index == 0
+
+    def test_missing_time_column_rejected(self):
+        with pytest.raises(ValueError):
+            StreamSchema((Column("a"),), time_column="ts")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            StreamSchema((Column("a"), Column("a")), time_column="a")
+
+    def test_list_source_enforces_order(self):
+        with pytest.raises(ValueError):
+            ListSource(msmt_stream(), [(1.0, 1, 0.0), (0.5, 1, 0.0)])
+
+    def test_list_source_replayable(self):
+        src = ListSource(msmt_stream(), [(0.0, 1, 5.0), (1.0, 1, 6.0)])
+        assert list(src) == list(src)
+        assert src.take(1) == [(0.0, 1, 5.0)]
+
+    def test_merge_sources_ordered(self):
+        s1 = ListSource(msmt_stream(), [(0.0, 1, 0.0), (2.0, 1, 0.0)])
+        s2 = ListSource(Stream("S2", schema()), [(1.0, 2, 0.0)])
+        merged = list(merge_sources([s1, s2]))
+        assert [t[0] for _, t in merged] == [0.0, 1.0, 2.0]
+        assert merged[1][0] == "S2"
+
+
+class TestWindows:
+    def test_closed_interval_semantics(self):
+        rows = [(float(t),) for t in range(5)]
+        batches = list(time_sliding_window(rows, WindowSpec(2, 1), 0))
+        sizes = {b.window_id: len(b) for b in batches}
+        assert sizes[0] == 1 and sizes[1] == 2 and sizes[2] == 3 and sizes[3] == 3
+
+    def test_window_bounds(self):
+        rows = [(float(t),) for t in range(4)]
+        batches = list(time_sliding_window(rows, WindowSpec(2, 1), 0))
+        b2 = batches[2]
+        assert (b2.start, b2.end) == (0.0, 2.0)
+
+    def test_slide_larger_than_range(self):
+        rows = [(float(t),) for t in range(10)]
+        batches = list(time_sliding_window(rows, WindowSpec(1, 3), 0))
+        # windows at t=0,3,6,9 each cover [t-1, t]
+        assert [len(b) for b in batches] == [1, 2, 2, 2]
+
+    def test_empty_windows_emitted(self):
+        rows = [(0.0,), (5.0,)]
+        batches = list(time_sliding_window(rows, WindowSpec(1, 1), 0))
+        # closed intervals: [(-1,0], [0,1], [1,2], [2,3], [3,4], [4,5]]
+        assert [len(b) for b in batches] == [1, 1, 0, 0, 0, 1]
+
+    def test_explicit_start(self):
+        rows = [(3.0,), (4.0,)]
+        batches = list(time_sliding_window(rows, WindowSpec(2, 1), 0, start=0.0))
+        assert batches[0].window_id == 0 and len(batches[0]) == 0
+        assert len(batches[4]) == 2  # window [2,4]
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WindowSpec(0, 1)
+        with pytest.raises(ValueError):
+            WindowSpec(1, 0)
+
+    def test_with_window_id_column(self):
+        batch = WindowBatch(7, 0.0, 2.0, [(0.0, 1), (1.0, 2)])
+        assert batch.with_window_id_column() == [(0.0, 1, 7), (1.0, 2, 7)]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=0, max_size=60),
+        st.floats(0.5, 10),
+        st.floats(0.5, 10),
+    )
+    def test_window_contents_match_definition(self, times, rng, slide):
+        rows = [(t,) for t in sorted(times)]
+        spec = WindowSpec(rng, slide)
+        for batch in time_sliding_window(rows, spec, 0):
+            expected = [t for (t,) in rows if batch.start <= t <= batch.end]
+            assert [t for (t,) in batch.tuples] == expected
+            assert batch.end - batch.start == pytest.approx(rng)
+
+
+class TestWindowCache:
+    def make_reader(self, cache, n=20):
+        rows = [(float(t), 1, float(t)) for t in range(n)]
+        return SharedWindowReader(
+            "S_Msmt", iter(rows), WindowSpec(3, 1), 0, cache
+        )
+
+    def test_first_read_misses_then_hits(self):
+        cache = WindowCache()
+        reader = self.make_reader(cache)
+        w5 = reader.window(5)
+        assert w5 is not None and cache.stats.misses > 0
+        before = cache.stats.hits
+        again = reader.window(5)
+        assert again is w5
+        assert cache.stats.hits == before + 1
+
+    def test_materialises_forward(self):
+        cache = WindowCache()
+        reader = self.make_reader(cache)
+        reader.window(4)
+        # windows 0..4 are now cached
+        assert all(("S_Msmt", k) in cache for k in range(5))
+
+    def test_eviction(self):
+        cache = WindowCache(capacity=3)
+        reader = self.make_reader(cache)
+        reader.window(10)
+        assert len(cache) == 3
+        assert cache.stats.evictions > 0
+
+    def test_past_window_after_eviction_returns_none(self):
+        cache = WindowCache(capacity=2)
+        reader = self.make_reader(cache)
+        reader.window(10)
+        assert reader.window(0) is None
+
+    def test_beyond_stream_end(self):
+        cache = WindowCache()
+        reader = self.make_reader(cache, n=5)
+        assert reader.window(10_000) is None
+
+    def test_all_windows(self):
+        cache = WindowCache()
+        reader = self.make_reader(cache, n=6)
+        ids = [b.window_id for b in reader.all_windows()]
+        assert ids == list(range(6))
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            WindowCache(0)
+
+    def test_hit_rate(self):
+        cache = WindowCache()
+        reader = self.make_reader(cache)
+        reader.window(3)
+        reader.window(3)
+        assert 0 < cache.stats.hit_rate < 1
+
+
+class TestSequencing:
+    def batch(self):
+        return WindowBatch(
+            0,
+            0.0,
+            3.0,
+            [(0.0, 1, 10.0), (1.0, 1, 11.0), (1.0, 2, 12.0), (3.0, 1, 13.0)],
+        )
+
+    def test_states_grouped_by_timestamp(self):
+        seq = build_sequence(self.batch(), 0)
+        assert len(seq) == 3
+        assert [s.timestamp for s in seq] == [0.0, 1.0, 3.0]
+        assert len(seq[1]) == 2
+
+    def test_indexes(self):
+        seq = build_sequence(self.batch(), 0)
+        assert list(seq.indexes()) == [0, 1, 2]
+
+    def test_functionality_ok(self):
+        seq = build_sequence(
+            self.batch(), 0, functional_key=lambda t: (t[0], t[1])
+        )
+        assert len(seq) == 3
+
+    def test_functionality_violation(self):
+        bad = WindowBatch(0, 0.0, 1.0, [(0.0, 1, 10.0), (0.0, 1, 99.0)])
+        with pytest.raises(SequencingError):
+            build_sequence(bad, 0, functional_key=lambda t: (t[0], t[1]))
+
+    def test_graph_materialisation(self):
+        from repro.rdf import IRI, term_from_python
+
+        def to_triples(t):
+            yield (IRI(f"urn:s{t[1]}"), IRI("urn:hasValue"), term_from_python(t[2]))
+
+        seq = build_sequence(self.batch(), 0, to_triples=to_triples)
+        assert seq[0].graph is not None and len(seq[0].graph) == 1
+        assert len(seq[1].graph) == 2
+
+
+class TestAdaptiveIndexer:
+    def batch(self, n=100):
+        return [(float(i), i % 10, float(i)) for i in range(n)]
+
+    def test_scan_until_threshold(self):
+        idx = AdaptiveIndexer(probe_threshold=3, min_batch_size=10)
+        rows = self.batch()
+        for _ in range(2):
+            idx.probe("b0", rows, 1, 3)
+        assert idx.stats.indexes_built == 0
+        idx.probe("b0", rows, 1, 3)
+        assert idx.stats.indexes_built == 1
+        result = idx.probe("b0", rows, 1, 3)
+        assert len(result) == 10
+        assert idx.stats.index_probes >= 2
+
+    def test_results_identical_with_and_without_index(self):
+        rows = self.batch()
+        indexed = AdaptiveIndexer(probe_threshold=1, min_batch_size=1)
+        plain = AdaptiveIndexer(enabled=False)
+        for value in range(10):
+            assert indexed.probe("b", rows, 1, value) == plain.probe(
+                "b", rows, 1, value
+            )
+
+    def test_small_batches_never_indexed(self):
+        idx = AdaptiveIndexer(probe_threshold=1, min_batch_size=1000)
+        rows = self.batch(50)
+        for _ in range(10):
+            idx.probe("b", rows, 1, 1)
+        assert idx.stats.indexes_built == 0
+
+    def test_disabled_never_indexes(self):
+        idx = AdaptiveIndexer(enabled=False)
+        rows = self.batch()
+        for _ in range(10):
+            idx.probe("b", rows, 1, 1)
+        assert idx.index_count == 0
+
+    def test_drop_batch(self):
+        idx = AdaptiveIndexer(probe_threshold=1, min_batch_size=1)
+        rows = self.batch()
+        idx.probe("b", rows, 1, 1)
+        assert idx.index_count == 1
+        idx.drop_batch("b")
+        assert idx.index_count == 0
+
+    def test_separate_columns_indexed_separately(self):
+        idx = AdaptiveIndexer(probe_threshold=1, min_batch_size=1)
+        rows = self.batch()
+        idx.probe("b", rows, 1, 1)
+        idx.probe("b", rows, 2, 5.0)
+        assert idx.index_count == 2
+
+
+class TestLSH:
+    def test_exact_pearson(self):
+        a = [1, 2, 3, 4]
+        assert exact_pearson(a, a) == pytest.approx(1.0)
+        assert exact_pearson(a, [4, 3, 2, 1]) == pytest.approx(-1.0)
+        assert exact_pearson(a, [0, 0, 0, 0]) == 0.0
+
+    def test_exact_pearson_length_mismatch(self):
+        with pytest.raises(ValueError):
+            exact_pearson([1, 2], [1, 2, 3])
+
+    def test_estimate_close_to_exact(self):
+        rng = np.random.default_rng(0)
+        n = 128
+        base = rng.standard_normal(n)
+        noisy = base + 0.3 * rng.standard_normal(n)
+        anti = -base + 0.3 * rng.standard_normal(n)
+        lsh = LSHCorrelator(n, num_bits=2048, bands=64, seed=1)
+        s_base = lsh.signature("base", base)
+        s_noisy = lsh.signature("noisy", noisy)
+        s_anti = lsh.signature("anti", anti)
+        assert lsh.estimate_correlation(s_base, s_noisy) == pytest.approx(
+            exact_pearson(base, noisy), abs=0.12
+        )
+        assert lsh.estimate_correlation(s_base, s_anti) < -0.7
+
+    def test_identical_signature_full_correlation(self):
+        lsh = LSHCorrelator(16, num_bits=64, bands=8)
+        s = lsh.signature("a", list(range(16)))
+        assert lsh.estimate_correlation(s, s) == pytest.approx(1.0)
+
+    def test_candidate_pairs_find_correlated(self):
+        rng = np.random.default_rng(2)
+        n = 64
+        base = rng.standard_normal(n)
+        vectors = {"a": base, "b": base + 0.05 * rng.standard_normal(n)}
+        for k in range(10):
+            vectors[f"noise{k}"] = rng.standard_normal(n)
+        lsh = LSHCorrelator(n, num_bits=256, bands=32, seed=3)
+        sigs = [lsh.signature(k, v) for k, v in vectors.items()]
+        found = lsh.find_correlated(sigs, threshold=0.8)
+        assert ("a", "b", pytest.approx(1.0, abs=0.2)) in [
+            (p[0], p[1], p[2]) for p in found
+        ] or any(p[:2] == ("a", "b") for p in found)
+
+    def test_bits_band_divisibility(self):
+        with pytest.raises(ValueError):
+            LSHCorrelator(8, num_bits=10, bands=3)
+
+    def test_vector_length_enforced(self):
+        lsh = LSHCorrelator(8)
+        with pytest.raises(ValueError):
+            lsh.signature("a", list(range(9)))
