@@ -1,0 +1,23 @@
+# Repro toolchain: `make test` is the tier-1 gate; `make examples` /
+# `make smoke` run every script under examples/ so facade-API drift
+# fails loudly; `make bench` runs the benchmark suite.
+
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench examples smoke
+
+test:
+	$(PY) -m pytest -x -q
+
+bench:
+	$(PY) -m pytest benchmarks/bench_*.py -q
+
+smoke:
+	$(PY) -m pytest tests/test_examples_smoke.py -q
+
+examples:
+	@set -e; for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PY) $$script > /dev/null; \
+	done; echo "all examples OK"

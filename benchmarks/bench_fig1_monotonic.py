@@ -6,7 +6,7 @@ ramp, and verify the alert fires exactly on the ramping sensor.
 The benchmark times one full window-sweep of the compiled plan.
 """
 
-from repro.exastream import GatewayServer
+from repro.exastream import GatewayServer, QueryState
 from repro.siemens import diagnostic_catalog
 
 
@@ -37,7 +37,7 @@ def test_fig1_execution_detects_ramp(fresh_deployment, small_fleet, benchmark):
     def run_all():
         registered.next_window = 0
         registered.sink.clear()
-        registered.active = True
+        registered.state = QueryState.REGISTERED
         fresh_deployment.gateway.run(max_windows=22)
         return registered.results()
 

@@ -26,18 +26,16 @@ def starql_pearson_task() -> None:
         fleet=fleet, stream_sensors=sensors, stream_duration=35
     )
     task = diagnostic_catalog()[4]
-    registered, translation = deployment.register_task(task.starql, name="pearson")
-    deployment.run(max_windows=3)
-    correlated_pairs = set()
-    for result in registered.results():
-        for row in result.rows:
-            s1, s2 = str(row[-2]), str(row[-1])
+    session = deployment.session(sink_capacity=8)
+    handle = session.submit(
+        session.prepare(task.starql), name="pearson", max_windows=3
+    )
+    while session.step(1):
+        pass
     # the alert set: subjects constructed from surviving bindings
     alerts = {
-        str(t[0]).rsplit("/", 1)[-1]
-        for r in registered.results()
-        for row in r.rows
-        for t in [translation.construct.triples_for(row)[0]]
+        str(subject).rsplit("/", 1)[-1]
+        for subject, _, _ in handle.alerts()
     }
     print(f"sensors alerted as correlated: {sorted(alerts)[:6]}")
     print(f"injected correlated pair     : {pair}\n")

@@ -1,10 +1,14 @@
 """All 20 catalog tasks on live dashboards (Figure 3's monitoring view).
 
-Registers the complete diagnostic catalog against one deployment, runs
-it, and renders the per-task dashboard the demo shows to attendees.
+Submits the complete diagnostic catalog as session handles against one
+deployment, steps the cooperative executor in rounds (rendering interim
+progress the way the live demo does), and prints the final per-task
+dashboard.
 
 Run:  python examples/diagnostics_dashboard.py
 """
+
+import time
 
 from repro.siemens import (
     Dashboard,
@@ -22,25 +26,35 @@ def main() -> None:
     deployment = deploy(fleet=fleet, stream_duration=40)
 
     catalog = diagnostic_catalog()
+    session = deployment.session(sink_capacity=16)
+    dashboard = Dashboard()
     fleet_total = 0
     for task in catalog:
-        _, translation = deployment.register_task(
-            task.starql, name=f"{task.task_id:02d}-{task.name}"[:28]
+        handle = session.submit(
+            session.prepare(task.starql),
+            name=f"{task.task_id:02d}-{task.name}"[:28],
+            max_windows=15,
         )
-        fleet_total += translation.fleet_size
-    print(f"registered {len(catalog)} STARQL diagnostic tasks "
+        dashboard.subscribe(handle)
+        fleet_total += handle.prepared.fleet_size
+    print(f"submitted {len(catalog)} STARQL diagnostic tasks "
           f"({fleet_total} unfolded SQL blocks)\n")
 
-    dashboard = Dashboard()
-    seconds = deployment.gateway.run(
-        max_windows=15, on_result=dashboard.observe
-    )
+    started = time.perf_counter()
+    rounds = 0
+    while session.step(5):
+        rounds += 1
+        running = sum(1 for h in session.handles if not h.state.is_terminal)
+        print(f"round {rounds}: {running}/{len(catalog)} handles runnable, "
+              f"{dashboard.total_alerts()} alerts so far")
+    seconds = time.perf_counter() - started
+    print()
     print(dashboard.render())
 
     stats = deployment.engine.cache.stats
     print(f"\nran in {seconds:.2f}s; wCache: {stats.hits} hits / "
           f"{stats.misses} misses (hit rate {stats.hit_rate:.0%}) — "
-          "20 concurrent tasks shared the same materialised windows")
+          "20 concurrent handles shared the same materialised windows")
 
 
 if __name__ == "__main__":

@@ -1,11 +1,15 @@
 """Demo scenario S1: diagnostics with the preconfigured deployment.
 
-Registers a selection of catalog tasks as parametrised continuous
-queries over the Siemens deployment and monitors them on the text
-dashboard — the workflow a service engineer follows in the demo.
+Submits a selection of catalog tasks as query handles through a session
+over the Siemens deployment, steps the cooperative executor, and
+monitors the handles on the text dashboard (per-handle ``subscribe``
+instead of a global hook) — the workflow a service engineer follows in
+the demo.
 
 Run:  python examples/turbine_diagnostics.py
 """
+
+import time
 
 from repro.siemens import (
     Dashboard,
@@ -28,25 +32,30 @@ def main() -> None:
           f"{len(deployment.mappings)} mappings, "
           f"{deployment.ontology.term_count()} ontology terms")
 
+    session = deployment.session(sink_capacity=32)
+    dashboard = Dashboard()
     selected = [catalog[i] for i in (0, 1, 3, 6, 7, 9)]
     total_fleet = 0
     for task in selected:
-        registered, translation = deployment.register_task(
-            task.starql, name=task.name
+        handle = session.submit(
+            session.prepare(task.starql), name=task.name, max_windows=25
         )
-        total_fleet += translation.fleet_size
-        print(f"registered {task.name:<28} "
-              f"(unfolds to {translation.fleet_size} SQL block(s))")
+        dashboard.subscribe(handle)
+        total_fleet += handle.prepared.fleet_size
+        print(f"submitted  {task.name:<28} "
+              f"(unfolds to {handle.prepared.fleet_size} SQL block(s))")
     print(f"\n{len(selected)} STARQL queries -> "
           f"{total_fleet} low-level data queries\n")
 
-    dashboard = Dashboard()
-    seconds = deployment.gateway.run(
-        max_windows=25, on_result=dashboard.observe
-    )
+    started = time.perf_counter()
+    while session.step(5):
+        pass  # handles progress round-robin; panels update per result
+    seconds = time.perf_counter() - started
     print(dashboard.render())
+    states = {h.name: h.status().name for h in session.handles}
+    print(f"\nhandle states: {states}")
     metrics = deployment.engine.metrics
-    print(f"\nprocessed {metrics.total_tuples_in} window tuples "
+    print(f"processed {metrics.total_tuples_in} window tuples "
           f"in {seconds:.2f}s "
           f"({metrics.total_tuples_in / max(seconds, 1e-9):,.0f} tuples/s, "
           f"cache hit rate {deployment.engine.cache.stats.hit_rate:.0%})")

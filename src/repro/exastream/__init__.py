@@ -1,8 +1,8 @@
 """EXASTREAM: the distributed stream engine (gateway, planner, scheduler,
 per-node engines, UDFs and the cluster simulator)."""
 
-from .engine import PlanRuntime, StreamEngine, WindowResult
-from .gateway import GatewayServer, RegisteredQuery
+from .engine import BoundedResultSink, PlanRuntime, StreamEngine, WindowResult
+from .gateway import GatewayServer, QueryState, RegisteredQuery
 from .metrics import EngineMetrics, QueryMetrics, Stopwatch
 from .operators import Relation, StaticTable, compile_expr, hash_join, nested_loop_join
 from .plan import (
@@ -24,10 +24,12 @@ from .simulation import (
 from .udf import ScalarUDF, SequenceUDF, UDFRegistry, builtin_registry, fuse
 
 __all__ = [
+    "BoundedResultSink",
     "PlanRuntime",
     "StreamEngine",
     "WindowResult",
     "GatewayServer",
+    "QueryState",
     "RegisteredQuery",
     "EngineMetrics",
     "QueryMetrics",

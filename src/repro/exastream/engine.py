@@ -8,6 +8,7 @@ shared window cache (wCache) and the adaptive indexer, and executes
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
@@ -24,7 +25,7 @@ from .operators import Relation, StaticTable, compile_expr, hash_join, nested_lo
 from .plan import AggregateSpec, ContinuousPlan, StaticRef, WindowedStreamRef
 from .udf import UDFRegistry, builtin_registry
 
-__all__ = ["WindowResult", "StreamEngine", "PlanRuntime"]
+__all__ = ["WindowResult", "BoundedResultSink", "StreamEngine", "PlanRuntime"]
 
 
 @dataclass
@@ -39,6 +40,99 @@ class WindowResult:
 
     def __len__(self) -> int:
         return len(self.rows)
+
+
+class BoundedResultSink:
+    """A bounded ring buffer of :class:`WindowResult`\\ s with an overflow
+    policy — the per-runtime delivery channel of the gateway.
+
+    ``capacity=None`` keeps every result (the legacy unbounded list
+    behaviour); a bounded sink guarantees memory does not grow with the
+    number of executed windows.  Two policies handle overflow:
+
+    * ``DROP_OLDEST`` — the oldest retained result is evicted (and
+      counted in :attr:`dropped`), so the buffer always holds the most
+      recent windows;
+    * ``BLOCK`` — :meth:`offer` refuses new results while full.  In the
+      cooperative executor this back-pressures the *producer*: the
+      gateway skips the query's next window until a consumer ``poll()``s
+      the buffer down.
+    """
+
+    DROP_OLDEST = "drop_oldest"
+    BLOCK = "block"
+    POLICIES = (DROP_OLDEST, BLOCK)
+
+    def __init__(
+        self, capacity: int | None = None, policy: str = DROP_OLDEST
+    ) -> None:
+        if capacity is not None and capacity < 0:
+            raise ValueError("sink capacity must be >= 0 (or None: unbounded)")
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown overflow policy {policy!r}")
+        self._capacity = capacity
+        self._policy = policy
+        self._buffer: deque[WindowResult] = deque()
+        self.accepted = 0
+        self.dropped = 0
+
+    @property
+    def capacity(self) -> int | None:
+        return self._capacity
+
+    @property
+    def policy(self) -> str:
+        return self._policy
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def is_full(self) -> bool:
+        return self._capacity is not None and len(self._buffer) >= self._capacity
+
+    def would_block(self) -> bool:
+        """True when a producer should not execute the next window yet."""
+        return self._policy == self.BLOCK and self.is_full
+
+    def offer(self, result: WindowResult) -> bool:
+        """Deliver one result; ``False`` when refused (``BLOCK`` + full)."""
+        if self.is_full:
+            if self._policy == self.BLOCK:
+                return False
+            while self._buffer and len(self._buffer) >= self._capacity:
+                self._buffer.popleft()
+                self.dropped += 1
+            if self._capacity == 0:
+                self.dropped += 1
+                return True
+        self._buffer.append(result)
+        self.accepted += 1
+        return True
+
+    def poll(self, max_results: int | None = None) -> list[WindowResult]:
+        """Drain up to ``max_results`` results, oldest first."""
+        if max_results is None:
+            max_results = len(self._buffer)
+        out: list[WindowResult] = []
+        while self._buffer and len(out) < max_results:
+            out.append(self._buffer.popleft())
+        return out
+
+    def snapshot(self) -> list[WindowResult]:
+        """Non-destructive view of the currently retained results."""
+        return list(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    def limit(self, capacity: int) -> None:
+        """Tighten the capacity (never loosens), evicting the oldest."""
+        if self._capacity is None or self._capacity > capacity:
+            self._capacity = capacity
+        while len(self._buffer) > self._capacity:
+            self._buffer.popleft()
+            self.dropped += 1
 
 
 def _expr_aliases(expr: Expr) -> set[str]:
@@ -326,9 +420,7 @@ class StreamEngine:
         readers: dict[str, SharedWindowReader] = {}
         stream_columns: dict[str, list[str]] = {}
         for ref in self.plan_window_refs(plan):
-            # the pulse anchor is part of the sharing identity: two queries
-            # only share materialised windows when their grids coincide
-            shared_key = f"{ref.reader_key}@{plan.start}"
+            shared_key = self.shared_reader_key(ref, plan)
             if shared_readers is not None and shared_key in shared_readers:
                 reader = shared_readers[shared_key]
             else:
@@ -372,6 +464,16 @@ class StreamEngine:
     @staticmethod
     def plan_window_refs(plan: ContinuousPlan) -> list[WindowedStreamRef]:
         return list(plan.windows)
+
+    @staticmethod
+    def shared_reader_key(ref: WindowedStreamRef, plan: ContinuousPlan) -> str:
+        """Sharing identity of one windowed input.
+
+        The pulse anchor is part of the identity: two queries only share
+        materialised windows when their grids coincide.  The gateway uses
+        the same keys to reference-count shared readers across queries.
+        """
+        return f"{ref.reader_key}@{plan.start}"
 
     # -- execution -----------------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""The Asynchronous Gateway Server: query registration and shared runs.
+"""The Asynchronous Gateway Server: query registration and cooperative runs.
 
 "Queries are registered through the Asynchronous Gateway Server.  Each
 registered query passes through the EXAREME parser and then is fed to the
@@ -6,37 +6,123 @@ Scheduler module."  Our gateway accepts either SQL(+) text (parsed and
 planned) or ready :class:`~repro.exastream.plan.ContinuousPlan` objects,
 keeps the catalog of registered continuous queries, and drives them over
 *shared* window readers so the wCache benefits apply across queries.
+
+Execution is **cooperative and re-entrant**: :meth:`GatewayServer.step`
+advances every runnable query by up to ``n_windows`` windows round-robin
+and returns, so many client sessions can interleave execution without any
+one call blocking to exhaustion.  Each query owns an explicit lifecycle
+(``REGISTERED → RUNNING → PAUSED/CANCELLED/COMPLETED``) and a bounded
+:class:`~repro.exastream.engine.BoundedResultSink` for incremental result
+delivery.  The batch :meth:`GatewayServer.run` survives as a thin
+compatibility wrapper (``step()`` in a loop).
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from enum import Enum
+from typing import Callable
 
 from ..streams import SharedWindowReader
-from .engine import PlanRuntime, StreamEngine, WindowResult
+from .engine import BoundedResultSink, PlanRuntime, StreamEngine, WindowResult
 from .metrics import Stopwatch
 from .plan import ContinuousPlan
 from .planner import plan_sql
 from .scheduler import Scheduler
 
-__all__ = ["RegisteredQuery", "GatewayServer"]
+__all__ = ["QueryState", "RegisteredQuery", "GatewayServer"]
+
+
+class QueryState(Enum):
+    """Lifecycle of one registered continuous query."""
+
+    REGISTERED = "registered"
+    RUNNING = "running"
+    PAUSED = "paused"
+    CANCELLED = "cancelled"
+    COMPLETED = "completed"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (QueryState.CANCELLED, QueryState.COMPLETED)
 
 
 @dataclass
 class RegisteredQuery:
-    """A continuous query registered at the gateway."""
+    """A continuous query registered at the gateway.
+
+    Results flow into :attr:`sink` (a bounded ring buffer) and to every
+    per-query :attr:`subscribers` callback; ``window_limit`` optionally
+    completes the query after that many windows.
+    """
 
     name: str
     plan: ContinuousPlan
     runtime: PlanRuntime
-    sink: list[WindowResult] = field(default_factory=list)
-    active: bool = True
+    sink: BoundedResultSink = field(default_factory=BoundedResultSink)
+    state: QueryState = QueryState.REGISTERED
     next_window: int = 0
+    window_limit: int | None = None
+    subscribers: list[Callable[[WindowResult], None]] = field(
+        default_factory=list
+    )
+
+    @property
+    def active(self) -> bool:
+        """Legacy view: the query still wants execution."""
+        return self.state in (QueryState.REGISTERED, QueryState.RUNNING)
 
     def results(self) -> list[WindowResult]:
-        return self.sink
+        """Snapshot of the results currently retained by the sink."""
+        return self.sink.snapshot()
+
+    def poll(self, max_results: int | None = None) -> list[WindowResult]:
+        """Drain up to ``max_results`` results from the sink, oldest first."""
+        return self.sink.poll(max_results)
+
+    def subscribe(self, callback: Callable[[WindowResult], None]) -> None:
+        """Per-query result delivery (replaces the global ``on_result``).
+
+        Idempotent per callback: subscribing the same callable twice
+        (e.g. a dashboard auto-attached by a session and again by hand)
+        delivers each result once.
+        """
+        if callback not in self.subscribers:
+            self.subscribers.append(callback)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def pause(self) -> None:
+        if self.state.is_terminal:
+            raise ValueError(
+                f"cannot pause {self.name!r}: already {self.state.value}"
+            )
+        self.state = QueryState.PAUSED
+
+    def resume(self) -> None:
+        if self.state.is_terminal:
+            raise ValueError(
+                f"cannot resume {self.name!r}: already {self.state.value}"
+            )
+        if self.state is QueryState.PAUSED:
+            self.state = QueryState.RUNNING
+
+    def cancel(self) -> None:
+        """Terminal: the executor will never touch this query again."""
+        if not self.state.is_terminal:
+            self.state = QueryState.CANCELLED
+
+    def _deliver(
+        self,
+        result: WindowResult,
+        on_result: Callable[[WindowResult], None] | None,
+    ) -> None:
+        self.sink.offer(result)
+        for callback in self.subscribers:
+            callback(result)
+        if on_result is not None:
+            on_result(result)
 
 
 class GatewayServer:
@@ -45,14 +131,22 @@ class GatewayServer:
     The gateway registers queries, lets the :class:`Scheduler` place their
     operators on workers (for placement/ balance accounting), and executes
     all active queries round-robin, window by window, against shared
-    readers.
+    readers.  Shared readers are reference-counted: when the last query
+    windowing a stream deregisters, the reader is released.
     """
+
+    #: sink bound applied by ``run(keep_results=False)``: instead of
+    #: silently discarding every result, each query retains its most
+    #: recent windows so ``results()``/``alerts()`` degrade predictably.
+    UNKEPT_SINK_CAPACITY = 8
 
     def __init__(self, engine: StreamEngine, scheduler: Scheduler | None = None):
         self.engine = engine
         self.scheduler = scheduler
         self._queries: dict[str, RegisteredQuery] = {}
         self._shared_readers: dict[str, SharedWindowReader] = {}
+        self._reader_keys: dict[str, set[str]] = {}
+        self._reader_refs: dict[str, int] = {}
         self._name_counter = itertools.count(1)
 
     # -- registration ----------------------------------------------------------
@@ -61,38 +155,140 @@ class GatewayServer:
         self,
         query: str | ContinuousPlan,
         name: str | None = None,
+        sink_capacity: int | None = None,
+        sink_policy: str = BoundedResultSink.DROP_OLDEST,
+        window_limit: int | None = None,
     ) -> RegisteredQuery:
-        """Register SQL(+) text or a prepared plan as a continuous query."""
+        """Register SQL(+) text or a prepared plan as a continuous query.
+
+        An explicit duplicate ``name`` raises; when the name is derived
+        from the plan (or auto-generated) a fresh unique name is chosen,
+        so the same prepared plan can be submitted repeatedly.
+        """
         if isinstance(query, str):
             plan = plan_sql(query, self.engine, name=name)
         else:
             plan = query
         if name is None:
-            name = plan.name or f"q{next(self._name_counter)}"
-        if name in self._queries:
+            base = plan.name or f"q{next(self._name_counter)}"
+            name = base
+            while name in self._queries:
+                name = f"{base}_{next(self._name_counter)}"
+        elif name in self._queries:
             raise ValueError(f"query name {name!r} already registered")
         plan.name = name
         runtime = self.engine.bind(plan, shared_readers=self._shared_readers)
-        registered = RegisteredQuery(name=name, plan=plan, runtime=runtime)
+        registered = RegisteredQuery(
+            name=name,
+            plan=plan,
+            runtime=runtime,
+            sink=BoundedResultSink(sink_capacity, sink_policy),
+            window_limit=window_limit,
+        )
         self._queries[name] = registered
+        keys = {
+            StreamEngine.shared_reader_key(ref, plan) for ref in plan.windows
+        }
+        self._reader_keys[name] = keys
+        for key in keys:
+            self._reader_refs[key] = self._reader_refs.get(key, 0) + 1
         if self.scheduler is not None:
             self.scheduler.place(plan)
         return registered
 
     def deregister(self, name: str) -> None:
-        """Remove a query from the catalog."""
-        self._queries.pop(name, None)
+        """Remove a query from the catalog.
+
+        Raises :class:`KeyError` for unknown names, and releases each
+        shared window reader once its last query is gone.
+        """
+        if name not in self._queries:
+            raise KeyError(f"query {name!r} is not registered")
+        registered = self._queries.pop(name)
+        registered.cancel()
         if self.scheduler is not None:
             self.scheduler.remove(name)
+        for key in self._reader_keys.pop(name, set()):
+            remaining = self._reader_refs.get(key, 0) - 1
+            if remaining > 0:
+                self._reader_refs[key] = remaining
+            else:
+                self._reader_refs.pop(key, None)
+                self._shared_readers.pop(key, None)
 
     def query(self, name: str) -> RegisteredQuery:
         return self._queries[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._queries
 
     @property
     def queries(self) -> list[RegisteredQuery]:
         return list(self._queries.values())
 
+    @property
+    def shared_reader_count(self) -> int:
+        return len(self._shared_readers)
+
     # -- execution ------------------------------------------------------------------
+
+    def step(
+        self,
+        n_windows: int = 1,
+        on_result: Callable[[WindowResult], None] | None = None,
+        window_limit: int | None = None,
+    ) -> int:
+        """Advance every runnable query by up to ``n_windows`` windows.
+
+        One round visits the queries in registration order and executes at
+        most one window each, so concurrent queries (and the sessions
+        holding them) make interleaved progress; round-robin per window id
+        also keeps all readers near the cache frontier, so shared windows
+        are materialised exactly once.  The call is re-entrant — clients
+        alternate ``step()`` with ``poll()`` — and never blocks to
+        exhaustion.  Queries whose ``BLOCK``-policy sink is full are
+        skipped until a consumer drains them.  ``window_limit`` is a
+        per-call cap on window ids (queries beyond it stay runnable).
+
+        Returns the number of window executions performed; ``0`` means no
+        query could make progress.
+        """
+        executed = 0
+        for _ in range(n_windows):
+            progressed = False
+            for registered in list(self._queries.values()):
+                if not registered.active:
+                    continue
+                limit = registered.window_limit
+                if limit is not None and registered.next_window >= limit:
+                    registered.state = QueryState.COMPLETED
+                    continue
+                if (
+                    window_limit is not None
+                    and registered.next_window >= window_limit
+                ):
+                    continue
+                if registered.sink.would_block():
+                    continue
+                result = registered.runtime.execute_window(
+                    registered.next_window
+                )
+                if result is None:
+                    registered.state = QueryState.COMPLETED
+                    continue
+                registered.next_window += 1
+                # completing on the last limited window (not one visit
+                # later) keeps status() accurate the moment work is done
+                if limit is not None and registered.next_window >= limit:
+                    registered.state = QueryState.COMPLETED
+                else:
+                    registered.state = QueryState.RUNNING
+                registered._deliver(result, on_result)
+                progressed = True
+                executed += 1
+            if not progressed:
+                break
+        return executed
 
     def run(
         self,
@@ -100,34 +296,26 @@ class GatewayServer:
         on_result: Callable[[WindowResult], None] | None = None,
         keep_results: bool = True,
     ) -> float:
-        """Drive every active query until exhaustion (or ``max_windows``).
+        """Compatibility wrapper: ``step()`` in a loop until no progress.
 
-        Round-robin over queries per window id keeps all readers near the
-        cache frontier, so shared windows are materialised exactly once.
-        Returns total wall seconds.
+        Drives every runnable query until exhaustion (or ``max_windows``).
+        ``keep_results=False`` no longer discards results silently — it
+        bounds each query's sink to the :attr:`UNKEPT_SINK_CAPACITY` most
+        recent windows, so memory stays O(1) while ``results()`` still
+        answers from the retained tail.
+
+        Batch runs have no consumer, so a query with a full
+        ``BLOCK``-policy sink cannot progress here: the loop ends as soon
+        as nothing is runnable, leaving such queries non-terminal with
+        their unread results buffered.  Drive blocking queries with
+        ``step()`` + ``poll()`` instead.  Returns total wall seconds.
         """
         watch = Stopwatch()
-        active = [q for q in self._queries.values() if q.active]
-        while active:
-            still_active = []
-            for registered in active:
-                if (
-                    max_windows is not None
-                    and registered.next_window >= max_windows
-                ):
-                    registered.active = False
-                    continue
-                result = registered.runtime.execute_window(registered.next_window)
-                if result is None:
-                    registered.active = False
-                    continue
-                registered.next_window += 1
-                if keep_results:
-                    registered.sink.append(result)
-                if on_result is not None:
-                    on_result(result)
-                still_active.append(registered)
-            active = still_active
+        if not keep_results:
+            for registered in self._queries.values():
+                registered.sink.limit(self.UNKEPT_SINK_CAPACITY)
+        while self.step(on_result=on_result, window_limit=max_windows):
+            pass
         elapsed = watch.elapsed()
         self.engine.metrics.wall_seconds += elapsed
         return elapsed

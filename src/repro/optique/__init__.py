@@ -1,5 +1,12 @@
 """OPTIQUE platform facade: deployment, verification, query lifecycle."""
 
 from .platform import OptiquePlatform, RegisteredTask
+from .session import PreparedQuery, QueryHandle, Session
 
-__all__ = ["OptiquePlatform", "RegisteredTask"]
+__all__ = [
+    "OptiquePlatform",
+    "RegisteredTask",
+    "PreparedQuery",
+    "QueryHandle",
+    "Session",
+]

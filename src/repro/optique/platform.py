@@ -8,6 +8,16 @@ One object wiring the full OBSSDI lifecycle end-to-end:
 * **query processing** — STARQL in, enrichment → unfolding → SQL(+) →
   EXASTREAM execution, answers out, dashboards updated.
 
+Query processing is session-based: :meth:`OptiquePlatform.session` yields
+a :class:`~repro.optique.session.Session` whose ``prepare()`` caches
+translations by normalized query text and whose ``submit()`` returns a
+:class:`~repro.optique.session.QueryHandle` with an explicit lifecycle
+(pause/resume/cancel) and bounded incremental result delivery
+(``poll``/``subscribe``).  Execution is cooperative — ``step(n)``
+interleaves every registered query — while the legacy batch pair
+``register_task()`` + ``run()`` survives as a compatibility wrapper over
+the same machinery.
+
 This is the API the examples and the demo scenarios (S1-S3) use.
 """
 
@@ -16,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..bootox import DirectMapper, ProvenanceCatalog, QualityReport, verify_deployment
-from ..exastream import GatewayServer, Scheduler, StreamEngine, WindowResult
+from ..exastream import BoundedResultSink, GatewayServer, Scheduler, StreamEngine
 from ..mappings import MappingCollection
 from ..ontology import Ontology
 from ..rdf import IRI, Namespace
@@ -27,9 +37,9 @@ from ..starql import (
     STARQLTranslator,
     TranslationResult,
     parse_aggregate_macro,
-    parse_starql,
 )
 from ..streams import StreamSource
+from .session import Session
 
 __all__ = ["RegisteredTask", "OptiquePlatform"]
 
@@ -47,7 +57,13 @@ class RegisteredTask:
         return self.translation.fleet_size
 
     def alerts(self) -> list[tuple]:
-        """All CONSTRUCTed triples produced so far."""
+        """CONSTRUCTed triples of the results retained by the task's sink.
+
+        Results are routed through the query's bounded sink, so after a
+        ``run(keep_results=False)`` this answers from the retained tail of
+        most recent windows (bounded, predictable) instead of silently
+        returning nothing.
+        """
         triples = []
         for result in self.registered.results():
             for row in result.rows:
@@ -75,6 +91,7 @@ class OptiquePlatform:
         self.primary_keys = dict(primary_keys or {})
         self._translator: STARQLTranslator | None = None
         self._tasks: dict[str, RegisteredTask] = {}
+        self._compat_session: Session | None = None
 
     # -- deployment assets ------------------------------------------------------
 
@@ -134,25 +151,61 @@ class OptiquePlatform:
             )
         return self._translator
 
+    def session(
+        self,
+        sink_capacity: int | None = 256,
+        overflow: str = BoundedResultSink.DROP_OLDEST,
+        name: str | None = None,
+    ) -> Session:
+        """A client session issuing prepared queries and query handles.
+
+        Handles submitted through a session deliver results into bounded
+        ring-buffer sinks (``poll``/``subscribe``) and update the platform
+        dashboard as they execute.
+        """
+        return Session(
+            lambda: self.translator,
+            self.gateway,
+            dashboard=self.dashboard,
+            sink_capacity=sink_capacity,
+            overflow=overflow,
+            name=name,
+        )
+
     def register_task(
         self, starql_text: str, name: str | None = None
     ) -> RegisteredTask:
-        """Translate and register one STARQL diagnostic task."""
-        query = parse_starql(starql_text)
-        translation = self.translator.translate(query, name=name)
-        registered = self.gateway.register(
-            translation.plan, name=translation.plan.name
+        """Translate and register one STARQL diagnostic task.
+
+        Compatibility wrapper over the session API: translations are
+        cached by normalized text, and the task keeps every result
+        (unbounded sink) as the batch workflow expects.
+        """
+        if self._compat_session is None:
+            self._compat_session = Session(
+                lambda: self.translator,
+                self.gateway,
+                dashboard=self.dashboard,
+                sink_capacity=None,
+            )
+        handle = self._compat_session.submit(starql_text, name=name)
+        task = RegisteredTask(
+            handle.name, handle.prepared.translation, handle.registered
         )
-        task = RegisteredTask(translation.plan.name, translation, registered)
         self._tasks[task.name] = task
         return task
 
+    def step(self, n_windows: int = 1) -> int:
+        """Advance the cooperative executor; see ``GatewayServer.step``."""
+        return self.gateway.step(n_windows)
+
     def run(self, max_windows: int | None = None) -> float:
-        """Run all registered tasks; dashboard panels update as results
-        arrive.  Returns wall-clock seconds."""
-        return self.gateway.run(
-            max_windows=max_windows, on_result=self.dashboard.observe
-        )
+        """Run all registered tasks to exhaustion (batch compatibility).
+
+        Dashboard panels update as results arrive through each query's
+        subscribers.  Returns wall-clock seconds.
+        """
+        return self.gateway.run(max_windows=max_windows)
 
     def task(self, name: str) -> RegisteredTask:
         return self._tasks[name]

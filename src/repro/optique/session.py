@@ -1,0 +1,238 @@
+"""Session-based query lifecycle over the OPTIQUE facade.
+
+The paper's continuous diagnostic tasks are registered through the
+Asynchronous Gateway Server and live indefinitely; a batch
+run-to-exhaustion API cannot serve that shape under multi-tenant load.
+This module is the client-facing lifecycle layer on top of the gateway's
+cooperative executor:
+
+* :class:`Session` — issued by ``OptiquePlatform.session()`` (or
+  ``SiemensDeployment.session()``); prepares STARQL text into cached
+  translations and submits them as query handles;
+* :class:`PreparedQuery` — parse + translate exactly once per normalized
+  query text, reusable across submissions and sessions;
+* :class:`QueryHandle` — explicit lifecycle (``REGISTERED → RUNNING →
+  PAUSED/CANCELLED/COMPLETED``) with incremental, bounded result
+  delivery: ``poll(max_results=n)`` drains a ring-buffer sink and
+  ``subscribe(callback)`` replaces the global ``on_result`` hook.
+
+Execution stays cooperative: ``session.step(n)`` (delegating to
+:meth:`~repro.exastream.gateway.GatewayServer.step`) advances every
+runnable query round-robin, so many sessions interleave on one gateway
+without any call blocking to exhaustion.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable
+
+from ..exastream import BoundedResultSink, GatewayServer, QueryState, WindowResult
+from ..exastream.gateway import RegisteredQuery
+
+if TYPE_CHECKING:
+    from ..starql import STARQLTranslator, TranslationResult
+
+__all__ = ["PreparedQuery", "QueryHandle", "Session"]
+
+_session_counter = itertools.count(1)
+_INHERIT = object()  # sentinel: submit() inherits the session's sink config
+
+
+@dataclass(frozen=True)
+class PreparedQuery:
+    """A STARQL query parsed and translated once, reusable many times."""
+
+    text: str  # normalized query text — the translation-cache key
+    translation: "TranslationResult"
+
+    @property
+    def fleet_size(self) -> int:
+        return self.translation.fleet_size
+
+    @property
+    def sql(self) -> str:
+        return self.translation.sql
+
+
+class QueryHandle:
+    """One submitted continuous query with an explicit lifecycle."""
+
+    def __init__(
+        self,
+        session: "Session",
+        prepared: PreparedQuery,
+        registered: RegisteredQuery,
+    ) -> None:
+        self.session = session
+        self.prepared = prepared
+        self.registered = registered
+
+    @property
+    def name(self) -> str:
+        return self.registered.name
+
+    @property
+    def state(self) -> QueryState:
+        return self.registered.state
+
+    def status(self) -> QueryState:
+        return self.registered.state
+
+    @property
+    def windows_executed(self) -> int:
+        return self.registered.next_window
+
+    @property
+    def sink(self) -> BoundedResultSink:
+        return self.registered.sink
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def pause(self) -> None:
+        self.registered.pause()
+
+    def resume(self) -> None:
+        self.registered.resume()
+
+    def cancel(self) -> None:
+        self.registered.cancel()
+
+    # -- result delivery ----------------------------------------------------
+
+    def poll(self, max_results: int | None = None) -> list[WindowResult]:
+        """Drain up to ``max_results`` window results, oldest first."""
+        return self.registered.poll(max_results)
+
+    def subscribe(self, callback: Callable[[WindowResult], None]) -> None:
+        """Register a per-handle result callback."""
+        self.registered.subscribe(callback)
+
+    def alerts(self, max_results: int | None = None) -> list[tuple]:
+        """Drain up to ``max_results`` results into CONSTRUCTed triples."""
+        construct = self.prepared.translation.construct
+        triples: list[tuple] = []
+        for result in self.poll(max_results):
+            for row in result.rows:
+                triples.extend(construct.triples_for(row))
+        return triples
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryHandle({self.name!r}, {self.state.value}, "
+            f"windows={self.windows_executed}, buffered={len(self.sink)})"
+        )
+
+
+class Session:
+    """A client session: prepared queries and handles on a shared gateway.
+
+    ``sink_capacity``/``overflow`` configure the bounded ring-buffer sink
+    every submitted handle gets (overridable per submit); ``translator``
+    may be a :class:`~repro.starql.STARQLTranslator` or a zero-argument
+    callable returning one (so deployments that rebuild their translator
+    stay consistent).
+    """
+
+    def __init__(
+        self,
+        translator,
+        gateway: GatewayServer,
+        dashboard=None,
+        sink_capacity: int | None = 256,
+        overflow: str = BoundedResultSink.DROP_OLDEST,
+        name: str | None = None,
+    ) -> None:
+        self._translator = translator
+        self.gateway = gateway
+        self.dashboard = dashboard
+        self.sink_capacity = sink_capacity
+        self.overflow = overflow
+        self.name = name or f"session{next(_session_counter)}"
+        self._handles: dict[str, QueryHandle] = {}
+
+    @property
+    def translator(self) -> "STARQLTranslator":
+        translator = self._translator
+        return translator() if callable(translator) else translator
+
+    # -- prepared queries ----------------------------------------------------
+
+    def prepare(self, starql_text: str) -> PreparedQuery:
+        """Parse + translate ``starql_text``, reusing cached translations.
+
+        The same normalized text translates exactly once per translator
+        (enrichment, unfolding and plan building are all skipped on a
+        cache hit).
+        """
+        translator = self.translator
+        translation = translator.translate_text(starql_text)
+        return PreparedQuery(translator.normalize_text(starql_text), translation)
+
+    def submit(
+        self,
+        query: PreparedQuery | str,
+        name: str | None = None,
+        max_windows: int | None = None,
+        sink_capacity=_INHERIT,
+        overflow=_INHERIT,
+    ) -> QueryHandle:
+        """Register a prepared query (or raw STARQL text) for execution.
+
+        The cached plan is cloned per submission, so one prepared query
+        can back many concurrently registered handles.
+        """
+        if isinstance(query, str):
+            query = self.prepare(query)
+        if sink_capacity is _INHERIT:
+            sink_capacity = self.sink_capacity
+        if overflow is _INHERIT:
+            overflow = self.overflow
+        plan = replace(query.translation.plan)  # private copy: register renames
+        registered = self.gateway.register(
+            plan,
+            name=name,
+            sink_capacity=sink_capacity,
+            sink_policy=overflow,
+            window_limit=max_windows,
+        )
+        handle = QueryHandle(self, query, registered)
+        self._handles[handle.name] = handle
+        if self.dashboard is not None:
+            self.dashboard.subscribe(handle)
+        return handle
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self, n_windows: int = 1) -> int:
+        """Advance the shared cooperative executor by ``n_windows`` rounds.
+
+        All runnable queries on the gateway progress round-robin — this
+        session's handles interleave with every other session's.  Returns
+        the number of window executions performed.
+        """
+        return self.gateway.step(n_windows)
+
+    # -- handle management ---------------------------------------------------
+
+    def handle(self, name: str) -> QueryHandle:
+        return self._handles[name]
+
+    @property
+    def handles(self) -> list[QueryHandle]:
+        return list(self._handles.values())
+
+    def close(self) -> None:
+        """Cancel and deregister every handle issued by this session."""
+        for handle in self._handles.values():
+            handle.cancel()
+            if handle.name in self.gateway:
+                self.gateway.deregister(handle.name)
+        self._handles.clear()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -59,13 +59,31 @@ class Dashboard:
     def __init__(self) -> None:
         self._panels: dict[str, TaskPanel] = {}
 
+    def _panel_for(self, task_name: str) -> TaskPanel:
+        panel = self._panels.get(task_name)
+        if panel is None:
+            panel = TaskPanel(task_name)
+            self._panels[task_name] = panel
+        return panel
+
     def observe(self, result: WindowResult) -> None:
         """Route one window result to its task's panel."""
-        panel = self._panels.get(result.query)
-        if panel is None:
-            panel = TaskPanel(result.query)
-            self._panels[result.query] = panel
-        panel.observe(result)
+        self._panel_for(result.query).observe(result)
+
+    def subscribe(self, handle) -> TaskPanel:
+        """Attach a panel to a query handle's own subscriber list.
+
+        Accepts anything with ``name`` and ``subscribe(callback)`` — a
+        session :class:`~repro.optique.session.QueryHandle` or a gateway
+        :class:`~repro.exastream.gateway.RegisteredQuery`.  The panel then
+        updates per result as the cooperative executor steps, replacing
+        the global ``on_result`` hook.  Subscribing the same handle twice
+        is a no-op (per-callback idempotent), so sessions that
+        auto-attach a dashboard compose with manual calls.
+        """
+        panel = self._panel_for(handle.name)
+        handle.subscribe(self.observe)
+        return panel
 
     def panel(self, task_name: str) -> TaskPanel:
         return self._panels[task_name]

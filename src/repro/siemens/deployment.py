@@ -224,15 +224,29 @@ class SiemensDeployment:
     gateway: GatewayServer
     translator: STARQLTranslator
     macros: MacroRegistry
+    _compat_session: object = field(default=None, repr=False)
 
     def register_task(self, starql_text: str, name: str | None = None):
-        """Translate STARQL text and register it as a continuous query."""
-        from ..starql import parse_starql
+        """Translate STARQL text and register it as a continuous query.
 
-        query = parse_starql(starql_text)
-        translation = self.translator.translate(query, name=name)
-        registered = self.gateway.register(translation.plan, name=translation.plan.name)
-        return registered, translation
+        Compatibility wrapper over the session API (one shared compat
+        session with unbounded sinks): translations are cached by
+        normalized text and the cached plan is cloned per registration.
+        """
+        if self._compat_session is None:
+            self._compat_session = self.session(sink_capacity=None)
+        handle = self._compat_session.submit(starql_text, name=name)
+        return handle.registered, handle.prepared.translation
+
+    def session(self, **kwargs):
+        """A client session over this deployment's translator + gateway."""
+        from ..optique.session import Session
+
+        return Session(self.translator, self.gateway, **kwargs)
+
+    def step(self, n_windows: int = 1) -> int:
+        """Advance the cooperative executor; see ``GatewayServer.step``."""
+        return self.gateway.step(n_windows)
 
     def run(self, max_windows: int | None = None) -> float:
         """Drive all registered tasks; returns wall seconds."""

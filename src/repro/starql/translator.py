@@ -20,6 +20,7 @@ rows back into RDF triples for the CONSTRUCTed output stream.
 from __future__ import annotations
 
 import itertools
+import re
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -71,6 +72,10 @@ from .macros import MacroRegistry, collect_attributes, compile_macro
 __all__ = ["TranslationError", "ConstructTemplate", "TranslationResult", "STARQLTranslator"]
 
 _translator_counter = itertools.count(1)
+
+# mirrors the parser's string-literal token; capturing group keeps the
+# literals in re.split output (at odd indices)
+_STRING_LITERAL = re.compile(r'("(?:[^"\\]|\\.)*")')
 
 
 class TranslationError(ValueError):
@@ -166,8 +171,45 @@ class STARQLTranslator:
             self.saturated = mappings
             self._rewriter = PerfectRef(ontology)
         self._unfolder = Unfolder(self.saturated, primary_keys)
+        self._text_cache: dict[str, TranslationResult] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # -- public API -----------------------------------------------------------
+
+    @staticmethod
+    def normalize_text(text: str) -> str:
+        """The translation-cache key: whitespace-insensitive query text.
+
+        Whitespace inside double-quoted literals (pulse clock values,
+        typed constants) is significant and preserved verbatim — only
+        the text between literals is collapsed.
+        """
+        parts = _STRING_LITERAL.split(text)
+        for i in range(0, len(parts), 2):  # odd indices are the literals
+            parts[i] = " ".join(parts[i].split())
+        return "".join(parts)
+
+    def translate_text(self, text: str) -> TranslationResult:
+        """Parse + translate once per normalized query text (prepared
+        queries).
+
+        The cached :class:`TranslationResult` is name-neutral — its plan
+        carries an auto-generated name; callers registering it must clone
+        the plan (``dataclasses.replace``) before renaming, since the same
+        cached plan may back many registered queries.
+        """
+        from .parser import parse_starql
+
+        key = self.normalize_text(text)
+        cached = self._text_cache.get(key)
+        if cached is None:
+            self.cache_misses += 1
+            cached = self.translate(parse_starql(text))
+            self._text_cache[key] = cached
+        else:
+            self.cache_hits += 1
+        return cached
 
     def translate(
         self, query: STARQLQuery, name: str | None = None
