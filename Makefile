@@ -1,17 +1,36 @@
 # Repro toolchain: `make test` is the tier-1 gate; `make examples` /
 # `make smoke` run every script under examples/ so facade-API drift
-# fails loudly; `make bench` runs the benchmark suite.
+# fails loudly; `make bench` runs the benchmark suite; `make ci` runs
+# exactly what the CI workflow runs, job by job.
 
 PY ?= python
+RUFF ?= ruff
+
 export PYTHONPATH := src
 
-.PHONY: test bench examples smoke
+.PHONY: test bench bench-smoke examples smoke lint ci
 
 test:
 	$(PY) -m pytest -x -q
 
+lint:
+	@if command -v $(RUFF) >/dev/null 2>&1; then \
+		$(RUFF) check src tests benchmarks examples; \
+	elif $(PY) -m ruff --version >/dev/null 2>&1; then \
+		$(PY) -m ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping lint (CI installs the pinned version)"; \
+	fi
+
 bench:
 	$(PY) -m pytest benchmarks/bench_*.py -q
+
+# The CI benchmark job: session-poll + sharded-engine benches on tiny
+# workloads, with machine-readable results for the workflow artifact.
+bench-smoke:
+	$(PY) -m pytest benchmarks/bench_session_poll.py \
+		benchmarks/bench_sharded_engine.py \
+		-q --smoke --benchmark-json=bench-results.json
 
 smoke:
 	$(PY) -m pytest tests/test_examples_smoke.py -q
@@ -21,3 +40,5 @@ examples:
 		echo "== $$script"; \
 		$(PY) $$script > /dev/null; \
 	done; echo "all examples OK"
+
+ci: lint test smoke examples bench-smoke

@@ -7,7 +7,6 @@ a join)."  Ablation: repeated equality probes against a cached batch
 with the indexer enabled vs disabled.
 """
 
-import pytest
 
 from repro.streams import AdaptiveIndexer
 

@@ -6,7 +6,7 @@ ramp, and verify the alert fires exactly on the ramping sensor.
 The benchmark times one full window-sweep of the compiled plan.
 """
 
-from repro.exastream import GatewayServer, QueryState
+from repro.exastream import QueryState
 from repro.siemens import diagnostic_catalog
 
 

@@ -13,7 +13,6 @@ This bench measures, for the 20-task catalog:
 * the text-size ratio between the STARQL program and its SQL fleet.
 """
 
-import pytest
 
 from repro.siemens import diagnostic_catalog
 from repro.starql import STARQLTranslator, parse_starql

@@ -7,7 +7,6 @@ a 6-stage scalar UDF chain applied per tuple, fused into one closure vs
 dispatched stage-by-stage through a list.
 """
 
-import pytest
 
 from repro.exastream import fuse
 

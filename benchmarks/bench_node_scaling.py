@@ -10,7 +10,6 @@ near-linear over the first doublings, flattening toward 128 (the serial
 coordinator), and double-digit-millions tuples/sec at full scale.
 """
 
-import pytest
 
 from repro.exastream import (
     ClusterParameters,

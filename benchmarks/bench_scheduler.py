@@ -6,7 +6,6 @@ operator counts and window volumes) on 16 workers and measure the load
 balance, plus placement throughput.
 """
 
-import pytest
 
 from repro.exastream import Scheduler, StreamEngine, plan_sql
 from repro.relational import Column, SQLType

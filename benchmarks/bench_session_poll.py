@@ -40,11 +40,12 @@ def _engine(n_seconds=120, n_sensors=20):
     return engine
 
 
-def test_session_poll_throughput_and_fairness(benchmark, small_fleet):
+def test_session_poll_throughput_and_fairness(benchmark, small_fleet, smoke):
     """8 handles over one prepared STARQL task, stepped and polled."""
+    duration = 10 if smoke else 30
 
     def run():
-        deployment = deploy(fleet=small_fleet, stream_duration=30)
+        deployment = deploy(fleet=small_fleet, stream_duration=duration)
         session = deployment.session(sink_capacity=16)
         prepared = session.prepare(diagnostic_catalog()[0].starql)
         handles = [
@@ -78,15 +79,16 @@ def test_session_poll_throughput_and_fairness(benchmark, small_fleet):
 
 
 @pytest.mark.parametrize("mode", ["batch_run", "step_poll"])
-def test_incremental_vs_batch_overhead(benchmark, mode):
+def test_incremental_vs_batch_overhead(benchmark, mode, smoke):
     """step()+poll() must not cost materially more than batch run()."""
     sql = (
         "SELECT w.sid AS s, AVG(w.val) AS m "
         "FROM timeSlidingWindow(S, 10, 5) AS w GROUP BY w.sid"
     )
+    n_seconds = 40 if smoke else 120
 
     def run():
-        engine = _engine()
+        engine = _engine(n_seconds=n_seconds)
         gateway = GatewayServer(engine)
         queries = [
             gateway.register(sql, name=f"q{i}", sink_capacity=16)

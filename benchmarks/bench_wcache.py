@@ -7,7 +7,6 @@ same windowed stream with a shared cache (one materialisation) vs
 private caches (N materialisations).
 """
 
-import pytest
 
 from repro.streams import SharedWindowReader, WindowCache, WindowSpec
 

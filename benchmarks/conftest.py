@@ -6,6 +6,12 @@ from repro.siemens import FleetConfig, deploy, generate_fleet
 
 
 @pytest.fixture(scope="session")
+def smoke(request):
+    """True under ``--smoke``: tiny workloads, assertions relaxed."""
+    return request.config.getoption("--smoke")
+
+
+@pytest.fixture(scope="session")
 def small_fleet():
     return generate_fleet(FleetConfig(turbines=6, plants=3, correlated_pairs=3))
 

@@ -1,0 +1,16 @@
+"""Root pytest configuration.
+
+Registers the ``--smoke`` flag here (options must live in a rootdir
+conftest) so the benchmark suite can run in a fast CI mode:
+``pytest benchmarks/... --smoke`` shrinks workloads to seconds and
+relaxes throughput assertions that need real hardware.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run benchmarks on tiny workloads (CI smoke mode)",
+    )

@@ -23,7 +23,7 @@ from repro.bootox import (
 from repro.mappings import Unfolder
 from repro.queries import ClassAtom, ConjunctiveQuery, UnionOfConjunctiveQueries
 from repro.rdf import Namespace, Variable
-from repro.siemens import FleetConfig, generate_fleet, legacy_schema, plant_schema
+from repro.siemens import FleetConfig, generate_fleet, plant_schema
 
 PLANT_NS = Namespace("http://bootstrapped.example/plant#")
 LEGACY_NS = Namespace("http://bootstrapped.example/legacy#")

@@ -10,7 +10,6 @@ Run:  python examples/quickstart.py
 """
 
 from repro.optique import OptiquePlatform
-from repro.rdf import Namespace
 from repro.siemens import (
     FleetConfig,
     build_siemens_mappings,

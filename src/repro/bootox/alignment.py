@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import difflib
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..ontology import (
     AtomicClass,

@@ -36,7 +36,7 @@ from ..ontology import (
     SubClassOf,
 )
 from ..rdf import IRI, Namespace, XSD
-from ..relational import Column, ForeignKey, Schema, SQLType, Table
+from ..relational import Schema, SQLType, Table
 from ..streams import StreamSchema
 from .naming import class_name_for_table, property_name_for_column
 

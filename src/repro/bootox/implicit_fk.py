@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..relational import Database, ForeignKey, Schema, SQLType, Table
+from ..relational import Database, ForeignKey, Schema, Table
 
 __all__ = ["ImplicitKey", "discover_implicit_keys", "apply_implicit_keys"]
 

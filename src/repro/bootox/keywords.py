@@ -18,7 +18,7 @@ trees and keeping per-column predicates only when every example agrees.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
 

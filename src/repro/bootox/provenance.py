@@ -8,7 +8,7 @@ unfolded fleet with the provenance of each disjunct.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..mappings import MappingAssertion, MappingCollection, UnfoldingResult
 from ..rdf import IRI

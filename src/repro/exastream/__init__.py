@@ -15,6 +15,17 @@ from .plan import (
 )
 from .planner import PlanningError, plan_select, plan_sql
 from .scheduler import OperatorPlacement, Scheduler, WorkerNode, plan_operators
+from .sharded import ShardedEngine, ShardedPlanRuntime
+from .sharding import (
+    CombinerSpec,
+    PartitionMode,
+    ShardingDecision,
+    analyze_partitioning,
+    canonical_row_key,
+    combine_partials,
+    make_shard_plan,
+    stable_hash,
+)
 from .simulation import (
     ClusterParameters,
     ClusterSimulator,
@@ -52,6 +63,16 @@ __all__ = [
     "Scheduler",
     "WorkerNode",
     "plan_operators",
+    "ShardedEngine",
+    "ShardedPlanRuntime",
+    "CombinerSpec",
+    "PartitionMode",
+    "ShardingDecision",
+    "analyze_partitioning",
+    "canonical_row_key",
+    "combine_partials",
+    "make_shard_plan",
+    "stable_hash",
     "ClusterParameters",
     "ClusterSimulator",
     "SimulationResult",

@@ -9,8 +9,8 @@ shared window cache (wCache) and the adaptive indexer, and executes
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Any, Iterator
 
 from ..relational import Database
 from ..sql import BinOp, Col, Expr
@@ -22,7 +22,8 @@ from ..streams import (
 )
 from .metrics import EngineMetrics, QueryMetrics, Stopwatch
 from .operators import Relation, StaticTable, compile_expr, hash_join, nested_loop_join
-from .plan import AggregateSpec, ContinuousPlan, StaticRef, WindowedStreamRef
+from .plan import AggregateSpec, ContinuousPlan, WindowedStreamRef
+from .sharding import canonical_row_key
 from .udf import UDFRegistry, builtin_registry
 
 __all__ = ["WindowResult", "BoundedResultSink", "StreamEngine", "PlanRuntime"]
@@ -268,7 +269,6 @@ class PlanRuntime:
             if chosen in self.statics and keys is not None:
                 static = self.statics[chosen]
                 # indexed stream-static join: probe the static hash index
-                static_keys = [k.split(".", 1)[1] for k in keys[1]]
                 current = static.join_probe(current, keys[0], keys[1])
             else:
                 right = load(chosen)
@@ -328,7 +328,10 @@ class PlanRuntime:
         if spec.having:
             fns = [compile_expr(p, result, self.udfs) for p in spec.having]
             result.rows = [r for r in result.rows if all(fn(r) for fn in fns)]
-        return result.rows, out_columns
+        # Canonical group order: aggregate output is deterministic under
+        # any tuple arrival order and any shard count (the sharded merge
+        # relies on both sides agreeing on this order).
+        return sorted(result.rows, key=canonical_row_key), out_columns
 
     def _aggregate_call(
         self, call, members: list[tuple], relation: Relation

@@ -158,12 +158,17 @@ class GatewayServer:
         sink_capacity: int | None = None,
         sink_policy: str = BoundedResultSink.DROP_OLDEST,
         window_limit: int | None = None,
+        shards: int | None = None,
     ) -> RegisteredQuery:
         """Register SQL(+) text or a prepared plan as a continuous query.
 
         An explicit duplicate ``name`` raises; when the name is derived
         from the plan (or auto-generated) a fresh unique name is chosen,
         so the same prepared plan can be submitted repeatedly.
+
+        ``shards`` requests data-parallel execution across that many
+        shards; it needs a :class:`~repro.exastream.sharded.ShardedEngine`
+        behind the gateway (``shards=1``/``None`` runs anywhere).
         """
         if isinstance(query, str):
             plan = plan_sql(query, self.engine, name=name)
@@ -177,7 +182,18 @@ class GatewayServer:
         elif name in self._queries:
             raise ValueError(f"query name {name!r} already registered")
         plan.name = name
-        runtime = self.engine.bind(plan, shared_readers=self._shared_readers)
+        if shards is None:
+            runtime = self.engine.bind(plan, shared_readers=self._shared_readers)
+        elif hasattr(self.engine, "default_shards"):
+            runtime = self.engine.bind(
+                plan, shared_readers=self._shared_readers, shards=shards
+            )
+        elif shards == 1:
+            runtime = self.engine.bind(plan, shared_readers=self._shared_readers)
+        else:
+            raise ValueError(
+                f"shards={shards} requires a ShardedEngine behind the gateway"
+            )
         registered = RegisteredQuery(
             name=name,
             plan=plan,
@@ -206,8 +222,12 @@ class GatewayServer:
             raise KeyError(f"query {name!r} is not registered")
         registered = self._queries.pop(name)
         registered.cancel()
+        close = getattr(registered.runtime, "close", None)
+        if close is not None:  # sharded runtimes own worker processes
+            close()
         if self.scheduler is not None:
             self.scheduler.remove(name)
+        release = getattr(self.engine, "release_reader", None)
         for key in self._reader_keys.pop(name, set()):
             remaining = self._reader_refs.get(key, 0) - 1
             if remaining > 0:
@@ -215,6 +235,8 @@ class GatewayServer:
             else:
                 self._reader_refs.pop(key, None)
                 self._shared_readers.pop(key, None)
+                if release is not None:  # sharded per-layout readers
+                    release(key)
 
     def query(self, name: str) -> RegisteredQuery:
         return self._queries[name]

@@ -8,11 +8,10 @@ are fused (:func:`repro.exastream.udf.fuse`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
 
 from ..sql import BinOp, Col, Expr, Func, Lit, Star, UnaryOp
-from ..streams import AdaptiveIndexer
 from .udf import UDFRegistry
 
 __all__ = ["Relation", "compile_expr", "hash_join", "nested_loop_join", "StaticTable"]

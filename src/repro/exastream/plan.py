@@ -15,10 +15,13 @@ SELECT-PROJECT-JOIN-AGGREGATE block:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING
 
 from ..sql import Expr
 from ..streams import WindowSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .sharding import ShardingDecision
 
 __all__ = [
     "WindowedStreamRef",
@@ -108,6 +111,12 @@ class ContinuousPlan:
     aggregate: AggregateSpec | None = None
     start: float | None = None  # PULSE START anchor
     distinct: bool = False
+    #: sharding classification (operators marked partitionable vs
+    #: merge-requiring); ``None`` means "not analyzed yet" — the sharded
+    #: engine analyzes lazily at bind time.
+    partitioning: "ShardingDecision | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if not self.windows:

@@ -16,7 +16,6 @@ execution environment."  Planning decisions made here:
 
 from __future__ import annotations
 
-import itertools
 from typing import TYPE_CHECKING
 
 from ..sql import (
@@ -47,6 +46,7 @@ from .plan import (
     StaticRef,
     WindowedStreamRef,
 )
+from .sharding import analyze_partitioning
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .engine import StreamEngine
@@ -78,7 +78,6 @@ def plan_select(
     windows: list[WindowedStreamRef] = []
     statics: list[StaticRef] = []
     conditions: list[Expr] = list(query.where)
-    alias_counter = itertools.count(1)
 
     def visit(table: TableExpr) -> None:
         if isinstance(table, Join):
@@ -165,7 +164,7 @@ def plan_select(
                 OutputColumn(item.expr, item.alias or print_expr(item.expr))
             )
 
-    return ContinuousPlan(
+    plan = ContinuousPlan(
         name=name or "",
         windows=windows,
         statics=statics,
@@ -175,6 +174,10 @@ def plan_select(
         aggregate=aggregate,
         distinct=query.distinct,
     )
+    # Mark operators partitionable vs merge-requiring at plan time, so
+    # the scheduler and sharded engine see the classification up front.
+    plan.partitioning = analyze_partitioning(plan, engine)
+    return plan
 
 
 def _static_subselect_source(query: Query, engine: "StreamEngine") -> str:

@@ -1,29 +1,37 @@
-"""The Scheduler: load-based placement of operators on worker nodes.
+"""The Scheduler: operator placement and shard assignment on worker nodes.
 
 "The Scheduler places stream and relational operators on worker nodes
 based on the node's load.  These operators are executed by a Stream
 Engine instance running on each node."
 
-Placement is an online least-loaded assignment: each operator of a
-registered plan carries a cost estimate, and the scheduler assigns it to
-the currently lightest worker, keeping stream scans of the same window
-grid co-located (so the wCache stays node-local).  The balance metric it
-exposes is what benchmark E11 measures under skewed query loads.
+Two layers share one load account:
+
+* **operator placement** — online least-loaded assignment of a plan's
+  operators, keeping stream scans of the same window grid co-located
+  (so the wCache stays node-local);
+* **shard assignment** — the sharded engine registers each of a query's
+  shards here, reports *observed* per-shard execution cost back after
+  every batch, and :meth:`Scheduler.rebalance` migrates shard
+  assignments off overloaded workers when the balance ratio degrades
+  (skewed partitions put real, measured weight on their workers).
+
+Every placement is released when its query deregisters — including the
+scan-affinity entries, which are reference-counted so a departed query
+cannot leave behind phantom cache discounts (the load-drift bug).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
 
 from .plan import ContinuousPlan
 
-__all__ = ["OperatorPlacement", "WorkerNode", "Scheduler"]
+__all__ = ["OperatorPlacement", "WorkerNode", "Scheduler", "plan_operators"]
 
 
 @dataclass
 class OperatorPlacement:
-    """One operator pinned to a worker."""
+    """One operator (or one shard) pinned to a worker."""
 
     query: str
     operator: str
@@ -45,6 +53,16 @@ class WorkerNode:
         placement.worker = self.node_id
         self.placements.append(placement)
         self.load += placement.cost
+
+    def release(self, placement: OperatorPlacement) -> None:
+        """Remove one placement by identity and return its cost."""
+        for index, existing in enumerate(self.placements):
+            if existing is placement:
+                del self.placements[index]
+                break
+        self.load -= placement.cost
+        if not self.placements:
+            self.load = 0.0  # don't let float residue accumulate
 
 
 def plan_operators(plan: ContinuousPlan) -> list[tuple[str, float]]:
@@ -71,7 +89,7 @@ def plan_operators(plan: ContinuousPlan) -> list[tuple[str, float]]:
 
 
 class Scheduler:
-    """Least-loaded operator placement across a fixed worker pool."""
+    """Least-loaded operator and shard placement across a worker pool."""
 
     def __init__(self, num_workers: int, processors_per_node: int = 2) -> None:
         if num_workers <= 0:
@@ -81,6 +99,7 @@ class Scheduler:
             for i in range(num_workers)
         ]
         self._scan_affinity: dict[str, int] = {}
+        self._scan_refs: dict[str, int] = {}
         self._by_query: dict[str, list[OperatorPlacement]] = {}
 
     # -- placement --------------------------------------------------------
@@ -100,6 +119,7 @@ class Scheduler:
             worker.assign(placement)
             if operator.startswith("scan["):
                 self._scan_affinity[operator] = worker.node_id
+                self._scan_refs[operator] = self._scan_refs.get(operator, 0) + 1
             placements.append(placement)
         self._by_query.setdefault(plan.name, []).extend(placements)
         return placements
@@ -111,11 +131,112 @@ class Scheduler:
         return min(self.workers, key=lambda w: (w.load, w.node_id))
 
     def remove(self, query: str) -> None:
-        """Release every placement of one deregistered query."""
+        """Release every placement of one deregistered query.
+
+        Scan-affinity entries are reference-counted: once the last query
+        scanning a window grid leaves, the affinity (and its cached-scan
+        discount) is dropped, so load accounting cannot drift across
+        register/deregister cycles.
+        """
         for placement in self._by_query.pop(query, []):
-            worker = self.workers[placement.worker]
-            worker.load -= placement.cost
-            worker.placements.remove(placement)
+            self.workers[placement.worker].release(placement)
+            operator = placement.operator
+            if operator.startswith("scan["):
+                remaining = self._scan_refs.get(operator, 0) - 1
+                if remaining > 0:
+                    self._scan_refs[operator] = remaining
+                else:
+                    self._scan_refs.pop(operator, None)
+                    self._scan_affinity.pop(operator, None)
+
+    # -- shard assignment -------------------------------------------------
+
+    def assign_shards(
+        self, query: str, num_shards: int, cost_per_shard: float = 1.0
+    ) -> list[int]:
+        """Assign ``num_shards`` shards of ``query`` to workers.
+
+        Each shard becomes a live placement (operator ``shard[i]``) on
+        the currently lightest worker; the returned list maps shard
+        index to worker id.  Observed costs reported via
+        :meth:`observe_shard` replace the initial estimate.
+        """
+        assigned: list[int] = []
+        for shard in range(num_shards):
+            placement = OperatorPlacement(
+                query, f"shard[{shard}]", cost_per_shard, worker=-1
+            )
+            worker = min(self.workers, key=lambda w: (w.load, w.node_id))
+            worker.assign(placement)
+            self._by_query.setdefault(query, []).append(placement)
+            assigned.append(worker.node_id)
+        return assigned
+
+    def observe_shard(
+        self, query: str, shard: int, seconds: float = 0.0, tuples: int = 0
+    ) -> None:
+        """Fold a real measurement into one shard's tracked load.
+
+        The shard's cost becomes an exponential moving average of the
+        observed execution cost (seconds, scaled so one second of shard
+        wall time weighs like one unit-cost operator, plus a small
+        per-tuple term), replacing the static estimate — this is what
+        makes skew visible to :meth:`rebalance`.
+        """
+        operator = f"shard[{shard}]"
+        observed = seconds * 1000.0 + tuples * 1e-4
+        for placement in self._by_query.get(query, ()):
+            if placement.operator == operator:
+                updated = 0.5 * placement.cost + 0.5 * observed
+                worker = self.workers[placement.worker]
+                worker.load += updated - placement.cost
+                placement.cost = updated
+                return
+
+    def shard_assignments(self, query: str) -> dict[int, int]:
+        """shard index -> worker id for one query's live shards."""
+        out: dict[int, int] = {}
+        for placement in self._by_query.get(query, ()):
+            if placement.operator.startswith("shard["):
+                shard = int(placement.operator[6:-1])
+                out[shard] = placement.worker
+        return out
+
+    def rebalance(self, threshold: float = 1.25) -> list[tuple[str, str, int, int]]:
+        """Migrate shard placements off overloaded workers.
+
+        Repeatedly moves the heaviest movable shard from the most loaded
+        worker to the least loaded one while the balance ratio exceeds
+        ``threshold`` and each move strictly lowers the maximum load.
+        Scan placements never move (their window cache is node-local).
+        Returns ``(query, operator, from_worker, to_worker)`` moves.
+        """
+        moves: list[tuple[str, str, int, int]] = []
+        while self.balance() > threshold:
+            source = max(self.workers, key=lambda w: w.load)
+            target = min(self.workers, key=lambda w: (w.load, w.node_id))
+            movable = [
+                p for p in source.placements if p.operator.startswith("shard[")
+            ]
+            if not movable:
+                break
+            best = None
+            for placement in movable:
+                new_max = max(
+                    source.load - placement.cost, target.load + placement.cost
+                )
+                if new_max < source.load and (best is None or new_max < best[0]):
+                    best = (new_max, placement)
+            if best is None:
+                break
+            placement = best[1]
+            source.release(placement)
+            target.assign(placement)
+            moves.append(
+                (placement.query, placement.operator,
+                 source.node_id, target.node_id)
+            )
+        return moves
 
     # -- metrics ---------------------------------------------------------------
 

@@ -1,0 +1,546 @@
+"""Sharded data-parallel stream execution: N per-shard engines + merge.
+
+This is the execution half of the sharding subsystem (the planning half
+lives in :mod:`repro.exastream.sharding`).  A :class:`ShardedEngine`
+duck-types :class:`~repro.exastream.engine.StreamEngine` — the gateway,
+translator and planner drive it unchanged — but internally it:
+
+* hash-partitions every registered stream by the plan's key column
+  across ``shards`` per-shard :class:`StreamEngine` instances (static
+  databases are replicated to every shard);
+* executes window operators shard-locally, window-grid-aligned via
+  :class:`~repro.streams.window.Heartbeat` punctuations;
+* merges per-window shard results through order-preserving merge
+  operators (``merge[concat]`` for shard-local groups, a recombining
+  ``merge[combine]`` for partial aggregates);
+* optionally executes shards in *forked worker processes* — one OS
+  process per shard, driven over pipes in prefetched window batches —
+  which is what the throughput benchmark scales with.
+
+``shards=1`` (the default everywhere) binds straight to a single
+per-shard engine: byte-for-byte the single-node behaviour.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import sys
+from typing import Iterator
+
+from ..relational import Database
+from ..streams import SharedWindowReader, StreamSource
+from .engine import PlanRuntime, StreamEngine, WindowResult
+from .metrics import EngineMetrics, Stopwatch
+from .plan import ContinuousPlan
+from .sharding import (
+    CombinerSpec,
+    PartitionMode,
+    ShardingDecision,
+    analyze_partitioning,
+    canonical_row_key,
+    combine_partials,
+    make_shard_plan,
+    partitioned_tuples,
+)
+from .udf import UDFRegistry, builtin_registry
+
+__all__ = ["ShardedEngine", "ShardedPlanRuntime"]
+
+#: (window_id, window_end, columns, rows, tuples_in, seconds) — one
+#: shard's output for one window, as shipped over the worker protocol.
+#: ``seconds`` is the shard's own execution time, so observed load stays
+#: correct under fork parallelism (coordinator-side timing would only
+#: measure pipe wait).
+_Payload = tuple[int, float, list[str], list[tuple], int, float]
+
+
+def fork_available() -> bool:
+    return (
+        sys.platform != "win32"
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+
+
+def _execute_batch(
+    runtime: PlanRuntime, start: int, count: int
+) -> list[_Payload | None]:
+    """Run windows ``[start, start+count)``; ``None`` terminates on EOS."""
+    out: list[_Payload | None] = []
+    for window_id in range(start, start + count):
+        before = runtime.metrics.tuples_in
+        watch = Stopwatch()
+        result = runtime.execute_window(window_id)
+        if result is None:
+            out.append(None)
+            break
+        out.append(
+            (
+                result.window_id,
+                result.window_end,
+                result.columns,
+                result.rows,
+                runtime.metrics.tuples_in - before,
+                watch.elapsed(),
+            )
+        )
+    return out
+
+
+class LocalShardWorker:
+    """In-process shard execution (the default, deterministic path)."""
+
+    def __init__(self, runtime: PlanRuntime) -> None:
+        self._runtime = runtime
+        self._pending: tuple[int, int] | None = None
+
+    def request(self, start: int, count: int) -> None:
+        self._pending = (start, count)
+
+    def collect(self) -> list[_Payload | None]:
+        assert self._pending is not None
+        start, count = self._pending
+        self._pending = None
+        return _execute_batch(self._runtime, start, count)
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_server(conn, runtime: PlanRuntime) -> None:
+    """Worker-process loop: batched window execution over a pipe."""
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "close":
+                break
+            _, start, count = message
+            try:
+                conn.send(_execute_batch(runtime, start, count))
+            except Exception as exc:  # ship the failure to the coordinator
+                conn.send(("__error__", f"{type(exc).__name__}: {exc}"))
+                break
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()
+
+
+class ForkShardWorker:
+    """One shard in a forked OS process (real data-parallel execution).
+
+    The fork inherits the bound runtime — plans, compiled closures,
+    partitioned data and UDFs cross without pickling; only window
+    results come back over the pipe.
+    """
+
+    def __init__(self, runtime: PlanRuntime) -> None:
+        context = multiprocessing.get_context("fork")
+        self._conn, child = context.Pipe()
+        self._process = context.Process(
+            target=_shard_server, args=(child, runtime), daemon=True
+        )
+        self._process.start()
+        child.close()
+
+    def request(self, start: int, count: int) -> None:
+        self._conn.send(("exec", start, count))
+
+    def collect(self) -> list[_Payload | None]:
+        reply = self._conn.recv()
+        if isinstance(reply, tuple) and reply and reply[0] == "__error__":
+            self.close()
+            raise RuntimeError(f"shard worker failed: {reply[1]}")
+        return reply
+
+    def close(self) -> None:
+        if self._process.is_alive():
+            try:
+                self._conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+            self._process.join(timeout=2.0)
+            if self._process.is_alive():  # pragma: no cover - defensive
+                self._process.terminate()
+        self._conn.close()
+
+
+class ShardedPlanRuntime:
+    """A plan bound across shards: batched dispatch + merge operators.
+
+    Duck-types :class:`~repro.exastream.engine.PlanRuntime` for the
+    gateway's cooperative executor: ``execute_window(k)`` with
+    monotonically non-decreasing ``k``.  Windows are requested from all
+    shards in ``prefetch``-sized batches — with forked workers every
+    shard computes its batch concurrently — then merged per window.
+    """
+
+    def __init__(
+        self,
+        plan: ContinuousPlan,
+        decision: ShardingDecision,
+        combiner: CombinerSpec | None,
+        shard_runtimes: list[PlanRuntime],
+        metrics,
+        udfs: UDFRegistry,
+        parallel: str | None = None,
+        prefetch: int = 8,
+        scheduler=None,
+    ) -> None:
+        self.plan = plan
+        self.decision = decision
+        self._combiner = combiner
+        self.metrics = metrics
+        self._udfs = udfs
+        self._prefetch = max(1, prefetch)
+        self._scheduler = scheduler
+        use_fork = parallel in ("fork", "process") and fork_available()
+        worker_cls = ForkShardWorker if use_fork else LocalShardWorker
+        self.parallel = "fork" if use_fork else "serial"
+        self.workers: list[LocalShardWorker | ForkShardWorker] = [
+            worker_cls(runtime) for runtime in shard_runtimes
+        ]
+        self._buffers: list[dict[int, _Payload]] = [{} for _ in self.workers]
+        self._exhausted = [False] * len(self.workers)
+        self._next_fetch = 0
+        self._done = False
+        self._closed = False
+        if scheduler is not None:
+            scheduler.assign_shards(plan.name, len(self.workers))
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.workers)
+
+    def _fetch_batch(self) -> None:
+        start, count = self._next_fetch, self._prefetch
+        active = [
+            i for i, done in enumerate(self._exhausted)
+            if not done
+        ]
+        for i in active:  # dispatch to every shard first ...
+            self.workers[i].request(start, count)
+        for i in active:  # ... then gather, so forked shards overlap
+            seconds = 0.0
+            for payload in self.workers[i].collect():
+                if payload is None:
+                    self._exhausted[i] = True
+                    break
+                self._buffers[i][payload[0]] = payload
+                seconds += payload[5]
+            if self._scheduler is not None:
+                self._scheduler.observe_shard(
+                    self.plan.name, i, seconds=seconds
+                )
+        self._next_fetch = start + count
+
+    def execute_window(self, window_id: int) -> WindowResult | None:
+        if self._done:
+            return None
+        watch = Stopwatch()
+        while (
+            any(window_id in buffer for buffer in self._buffers) is False
+            and not all(self._exhausted)
+            and self._next_fetch <= window_id
+        ):
+            self._fetch_batch()
+        payloads = [buffer.pop(window_id, None) for buffer in self._buffers]
+        if all(p is None for p in payloads):
+            self._done = True
+            return None
+        window_end = next(p[1] for p in payloads if p is not None)
+        columns, rows = self._merge(payloads)
+        self.metrics.windows_processed += 1
+        self.metrics.tuples_in += sum(p[4] for p in payloads if p is not None)
+        self.metrics.tuples_out += len(rows)
+        self.metrics.wall_seconds += watch.elapsed()
+        return WindowResult(self.plan.name, window_id, window_end, columns, rows)
+
+    def _merge(
+        self, payloads: list[_Payload | None]
+    ) -> tuple[list[str], list[tuple]]:
+        present = [p for p in payloads if p is not None]
+        if self.decision.mode is PartitionMode.PARTIAL:
+            assert self._combiner is not None
+            rows = combine_partials(
+                [p[3] for p in present], self._combiner, self._udfs
+            )
+            return list(self._combiner.out_columns), rows
+        # merge[concat]: shard outputs are each canonically ordered and
+        # (PARTITIONED) group-disjoint — a k-way merge preserves the
+        # exact single-shard order.
+        columns = present[0][2]
+        if len(present) == 1:
+            return columns, present[0][3]
+        rows = list(heapq.merge(*(p[3] for p in present), key=canonical_row_key))
+        return columns, rows
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self.workers:
+            worker.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class ShardedReaderGroup:
+    """Per-shard shared-reader dictionaries for one partition layout.
+
+    Queries with the same window grid and the same partition layout
+    share materialised windows shard-locally (the wCache behaviour,
+    preserved under sharding).
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        self.per_shard: list[dict[str, SharedWindowReader]] = [
+            {} for _ in range(num_shards)
+        ]
+
+    def release(self, key: str) -> None:
+        for readers in self.per_shard:
+            readers.pop(key, None)
+
+
+class ShardedEngine:
+    """N per-shard stream engines behind one StreamEngine-shaped facade.
+
+    ``shards`` fixes the worker pool size; each ``bind`` may use any
+    ``1..shards`` of them.  ``parallel="fork"`` executes shards in
+    forked worker processes (Linux/macOS); the default executes them
+    in-process, which is deterministic and cheap for small queries.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        udfs: UDFRegistry | None = None,
+        cache_capacity: int = 4096,
+        adaptive_indexing: bool = True,
+        parallel: str | None = None,
+        prefetch: int = 8,
+        scheduler=None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.udfs = udfs or builtin_registry()
+        self.default_shards = shards
+        self.parallel = parallel
+        self.prefetch = prefetch
+        self.scheduler = scheduler
+        self.metrics = EngineMetrics()
+        self.shard_engines = [
+            StreamEngine(
+                udfs=self.udfs,
+                cache_capacity=cache_capacity,
+                adaptive_indexing=adaptive_indexing,
+            )
+            for _ in range(shards)
+        ]
+        self._sources: dict[str, StreamSource] = {}
+        self._databases: dict[str, Database] = {}
+        #: stream name -> (materialised tuples, first ts, last ts)
+        self._materialized: dict[str, tuple[list[tuple], float | None, float | None]] = {}
+        self._groups: dict[tuple[int, str | None], ShardedReaderGroup] = {}
+        self._runtimes: list[ShardedPlanRuntime] = []
+
+    # -- StreamEngine facade -----------------------------------------------
+
+    def register_stream(self, source: StreamSource) -> None:
+        self._sources[source.stream.name] = source
+        self._materialized.pop(source.stream.name, None)
+        for engine in self.shard_engines:
+            engine.register_stream(source)
+
+    def attach_database(self, name: str, database: Database) -> None:
+        """Attach a static source, replicated to every shard."""
+        self._databases[name] = database
+        for engine in self.shard_engines:
+            engine.attach_database(name, database)
+
+    def stream(self, name: str) -> StreamSource:
+        return self._sources[name]
+
+    def database(self, name: str) -> Database:
+        return self._databases[name]
+
+    def locate_table(self, table: str) -> str | None:
+        for name, database in self._databases.items():
+            if table in database.schema:
+                return name
+        return None
+
+    @property
+    def stream_names(self) -> set[str]:
+        return set(self._sources)
+
+    @property
+    def cache(self):
+        """Shard 0's window cache (facade parity with StreamEngine)."""
+        return self.shard_engines[0].cache
+
+    @property
+    def caches(self):
+        return [engine.cache for engine in self.shard_engines]
+
+    # -- binding ------------------------------------------------------------
+
+    def _materialize(self, stream: str) -> tuple[list[tuple], float | None, float | None]:
+        cached = self._materialized.get(stream)
+        if cached is None:
+            source = self._sources[stream]
+            data = list(iter(source))
+            time_index = source.stream.schema.time_index
+            first = data[0][time_index] if data else None
+            last = data[-1][time_index] if data else None
+            cached = (data, first, last)
+            self._materialized[stream] = cached
+        return cached
+
+    def resolve_shards(self, plan: ContinuousPlan, shards: int | None) -> int:
+        decision = plan.partitioning or analyze_partitioning(plan, self)
+        if decision.mode is PartitionMode.SINGLETON:
+            return 1
+        n = shards if shards is not None else self.default_shards
+        if n < 1:
+            raise ValueError("need at least one shard")
+        if n > self.default_shards:
+            raise ValueError(
+                f"shards={n} exceeds the engine's pool of {self.default_shards}"
+            )
+        return n
+
+    def bind(
+        self,
+        plan: ContinuousPlan,
+        shared_readers: dict[str, SharedWindowReader] | None = None,
+        shards: int | None = None,
+        parallel: str | None = None,
+    ) -> PlanRuntime | ShardedPlanRuntime:
+        """Bind a plan across shards; ``shards=1`` is the plain path.
+
+        ``shared_readers`` (the gateway's reader catalog) is accepted for
+        interface parity but sharing happens in per-layout
+        :class:`ShardedReaderGroup`\\ s; the gateway's reference-counted
+        release reaches them through :meth:`release_reader`.
+        """
+        decision = plan.partitioning
+        if decision is None:
+            decision = analyze_partitioning(plan, self)
+            plan.partitioning = decision
+        n = self.resolve_shards(plan, shards)
+        if n == 1:
+            group = self._group(1, None)
+            return self.shard_engines[0].bind(
+                plan, shared_readers=group.per_shard[0]
+            )
+        shard_plan, combiner = make_shard_plan(plan, decision)
+        group = self._group(n, decision.key_column)
+        shard_runtimes = []
+        for shard in range(n):
+            self._seed_readers(plan, decision, group, shard, n)
+            shard_runtimes.append(
+                self.shard_engines[shard].bind(
+                    shard_plan, shared_readers=group.per_shard[shard]
+                )
+            )
+        runtime = ShardedPlanRuntime(
+            plan=plan,
+            decision=decision,
+            combiner=combiner,
+            shard_runtimes=shard_runtimes,
+            metrics=self.metrics.query(plan.name),
+            udfs=self.udfs,
+            parallel=parallel if parallel is not None else self.parallel,
+            prefetch=self.prefetch,
+            scheduler=self.scheduler,
+        )
+        self._runtimes.append(runtime)
+        return runtime
+
+    def _group(self, n: int, key_column: str | None) -> ShardedReaderGroup:
+        group = self._groups.get((n, key_column))
+        if group is None:
+            group = ShardedReaderGroup(n)
+            self._groups[(n, key_column)] = group
+        return group
+
+    def _seed_readers(
+        self,
+        plan: ContinuousPlan,
+        decision: ShardingDecision,
+        group: ShardedReaderGroup,
+        shard: int,
+        num_shards: int,
+    ) -> None:
+        """Create this shard's partitioned window readers (if absent)."""
+        readers = group.per_shard[shard]
+        for ref in plan.windows:
+            key = StreamEngine.shared_reader_key(ref, plan)
+            if key in readers:
+                continue
+            data, first_ts, last_ts = self._materialize(ref.stream)
+            schema = self._sources[ref.stream].stream.schema
+            key_index = decision.stream_keys.get(ref.stream)
+            factory = partitioned_tuples(
+                data, shard, num_shards, key_index, last_ts
+            )
+            # The cache identity must encode the partition layout: the
+            # shard engine's WindowCache is shared across layouts, and
+            # a full-stream (shards=1) reader and a slice reader would
+            # otherwise serve each other's batches for the same window.
+            cache_key = f"{key}#p{num_shards}k{key_index}s{shard}"
+            readers[key] = SharedWindowReader(
+                cache_key,
+                factory,
+                ref.spec,
+                schema.time_index,
+                self.shard_engines[shard].cache,
+                start=plan.start if plan.start is not None else first_ts,
+            )
+
+    def release_reader(self, key: str) -> None:
+        """Drop a shared reader from every shard layout (gateway hook)."""
+        for group in self._groups.values():
+            group.release(key)
+
+    # -- execution ----------------------------------------------------------
+
+    def run_continuous(
+        self,
+        plan: ContinuousPlan,
+        max_windows: int | None = None,
+        shards: int | None = None,
+        parallel: str | None = None,
+    ) -> Iterator[WindowResult]:
+        """Execute one plan to stream end (or ``max_windows``)."""
+        runtime = self.bind(plan, shards=shards, parallel=parallel)
+        try:
+            window_id = 0
+            while max_windows is None or window_id < max_windows:
+                result = runtime.execute_window(window_id)
+                if result is None:
+                    return
+                yield result
+                window_id += 1
+        finally:
+            close = getattr(runtime, "close", None)
+            if close is not None:
+                close()
+
+    def close(self) -> None:
+        """Terminate every live shard worker (forked processes)."""
+        for runtime in self._runtimes:
+            runtime.close()
+        self._runtimes.clear()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -19,7 +19,7 @@ exactly as tracing removes interpreter context switches (benchmark E12).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 import numpy as np

@@ -20,7 +20,7 @@ import re
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Union
 
-from ..rdf import IRI, Literal, Term, XSD
+from ..rdf import IRI, Term, XSD
 from ..sql import Query, parse_sql
 
 __all__ = [

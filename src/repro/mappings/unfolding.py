@@ -22,10 +22,10 @@ Unfolding is linear in |mappings| x |query atoms| per produced block
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence, Union
+from dataclasses import dataclass
+from typing import Sequence, Union
 
-from ..queries import Atom, ConjunctiveQuery, Filter, UnionOfConjunctiveQueries
+from ..queries import ConjunctiveQuery, Filter, UnionOfConjunctiveQueries
 from ..rdf import IRI, Literal, Term, Variable, XSD
 from ..sql import (
     BaseTable,

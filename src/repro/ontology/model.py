@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Union
 
-from ..rdf import IRI, Literal, Term
+from ..rdf import IRI, Term
 
 __all__ = [
     "AtomicClass",

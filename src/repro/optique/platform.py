@@ -23,10 +23,16 @@ This is the API the examples and the demo scenarios (S1-S3) use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..bootox import DirectMapper, ProvenanceCatalog, QualityReport, verify_deployment
-from ..exastream import BoundedResultSink, GatewayServer, Scheduler, StreamEngine
+from ..exastream import (
+    BoundedResultSink,
+    GatewayServer,
+    Scheduler,
+    ShardedEngine,
+    StreamEngine,
+)
 from ..mappings import MappingCollection
 from ..ontology import Ontology
 from ..rdf import IRI, Namespace
@@ -80,11 +86,18 @@ class OptiquePlatform:
         mappings: MappingCollection | None = None,
         workers: int = 4,
         primary_keys: dict[str, tuple[str, ...]] | None = None,
+        shards: int = 1,
+        parallel: str | None = None,
     ) -> None:
         self.ontology = ontology or Ontology()
         self.mappings = mappings or MappingCollection()
-        self.engine = StreamEngine()
         self.scheduler = Scheduler(workers)
+        if shards > 1:
+            self.engine = ShardedEngine(
+                shards=shards, parallel=parallel, scheduler=self.scheduler
+            )
+        else:
+            self.engine = StreamEngine()
         self.gateway = GatewayServer(self.engine, scheduler=self.scheduler)
         self.macros = MacroRegistry()
         self.dashboard = Dashboard()

@@ -177,11 +177,15 @@ class Session:
         max_windows: int | None = None,
         sink_capacity=_INHERIT,
         overflow=_INHERIT,
+        shards: int | None = None,
     ) -> QueryHandle:
         """Register a prepared query (or raw STARQL text) for execution.
 
         The cached plan is cloned per submission, so one prepared query
-        can back many concurrently registered handles.
+        can back many concurrently registered handles.  ``shards=N``
+        requests data-parallel execution on a sharded deployment; the
+        default inherits the engine's configuration (plain engines run
+        single-shard).
         """
         if isinstance(query, str):
             query = self.prepare(query)
@@ -196,6 +200,7 @@ class Session:
             sink_capacity=sink_capacity,
             sink_policy=overflow,
             window_limit=max_windows,
+            shards=shards,
         )
         handle = QueryHandle(self, query, registered)
         self._handles[handle.name] = handle

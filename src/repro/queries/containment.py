@@ -10,7 +10,6 @@ atoms), so the backtracking homomorphism search below is fast in practice.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Mapping
 
 from ..rdf import Term, Variable
 from .cq import Atom, ConjunctiveQuery, UnionOfConjunctiveQueries, canonical_form

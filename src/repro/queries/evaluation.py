@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Iterator, Mapping
 
-from ..rdf import IRI, RDF, Graph, Term, Variable
+from ..rdf import RDF, Graph, Term, Variable
 from .cq import Atom, ConjunctiveQuery, UnionOfConjunctiveQueries
 
 __all__ = ["evaluate_cq", "evaluate_ucq", "match_atom"]

@@ -11,7 +11,6 @@ its :class:`~repro.relational.schema.Schema`.
 from __future__ import annotations
 
 import sqlite3
-from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from .schema import Schema, Table

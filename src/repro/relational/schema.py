@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterable, Iterator
+from typing import Iterator
 
 __all__ = ["SQLType", "Column", "ForeignKey", "Table", "Schema"]
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..exastream import GatewayServer, Scheduler, StreamEngine
+from ..exastream import GatewayServer, Scheduler, ShardedEngine, StreamEngine
 from ..mappings import (
     ColumnSpec,
     MappingAssertion,
@@ -23,7 +23,7 @@ from ..ontology import Ontology
 from ..rdf import Namespace, XSD
 from ..starql import MacroRegistry, STARQLTranslator, parse_aggregate_macro
 from .generator import FleetConfig, SiemensFleet, generate_fleet
-from .ontology import DIAG, SIE, build_siemens_ontology
+from .ontology import SIE, build_siemens_ontology
 
 __all__ = [
     "DATA",
@@ -259,14 +259,27 @@ def deploy(
     stream_sensors: list[str] | None = None,
     stream_duration: int = 30,
     workers: int = 4,
+    shards: int = 1,
+    parallel: str | None = None,
 ) -> SiemensDeployment:
-    """Stand up a complete deployment (generate the fleet if needed)."""
+    """Stand up a complete deployment (generate the fleet if needed).
+
+    ``shards=N`` partitions the turbine streams by sensor across N
+    per-shard engines (``parallel="fork"`` adds worker processes); the
+    default ``shards=1`` is the unchanged single-node deployment.
+    """
     if fleet is None:
         fleet = generate_fleet(config or FleetConfig(turbines=10, plants=4))
     ontology = build_siemens_ontology()
     mappings = build_siemens_mappings()
 
-    engine = StreamEngine()
+    scheduler = Scheduler(workers)
+    if shards > 1:
+        engine = ShardedEngine(
+            shards=shards, parallel=parallel, scheduler=scheduler
+        )
+    else:
+        engine = StreamEngine()
     engine.attach_database("plant", fleet.plant_db)
     engine.attach_database("legacy", fleet.legacy_db)
     engine.attach_database("history", fleet.history_db)
@@ -285,7 +298,7 @@ def deploy(
     translator = STARQLTranslator(
         ontology, mappings, engine, macros, primary_keys=PRIMARY_KEYS
     )
-    gateway = GatewayServer(engine, scheduler=Scheduler(workers))
+    gateway = GatewayServer(engine, scheduler=scheduler)
     return SiemensDeployment(
         fleet=fleet,
         ontology=ontology,

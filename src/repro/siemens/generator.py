@@ -17,7 +17,7 @@ Everything derives from one seed; two runs produce identical bytes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

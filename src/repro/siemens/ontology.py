@@ -178,7 +178,7 @@ def build_siemens_ontology() -> Ontology:
 
     # -- object properties -------------------------------------------------------
     has_part = onto.declare_object_property(SIE.hasPart)
-    part_of = onto.declare_object_property(SIE.partOf)
+    onto.declare_object_property(SIE.partOf)
     onto.add(SubPropertyOf(Role(SIE.hasPart), Role(SIE.partOf, inverse=True)))
     onto.add(SubPropertyOf(Role(SIE.partOf, inverse=True), Role(SIE.hasPart)))
     onto.add(SubClassOf(Existential(has_part), appliance))
@@ -204,9 +204,9 @@ def build_siemens_ontology() -> Ontology:
     onto.add(SubClassOf(Existential(plant_in), plant))
     onto.add(SubClassOf(Existential(Role(SIE.plantLocatedIn, True)), country))
 
-    made_of = onto.declare_object_property(SIE.madeOf)
+    onto.declare_object_property(SIE.madeOf)
     onto.add(SubClassOf(Existential(Role(SIE.madeOf, True)), material))
-    undergoes = onto.declare_object_property(SIE.undergoes)
+    onto.declare_object_property(SIE.undergoes)
     onto.add(SubClassOf(Existential(Role(SIE.undergoes, True)), process))
 
     # sensor-kind refinements of inAssembly (role hierarchy)
@@ -216,9 +216,9 @@ def build_siemens_ontology() -> Ontology:
     onto.add(SubPropertyOf(backup_sensor, in_assembly))
 
     # -- data properties -------------------------------------------------------------
-    has_value = onto.declare_data_property(SIE.hasValue)
+    onto.declare_data_property(SIE.hasValue)
     onto.add(SubClassOf(Existential(Attribute(SIE.hasValue)), sensor))
-    shows_failure = onto.declare_data_property(SIE.showsFailure)
+    onto.declare_data_property(SIE.showsFailure)
     onto.add(SubClassOf(Existential(Attribute(SIE.showsFailure)), sensor))
     for name, domain in [
         ("hasModel", turbine),
@@ -230,7 +230,7 @@ def build_siemens_ontology() -> Ontology:
         ("hasCapacity", plant),
         ("hasServiceDate", AtomicClass(DIAG.DiagnosticEvent)),
     ]:
-        attr = onto.declare_data_property(SIE[name])
+        onto.declare_data_property(SIE[name])
         onto.add(SubClassOf(Existential(Attribute(SIE[name])), domain))
 
     return onto

@@ -20,7 +20,7 @@ indexes, GRAPH patterns per state, value comparisons).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence, Union
+from typing import Union
 
 from ..queries import Atom, Filter
 from ..rdf import IRI, PrefixMap, Term, Variable

@@ -12,7 +12,6 @@ The accepted syntax matches the paper's Figure 1 (see
 from __future__ import annotations
 
 import re
-from typing import Iterator
 
 from ..queries import Atom, parse_bgp
 from ..rdf import IRI, Literal, PrefixMap, Term, Variable, XSD

@@ -33,7 +33,7 @@ from ..queries import (
     UnionOfConjunctiveQueries,
     evaluate_ucq,
 )
-from ..rdf import IRI, Graph, Literal, RDF, Term, Variable, term_from_python
+from ..rdf import IRI, Graph, Literal, RDF, Term, Variable
 from ..rewriting import PerfectRef
 from ..sql import BaseTable, SelectQuery
 from ..streams import WindowSpec, time_sliding_window

@@ -285,7 +285,6 @@ class STARQLTranslator:
         slots = {}
         group_names = plan.output_names()
         for var in query.construct_variables():
-            column = f"{static_alias}.{var_column.get(var, '')}"
             short = var_column.get(var)
             if short is None:
                 raise TranslationError(

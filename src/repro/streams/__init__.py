@@ -5,7 +5,7 @@ from .lsh import LSHCorrelator, StreamSignature, exact_pearson
 from .sequence import SequencingError, State, StateSequence, build_sequence
 from .stream import ListSource, Stream, StreamSchema, StreamSource, merge_sources
 from .wcache import SharedWindowReader, WindowCache, WindowCacheStats
-from .window import WindowBatch, WindowSpec, time_sliding_window
+from .window import Heartbeat, WindowBatch, WindowSpec, time_sliding_window
 
 __all__ = [
     "AdaptiveIndexer",
@@ -26,6 +26,7 @@ __all__ = [
     "SharedWindowReader",
     "WindowCache",
     "WindowCacheStats",
+    "Heartbeat",
     "WindowBatch",
     "WindowSpec",
     "time_sliding_window",

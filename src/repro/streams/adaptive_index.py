@@ -15,7 +15,7 @@ later probes.  Benchmark E7 measures the win.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Hashable, Iterable
 
 __all__ = ["AdaptiveIndexStats", "AdaptiveIndexer", "BatchIndex"]

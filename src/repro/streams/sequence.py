@@ -13,9 +13,9 @@ respect integrity constraints such as functionality of measurement values
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import groupby
-from typing import Any, Callable, Iterable, Sequence as Seq
+from typing import Any, Callable, Iterable
 
 from ..rdf import Graph, Triple
 from .window import WindowBatch

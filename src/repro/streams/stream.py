@@ -7,10 +7,10 @@ here are replayable generators so every experiment is deterministic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from ..relational import Column, SQLType
+from ..relational import Column
 
 __all__ = ["StreamSchema", "Stream", "StreamSource", "ListSource", "merge_sources"]
 

@@ -14,7 +14,7 @@ it, the first reader pays the materialisation and later readers answer
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
 from .window import WindowBatch, WindowSpec, time_sliding_window

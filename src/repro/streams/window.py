@@ -11,10 +11,10 @@ with timestamp in ``(t_k - r, t_k]``.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
-__all__ = ["WindowSpec", "WindowBatch", "time_sliding_window"]
+__all__ = ["WindowSpec", "WindowBatch", "Heartbeat", "time_sliding_window"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -56,8 +56,22 @@ class WindowBatch:
         return [t + (self.window_id,) for t in self.tuples]
 
 
+@dataclass(frozen=True, slots=True)
+class Heartbeat:
+    """A punctuation: "no more tuples before ``ts``" — carries no data.
+
+    Sharded execution splits one stream into per-shard substreams; a
+    shard whose substream ends early must still close every window the
+    full stream closes, or the shard falls behind the global grid.  The
+    partitioner appends a heartbeat at the stream's final timestamp so
+    each shard's watermark advances exactly as far as the full stream's.
+    """
+
+    ts: float
+
+
 def time_sliding_window(
-    tuples: Iterable[tuple[Any, ...]],
+    tuples: Iterable[tuple[Any, ...] | Heartbeat],
     spec: WindowSpec,
     time_index: int,
     start: float | None = None,
@@ -92,6 +106,12 @@ def time_sliding_window(
             next_window += 1
 
     for item in tuples:
+        if isinstance(item, Heartbeat):
+            if anchor is None:
+                anchor = item.ts
+            if item.ts > anchor + next_window * spec.slide_seconds:
+                yield from drain_until(_previous_pulse(anchor, spec, item.ts))
+            continue
         timestamp = item[time_index]
         if anchor is None:
             anchor = timestamp

@@ -20,7 +20,7 @@ from repro.exastream import (
     plan_sql,
 )
 from repro.relational import Column, Database, Schema, SQLType, Table
-from repro.sql import BinOp, Col, Func, Lit, UnaryOp, parse_sql
+from repro.sql import BinOp, Col, Func, Lit, UnaryOp
 from repro.streams import ListSource, Stream, StreamSchema
 
 

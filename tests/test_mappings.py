@@ -1,6 +1,5 @@
 """Tests for mapping templates and the unfolding engine."""
 
-import pytest
 
 from repro.mappings import (
     ColumnSpec,

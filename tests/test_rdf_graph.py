@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.rdf import IRI, Graph, Literal, Variable
+from repro.rdf import IRI, Graph, Variable
 
 
 S = [IRI(f"urn:s{i}") for i in range(4)]

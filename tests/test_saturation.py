@@ -1,6 +1,5 @@
 """Tests for T-mappings (mapping saturation) and the residual ontology."""
 
-import pytest
 
 from repro.mappings import (
     ColumnSpec,
@@ -18,7 +17,7 @@ from repro.ontology import (
     SubClassOf,
     SubPropertyOf,
 )
-from repro.rdf import IRI, Namespace, XSD
+from repro.rdf import Namespace, XSD
 
 NS = Namespace("urn:sat#")
 T = Template("urn:data/{id}")
@@ -110,7 +109,7 @@ class TestSaturation:
         import sqlite3
 
         from repro.mappings import Unfolder
-        from repro.queries import ClassAtom, ConjunctiveQuery, UnionOfConjunctiveQueries
+        from repro.queries import ClassAtom, ConjunctiveQuery
         from repro.rdf import Variable
         from repro.rewriting import PerfectRef
 

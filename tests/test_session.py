@@ -10,7 +10,7 @@ from repro.exastream import (
     QueryState,
     StreamEngine,
 )
-from repro.relational import Column, Database, Schema, SQLType, Table
+from repro.relational import Column, SQLType
 from repro.siemens import FleetConfig, deploy, diagnostic_catalog, generate_fleet
 from repro.streams import ListSource, Stream, StreamSchema
 
@@ -220,7 +220,7 @@ class TestGatewayStep:
     def test_subscribe_replaces_global_hook(self):
         gateway = GatewayServer(engine_with_data())
         q = gateway.register(SQL, name="q")
-        other = gateway.register(SQL, name="other")
+        gateway.register(SQL, name="other")
         seen = []
         q.subscribe(lambda r: seen.append(r.window_id))
         gateway.step(3)

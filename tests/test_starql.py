@@ -208,15 +208,7 @@ class TestHavingEvaluator:
         states = self.states([(0.0, 1.0, None), (1.0, 5.0, None)])
         k = Variable("k")
         x = Variable("x")
-        expr = Exists(
-            (k,),
-            GraphPattern(k, (  # a reading above 4 exists in some state
-                __import__("repro.queries", fromlist=["PropertyAtom"]).PropertyAtom(
-                    SIE.hasValue, Variable("s"), x
-                ),
-            )),
-        )
-        # wrap with comparison via AND
+        # a reading above 4 exists in some state
         from repro.starql import BoolOp
 
         cond = Exists((k,), BoolOp("AND", (
