@@ -8,7 +8,7 @@ RUFF ?= ruff
 
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke examples smoke lint ci
+.PHONY: test bench bench-smoke bench-compare examples smoke lint ci
 
 test:
 	$(PY) -m pytest -x -q
@@ -25,12 +25,24 @@ lint:
 bench:
 	$(PY) -m pytest benchmarks/bench_*.py -q
 
-# The CI benchmark job: session-poll + sharded-engine benches on tiny
-# workloads, with machine-readable results for the workflow artifact.
+# The CI benchmark job: session-poll + sharded-engine + incremental
+# benches on tiny workloads, with machine-readable results for the
+# workflow artifact.
 bench-smoke:
 	$(PY) -m pytest benchmarks/bench_session_poll.py \
 		benchmarks/bench_sharded_engine.py \
+		benchmarks/bench_incremental.py \
 		-q --smoke --benchmark-json=bench-results.json
+
+# Gate a fresh bench run against a baseline: fails on >20% regression of
+# any tracked median.  `make bench-smoke` writes bench-results.json; copy
+# it aside before a change and compare after:
+#   cp bench-results.json bench-baseline.json && <change> && make bench-smoke
+#   make bench-compare BENCH_BASELINE=bench-baseline.json
+BENCH_BASELINE ?= bench-baseline.json
+BENCH_NEW ?= bench-results.json
+bench-compare:
+	$(PY) benchmarks/compare.py $(BENCH_BASELINE) $(BENCH_NEW)
 
 smoke:
 	$(PY) -m pytest tests/test_examples_smoke.py -q

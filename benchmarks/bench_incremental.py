@@ -1,0 +1,140 @@
+"""Incremental pane execution: windows/sec vs the r/s overlap factor.
+
+When ``range >> slide`` consecutive windows overlap almost entirely and
+the classic path re-joins, re-filters and re-aggregates O(range) tuples
+per window.  Pane-incremental execution evaluates each gcd(r, s)-wide
+pane once and combines partial state per window — O(slide) pipeline work
+— so throughput should grow with the overlap factor while recompute
+throughput shrinks.
+
+The workload is the Siemens diagnostic shape: a measurement stream at
+4 Hz joined to static sensor metadata, filtered, and aggregated per
+sensor (AVG with unit-conversion arithmetic + COUNT + MAX).  The
+acceptance gate asserts >= 5x over recompute at overlap factor 16;
+``--smoke`` shrinks the stream and only checks output equality plus
+bookkeeping (1-core CI boxes still show the speedup, but noisily).
+"""
+
+import pytest
+
+from repro.exastream import StreamEngine, Stopwatch, plan_sql
+from repro.relational import Column, Database, Schema, SQLType, Table
+from repro.streams import ListSource, Stream, StreamSchema
+
+OVERLAPS = (1, 4, 16)
+SLIDE = 5
+
+SCHEMA = StreamSchema(
+    (
+        Column("ts", SQLType.REAL),
+        Column("sid", SQLType.INTEGER),
+        Column("val", SQLType.REAL),
+    ),
+    time_column="ts",
+)
+
+SQL = (
+    "SELECT w.sid AS s, AVG(w.val * 9 / 5 + 32) AS fahrenheit, "
+    "COUNT(*) AS n, MAX(w.val) AS peak "
+    "FROM timeSlidingWindow(S, {range}, {slide}) AS w, sensors AS t "
+    "WHERE w.sid = t.sid AND t.kind = 'temp' AND w.val > 51 "
+    "GROUP BY w.sid"
+)
+
+
+def _workload(smoke: bool):
+    if smoke:
+        return dict(n_seconds=120, n_sensors=12, hz=4)
+    return dict(n_seconds=400, n_sensors=40, hz=4)
+
+
+def _rows(n_seconds: int, n_sensors: int, hz: int):
+    return [
+        (t / float(hz), s, 50.0 + ((t * 7 + s * 13) % 23) + 0.1234)
+        for t in range(n_seconds * hz)
+        for s in range(n_sensors)
+    ]
+
+
+def _engine(rows, n_sensors: int, incremental: bool) -> StreamEngine:
+    engine = StreamEngine(incremental=incremental)
+    engine.register_stream(ListSource(Stream("S", SCHEMA), rows))
+    db = Database(
+        Schema(
+            "meta",
+            {
+                "sensors": Table(
+                    "sensors",
+                    [
+                        Column("sid", SQLType.INTEGER),
+                        Column("kind", SQLType.TEXT),
+                    ],
+                )
+            },
+        )
+    )
+    db.insert(
+        "sensors", [(s, "temp" if s % 3 else "pres") for s in range(n_sensors)]
+    )
+    engine.attach_database("meta", db)
+    return engine
+
+
+def _run(rows, n_sensors: int, overlap: int, incremental: bool):
+    engine = _engine(rows, n_sensors, incremental)
+    sql = SQL.format(range=overlap * SLIDE, slide=SLIDE)
+    plan = plan_sql(sql, engine, name="q")
+    watch = Stopwatch()
+    results = [
+        (r.window_id, r.window_end, tuple(r.columns), tuple(r.rows))
+        for r in engine.run_continuous(plan)
+    ]
+    seconds = watch.elapsed()
+    return results, seconds, engine.metrics.query("q")
+
+
+@pytest.mark.parametrize("overlap", OVERLAPS)
+@pytest.mark.parametrize("mode", ("incremental", "recompute"))
+def test_window_throughput(benchmark, smoke, mode, overlap):
+    """Tracked medians for the bench artifact: one entry per mode/overlap."""
+    workload = _workload(smoke)
+    rows = _rows(**workload)
+
+    def once():
+        return _run(rows, workload["n_sensors"], overlap, mode == "incremental")
+
+    results, seconds, _ = benchmark.pedantic(once, rounds=1, iterations=1)
+    windows_per_second = len(results) / seconds if seconds else 0.0
+    benchmark.extra_info["windows_per_second"] = windows_per_second
+    benchmark.extra_info["overlap"] = overlap
+    print(
+        f"\n{mode} r/s={overlap}: {len(results)} windows, "
+        f"{windows_per_second:,.0f} windows/s"
+    )
+    assert len(results) > 0
+
+
+def test_incremental_speedup_over_recompute(smoke):
+    """The acceptance gate: >= 5x at overlap factor 16, identical output."""
+    workload = _workload(smoke)
+    rows = _rows(**workload)
+    print()
+    speedups = {}
+    for overlap in OVERLAPS:
+        incremental, fast, metrics = _run(
+            rows, workload["n_sensors"], overlap, True
+        )
+        recompute, slow, _ = _run(rows, workload["n_sensors"], overlap, False)
+        assert incremental == recompute, f"output diverged at overlap {overlap}"
+        speedups[overlap] = slow / fast if fast else 0.0
+        print(
+            f"overlap {overlap:>2}: recompute {slow:.3f}s, "
+            f"incremental {fast:.3f}s, {speedups[overlap]:.1f}x "
+            f"({metrics.panes_built} panes built)"
+        )
+        if overlap > 1:
+            # overlapping windows must actually execute incrementally
+            assert metrics.windows_incremental == metrics.windows_processed
+    if not smoke:
+        assert speedups[16] >= 5.0, speedups
+        assert speedups[16] > speedups[4] > 0.0, speedups

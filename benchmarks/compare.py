@@ -1,0 +1,79 @@
+"""Diff two pytest-benchmark JSON result files; fail on regressions.
+
+Usage::
+
+    python benchmarks/compare.py BASELINE.json NEW.json [--threshold 0.20]
+
+Benchmarks are matched by ``fullname``; every benchmark present in both
+files is tracked.  The exit status is non-zero when any tracked
+benchmark's median regressed by more than ``--threshold`` (default 20%),
+which is what ``make bench-compare`` gates on.  Benchmarks present in
+only one file are reported but never fail the comparison (suites grow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_medians(path: str) -> dict[str, float]:
+    with open(path) as handle:
+        payload = json.load(handle)
+    return {
+        bench["fullname"]: bench["stats"]["median"]
+        for bench in payload.get("benchmarks", [])
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="baseline bench-results JSON")
+    parser.add_argument("new", help="candidate bench-results JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="maximum allowed median regression (fraction, default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_medians(args.baseline)
+    candidate = load_medians(args.new)
+    tracked = sorted(set(baseline) & set(candidate))
+    if not tracked:
+        print("no common benchmarks between the two files; nothing to gate")
+        return 0
+
+    width = max(len(name) for name in tracked)
+    regressions = []
+    print(f"{'benchmark'.ljust(width)}  {'base':>12}  {'new':>12}  delta")
+    for name in tracked:
+        base, new = baseline[name], candidate[name]
+        delta = (new - base) / base if base else 0.0
+        marker = ""
+        if delta > args.threshold:
+            marker = "  << REGRESSION"
+            regressions.append((name, delta))
+        print(
+            f"{name.ljust(width)}  {base:>12.6f}  {new:>12.6f}  "
+            f"{delta:>+7.1%}{marker}"
+        )
+    for name in sorted(set(baseline) - set(candidate)):
+        print(f"{name.ljust(width)}  (removed)")
+    for name in sorted(set(candidate) - set(baseline)):
+        print(f"{name.ljust(width)}  (new benchmark)")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} tracked median(s) regressed more than "
+            f"{args.threshold:.0%}"
+        )
+        return 1
+    print(f"\nall {len(tracked)} tracked medians within {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

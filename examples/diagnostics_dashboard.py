@@ -52,8 +52,10 @@ def main() -> None:
     print(dashboard.render())
 
     stats = deployment.engine.cache.stats
-    print(f"\nran in {seconds:.2f}s; wCache: {stats.hits} hits / "
-          f"{stats.misses} misses (hit rate {stats.hit_rate:.0%}) — "
+    print(f"\nran in {seconds:.2f}s; wCache: "
+          f"{stats.hits + stats.pane_hits} hits / "
+          f"{stats.misses + stats.pane_misses} misses "
+          f"(hit rate {stats.combined_hit_rate:.0%}, batch + pane) — "
           "20 concurrent handles shared the same materialised windows")
 
 

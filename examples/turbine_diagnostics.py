@@ -55,10 +55,11 @@ def main() -> None:
     states = {h.name: h.status().name for h in session.handles}
     print(f"\nhandle states: {states}")
     metrics = deployment.engine.metrics
+    stats = deployment.engine.cache.stats
     print(f"processed {metrics.total_tuples_in} window tuples "
           f"in {seconds:.2f}s "
           f"({metrics.total_tuples_in / max(seconds, 1e-9):,.0f} tuples/s, "
-          f"cache hit rate {deployment.engine.cache.stats.hit_rate:.0%})")
+          f"cache hit rate {stats.combined_hit_rate:.0%} batch + pane)")
 
 
 if __name__ == "__main__":

@@ -4,7 +4,25 @@ per-node engines, UDFs and the cluster simulator)."""
 from .engine import BoundedResultSink, PlanRuntime, StreamEngine, WindowResult
 from .gateway import GatewayServer, QueryState, RegisteredQuery
 from .metrics import EngineMetrics, QueryMetrics, Stopwatch
-from .operators import Relation, StaticTable, compile_expr, hash_join, nested_loop_join
+from .operators import (
+    CountAccumulator,
+    MaxAccumulator,
+    MinAccumulator,
+    Relation,
+    StaticTable,
+    SumAccumulator,
+    accumulator_factory,
+    compile_expr,
+    hash_join,
+    nested_loop_join,
+)
+from .partial_agg import (
+    IncrementalDecision,
+    IncrementalMode,
+    analyze_incremental,
+    decompose_calls,
+    finalize_rows,
+)
 from .plan import (
     AggregateCall,
     AggregateSpec,
@@ -50,6 +68,16 @@ __all__ = [
     "compile_expr",
     "hash_join",
     "nested_loop_join",
+    "CountAccumulator",
+    "SumAccumulator",
+    "MinAccumulator",
+    "MaxAccumulator",
+    "accumulator_factory",
+    "IncrementalDecision",
+    "IncrementalMode",
+    "analyze_incremental",
+    "decompose_calls",
+    "finalize_rows",
     "AggregateCall",
     "AggregateSpec",
     "ContinuousPlan",

@@ -18,11 +18,25 @@ from ..streams import (
     AdaptiveIndexer,
     SharedWindowReader,
     StreamSource,
+    WindowBatch,
     WindowCache,
 )
 from .metrics import EngineMetrics, QueryMetrics, Stopwatch
-from .operators import Relation, StaticTable, compile_expr, hash_join, nested_loop_join
-from .plan import AggregateSpec, ContinuousPlan, WindowedStreamRef
+from .operators import (
+    Relation,
+    StaticTable,
+    accumulator_factory,
+    compile_expr,
+    hash_join,
+    nested_loop_join,
+)
+from .partial_agg import (
+    CombinerSpec,
+    analyze_incremental,
+    decompose_calls,
+    finalize_rows,
+)
+from .plan import AggregateCall, AggregateSpec, ContinuousPlan, WindowedStreamRef
 from .sharding import canonical_row_key
 from .udf import UDFRegistry, builtin_registry
 
@@ -171,7 +185,20 @@ def _as_equi_join(expr: Expr) -> tuple[str, str, str, str] | None:
 
 @dataclass
 class PlanRuntime:
-    """A plan bound to engine resources, ready to execute windows."""
+    """A plan bound to engine resources, ready to execute windows.
+
+    Two execution paths produce identical output:
+
+    * **recompute** — the classic window-at-a-time pipeline: join, filter,
+      aggregate every window from scratch;
+    * **pane-incremental** — for PANE-INCREMENTAL plans, the per-pane
+      pipeline (load, filter pushdown, stream-static join probe, partial
+      aggregation) runs exactly once per pane and each window combines
+      the partial state of its constituent panes — O(slide) instead of
+      O(range) pipeline work per window.  Any per-window anomaly
+      (out-of-order batch, evicted pane coverage, boundary mismatch)
+      falls back to recompute for that window.
+    """
 
     plan: ContinuousPlan
     readers: dict[str, SharedWindowReader]
@@ -179,22 +206,84 @@ class PlanRuntime:
     stream_columns: dict[str, list[str]]
     udfs: UDFRegistry
     metrics: QueryMetrics
+    incremental_enabled: bool = True
 
-    def _load_batch(self, ref: WindowedStreamRef, tuples: list) -> Relation:
-        relation = Relation(self.stream_columns[ref.alias], tuples)
-        if not ref.computed:
-            return relation
-        fns = [compile_expr(c.expr, relation, self.udfs) for c in ref.computed]
-        columns = relation.columns + [
-            f"{ref.alias}.{c.name}" for c in ref.computed
+    def __post_init__(self) -> None:
+        #: compiled expression closures keyed by (expr identity, relation
+        #: schema) — expressions are plan-owned, so one binding compiles
+        #: each (expr, schema) pair exactly once across all windows.
+        self._compiled: dict[tuple, Any] = {}
+        # Join pipeline shape is per-plan, not per-window: decompose
+        # equi-joins and split the filter pushdown once.
+        self._equi: list[tuple[str, str, str, str]] = []
+        for predicate in self.plan.join_predicates:
+            decomposed = _as_equi_join(predicate)
+            if decomposed is not None:
+                self._equi.append(decomposed)
+        self._single_alias: dict[str, list[Expr]] = {}
+        for predicate in self.plan.filters:
+            aliases = _expr_aliases(predicate)
+            if len(aliases) == 1:
+                self._single_alias.setdefault(
+                    next(iter(aliases)), []
+                ).append(predicate)
+        self._residual: list[Expr] = [
+            p for p in self.plan.filters if len(_expr_aliases(p)) > 1
+        ] + [
+            p for p in self.plan.join_predicates if _as_equi_join(p) is None
         ]
-        rows = [row + tuple(fn(row) for fn in fns) for row in tuples]
-        return Relation(columns, rows)
+        # Static relations are invariant: apply their pushdown filters
+        # once at bind time (this also covers the indexed join_probe
+        # path, which bypasses the per-window load()).
+        for alias, static in list(self.statics.items()):
+            predicates = self._single_alias.get(alias)
+            if not predicates:
+                continue
+            relation = static.relation
+            for predicate in predicates:
+                fn = self._compile(predicate, relation)
+                relation = Relation(
+                    relation.columns, [r for r in relation.rows if fn(r)]
+                )
+            self.statics[alias] = StaticTable(relation)
+        #: pane-incremental state (lazily built on first eligible window):
+        #: pane id -> {group key -> per-partial-call payload tuple}
+        self._pane_ctx: _PaneContext | None = None
+        self._pane_ring: dict[int, dict[tuple, tuple]] = {}
+        # Declare pane demand at bind time so the shared reader slices
+        # from its first pulse; recompute-only bindings never turn
+        # slicing on and pay no pane overhead.
+        if self._incremental_active():
+            reader = self.readers[self.plan.windows[0].reader_key]
+            reader.demand_panes()
+
+    def _compile(self, expr: Expr, relation: Relation):
+        """Memoized :func:`compile_expr` for this binding."""
+        key = (id(expr), tuple(relation.columns))
+        fn = self._compiled.get(key)
+        if fn is None:
+            fn = compile_expr(expr, relation, self.udfs)
+            self._compiled[key] = fn
+        return fn
 
     def execute_window(self, window_id: int) -> WindowResult | None:
         """Run one window instance; ``None`` when any stream is exhausted."""
         watch = Stopwatch()
-        batches: dict[str, Relation] = {}
+        if self._incremental_active():
+            # Pane path first: O(slide) work, no batch materialisation.
+            ref = self.plan.windows[0]
+            view = self.readers[ref.reader_key].pane_view(window_id)
+            if view is not None:
+                self.metrics.tuples_in += len(view)
+                rows, columns = self._execute_incremental(ref, view)
+                self.metrics.windows_incremental += 1
+                self.metrics.windows_processed += 1
+                self.metrics.tuples_out += len(rows)
+                self.metrics.wall_seconds += watch.elapsed()
+                return WindowResult(
+                    self.plan.name, window_id, view.end, columns, rows
+                )
+        raw: list[tuple[WindowedStreamRef, WindowBatch]] = []
         window_end = 0.0
         for ref in self.plan.windows:
             batch = self.readers[ref.reader_key].window(window_id)
@@ -202,7 +291,11 @@ class PlanRuntime:
                 return None
             window_end = batch.end
             self.metrics.tuples_in += len(batch)
-            batches[ref.alias] = self._load_batch(ref, batch.tuples)
+            raw.append((ref, batch))
+        batches = {
+            ref.alias: self._load_batch(ref, batch.tuples)
+            for ref, batch in raw
+        }
         relation = self._join_all(batches)
         relation = self._apply_residual_filters(relation)
         rows, columns = self._finalize(relation)
@@ -211,34 +304,35 @@ class PlanRuntime:
         self.metrics.wall_seconds += watch.elapsed()
         return WindowResult(self.plan.name, window_id, window_end, columns, rows)
 
+    def _load_batch(self, ref: WindowedStreamRef, tuples: list) -> Relation:
+        relation = Relation(self.stream_columns[ref.alias], tuples)
+        if not ref.computed:
+            return relation
+        fns = [self._compile(c.expr, relation) for c in ref.computed]
+        columns = relation.columns + [
+            f"{ref.alias}.{c.name}" for c in ref.computed
+        ]
+        rows = [row + tuple(fn(row) for fn in fns) for row in tuples]
+        return Relation(columns, rows)
+
     # -- join pipeline -------------------------------------------------------
 
     def _join_all(self, batches: dict[str, Relation]) -> Relation:
         plan = self.plan
-        equi: list[tuple[str, str, str, str]] = []
-        for predicate in plan.join_predicates:
-            decomposed = _as_equi_join(predicate)
-            if decomposed is not None:
-                equi.append(decomposed)
-
-        # Per-alias filter pushdown.
-        single_alias: dict[str, list[Expr]] = {}
-        for predicate in plan.filters:
-            aliases = _expr_aliases(predicate)
-            if len(aliases) == 1:
-                single_alias.setdefault(next(iter(aliases)), []).append(predicate)
+        equi = self._equi
+        single_alias = self._single_alias
 
         def load(alias: str) -> Relation:
             if alias in batches:
                 relation = batches[alias]
-            else:
-                relation = self.statics[alias].relation
-            for predicate in single_alias.get(alias, ()):
-                fn = compile_expr(predicate, relation, self.udfs)
-                relation = Relation(
-                    relation.columns, [r for r in relation.rows if fn(r)]
-                )
-            return relation
+                for predicate in single_alias.get(alias, ()):
+                    fn = self._compile(predicate, relation)
+                    relation = Relation(
+                        relation.columns, [r for r in relation.rows if fn(r)]
+                    )
+                return relation
+            # statics were filtered once at bind time
+            return self.statics[alias].relation
 
         pending = [w.alias for w in plan.windows] + [s.alias for s in plan.statics]
         current = load(pending.pop(0))
@@ -279,16 +373,9 @@ class PlanRuntime:
         return current
 
     def _apply_residual_filters(self, relation: Relation) -> Relation:
-        residual = []
-        for predicate in self.plan.filters:
-            if len(_expr_aliases(predicate)) > 1:
-                residual.append(predicate)
-        for predicate in self.plan.join_predicates:
-            if _as_equi_join(predicate) is None:
-                residual.append(predicate)
-        if not residual:
+        if not self._residual:
             return relation
-        fns = [compile_expr(p, relation, self.udfs) for p in residual]
+        fns = [self._compile(p, relation) for p in self._residual]
         rows = [r for r in relation.rows if all(fn(r) for fn in fns)]
         return Relation(relation.columns, rows)
 
@@ -299,9 +386,7 @@ class PlanRuntime:
         if plan.aggregate is not None:
             rows, columns = self._aggregate(relation, plan.aggregate)
         else:
-            fns = [
-                compile_expr(c.expr, relation, self.udfs) for c in plan.projection
-            ]
+            fns = [self._compile(c.expr, relation) for c in plan.projection]
             rows = [tuple(fn(row) for fn in fns) for row in relation.rows]
             columns = [c.name for c in plan.projection]
         if plan.distinct:
@@ -311,7 +396,7 @@ class PlanRuntime:
     def _aggregate(
         self, relation: Relation, spec: AggregateSpec
     ) -> tuple[list[tuple], list[str]]:
-        group_fns = [compile_expr(e, relation, self.udfs) for e in spec.group_by]
+        group_fns = [self._compile(e, relation) for e in spec.group_by]
         groups: dict[tuple, list[tuple]] = {}
         for row in relation.rows:
             groups.setdefault(tuple(fn(row) for fn in group_fns), []).append(row)
@@ -326,7 +411,7 @@ class PlanRuntime:
 
         result = Relation(out_columns, out_rows)
         if spec.having:
-            fns = [compile_expr(p, result, self.udfs) for p in spec.having]
+            fns = [self._compile(p, result) for p in spec.having]
             result.rows = [r for r in result.rows if all(fn(r) for fn in fns)]
         # Canonical group order: aggregate output is deterministic under
         # any tuple arrival order and any shard count (the sharded merge
@@ -342,7 +427,7 @@ class PlanRuntime:
                 if name != "COUNT":
                     raise ValueError(f"{name} requires an argument")
                 return len(members)
-            fn = compile_expr(call.argument, relation, self.udfs)
+            fn = self._compile(call.argument, relation)
             values = [v for v in (fn(m) for m in members) if v is not None]
             if name == "COUNT":
                 return len(values)
@@ -364,6 +449,147 @@ class PlanRuntime:
         }
         return udf(members, columns)
 
+    # -- pane-incremental execution ---------------------------------------------
+
+    def _incremental_active(self) -> bool:
+        if not self.incremental_enabled:
+            return False
+        decision = self.plan.incremental
+        if decision is None:
+            decision = analyze_incremental(self.plan)
+            self.plan.incremental = decision
+        return decision.is_incremental
+
+    def _pane_context(self) -> "_PaneContext":
+        if self._pane_ctx is None:
+            aggregate = self.plan.aggregate
+            assert aggregate is not None
+            partial_calls, finals = decompose_calls(aggregate.calls)
+            combiner = CombinerSpec(
+                group_arity=len(aggregate.group_names),
+                finals=tuple(finals),
+                out_columns=tuple(self.plan.output_names()),
+                having=aggregate.having,
+                distinct=self.plan.distinct,
+            )
+            self._pane_ctx = _PaneContext(
+                partial_calls=partial_calls,
+                factories=[
+                    accumulator_factory(c.function) for c in partial_calls
+                ],
+                combiner=combiner,
+                group_by=aggregate.group_by,
+            )
+        return self._pane_ctx
+
+    def _execute_incremental(
+        self, ref: WindowedStreamRef, view
+    ) -> tuple[list[tuple], list[str]]:
+        """One window as the combination of its panes' partial states."""
+        ctx = self._pane_context()
+        ring = self._pane_ring
+        for pane in view.panes:
+            if pane.pane_id not in ring:
+                ring[pane.pane_id] = self._pane_partials(ctx, ref, pane.tuples)
+                self.metrics.panes_built += 1
+        states = [ring[pane.pane_id] for pane in view.panes]
+        if view.edge:
+            # The window's pulse-instant tuples belong to the (incomplete)
+            # next pane; their partial state is built fresh per window.
+            states.append(self._pane_partials(ctx, ref, view.edge))
+        # Gather each group's partial payloads into per-call slots (cheap
+        # list appends), then fold every slot at C speed via the
+        # accumulator classes' ``combine``.  Slot order is pane order, so
+        # SUM's chunk concatenation reproduces the recompute fold exactly.
+        n_partials = len(ctx.factories)
+        merged: dict[tuple, tuple] = {}
+        get_slots = merged.get
+        for state in states:
+            for key, payloads in state.items():
+                slots = get_slots(key)
+                if slots is None:
+                    merged[key] = slots = tuple([] for _ in range(n_partials))
+                for slot, payload in zip(slots, payloads):
+                    slot.append(payload)
+        out_rows: list[tuple] = []
+        for key, slots in merged.items():
+            values: list[Any] = list(key)
+            for final in ctx.combiner.finals:
+                if final.function == "AVG":
+                    sum_i, count_i = final.partial_indexes
+                    count = ctx.factories[count_i].combine(slots[count_i])
+                    if count:
+                        total = ctx.factories[sum_i].combine(slots[sum_i])
+                        values.append(total / count)
+                    else:
+                        values.append(None)
+                else:
+                    index = final.partial_indexes[0]
+                    values.append(ctx.factories[index].combine(slots[index]))
+            out_rows.append(tuple(values))
+        rows = finalize_rows(
+            out_rows, ctx.combiner, self.udfs, compiler=self._compile
+        )
+        # Panes that slid out of range never come back (window ids are
+        # monotonically non-decreasing): keep exactly one window's worth.
+        low = view.panes[0].pane_id if view.panes else 0
+        for pane_id in [j for j in ring if j < low]:
+            del ring[pane_id]
+        return rows, list(ctx.combiner.out_columns)
+
+    def _pane_partials(
+        self, ctx: "_PaneContext", ref: WindowedStreamRef, tuples: list
+    ) -> dict[tuple, list]:
+        """The per-pane pipeline: load -> filters -> static joins ->
+        grouped partial accumulators.
+
+        Runs through the *same* join/filter machinery as the recompute
+        path (on the pane's tuples instead of the whole window's), so
+        per-row semantics are identical by construction.
+        """
+        relation = self._join_all({ref.alias: self._load_batch(ref, tuples)})
+        relation = self._apply_residual_filters(relation)
+        group_fns = [self._compile(e, relation) for e in ctx.group_by]
+        groups: dict[tuple, list[tuple]] = {}
+        for row in relation.rows:
+            groups.setdefault(
+                tuple(fn(row) for fn in group_fns), []
+            ).append(row)
+        argument_fns = [
+            None if call.argument is None
+            else self._compile(call.argument, relation)
+            for call in ctx.partial_calls
+        ]
+        state: dict[tuple, tuple] = {}
+        for key, members in groups.items():
+            # Partials sharing an argument closure (AVG's SUM + COUNT
+            # both read the same expression) share one evaluated,
+            # None-filtered value list per group.
+            evaluated: dict[int, list] = {}
+            payloads = []
+            for factory, fn in zip(ctx.factories, argument_fns):
+                if fn is None:  # COUNT(*): counts rows
+                    payloads.append(factory.build(members))
+                    continue
+                values = evaluated.get(id(fn))
+                if values is None:
+                    values = [v for m in members if (v := fn(m)) is not None]
+                    evaluated[id(fn)] = values
+                payloads.append(factory.build(values))
+            state[key] = tuple(payloads)
+        return state
+
+
+@dataclass
+class _PaneContext:
+    """Per-binding pane-execution state: the partial decomposition of the
+    plan's aggregation plus the accumulator factories for each partial."""
+
+    partial_calls: list[AggregateCall]
+    factories: list
+    combiner: CombinerSpec
+    group_by: tuple[Expr, ...]
+
 
 class StreamEngine:
     """One node's engine: sources, databases, caches and plan execution."""
@@ -373,11 +599,16 @@ class StreamEngine:
         udfs: UDFRegistry | None = None,
         cache_capacity: int = 4096,
         adaptive_indexing: bool = True,
+        incremental: bool = True,
     ) -> None:
         self.udfs = udfs or builtin_registry()
         self.cache = WindowCache(cache_capacity)
         self.indexer = AdaptiveIndexer(enabled=adaptive_indexing)
         self.metrics = EngineMetrics()
+        #: execute PANE-INCREMENTAL plans over panes (``False`` forces the
+        #: classic full-recompute path for every plan — the differential
+        #: tests run both and assert byte-identical results)
+        self.incremental = incremental
         self._sources: dict[str, StreamSource] = {}
         self._databases: dict[str, Database] = {}
 
@@ -462,6 +693,7 @@ class StreamEngine:
             stream_columns=stream_columns,
             udfs=self.udfs,
             metrics=self.metrics.query(plan.name),
+            incremental_enabled=self.incremental,
         )
 
     @staticmethod

@@ -38,6 +38,10 @@ class QueryMetrics:
     tuples_in: int = 0
     tuples_out: int = 0
     wall_seconds: float = 0.0
+    #: windows answered by combining cached pane partials (no recompute)
+    windows_incremental: int = 0
+    #: pane pipelines executed (each pane is evaluated at most once)
+    panes_built: int = 0
 
     @property
     def throughput(self) -> float:
@@ -51,6 +55,8 @@ class QueryMetrics:
         self.tuples_in += other.tuples_in
         self.tuples_out += other.tuples_out
         self.wall_seconds += other.wall_seconds
+        self.windows_incremental += other.windows_incremental
+        self.panes_built += other.panes_built
 
 
 @dataclass

@@ -8,13 +8,26 @@ are fused (:func:`repro.exastream.udf.fuse`).
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
+from itertools import chain
 from typing import Any, Callable, Sequence
 
 from ..sql import BinOp, Col, Expr, Func, Lit, Star, UnaryOp
 from .udf import UDFRegistry
 
-__all__ = ["Relation", "compile_expr", "hash_join", "nested_loop_join", "StaticTable"]
+__all__ = [
+    "Relation",
+    "compile_expr",
+    "hash_join",
+    "nested_loop_join",
+    "StaticTable",
+    "CountAccumulator",
+    "SumAccumulator",
+    "MinAccumulator",
+    "MaxAccumulator",
+    "accumulator_factory",
+]
 
 
 @dataclass
@@ -103,8 +116,6 @@ def compile_expr(
             pattern = expr.right
             if not isinstance(pattern, Lit) or not isinstance(pattern.value, str):
                 raise ValueError("LIKE requires a string literal pattern")
-            import re
-
             regex = re.compile(
                 re.escape(pattern.value).replace("%", ".*").replace("_", ".")
             )
@@ -229,3 +240,104 @@ class StaticTable:
             for match in matches:
                 rows.append(row + match)
         return Relation(probe.columns + self.relation.columns, rows)
+
+
+# ---------------------------------------------------------------------------
+# Combinable accumulators (pane-incremental aggregation)
+# ---------------------------------------------------------------------------
+#
+# Partial aggregate state for one (pane, group, aggregate-call).  Each
+# accumulator class defines a compact *payload* representation, a
+# ``build`` that folds one pane's already ``None``-filtered argument
+# values (in stream order) into a payload, and a ``combine`` that folds
+# many payloads — ordered oldest pane first — into the final value.
+# ``combine`` yields exactly what the engine's full-recompute aggregation
+# yields for the same values; the whole incremental subsystem is
+# differential-tested on that equivalence.  Payloads are plain Python
+# values (int / list / scalar) so the per-window combine stays in C-level
+# folds rather than per-object method dispatch.
+
+
+class CountAccumulator:
+    """COUNT partial: an exact integer payload."""
+
+    @staticmethod
+    def build(values: list) -> int:
+        return len(values)
+
+    @staticmethod
+    def combine(payloads: Sequence[int]) -> int:
+        return sum(payloads)
+
+
+class SumAccumulator:
+    """SUM partial, bit-exact with respect to full recompute.
+
+    Float addition is not associative, so per-pane *scalar* sums combined
+    across panes would drift from ``sum(all values)`` in the last ulp.
+    The payload is therefore the pane's value chunk itself, and
+    ``combine`` performs a single left-to-right fold over the
+    concatenation — the identical additions, in the identical order, as
+    the recompute path's ``sum(values)``.  Memory stays bounded by the
+    pane ring: the chunks alive at any instant are one window's values,
+    the same order of storage as the cached window batch.
+    """
+
+    @staticmethod
+    def build(values: list) -> list:
+        return values
+
+    @staticmethod
+    def combine(payloads: Sequence[list]):
+        chunks = [c for c in payloads if c]
+        if not chunks:
+            return None
+        if len(chunks) == 1:
+            return sum(chunks[0])
+        return sum(chain.from_iterable(chunks))
+
+
+class MinAccumulator:
+    """MIN partial: a scalar payload (an exact, order-insensitive fold)."""
+
+    @staticmethod
+    def build(values: list):
+        return min(values) if values else None
+
+    @staticmethod
+    def combine(payloads: Sequence):
+        values = [v for v in payloads if v is not None]
+        return min(values) if values else None
+
+
+class MaxAccumulator:
+    """MAX partial: a scalar payload."""
+
+    @staticmethod
+    def build(values: list):
+        return max(values) if values else None
+
+    @staticmethod
+    def combine(payloads: Sequence):
+        values = [v for v in payloads if v is not None]
+        return max(values) if values else None
+
+
+_ACCUMULATORS = {
+    "COUNT": CountAccumulator,
+    "SUM": SumAccumulator,
+    "MIN": MinAccumulator,
+    "MAX": MaxAccumulator,
+}
+
+
+def accumulator_factory(function: str):
+    """The accumulator class for a combinable partial aggregate.
+
+    ``AVG`` has no accumulator of its own: the shared partial-aggregation
+    rewrite decomposes it into SUM + COUNT partials first.
+    """
+    try:
+        return _ACCUMULATORS[function.upper()]
+    except KeyError:
+        raise ValueError(f"no combinable accumulator for {function!r}") from None

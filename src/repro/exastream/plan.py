@@ -21,6 +21,7 @@ from ..sql import Expr
 from ..streams import WindowSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .partial_agg import IncrementalDecision
     from .sharding import ShardingDecision
 
 __all__ = [
@@ -115,6 +116,12 @@ class ContinuousPlan:
     #: merge-requiring); ``None`` means "not analyzed yet" — the sharded
     #: engine analyzes lazily at bind time.
     partitioning: "ShardingDecision | None" = field(
+        default=None, compare=False, repr=False
+    )
+    #: incremental-execution classification (PANE-INCREMENTAL vs
+    #: RECOMPUTE); ``None`` means "not analyzed yet" — runtimes analyze
+    #: lazily at bind time.
+    incremental: "IncrementalDecision | None" = field(
         default=None, compare=False, repr=False
     )
 

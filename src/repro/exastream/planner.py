@@ -38,6 +38,7 @@ from ..sql import (
     print_query,
 )
 from ..streams import WindowSpec
+from .partial_agg import analyze_incremental
 from .plan import (
     AggregateCall,
     AggregateSpec,
@@ -175,8 +176,10 @@ def plan_select(
         distinct=query.distinct,
     )
     # Mark operators partitionable vs merge-requiring at plan time, so
-    # the scheduler and sharded engine see the classification up front.
+    # the scheduler and sharded engine see the classification up front;
+    # likewise classify PANE-INCREMENTAL vs RECOMPUTE for the runtimes.
     plan.partitioning = analyze_partitioning(plan, engine)
+    plan.incremental = analyze_incremental(plan)
     return plan
 
 

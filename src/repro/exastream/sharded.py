@@ -325,6 +325,7 @@ class ShardedEngine:
         parallel: str | None = None,
         prefetch: int = 8,
         scheduler=None,
+        incremental: bool = True,
     ) -> None:
         if shards < 1:
             raise ValueError("need at least one shard")
@@ -334,11 +335,16 @@ class ShardedEngine:
         self.prefetch = prefetch
         self.scheduler = scheduler
         self.metrics = EngineMetrics()
+        #: per-shard engines run PANE-INCREMENTAL plans incrementally;
+        #: shard slices preserve stream order, so each shard's output —
+        #: and therefore the merge — is unchanged by the mode.
+        self.incremental = incremental
         self.shard_engines = [
             StreamEngine(
                 udfs=self.udfs,
                 cache_capacity=cache_capacity,
                 adaptive_indexing=adaptive_indexing,
+                incremental=incremental,
             )
             for _ in range(shards)
         ]

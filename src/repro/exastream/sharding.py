@@ -31,15 +31,20 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from ..sql import BinOp, Col, Expr
 from ..streams import Heartbeat
-from .operators import Relation, compile_expr
-from .plan import AggregateCall, AggregateSpec, ContinuousPlan
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .udf import UDFRegistry
+from .partial_agg import (
+    COMBINABLE as _COMBINABLE,
+)
+from .partial_agg import (
+    CombinerSpec,
+    canonical_row_key,
+    combine_partials,
+    decompose_calls,
+)
+from .plan import AggregateSpec, ContinuousPlan
 
 __all__ = [
     "PartitionMode",
@@ -52,8 +57,6 @@ __all__ = [
     "canonical_row_key",
     "partitioned_tuples",
 ]
-
-_COMBINABLE = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
 
 
 # -- deterministic hashing and ordering --------------------------------------
@@ -82,28 +85,6 @@ def stable_hash(value: Any) -> int:
     else:
         data = b"o" + repr(value).encode()
     return zlib.crc32(data)
-
-
-def _cell_key(value: Any) -> tuple:
-    if value is None:
-        return (0, False)
-    if isinstance(value, bool):
-        return (1, value)
-    if isinstance(value, (int, float)):
-        return (2, value)
-    if isinstance(value, str):
-        return (3, value)
-    return (4, repr(value))
-
-
-def canonical_row_key(row: tuple) -> tuple:
-    """A total order over heterogeneous result rows.
-
-    Used by the engine's aggregation stage and the shard merge operator
-    so grouped output has one deterministic order regardless of tuple
-    arrival order or shard count.
-    """
-    return tuple(_cell_key(v) for v in row)
 
 
 # -- partition decision -------------------------------------------------------
@@ -290,27 +271,11 @@ def analyze_partitioning(plan: ContinuousPlan, engine) -> ShardingDecision:
     )
 
 
-# -- partial-aggregate rewriting and recombination ---------------------------
-
-
-@dataclass(frozen=True)
-class _FinalCall:
-    """How one output aggregate is computed from shard partials."""
-
-    function: str  # COUNT | SUM | MIN | MAX | AVG
-    output_name: str
-    partial_indexes: tuple[int, ...]  # offsets into the partial call list
-
-
-@dataclass(frozen=True)
-class CombinerSpec:
-    """The merge operator for ``PARTIAL`` mode."""
-
-    group_arity: int
-    finals: tuple[_FinalCall, ...]
-    out_columns: tuple[str, ...]
-    having: tuple[Expr, ...]
-    distinct: bool
+# -- partial-aggregate rewriting ---------------------------------------------
+#
+# The decomposition itself (AVG -> SUM + COUNT, final-call mapping) and the
+# recombiner are shared with pane-incremental execution; see
+# :mod:`repro.exastream.partial_agg`.
 
 
 def make_shard_plan(
@@ -320,34 +285,14 @@ def make_shard_plan(
 
     PARTITIONED and SINGLETON plans execute verbatim on each shard; a
     PARTIAL plan drops HAVING/DISTINCT (applied post-combine) and
-    decomposes AVG into SUM + COUNT partials.
+    decomposes AVG into SUM + COUNT partials via the shared
+    partial-aggregation module.
     """
     if decision.mode is not PartitionMode.PARTIAL:
         return plan, None
     aggregate = plan.aggregate
     assert aggregate is not None
-    partial_calls: list[AggregateCall] = []
-    finals: list[_FinalCall] = []
-    for i, call in enumerate(aggregate.calls):
-        fn = call.function.upper()
-        if fn == "AVG":
-            partial_calls.append(
-                AggregateCall("SUM", f"__p{i}_sum", argument=call.argument)
-            )
-            partial_calls.append(
-                AggregateCall("COUNT", f"__p{i}_cnt", argument=call.argument)
-            )
-            finals.append(
-                _FinalCall("AVG", call.output_name,
-                           (len(partial_calls) - 2, len(partial_calls) - 1))
-            )
-        else:
-            partial_calls.append(
-                AggregateCall(fn, f"__p{i}", argument=call.argument)
-            )
-            finals.append(
-                _FinalCall(fn, call.output_name, (len(partial_calls) - 1,))
-            )
+    partial_calls, finals = decompose_calls(aggregate.calls)
     shard_aggregate = AggregateSpec(
         group_by=aggregate.group_by,
         group_names=aggregate.group_names,
@@ -363,72 +308,6 @@ def make_shard_plan(
         distinct=plan.distinct,
     )
     return shard_plan, combiner
-
-
-def _reduce(fn: str, acc: Any, value: Any) -> Any:
-    if value is None:
-        return acc
-    if acc is None:
-        return value
-    if fn in ("SUM", "COUNT"):
-        return acc + value
-    if fn == "MIN":
-        return min(acc, value)
-    return max(acc, value)
-
-
-def combine_partials(
-    shard_rows: Sequence[Sequence[tuple]],
-    combiner: CombinerSpec,
-    udfs: "UDFRegistry | None" = None,
-) -> list[tuple]:
-    """Recombine per-shard partial aggregate rows into final rows.
-
-    Shards are folded in shard order (deterministic), HAVING applies to
-    the combined relation, and the output is canonically ordered.
-    """
-    arity = combiner.group_arity
-    n_partials = sum(len(f.partial_indexes) for f in combiner.finals)
-    groups: dict[tuple, list[Any]] = {}
-    reducers: list[str] = []
-    for final in combiner.finals:
-        if final.function == "AVG":
-            reducers += ["SUM", "COUNT"]
-        else:
-            reducers.append(final.function)
-    for rows in shard_rows:
-        for row in rows:
-            key = row[:arity]
-            acc = groups.get(key)
-            if acc is None:
-                acc = [None] * n_partials
-                groups[key] = acc
-            for j in range(n_partials):
-                acc[j] = _reduce(reducers[j], acc[j], row[arity + j])
-    out: list[tuple] = []
-    for key, acc in groups.items():
-        values = list(key)
-        offset = 0
-        for final in combiner.finals:
-            if final.function == "AVG":
-                total, count = acc[offset], acc[offset + 1]
-                values.append(total / count if count else None)
-                offset += 2
-            elif final.function == "COUNT":
-                values.append(acc[offset] or 0)
-                offset += 1
-            else:
-                values.append(acc[offset])
-                offset += 1
-        out.append(tuple(values))
-    if combiner.having:
-        relation = Relation(list(combiner.out_columns), out)
-        fns = [compile_expr(p, relation, udfs) for p in combiner.having]
-        out = [r for r in out if all(fn(r) for fn in fns)]
-    out.sort(key=canonical_row_key)
-    if combiner.distinct:
-        out = list(dict.fromkeys(out))
-    return out
 
 
 # -- input partitioning -------------------------------------------------------

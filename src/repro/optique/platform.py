@@ -88,16 +88,20 @@ class OptiquePlatform:
         primary_keys: dict[str, tuple[str, ...]] | None = None,
         shards: int = 1,
         parallel: str | None = None,
+        incremental: bool = True,
     ) -> None:
         self.ontology = ontology or Ontology()
         self.mappings = mappings or MappingCollection()
         self.scheduler = Scheduler(workers)
         if shards > 1:
             self.engine = ShardedEngine(
-                shards=shards, parallel=parallel, scheduler=self.scheduler
+                shards=shards,
+                parallel=parallel,
+                scheduler=self.scheduler,
+                incremental=incremental,
             )
         else:
-            self.engine = StreamEngine()
+            self.engine = StreamEngine(incremental=incremental)
         self.gateway = GatewayServer(self.engine, scheduler=self.scheduler)
         self.macros = MacroRegistry()
         self.dashboard = Dashboard()

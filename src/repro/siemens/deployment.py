@@ -261,12 +261,15 @@ def deploy(
     workers: int = 4,
     shards: int = 1,
     parallel: str | None = None,
+    incremental: bool = True,
 ) -> SiemensDeployment:
     """Stand up a complete deployment (generate the fleet if needed).
 
     ``shards=N`` partitions the turbine streams by sensor across N
     per-shard engines (``parallel="fork"`` adds worker processes); the
     default ``shards=1`` is the unchanged single-node deployment.
+    ``incremental=False`` forces full window recompute (pane-incremental
+    execution is on by default and falls back automatically per plan).
     """
     if fleet is None:
         fleet = generate_fleet(config or FleetConfig(turbines=10, plants=4))
@@ -276,10 +279,13 @@ def deploy(
     scheduler = Scheduler(workers)
     if shards > 1:
         engine = ShardedEngine(
-            shards=shards, parallel=parallel, scheduler=scheduler
+            shards=shards,
+            parallel=parallel,
+            scheduler=scheduler,
+            incremental=incremental,
         )
     else:
-        engine = StreamEngine()
+        engine = StreamEngine(incremental=incremental)
     engine.attach_database("plant", fleet.plant_db)
     engine.attach_database("legacy", fleet.legacy_db)
     engine.attach_database("history", fleet.history_db)

@@ -5,7 +5,16 @@ from .lsh import LSHCorrelator, StreamSignature, exact_pearson
 from .sequence import SequencingError, State, StateSequence, build_sequence
 from .stream import ListSource, Stream, StreamSchema, StreamSource, merge_sources
 from .wcache import SharedWindowReader, WindowCache, WindowCacheStats
-from .window import Heartbeat, WindowBatch, WindowSpec, time_sliding_window
+from .window import (
+    Heartbeat,
+    PanePlan,
+    PaneSlice,
+    PaneWindow,
+    WindowBatch,
+    WindowSpec,
+    pane_plan,
+    time_sliding_window,
+)
 
 __all__ = [
     "AdaptiveIndexer",
@@ -27,7 +36,11 @@ __all__ = [
     "WindowCache",
     "WindowCacheStats",
     "Heartbeat",
+    "PanePlan",
+    "PaneSlice",
+    "PaneWindow",
     "WindowBatch",
     "WindowSpec",
+    "pane_plan",
     "time_sliding_window",
 ]

@@ -13,28 +13,59 @@ it, the first reader pays the materialisation and later readers answer
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
-from .window import WindowBatch, WindowSpec, time_sliding_window
+from .window import (
+    PanePlan,
+    PaneSlice,
+    PaneWindow,
+    WindowBatch,
+    WindowPulse,
+    WindowSpec,
+    pane_plan,
+    time_window_pulses,
+)
 
 __all__ = ["WindowCacheStats", "WindowCache", "SharedWindowReader"]
 
 
 @dataclass
 class WindowCacheStats:
-    """Hit/miss counters for the wCache ablation benchmark (E8)."""
+    """Hit/miss counters for the wCache ablation benchmark (E8).
+
+    Window-batch and pane-slice lookups are counted separately so the
+    existing batch hit-rate benchmarks stay meaningful under incremental
+    execution (pane traffic is much chattier).
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     materialised_tuples: int = 0
+    pane_hits: int = 0
+    pane_misses: int = 0
+    pane_evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def pane_hit_rate(self) -> float:
+        total = self.pane_hits + self.pane_misses
+        return self.pane_hits / total if total else 0.0
+
+    @property
+    def combined_hit_rate(self) -> float:
+        """Hit rate over both stores — how much windowing work queries
+        shared, whichever execution mode served them."""
+        hits = self.hits + self.pane_hits
+        total = hits + self.misses + self.pane_misses
+        return hits / total if total else 0.0
 
 
 class WindowCache:
@@ -45,11 +76,17 @@ class WindowCache:
     again once every query has moved past them.
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(self, capacity: int = 1024, pane_capacity: int | None = None) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        if pane_capacity is not None and pane_capacity <= 0:
+            raise ValueError("pane capacity must be positive")
         self._capacity = capacity
         self._store: OrderedDict[tuple[str, int], WindowBatch] = OrderedDict()
+        # Pane slices live in their own LRU store: one window decomposes
+        # into many panes, and pane churn must not evict whole batches.
+        self._pane_capacity = pane_capacity if pane_capacity is not None else 8 * capacity
+        self._panes: OrderedDict[tuple[str, int], PaneSlice] = OrderedDict()
         self.stats = WindowCacheStats()
 
     def get(self, stream_name: str, window_id: int) -> WindowBatch | None:
@@ -74,6 +111,26 @@ class WindowCache:
             self._store.popitem(last=False)
             self.stats.evictions += 1
 
+    def get_pane(self, stream_name: str, pane_id: int) -> PaneSlice | None:
+        """Cached pane slice, or ``None`` (counts pane hit/miss)."""
+        key = (stream_name, pane_id)
+        pane = self._panes.get(key)
+        if pane is None:
+            self.stats.pane_misses += 1
+            return None
+        self.stats.pane_hits += 1
+        self._panes.move_to_end(key)
+        return pane
+
+    def put_pane(self, stream_name: str, pane: PaneSlice) -> None:
+        """Insert a materialised pane slice, evicting LRU panes when full."""
+        key = (stream_name, pane.pane_id)
+        self._panes[key] = pane
+        self._panes.move_to_end(key)
+        while len(self._panes) > self._pane_capacity:
+            self._panes.popitem(last=False)
+            self.stats.pane_evictions += 1
+
     def __len__(self) -> int:
         return len(self._store)
 
@@ -85,9 +142,23 @@ class SharedWindowReader:
     """Demand-driven windowing of one stream, shared across queries.
 
     The first query asking for window ``k`` advances the underlying
-    iterator far enough to materialise it (a miss); subsequent queries for
-    ``k`` are cache hits.  This is the execution-side face of the
+    pulse generator far enough to close it (a miss); subsequent queries
+    for ``k`` are cache hits.  This is the execution-side face of the
     ``wCache`` UDF.
+
+    The reader serves two views of every window:
+
+    * :meth:`window` — the full CQL batch.  Batches are O(range) to
+      assemble, so assembly is *demand-driven*: the first ``window()``
+      call makes the reader assemble and cache batches at every
+      subsequent pulse (the pre-pane behaviour).
+    * :meth:`pane_view` — the pane decomposition for incremental
+      execution.  Panes are sliced out of each pulse's O(slide) fresh
+      tuples and cached, so no O(range) work happens per window at all.
+      Whenever arrival order and pane order could diverge (late or
+      out-of-order data), the reader permanently disables the pane path
+      (``pane_view`` returns ``None``) and execution falls back to
+      batches — output never depends on which view served a window.
     """
 
     def __init__(
@@ -100,18 +171,218 @@ class SharedWindowReader:
         start: float | None = None,
     ) -> None:
         source = tuples() if callable(tuples) else tuples
-        self._windows = time_sliding_window(source, spec, time_index, start)
+        self._pulses = time_window_pulses(source, spec, time_index, start)
         self._stream_name = stream_name
+        self._edge_name = f"{stream_name}@edge"
         self._cache = cache
+        self._spec = spec
+        self._time_index = time_index
+        self._pane_plan: PanePlan | None = pane_plan(spec)
+        self._pane_broken = False
+        #: pane slicing is demand-gated like batch assembly: recompute-only
+        #: consumers never pay per-tuple pane assignment or slice churn
+        self._pane_demanded = False
+        #: last pulse whose pane/edge slicing completed — windows up to
+        #: here stay pane-servable even after a later break
+        self._pane_valid_until = -1
+        self._next_pane: int | None = None
+        self._carry: list = []  # previous pulse's edge (next pane's head)
         self._exhausted = False
         self._max_seen = -1
+        self._last_pulse: WindowPulse | None = None
+        self._batch_demanded = False
 
     @property
     def stream_name(self) -> str:
         return self._stream_name
 
+    @property
+    def pane_plan(self) -> PanePlan | None:
+        """The spec's pane decomposition (``None``: not pane-capable)."""
+        return self._pane_plan
+
+    def demand_panes(self) -> None:
+        """Turn pane slicing on (idempotent).
+
+        Pane-incremental runtimes call this at bind time, before the
+        reader advances, so slicing covers the stream from the first
+        pulse.  Demanded later (e.g. an incremental query joining an
+        already-advanced shared reader), slicing starts at the current
+        pulse and the first windows fall back to batches until the pane
+        ring spans a full window.
+        """
+        self._pane_demanded = True
+
+    # -- pulse advancement --------------------------------------------------
+
+    def _advance(self) -> WindowBatch | None:
+        """Consume one pulse; returns the batch when assembly is on."""
+        try:
+            pulse = next(self._pulses)
+        except StopIteration:
+            self._exhausted = True
+            return None
+        self._last_pulse = pulse
+        self._max_seen = pulse.window_id
+        if (
+            self._pane_demanded
+            and self._pane_plan is not None
+            and not self._pane_broken
+        ):
+            self._slice_pulse(pulse)
+        if self._batch_demanded:
+            batch = pulse.materialise(self._time_index)
+            self._cache.put(self._stream_name, batch)
+            return batch
+        return None
+
+    def _slice_pulse(self, pulse: WindowPulse) -> None:
+        """Assign the pulse's fresh tuples to panes / edge / carry.
+
+        Each tuple is examined once across all pulses.  The pane path
+        requires arrival order to agree with pane order — any late or
+        pane-crossing out-of-order tuple that a future batch would still
+        contain breaks the invariant, and the reader falls back to
+        batches for good.
+        """
+        plan = self._pane_plan
+        begin, end = pulse.start, pulse.end
+        anchor = pulse.anchor
+        nps, npw = plan.panes_per_slide, plan.panes_per_window
+        slide = self._spec.slide_seconds
+        range_s = self._spec.range_seconds
+        edge_pane = pulse.window_id * nps
+        # Slicing demanded mid-stream starts with an empty ring: this
+        # pulse's older-pane tuples are pre-demand history (skipped
+        # below, their windows fall back to batches), not late data.
+        warmup = self._next_pane is None and pulse.window_id != 0
+        if self._next_pane is None:
+            # At the stream's first pulse every tuple so far is still in
+            # the arrivals, so the whole first window backfills; a
+            # mid-stream start must not fabricate empty panes for
+            # regions whose tuples already passed.
+            self._next_pane = (
+                edge_pane - npw if pulse.window_id == 0 else edge_pane
+            )
+        built: dict[int, list] = {
+            j: [] for j in range(self._next_pane, edge_pane)
+        }
+        edge: list = []
+        carry: list = []
+        last_pane = self._next_pane
+        pane_width = plan.pane_seconds
+        time_index = self._time_index
+        ceil = math.ceil
+        arrivals = (self._carry + pulse.fresh) if self._carry else pulse.fresh
+        for item in arrivals:
+            ts = item[time_index]
+            if ts > end:
+                # Unreachable for the current pulse generator (a tuple
+                # past a window's end triggers that window's drain before
+                # it is appended, so fresh tuples never outrun their
+                # delivering pulse); guard conservatively anyway.
+                self._pane_broken = True
+                return
+            if ts == end:  # the window's edge, bitwise
+                edge.append(item)
+                carry.append(item)  # also the head of the next pane
+                # the edge is the pulse's newest position: any later
+                # arrival for an older pane is disorder (checked below)
+                last_pane = edge_pane
+                continue
+            pane_id = edge_pane - ceil((end - ts) / pane_width)
+            # Pane membership must agree with the batch path's
+            # ``begin_w <= ts <= end_w`` tests — which use rounded float
+            # grid arithmetic — for *every* window.  Both paths' window
+            # sets are contiguous ranges, so agreement at the four
+            # boundary windows of pane ``pane_id`` implies agreement
+            # everywhere (``ts == end`` of the window before the pane's
+            # first is fine: the edge slice serves that window).  When
+            # the division guess disagrees by an ulp — e.g. tuples on
+            # rounded boundaries of a non-pane-aligned grid — re-derive
+            # the pane from the batch expressions themselves instead of
+            # silently diverging.
+            first_w = -((-(pane_id + 1)) // nps)
+            last_w = (pane_id + npw) // nps
+            if (
+                ts > anchor + first_w * slide
+                or ts < anchor + (first_w - 1) * slide
+                or ts < (anchor + last_w * slide) - range_s
+                or ts >= (anchor + (last_w + 1) * slide) - range_s
+            ):
+                corrected = self._corrected_pane(ts, anchor)
+                if corrected is None:
+                    self._pane_broken = True
+                    return
+                pane_id = corrected
+            if pane_id < self._next_pane:
+                if ts >= begin and not warmup:
+                    # late data into an already-finalised pane: future
+                    # batches see it, finalised panes cannot
+                    self._pane_broken = True
+                    return
+                # pre-window history (provably in no window), or tuples
+                # of panes that passed before slicing was demanded
+                continue
+            if pane_id < last_pane:
+                # pane-crossing disorder: pane order != arrival order
+                self._pane_broken = True
+                return
+            last_pane = pane_id
+            built[pane_id].append(item)
+        for pane_id, contents in built.items():
+            self._cache.put_pane(
+                self._stream_name, PaneSlice(pane_id, contents)
+            )
+        self._cache.put_pane(
+            self._edge_name, PaneSlice(pulse.window_id, edge, end=end)
+        )
+        self._carry = carry
+        self._next_pane = edge_pane
+        self._pane_valid_until = pulse.window_id
+
+    def _corrected_pane(self, ts: float, anchor: float) -> int | None:
+        """Exact pane for a timestamp whose division guess disagreed with
+        the batch path's window tests.
+
+        Re-derives the tuple's true window range ``[first_w, last_w]``
+        using the identical rounded float expressions batch assembly
+        evaluates (``end_w = anchor + w*slide``; ``begin_w = end_w -
+        range``), then picks the lowest pane id implying exactly that
+        range.  ``None`` when no pane does — a genuine boundary anomaly,
+        and the caller falls back to batches.
+        """
+        plan = self._pane_plan
+        slide = self._spec.slide_seconds
+        range_s = self._spec.range_seconds
+        nps, npw = plan.panes_per_slide, plan.panes_per_window
+        # smallest window the pane must cover: the first with ts <= end_w
+        # — unless ts is exactly that window's end, which the edge slice
+        # serves, so pane coverage starts one window later
+        w = math.ceil((ts - anchor) / slide)
+        while ts > anchor + w * slide:
+            w += 1
+        while ts <= anchor + (w - 1) * slide:
+            w -= 1
+        first_w = w + 1 if ts == anchor + w * slide else w
+        # largest window with begin_w <= ts
+        w = math.floor((ts + range_s - anchor) / slide)
+        while (anchor + w * slide) - range_s > ts:
+            w -= 1
+        while (anchor + (w + 1) * slide) - range_s <= ts:
+            w += 1
+        last_w = w
+        # panes whose window range is exactly [first_w, last_w]
+        low = max((first_w - 1) * nps, last_w * nps - npw)
+        high = min(first_w * nps - 1, last_w * nps - npw + nps - 1)
+        if low > high:
+            return None
+        return low
+
+    # -- window views -------------------------------------------------------
+
     def window(self, window_id: int) -> WindowBatch | None:
-        """Fetch window ``window_id``, materialising forward as needed.
+        """Fetch window ``window_id``'s batch, advancing as needed.
 
         Returns ``None`` when the stream ends before that window closes or
         when the window was already evicted (a query lagging too far).
@@ -120,16 +391,85 @@ class SharedWindowReader:
         if cached is not None:
             return cached
         if window_id <= self._max_seen or self._exhausted:
-            return None
-        for batch in self._windows:
-            self._cache.put(self._stream_name, batch)
-            self._max_seen = batch.window_id
-            if batch.window_id == window_id:
+            if (
+                self._last_pulse is not None
+                and window_id == self._last_pulse.window_id
+            ):
+                # Current pulse advanced by a pane consumer: the live
+                # buffer still covers it (pane fallback path).
+                batch = self._last_pulse.materialise(self._time_index)
+                self._cache.put(self._stream_name, batch)
                 return batch
-            if batch.window_id > window_id:  # pragma: no cover - defensive
+            return self._assemble_from_panes(window_id)
+        self._batch_demanded = True
+        while self._max_seen < window_id:
+            batch = self._advance()
+            if self._exhausted:
                 return None
-        self._exhausted = True
-        return None
+            if batch is not None and batch.window_id == window_id:
+                return batch
+        return None  # pragma: no cover - defensive
+
+    def _assemble_from_panes(self, window_id: int) -> WindowBatch | None:
+        """Rebuild an already-passed window's batch from cached panes.
+
+        Pane concatenation order equals arrival order (the pane-path
+        invariant), so the rebuilt batch is exactly the one ``window()``
+        would have assembled at pulse time.
+        """
+        plan = self._pane_plan
+        if plan is None or window_id > self._pane_valid_until:
+            return None
+        view = self._pane_window(window_id)
+        if view is None:
+            return None
+        end = view.end
+        tuples: list = []
+        for pane in view.panes:
+            tuples.extend(pane.tuples)
+        tuples.extend(view.edge)
+        batch = WindowBatch(window_id, end - self._spec.range_seconds, end, tuples)
+        self._cache.put(self._stream_name, batch)
+        return batch
+
+    def pane_view(self, window_id: int) -> PaneWindow | None:
+        """The pane decomposition of window ``window_id``.
+
+        Advances the pulse generator as needed **without** assembling
+        batches.  Returns ``None`` when the pane path is unavailable —
+        non-decomposable spec, order violations, evicted panes, or the
+        stream ending first — and the caller falls back to
+        :meth:`window`.
+        """
+        if self._pane_plan is None:
+            return None
+        self._pane_demanded = True  # direct consumers demand implicitly
+        while (
+            self._max_seen < window_id
+            and not self._exhausted
+            and not self._pane_broken
+        ):
+            self._advance()
+        if window_id > self._pane_valid_until:
+            # past the break point (or the stream's end): fall back —
+            # windows sliced before a break stay pane-servable
+            return None
+        return self._pane_window(window_id)
+
+    def _pane_window(self, window_id: int) -> PaneWindow | None:
+        plan = self._pane_plan
+        edge = self._cache.get_pane(self._edge_name, window_id)
+        if edge is None:
+            return None
+        slices: list[PaneSlice] = []
+        for pane_id in plan.window_panes(window_id):
+            cached = self._cache.get_pane(self._stream_name, pane_id)
+            if cached is None:
+                return None  # evicted: the caller recomputes
+            slices.append(cached)
+        return PaneWindow(
+            window_id=window_id, end=edge.end, panes=slices, edge=edge.tuples
+        )
 
     def all_windows(self) -> Iterator[WindowBatch]:
         """Iterate every remaining window (also populating the cache)."""

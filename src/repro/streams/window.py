@@ -10,11 +10,24 @@ with timestamp in ``(t_k - r, t_k]``.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import Any, Iterable, Iterator
 
-__all__ = ["WindowSpec", "WindowBatch", "Heartbeat", "time_sliding_window"]
+__all__ = [
+    "WindowSpec",
+    "WindowBatch",
+    "WindowPulse",
+    "Heartbeat",
+    "time_sliding_window",
+    "time_window_pulses",
+    "PanePlan",
+    "PaneSlice",
+    "PaneWindow",
+    "pane_plan",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,6 +83,89 @@ class Heartbeat:
     ts: float
 
 
+@dataclass(slots=True)
+class WindowPulse:
+    """One pulse of the windowing engine, *before* batch materialisation.
+
+    ``fresh`` holds the tuples first delivered at this pulse (each tuple
+    appears in exactly one pulse's ``fresh``, in arrival order; a tuple
+    past a window's end triggers that window's drain before it is
+    appended, so fresh tuples never outrun their delivering pulse's
+    ``end``).  ``buffer`` is the engine's **live** window buffer, pruned
+    to ``ts >= start``; it is only valid until the generator resumes,
+    and slicing it by ``start <= ts <= end`` yields exactly the window's
+    batch.  Pulses let pane-incremental readers touch O(slide) tuples
+    per window instead of materialising O(range) batches.
+    """
+
+    window_id: int
+    start: float
+    end: float
+    fresh: list[tuple[Any, ...]]
+    buffer: deque[tuple[Any, ...]]
+    #: the pulse grid anchor — pane slicing re-derives window boundaries
+    #: with the exact float expressions batch assembly uses
+    anchor: float = 0.0
+
+    def materialise(self, time_index: int) -> WindowBatch:
+        """Assemble the full CQL batch from the live buffer (O(range))."""
+        start, end = self.start, self.end
+        contents = [t for t in self.buffer if start <= t[time_index] <= end]
+        return WindowBatch(self.window_id, start, end, contents)
+
+
+def time_window_pulses(
+    tuples: Iterable[tuple[Any, ...] | Heartbeat],
+    spec: WindowSpec,
+    time_index: int,
+    start: float | None = None,
+) -> Iterator[WindowPulse]:
+    """Stream tuples into window pulses (the lazy core of
+    :func:`time_sliding_window`).
+
+    ``start`` anchors the pulse grid; when omitted, the first tuple's
+    timestamp is used (the window closing exactly at that instant fires
+    first).  Windows are emitted as soon as event time passes their end
+    (watermark = max seen timestamp, no lateness).
+    """
+    buffer: deque[tuple[Any, ...]] = deque()
+    fresh: list[tuple[Any, ...]] = []
+    anchor: float | None = start
+    next_window = 0
+
+    def drain_until(watermark: float) -> Iterator[WindowPulse]:
+        nonlocal next_window, fresh
+        assert anchor is not None
+        while anchor + next_window * spec.slide_seconds <= watermark:
+            end = anchor + next_window * spec.slide_seconds
+            begin = end - spec.range_seconds
+            while buffer and buffer[0][time_index] < begin:
+                buffer.popleft()
+            delivered, fresh = fresh, []
+            yield WindowPulse(next_window, begin, end, delivered, buffer, anchor)
+            next_window += 1
+
+    for item in tuples:
+        if isinstance(item, Heartbeat):
+            if anchor is None:
+                anchor = item.ts
+            if item.ts > anchor + next_window * spec.slide_seconds:
+                yield from drain_until(_previous_pulse(anchor, spec, item.ts))
+            continue
+        timestamp = item[time_index]
+        if anchor is None:
+            anchor = timestamp
+        # Close every window strictly before this event's time.
+        if timestamp > anchor + next_window * spec.slide_seconds:
+            yield from drain_until(
+                _previous_pulse(anchor, spec, timestamp)
+            )
+        buffer.append(item)
+        fresh.append(item)
+    if anchor is not None:
+        yield from drain_until(anchor + next_window * spec.slide_seconds)
+
+
 def time_sliding_window(
     tuples: Iterable[tuple[Any, ...] | Heartbeat],
     spec: WindowSpec,
@@ -89,45 +185,125 @@ def time_sliding_window(
     >>> [(b.window_id, len(b)) for b in batches][:3]
     [(0, 1), (1, 2), (2, 3)]
     """
-    buffer: deque[tuple[Any, ...]] = deque()
-    anchor: float | None = start
-    next_window = 0
-
-    def drain_until(watermark: float) -> Iterator[WindowBatch]:
-        nonlocal next_window
-        assert anchor is not None
-        while anchor + next_window * spec.slide_seconds <= watermark:
-            end = anchor + next_window * spec.slide_seconds
-            begin = end - spec.range_seconds
-            while buffer and buffer[0][time_index] < begin:
-                buffer.popleft()
-            contents = [t for t in buffer if begin <= t[time_index] <= end]
-            yield WindowBatch(next_window, begin, end, contents)
-            next_window += 1
-
-    for item in tuples:
-        if isinstance(item, Heartbeat):
-            if anchor is None:
-                anchor = item.ts
-            if item.ts > anchor + next_window * spec.slide_seconds:
-                yield from drain_until(_previous_pulse(anchor, spec, item.ts))
-            continue
-        timestamp = item[time_index]
-        if anchor is None:
-            anchor = timestamp
-        # Close every window strictly before this event's time.
-        if timestamp > anchor + next_window * spec.slide_seconds:
-            yield from drain_until(
-                _previous_pulse(anchor, spec, timestamp)
-            )
-        buffer.append(item)
-    if anchor is not None:
-        yield from drain_until(anchor + next_window * spec.slide_seconds)
+    for pulse in time_window_pulses(tuples, spec, time_index, start):
+        yield pulse.materialise(time_index)
 
 
 def _previous_pulse(anchor: float, spec: WindowSpec, timestamp: float) -> float:
     """The latest pulse time strictly before ``timestamp``."""
-    import math
-
     k = math.ceil((timestamp - anchor) / spec.slide_seconds) - 1
     return anchor + k * spec.slide_seconds
+
+
+# ---------------------------------------------------------------------------
+# Pane decomposition (incremental sliding-window execution)
+# ---------------------------------------------------------------------------
+#
+# When ``range >> slide`` consecutive windows overlap almost entirely; the
+# overlap decomposes into non-overlapping *panes* of width gcd(range, slide)
+# so each tuple is processed once, when its pane first appears, and every
+# window is the combination of its constituent panes (Li et al., "No pane,
+# no gain").  The closed ``[end - range, end]`` CQL interval decomposes as
+#
+#   window k  =  panes [k*nps - npw, k*nps)  ∪  { tuples with ts == end }
+#
+# where panes are half-open ``[pane_start, pane_start + pane)`` intervals,
+# ``npw = range/pane`` and ``nps = slide/pane``.  The trailing singleton is
+# the window's *edge*: tuples exactly at the pulse instant, which belong to
+# the not-yet-complete next pane.
+
+#: Windows needing more panes than this are not worth slicing (and specs
+#: whose exact rational gcd is tiny — e.g. 0.1 vs 0.3 in binary floats —
+#: are excluded by the same bound).
+MAX_PANES_PER_WINDOW = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class PanePlan:
+    """Pane decomposition of one window spec (``None``-able; see
+    :func:`pane_plan`)."""
+
+    pane_seconds: float
+    panes_per_window: int
+    panes_per_slide: int
+
+    def window_panes(self, window_id: int) -> range:
+        """Global ids of the complete panes of window ``window_id``.
+
+        Pane ``j`` covers event time ``[anchor + j*pane, anchor +
+        (j+1)*pane)``; ids are negative for the partial windows before the
+        anchor.  The window's edge tuples (``ts == end``) sit at the start
+        of pane ``window_id * panes_per_slide``, which is excluded here
+        because it is not complete yet.
+        """
+        last = window_id * self.panes_per_slide
+        return range(last - self.panes_per_window, last)
+
+
+def pane_plan(spec: WindowSpec) -> PanePlan | None:
+    """Pane decomposition for ``spec``, or ``None`` when not worthwhile.
+
+    ``None`` when windows do not overlap (``range <= slide``: tumbling or
+    sampling windows reuse nothing) or when the exact rational
+    gcd(range, slide) yields more than :data:`MAX_PANES_PER_WINDOW` panes
+    per window.  The gcd is computed over the *exact* binary values of the
+    float parameters, so any spec that passes also has exactly
+    representable pane arithmetic.
+    """
+    if spec.range_seconds <= spec.slide_seconds:
+        return None
+    fr = Fraction(spec.range_seconds)
+    fs = Fraction(spec.slide_seconds)
+    gcd = Fraction(
+        math.gcd(fr.numerator * fs.denominator, fs.numerator * fr.denominator),
+        fr.denominator * fs.denominator,
+    )
+    panes_per_window = fr / gcd
+    panes_per_slide = fs / gcd
+    if panes_per_window > MAX_PANES_PER_WINDOW:
+        return None
+    pane = float(gcd)
+    npw, nps = int(panes_per_window), int(panes_per_slide)
+    # The float round-trip must be exact, or pane boundaries would drift
+    # off the window grid.
+    if pane * npw != spec.range_seconds or pane * nps != spec.slide_seconds:
+        return None
+    return PanePlan(pane, npw, nps)
+
+
+@dataclass(slots=True)
+class PaneSlice:
+    """The tuples of one materialised pane, in stream order.
+
+    Edge slices (a window's ``ts == end`` tuples, cached per window id)
+    reuse this shape and additionally record the window's exact ``end``
+    so pane-served windows report the same pulse instant as batch-served
+    ones.
+    """
+
+    pane_id: int
+    tuples: list[tuple[Any, ...]]
+    end: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+
+@dataclass(slots=True)
+class PaneWindow:
+    """One window resolved into panes: the incremental execution view.
+
+    ``panes`` are ordered oldest-first and cover ``[end - range, end)``;
+    ``edge`` holds the tuples with ``ts == end`` exactly.  Concatenated,
+    they reproduce the window's batch tuples in arrival order (the
+    reader refuses to produce a :class:`PaneWindow` whenever arrival
+    order and pane order could diverge).
+    """
+
+    window_id: int
+    end: float
+    panes: list[PaneSlice]
+    edge: list[tuple[Any, ...]]
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self.panes) + len(self.edge)

@@ -278,8 +278,10 @@ class TestPlannerAndGateway:
         gateway.register(sql, name="a")
         gateway.register(sql, name="b")
         gateway.run(max_windows=4)
-        # second query hits the cache populated by the first
-        assert engine.cache.stats.hits > 0
+        # second query hits the cache populated by the first (batch hits
+        # on the recompute path, pane hits on the incremental path)
+        stats = engine.cache.stats
+        assert stats.hits + stats.pane_hits > 0
 
     def test_metrics_populated(self):
         engine = engine_with_data()
