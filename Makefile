@@ -25,13 +25,14 @@ lint:
 bench:
 	$(PY) -m pytest benchmarks/bench_*.py -q
 
-# The CI benchmark job: session-poll + sharded-engine + incremental
-# benches on tiny workloads, with machine-readable results for the
+# The CI benchmark job: session-poll + sharded-engine + incremental +
+# MQO benches on tiny workloads, with machine-readable results for the
 # workflow artifact.
 bench-smoke:
 	$(PY) -m pytest benchmarks/bench_session_poll.py \
 		benchmarks/bench_sharded_engine.py \
 		benchmarks/bench_incremental.py \
+		benchmarks/bench_mqo.py \
 		-q --smoke --benchmark-json=bench-results.json
 
 # Gate a fresh bench run against a baseline: fails on >20% regression of
@@ -39,6 +40,9 @@ bench-smoke:
 # it aside before a change and compare after:
 #   cp bench-results.json bench-baseline.json && <change> && make bench-smoke
 #   make bench-compare BENCH_BASELINE=bench-baseline.json
+# CI compares against the committed benchmarks/ci-baseline.json and
+# uploads the report as an artifact (informational there — runner
+# hardware varies; the gate is meant for like-for-like local runs).
 BENCH_BASELINE ?= bench-baseline.json
 BENCH_NEW ?= bench-results.json
 bench-compare:

@@ -22,6 +22,8 @@ from ..streams import (
     WindowCache,
 )
 from .metrics import EngineMetrics, QueryMetrics, Stopwatch
+from .mqo.runtime import MQOBinding
+from .mqo.signature import plan_signature
 from .operators import (
     Relation,
     StaticTable,
@@ -207,6 +209,9 @@ class PlanRuntime:
     udfs: UDFRegistry
     metrics: QueryMetrics
     incremental_enabled: bool = True
+    #: shared-subplan handle (multi-query optimization); ``None`` runs
+    #: the binding fully private — output is identical either way
+    mqo: MQOBinding | None = None
 
     def __post_init__(self) -> None:
         #: compiled expression closures keyed by (expr identity, relation
@@ -250,12 +255,33 @@ class PlanRuntime:
         #: pane id -> {group key -> per-partial-call payload tuple}
         self._pane_ctx: _PaneContext | None = None
         self._pane_ring: dict[int, dict[tuple, tuple]] = {}
-        # Declare pane demand at bind time so the shared reader slices
-        # from its first pulse; recompute-only bindings never turn
-        # slicing on and pay no pane overhead.
+        #: readers this binding holds a batch-demand reference on —
+        #: released through the gateway's reader-release path so a
+        #: surviving pane-incremental query regains its no-batch property
+        #: once every batch-driven query deregisters
+        self._batch_demanded: list[SharedWindowReader] = []
+        # Declare demand at bind time: pane-incremental bindings turn on
+        # pane slicing (so the shared reader slices from its first
+        # pulse); batch-driven bindings take a batch-demand reference so
+        # every pulse assembles (and caches) its window batch.
         if self._incremental_active():
             reader = self.readers[self.plan.windows[0].reader_key]
             reader.demand_panes()
+        else:
+            for reader in set(self.readers.values()):
+                reader.demand_batches()
+                self._batch_demanded.append(reader)
+
+    def release_demand(self) -> None:
+        """Release this binding's batch-demand references (idempotent).
+
+        Called on deregistration; once the last batch-driven binding is
+        gone the shared reader stops assembling O(range) batches per
+        pulse and surviving pane-incremental queries run batch-free.
+        """
+        for reader in self._batch_demanded:
+            reader.release_batches()
+        self._batch_demanded.clear()
 
     def _compile(self, expr: Expr, relation: Relation):
         """Memoized :func:`compile_expr` for this binding."""
@@ -272,7 +298,8 @@ class PlanRuntime:
         if self._incremental_active():
             # Pane path first: O(slide) work, no batch materialisation.
             ref = self.plan.windows[0]
-            view = self.readers[ref.reader_key].pane_view(window_id)
+            reader = self.readers[ref.reader_key]
+            view = reader.pane_view(window_id)
             if view is not None:
                 self.metrics.tuples_in += len(view)
                 rows, columns = self._execute_incremental(ref, view)
@@ -283,6 +310,12 @@ class PlanRuntime:
                 return WindowResult(
                     self.plan.name, window_id, view.end, columns, rows
                 )
+            if reader.pane_broken and not self._batch_demanded:
+                # The pane path is gone for good: every remaining window
+                # falls back to batches, so take a (releasable) demand
+                # reference and let pulses assemble + cache them again.
+                reader.demand_batches()
+                self._batch_demanded.append(reader)
         raw: list[tuple[WindowedStreamRef, WindowBatch]] = []
         window_end = 0.0
         for ref in self.plan.windows:
@@ -292,13 +325,23 @@ class PlanRuntime:
             window_end = batch.end
             self.metrics.tuples_in += len(batch)
             raw.append((ref, batch))
-        batches = {
-            ref.alias: self._load_batch(ref, batch.tuples)
-            for ref, batch in raw
-        }
-        relation = self._join_all(batches)
-        relation = self._apply_residual_filters(relation)
+        relation = None
+        if self.mqo is not None:
+            relation = self.mqo.relation("w", window_id)
+        if relation is None:
+            batches = {
+                ref.alias: self._load_batch(ref, batch.tuples)
+                for ref, batch in raw
+            }
+            relation = self._join_all(batches)
+            relation = self._apply_residual_filters(relation)
+            if self.mqo is not None:
+                self.mqo.put_relation("w", window_id, relation)
+        else:
+            self.metrics.mqo_relation_hits += 1
         rows, columns = self._finalize(relation)
+        if self.mqo is not None:
+            self.mqo.advance("w", window_id + 1)
         self.metrics.windows_processed += 1
         self.metrics.tuples_out += len(rows)
         self.metrics.wall_seconds += watch.elapsed()
@@ -487,16 +530,40 @@ class PlanRuntime:
     ) -> tuple[list[tuple], list[str]]:
         """One window as the combination of its panes' partial states."""
         ctx = self._pane_context()
+        mqo = self.mqo
         ring = self._pane_ring
         for pane in view.panes:
             if pane.pane_id not in ring:
-                ring[pane.pane_id] = self._pane_partials(ctx, ref, pane.tuples)
-                self.metrics.panes_built += 1
+                state = None
+                if mqo is not None:
+                    state = mqo.partials("p", pane.pane_id)
+                if state is None:
+                    state = self._pane_partials(
+                        ctx, ref, pane.tuples, ("p", pane.pane_id)
+                    )
+                    self.metrics.panes_built += 1
+                    if mqo is not None:
+                        mqo.put_partials("p", pane.pane_id, state)
+                else:
+                    self.metrics.mqo_partial_hits += 1
+                ring[pane.pane_id] = state
         states = [ring[pane.pane_id] for pane in view.panes]
         if view.edge:
             # The window's pulse-instant tuples belong to the (incomplete)
-            # next pane; their partial state is built fresh per window.
-            states.append(self._pane_partials(ctx, ref, view.edge))
+            # next pane; their partial state is built once per window and
+            # shared across every subscriber of the aggregation prefix.
+            edge_state = None
+            if mqo is not None:
+                edge_state = mqo.partials("e", view.window_id)
+            if edge_state is None:
+                edge_state = self._pane_partials(
+                    ctx, ref, view.edge, ("e", view.window_id)
+                )
+                if mqo is not None:
+                    mqo.put_partials("e", view.window_id, edge_state)
+            else:
+                self.metrics.mqo_partial_hits += 1
+            states.append(edge_state)
         # Gather each group's partial payloads into per-call slots (cheap
         # list appends), then fold every slot at C speed via the
         # accumulator classes' ``combine``.  Slot order is pane order, so
@@ -535,20 +602,40 @@ class PlanRuntime:
         low = view.panes[0].pane_id if view.panes else 0
         for pane_id in [j for j in ring if j < low]:
             del ring[pane_id]
+        if self.mqo is not None:
+            self.mqo.advance("p", low)
+            self.mqo.advance("e", view.window_id + 1)
         return rows, list(ctx.combiner.out_columns)
 
     def _pane_partials(
-        self, ctx: "_PaneContext", ref: WindowedStreamRef, tuples: list
+        self,
+        ctx: "_PaneContext",
+        ref: WindowedStreamRef,
+        tuples: list,
+        mqo_key: tuple[str, int] | None = None,
     ) -> dict[tuple, list]:
         """The per-pane pipeline: load -> filters -> static joins ->
         grouped partial accumulators.
 
         Runs through the *same* join/filter machinery as the recompute
         path (on the pane's tuples instead of the whole window's), so
-        per-row semantics are identical by construction.
+        per-row semantics are identical by construction.  ``mqo_key``
+        names the slice in the shared relation tier, so queries sharing
+        only the relational prefix (different grouping) still reuse the
+        joined, filtered pane relation.
         """
-        relation = self._join_all({ref.alias: self._load_batch(ref, tuples)})
-        relation = self._apply_residual_filters(relation)
+        relation = None
+        if self.mqo is not None and mqo_key is not None:
+            relation = self.mqo.relation(*mqo_key)
+        if relation is None:
+            relation = self._join_all(
+                {ref.alias: self._load_batch(ref, tuples)}
+            )
+            relation = self._apply_residual_filters(relation)
+            if self.mqo is not None and mqo_key is not None:
+                self.mqo.put_relation(*mqo_key, relation)
+        else:
+            self.metrics.mqo_relation_hits += 1
         group_fns = [self._compile(e, relation) for e in ctx.group_by]
         groups: dict[tuple, list[tuple]] = {}
         for row in relation.rows:
@@ -600,6 +687,7 @@ class StreamEngine:
         cache_capacity: int = 4096,
         adaptive_indexing: bool = True,
         incremental: bool = True,
+        mqo: bool = True,
     ) -> None:
         self.udfs = udfs or builtin_registry()
         self.cache = WindowCache(cache_capacity)
@@ -609,6 +697,10 @@ class StreamEngine:
         #: classic full-recompute path for every plan — the differential
         #: tests run both and assert byte-identical results)
         self.incremental = incremental
+        #: allow shared-subplan execution across registered queries
+        #: (``False`` makes the gateway skip the MQO registry entirely —
+        #: the escape hatch the differential tests toggle)
+        self.mqo = mqo
         self._sources: dict[str, StreamSource] = {}
         self._databases: dict[str, Database] = {}
 
@@ -645,11 +737,16 @@ class StreamEngine:
         self,
         plan: ContinuousPlan,
         shared_readers: dict[str, SharedWindowReader] | None = None,
+        mqo=None,
     ) -> PlanRuntime:
         """Bind a plan to sources/databases, producing a runtime.
 
         ``shared_readers`` lets the gateway share window materialisation
         (the wCache behaviour) across concurrently registered queries.
+        ``mqo`` is the gateway's shared-pipeline registry (or a scoped
+        view of it); when present and the plan's prefix is shareable,
+        the runtime computes per-pane results once across every
+        structurally equal registered query.
         """
         readers: dict[str, SharedWindowReader] = {}
         stream_columns: dict[str, list[str]] = {}
@@ -686,6 +783,12 @@ class StreamEngine:
             relation = Relation([f"{ref.alias}.{n}" for n in names], rows)
             statics[ref.alias] = StaticTable(relation)
 
+        binding = None
+        if mqo is not None and self.mqo:
+            signature = plan_signature(plan)
+            if signature is not None:
+                binding = mqo.bind(signature, plan.name)
+
         return PlanRuntime(
             plan=plan,
             readers=readers,
@@ -694,6 +797,7 @@ class StreamEngine:
             udfs=self.udfs,
             metrics=self.metrics.query(plan.name),
             incremental_enabled=self.incremental,
+            mqo=binding,
         )
 
     @staticmethod

@@ -27,6 +27,7 @@ from typing import Callable
 from ..streams import SharedWindowReader
 from .engine import BoundedResultSink, PlanRuntime, StreamEngine, WindowResult
 from .metrics import Stopwatch
+from .mqo import SharedPipelineRegistry, plan_signature
 from .plan import ContinuousPlan
 from .planner import plan_sql
 from .scheduler import Scheduler
@@ -148,6 +149,14 @@ class GatewayServer:
         self._reader_keys: dict[str, set[str]] = {}
         self._reader_refs: dict[str, int] = {}
         self._name_counter = itertools.count(1)
+        #: the multi-query-optimization registry: per-(signature, pane)
+        #: results shared across every registered query whose pipeline
+        #: prefix matches.  ``mqo=False`` on the engine disables it.
+        self.mqo: SharedPipelineRegistry | None = (
+            SharedPipelineRegistry() if getattr(engine, "mqo", False) else None
+        )
+        #: query name -> shared-pipeline key placed with the scheduler
+        self._pipeline_keys: dict[str, str] = {}
 
     # -- registration ----------------------------------------------------------
 
@@ -183,13 +192,20 @@ class GatewayServer:
             raise ValueError(f"query name {name!r} already registered")
         plan.name = name
         if shards is None:
-            runtime = self.engine.bind(plan, shared_readers=self._shared_readers)
+            runtime = self.engine.bind(
+                plan, shared_readers=self._shared_readers, mqo=self.mqo
+            )
         elif hasattr(self.engine, "default_shards"):
             runtime = self.engine.bind(
-                plan, shared_readers=self._shared_readers, shards=shards
+                plan,
+                shared_readers=self._shared_readers,
+                shards=shards,
+                mqo=self.mqo,
             )
         elif shards == 1:
-            runtime = self.engine.bind(plan, shared_readers=self._shared_readers)
+            runtime = self.engine.bind(
+                plan, shared_readers=self._shared_readers, mqo=self.mqo
+            )
         else:
             raise ValueError(
                 f"shards={shards} requires a ShardedEngine behind the gateway"
@@ -209,7 +225,33 @@ class GatewayServer:
         for key in keys:
             self._reader_refs[key] = self._reader_refs.get(key, 0) + 1
         if self.scheduler is not None:
-            self.scheduler.place(plan)
+            signature = (
+                plan_signature(plan) if self.mqo is not None else None
+            )
+            if signature is None:
+                self.scheduler.place(plan)
+            else:
+                # Shared-subplan load accounting: the pipeline prefix is
+                # placed (and costed) once per *pipeline*, refcounted
+                # across its subscriber queries; only the per-query
+                # residual operators are placed per query.  The key is
+                # scoped by (shard count, partition key column),
+                # mirroring the registry's per-layout scoping: a
+                # shards=1 and a shards=2 registration of the same task
+                # — or two layouts partitioned on different key columns
+                # — share no execution, so they must not share a
+                # placement either.
+                resolve = getattr(self.engine, "resolve_shards", None)
+                layout = 1 if resolve is None else resolve(plan, shards)
+                key_column = None
+                if layout > 1 and plan.partitioning is not None:
+                    key_column = plan.partitioning.key_column
+                pipeline_key = (
+                    f"shards={layout}:{key_column}|{signature.relation_key}"
+                )
+                self.scheduler.place_pipeline(pipeline_key, plan)
+                self.scheduler.place_residual(plan)
+                self._pipeline_keys[name] = pipeline_key
         return registered
 
     def deregister(self, name: str) -> None:
@@ -222,11 +264,19 @@ class GatewayServer:
             raise KeyError(f"query {name!r} is not registered")
         registered = self._queries.pop(name)
         registered.cancel()
+        release_demand = getattr(registered.runtime, "release_demand", None)
+        if release_demand is not None:  # drop batch-demand references
+            release_demand()
         close = getattr(registered.runtime, "close", None)
         if close is not None:  # sharded runtimes own worker processes
             close()
+        if self.mqo is not None:
+            self.mqo.release_query(name)
         if self.scheduler is not None:
             self.scheduler.remove(name)
+            pipeline_key = self._pipeline_keys.pop(name, None)
+            if pipeline_key is not None:
+                self.scheduler.release_pipeline(pipeline_key)
         release = getattr(self.engine, "release_reader", None)
         for key in self._reader_keys.pop(name, set()):
             remaining = self._reader_refs.get(key, 0) - 1

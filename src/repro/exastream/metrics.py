@@ -42,6 +42,10 @@ class QueryMetrics:
     windows_incremental: int = 0
     #: pane pipelines executed (each pane is evaluated at most once)
     panes_built: int = 0
+    #: pane/edge partial states served by another query's shared pipeline
+    mqo_partial_hits: int = 0
+    #: joined pane/window relations served by another query's pipeline
+    mqo_relation_hits: int = 0
 
     @property
     def throughput(self) -> float:
@@ -57,6 +61,8 @@ class QueryMetrics:
         self.wall_seconds += other.wall_seconds
         self.windows_incremental += other.windows_incremental
         self.panes_built += other.panes_built
+        self.mqo_partial_hits += other.mqo_partial_hits
+        self.mqo_relation_hits += other.mqo_relation_hits
 
 
 @dataclass

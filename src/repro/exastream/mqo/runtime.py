@@ -1,0 +1,333 @@
+"""The shared-subplan execution runtime: compute once, serve every query.
+
+ExaStream's design goal — "registered queries share computation" — goes
+beyond the wCache's shared window *materialisation*: concurrent queries
+whose pipeline prefixes are structurally equal (see
+:mod:`repro.exastream.mqo.signature`) should also share the *execution*
+of those prefixes.  This module is the execution half of the MQO
+subsystem:
+
+* a :class:`SharedPipeline` holds the per-(signature, pane) results of
+  one shared prefix — the joined/filtered pane relations and the
+  combinable partial-aggregation payload maps — keyed by pane / window
+  id and evicted by the subscribers' low-watermarks;
+* the :class:`SharedPipelineRegistry` maps signature keys to pipelines,
+  reference-counts subscriber queries (a pipeline is dropped when its
+  last subscriber deregisters) and exposes :class:`MQOStats` counters;
+* an :class:`MQOBinding` is one query's handle on its pipelines: the
+  per-runtime face consulted by
+  :class:`~repro.exastream.engine.PlanRuntime` on every pane and every
+  fallback window.
+
+Sharing is *memoizing*, never prescriptive: the first subscriber to need
+a pane computes it with its own (structurally identical) operators and
+publishes the result; later subscribers read it back.  A miss — evicted
+entry, subscriber joining mid-flight before the next pane boundary —
+just recomputes locally, so results cannot depend on registration order
+or timing.  Cached relations are stored under canonical column names and
+translated back into each subscriber's aliases on read, so queries
+written with different aliases still interchange results.
+
+Forked shard workers execute in separate address spaces, where a
+registry degenerates into per-process memoization (correct, but without
+cross-query sharing); in-process execution — the default — shares fully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..operators import Relation
+from .signature import PlanSignature
+
+__all__ = [
+    "MQOStats",
+    "SharedPipeline",
+    "SharedPipelineRegistry",
+    "ScopedPipelineRegistry",
+    "MQOBinding",
+]
+
+#: entry namespaces within one pipeline: pane partial/relation results,
+#: per-window edge results, and full-window (recompute path) relations
+_NAMESPACES = ("p", "e", "w")
+
+
+@dataclass
+class MQOStats:
+    """Registry-wide sharing counters (benchmark and test observability)."""
+
+    relation_hits: int = 0
+    relation_misses: int = 0
+    partial_hits: int = 0
+    partial_misses: int = 0
+    pipelines_created: int = 0
+    pipelines_released: int = 0
+    entries_evicted: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        hits = self.relation_hits + self.partial_hits
+        total = hits + self.relation_misses + self.partial_misses
+        return hits / total if total else 0.0
+
+
+class SharedPipeline:
+    """Refcounted per-(signature, pane/window) results of one prefix.
+
+    ``entries`` maps ``(namespace, index)`` to a cached value; indexes
+    are consumed monotonically per subscriber, so eviction follows the
+    minimum subscriber frontier per namespace.  ``cap`` bounds retained
+    entries regardless (a paused subscriber must not pin unbounded
+    state); evicting a still-needed entry only costs a recompute.
+    """
+
+    def __init__(self, key: str, stats: MQOStats, cap: int = 4096) -> None:
+        self.key = key
+        self._stats = stats
+        self._cap = cap
+        #: namespace -> {index -> value}.  Indexes are produced in
+        #: ascending order per namespace, so each store's insertion
+        #: order is (near-)sorted and watermark eviction pops from the
+        #: front in O(evicted).
+        self.entries: dict[str, dict[int, object]] = {
+            namespace: {} for namespace in _NAMESPACES
+        }
+        #: query name -> namespace -> lowest index still needed.  A
+        #: namespace appears only once the subscriber has advanced it: a
+        #: recompute-only query never pins pane entries, and a pane-only
+        #: query never pins window relations.  (Entries a subscriber
+        #: still wanted are recomputed on miss — eviction is never a
+        #: correctness question.)
+        self.frontiers: dict[str, dict[str, int]] = {}
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self.frontiers)
+
+    @property
+    def entry_count(self) -> int:
+        return sum(len(store) for store in self.entries.values())
+
+    def subscribe(self, query: str) -> None:
+        self.frontiers.setdefault(query, {})
+
+    def unsubscribe(self, query: str) -> None:
+        self.frontiers.pop(query, None)
+
+    def get(self, namespace: str, index: int):
+        return self.entries[namespace].get(index)
+
+    def put(self, namespace: str, index: int, value) -> None:
+        store = self.entries[namespace]
+        store[index] = value
+        if len(store) > self._cap:
+            # oldest-inserted first (ascending production order)
+            del store[next(iter(store))]
+            self._stats.entries_evicted += 1
+
+    def advance(self, query: str, namespace: str, low: int) -> None:
+        """Move one subscriber's frontier; evict entries no one needs."""
+        frontier = self.frontiers.get(query)
+        if frontier is None:
+            return
+        previous = frontier.get(namespace)
+        if previous is not None and low <= previous:
+            return
+        frontier[namespace] = low
+        floor = min(
+            f[namespace] for f in self.frontiers.values() if namespace in f
+        )
+        store = self.entries[namespace]
+        evicted = 0
+        # front-of-store sweep: O(evicted), not O(entries).  A laggard
+        # re-publishing an already-evicted low index lands at the back
+        # and is reclaimed by the cap instead — eviction is best-effort
+        # memory bounding, never correctness.
+        while store:
+            first = next(iter(store))
+            if first >= floor:
+                break
+            del store[first]
+            evicted += 1
+        self._stats.entries_evicted += evicted
+
+
+class SharedPipelineRegistry:
+    """Signature key -> shared pipeline, with per-query subscriptions."""
+
+    def __init__(self, cap_per_pipeline: int = 4096) -> None:
+        self.stats = MQOStats()
+        self._cap = cap_per_pipeline
+        self._pipelines: dict[str, SharedPipeline] = {}
+        self._by_query: dict[str, set[str]] = {}
+
+    @property
+    def pipeline_count(self) -> int:
+        return len(self._pipelines)
+
+    @property
+    def pipelines(self) -> dict[str, SharedPipeline]:
+        return dict(self._pipelines)
+
+    def _subscribe(self, key: str, query: str) -> SharedPipeline:
+        pipeline = self._pipelines.get(key)
+        if pipeline is None:
+            pipeline = SharedPipeline(key, self.stats, self._cap)
+            self._pipelines[key] = pipeline
+            self.stats.pipelines_created += 1
+        pipeline.subscribe(query)
+        self._by_query.setdefault(query, set()).add(key)
+        return pipeline
+
+    def bind(self, signature: PlanSignature, query: str) -> "MQOBinding":
+        """Subscribe ``query`` to the pipelines its signature names."""
+        relation_pipe = self._subscribe(signature.relation_key, query)
+        aggregate_pipe = None
+        if signature.aggregate_key is not None:
+            aggregate_pipe = self._subscribe(signature.aggregate_key, query)
+        return MQOBinding(
+            query, self.stats, relation_pipe, aggregate_pipe,
+            signature.alias_map,
+        )
+
+    def release_query(self, query: str) -> list[str]:
+        """Drop every subscription of ``query``; returns died pipeline keys."""
+        died: list[str] = []
+        for key in sorted(self._by_query.pop(query, ())):
+            pipeline = self._pipelines.get(key)
+            if pipeline is None:
+                continue
+            pipeline.unsubscribe(query)
+            if pipeline.subscriber_count == 0:
+                del self._pipelines[key]
+                self.stats.pipelines_released += 1
+                died.append(key)
+        return died
+
+    def scoped(self, tag: str) -> "ScopedPipelineRegistry":
+        """A view whose signature keys are prefixed with ``tag``.
+
+        The sharded engine scopes sharing per (partition layout, shard):
+        shard slices of the same stream hold different tuples, so their
+        results must never interchange.  Subscriptions still register at
+        the root, so one ``release_query`` call tears down every scope.
+        """
+        return ScopedPipelineRegistry(self, tag)
+
+
+class ScopedPipelineRegistry:
+    """Key-prefixing facade over a root registry (see ``scoped``)."""
+
+    def __init__(self, root: SharedPipelineRegistry, tag: str) -> None:
+        self._root = root
+        self._tag = tag
+
+    @property
+    def stats(self) -> MQOStats:
+        return self._root.stats
+
+    def bind(self, signature: PlanSignature, query: str) -> "MQOBinding":
+        scoped = PlanSignature(
+            relation_key=f"{self._tag}::{signature.relation_key}",
+            aggregate_key=(
+                None
+                if signature.aggregate_key is None
+                else f"{self._tag}::{signature.aggregate_key}"
+            ),
+            alias_map=signature.alias_map,
+        )
+        return self._root.bind(scoped, query)
+
+    def release_query(self, query: str) -> list[str]:
+        return self._root.release_query(query)
+
+    def scoped(self, tag: str) -> "ScopedPipelineRegistry":
+        return ScopedPipelineRegistry(self._root, f"{self._tag}::{tag}")
+
+
+@dataclass
+class MQOBinding:
+    """One query's handle on its shared pipelines.
+
+    Relations are published under canonical column names (``s0.val``,
+    ``t0.kind``) and translated back through the subscriber's own alias
+    map on read; partial-payload maps are alias-free (group-key values to
+    payload tuples) and interchange directly.
+    """
+
+    query: str
+    stats: MQOStats
+    relation_pipe: SharedPipeline
+    aggregate_pipe: SharedPipeline | None
+    alias_map: dict[str, str]
+    _from_canon: dict[str, str] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._from_canon = {v: k for k, v in self.alias_map.items()}
+
+    def _rename(self, columns: list[str], mapping: dict[str, str]) -> list[str]:
+        out: list[str] = []
+        for column in columns:
+            alias, dot, name = column.partition(".")
+            if dot and alias in mapping:
+                out.append(f"{mapping[alias]}.{name}")
+            else:
+                out.append(column)
+        return out
+
+    # -- relation tier -------------------------------------------------------
+
+    def relation(self, namespace: str, index: int) -> Relation | None:
+        cached = self.relation_pipe.get(namespace, index)
+        if cached is None:
+            self.stats.relation_misses += 1
+            return None
+        self.stats.relation_hits += 1
+        assert isinstance(cached, Relation)
+        return Relation(
+            self._rename(cached.columns, self._from_canon), cached.rows
+        )
+
+    def put_relation(
+        self, namespace: str, index: int, relation: Relation
+    ) -> None:
+        if self.relation_pipe.subscriber_count < 2:
+            # nobody to share with: publishing (a renamed Relation copy
+            # per pane) would be pure overhead for every uniquely-shaped
+            # query; a later mid-flight joiner recomputes on miss.
+            return
+        self.relation_pipe.put(
+            namespace,
+            index,
+            Relation(
+                self._rename(relation.columns, self.alias_map), relation.rows
+            ),
+        )
+
+    # -- partial-aggregation tier --------------------------------------------
+
+    def partials(self, namespace: str, index: int) -> dict | None:
+        if self.aggregate_pipe is None:
+            return None
+        cached = self.aggregate_pipe.get(namespace, index)
+        if cached is None:
+            self.stats.partial_misses += 1
+            return None
+        self.stats.partial_hits += 1
+        return cached
+
+    def put_partials(self, namespace: str, index: int, state: dict) -> None:
+        if (
+            self.aggregate_pipe is not None
+            and self.aggregate_pipe.subscriber_count > 1
+        ):
+            self.aggregate_pipe.put(namespace, index, state)
+
+    # -- progress ------------------------------------------------------------
+
+    def advance(self, namespace: str, low: int) -> None:
+        """This query no longer needs entries below ``low``."""
+        self.relation_pipe.advance(self.query, namespace, low)
+        if self.aggregate_pipe is not None:
+            self.aggregate_pipe.advance(self.query, namespace, low)

@@ -1,0 +1,187 @@
+"""Plan normalization: canonical signatures for shareable pipeline prefixes.
+
+Unfolded continuous queries are highly regular — fifty variants of one
+diagnostic task differ only in a threshold or an output name while their
+*pipeline prefix* (windowed stream scan, computed columns, pushed
+filters, stream-static joins, grouping) is structurally identical.  This
+module canonicalizes that prefix into a signature string so the shared
+pipeline runtime (:mod:`repro.exastream.mqo.runtime`) can detect overlap
+across independently registered plans.
+
+Two queries share iff their signatures are equal, so the signature must
+capture **everything** that affects the prefix's output byte-for-byte:
+
+* the stream, its window grid (range/slide *and* pulse anchor) and the
+  ordered computed columns (they extend the scan schema in order);
+* the ordered static relations (join order follows plan order, and join
+  order determines output column order);
+* the equi-join predicate *set* and the filter *set* — application order
+  of conjunctive predicates cannot change the surviving rows or their
+  relative order, so these sort canonically to widen sharing;
+* for the aggregation tier: the ordered GROUP BY expressions (they form
+  the group-key tuple) and the ordered partial aggregate calls (they
+  index the partial payload tuples).
+
+Aliases are normalized away (the windowed stream becomes ``s0``, statics
+become ``t0``, ``t1``, … in plan order), so structurally equal prefixes
+written with different aliases still share; the runtime translates cached
+relation columns back into each subscriber's own aliases.
+
+Everything *after* the prefix — final aggregation mapping, HAVING,
+DISTINCT, projection, output names — is per-query residual work and is
+deliberately excluded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...sql import BinOp, Col, Expr, Func, Lit, Star, UnaryOp
+from ..partial_agg import COMBINABLE, decompose_calls
+from ..plan import ContinuousPlan
+
+__all__ = ["PlanSignature", "canonical_expr", "plan_signature"]
+
+#: canonical alias of the (single) windowed stream
+STREAM_ALIAS = "s0"
+
+
+def canonical_expr(expr: Expr, alias_map: dict[str, str]) -> str:
+    """Render ``expr`` with table aliases rewritten through ``alias_map``.
+
+    Mirrors :func:`repro.sql.print_expr` exactly (parenthesisation and
+    spacing included) so two structurally equal expressions print
+    identically; aliases absent from the map (e.g. ``None``-table
+    references to aggregate output columns) pass through unchanged.
+    """
+    if isinstance(expr, Col):
+        if expr.table:
+            return f"{alias_map.get(expr.table, expr.table)}.{expr.name}"
+        return expr.name
+    if isinstance(expr, Lit):
+        value = expr.value
+        # repr() distinguishes 2 from 2.0 — their arithmetic differs
+        return f"lit:{type(value).__name__}:{value!r}"
+    if isinstance(expr, BinOp):
+        left = canonical_expr(expr.left, alias_map)
+        right = canonical_expr(expr.right, alias_map)
+        return f"({left} {expr.op} {right})"
+    if isinstance(expr, UnaryOp):
+        return f"({expr.op} {canonical_expr(expr.operand, alias_map)})"
+    if isinstance(expr, Func):
+        inner = ", ".join(canonical_expr(a, alias_map) for a in expr.args)
+        if expr.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{expr.name.upper()}({inner})"
+    if isinstance(expr, Star):
+        return "*"
+    raise TypeError(f"cannot canonicalize expression {expr!r}")
+
+
+@dataclass(frozen=True)
+class PlanSignature:
+    """The sharing identity of one plan's pipeline prefix.
+
+    ``relation_key`` identifies the relational prefix (scan + computed
+    columns + filters + static joins): plans with equal relation keys
+    produce the identical joined, filtered relation for every pane and
+    every window.  ``aggregate_key`` extends it with the grouping and the
+    ordered partial aggregate calls: plans with equal aggregate keys
+    additionally produce identical per-pane partial-aggregation payloads
+    (``None`` when the plan has no combinable grouped aggregation).
+    ``alias_map`` maps the plan's real aliases to the canonical ones, so
+    the runtime can translate shared relation columns per subscriber.
+    """
+
+    relation_key: str
+    aggregate_key: str | None
+    alias_map: dict[str, str]
+
+    def __hash__(self) -> int:  # alias_map is per-plan, not identity
+        return hash((self.relation_key, self.aggregate_key))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PlanSignature):
+            return NotImplemented
+        return (
+            self.relation_key == other.relation_key
+            and self.aggregate_key == other.aggregate_key
+        )
+
+
+def plan_signature(plan: ContinuousPlan) -> PlanSignature | None:
+    """Canonical signature of ``plan``'s shareable prefix (memoized on
+    the plan, like its partitioning/incremental classifications).
+
+    Keys are ``repr``\\ s of nested tuples of strings — Python's string
+    escaping keeps every component unambiguous, so no static SQL text or
+    filter rendering can collide two structurally different plans into
+    one key.  Returns ``None`` for plans the shared-subplan runtime does
+    not cover: joins *between* windowed streams (pane matches can span
+    panes — see the ROADMAP follow-up on shared two-stream pane joins).
+    """
+    cached = plan.mqo_signature
+    if cached is not None:
+        return cached or None  # False marks "analyzed, ineligible"
+    if len(plan.windows) != 1:
+        plan.mqo_signature = False
+        return None
+    window = plan.windows[0]
+    alias_map = {window.alias: STREAM_ALIAS}
+    for index, static in enumerate(plan.statics):
+        alias_map[static.alias] = f"t{index}"
+
+    relation = (
+        "rel",
+        window.stream,
+        (repr(window.spec.range_seconds), repr(window.spec.slide_seconds)),
+        repr(plan.start),
+        tuple(
+            (c.name, canonical_expr(c.expr, alias_map))
+            for c in window.computed
+        ),
+        # Static order is load-bearing: the join pipeline visits statics
+        # in plan order, and output column order follows join order.
+        tuple(
+            (alias_map[s.alias], s.source, s.sql) for s in plan.statics
+        ),
+        # Conjunctive predicate sets: application order never changes
+        # the surviving rows or their relative order, so sort to widen
+        # sharing.
+        tuple(
+            sorted(canonical_expr(p, alias_map) for p in plan.join_predicates)
+        ),
+        tuple(sorted(canonical_expr(p, alias_map) for p in plan.filters)),
+    )
+    relation_key = repr(relation)
+
+    aggregate_key = None
+    aggregate = plan.aggregate
+    if aggregate is not None and all(
+        c.function.upper() in COMBINABLE for c in aggregate.calls
+    ):
+        partial_calls, _ = decompose_calls(aggregate.calls)
+        # Partial call *order* is part of the identity: payload tuples
+        # index by position, so subscribers must agree on it exactly.
+        aggregate_key = repr(
+            (
+                "agg",
+                relation,
+                tuple(
+                    canonical_expr(e, alias_map) for e in aggregate.group_by
+                ),
+                tuple(
+                    (
+                        c.function.upper(),
+                        canonical_expr(c.argument, alias_map)
+                        if c.argument is not None
+                        else "*",
+                    )
+                    for c in partial_calls
+                ),
+            )
+        )
+
+    signature = PlanSignature(relation_key, aggregate_key, alias_map)
+    plan.mqo_signature = signature
+    return signature

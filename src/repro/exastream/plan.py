@@ -21,6 +21,7 @@ from ..sql import Expr
 from ..streams import WindowSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .mqo.signature import PlanSignature
     from .partial_agg import IncrementalDecision
     from .sharding import ShardingDecision
 
@@ -122,6 +123,12 @@ class ContinuousPlan:
     #: RECOMPUTE); ``None`` means "not analyzed yet" — runtimes analyze
     #: lazily at bind time.
     incremental: "IncrementalDecision | None" = field(
+        default=None, compare=False, repr=False
+    )
+    #: shared-subplan signature memo (``None``: not analyzed yet;
+    #: ``False``: analyzed and ineligible) — see
+    #: :func:`repro.exastream.mqo.plan_signature`.
+    mqo_signature: "PlanSignature | bool | None" = field(
         default=None, compare=False, repr=False
     )
 

@@ -26,7 +26,14 @@ from dataclasses import dataclass, field
 
 from .plan import ContinuousPlan
 
-__all__ = ["OperatorPlacement", "WorkerNode", "Scheduler", "plan_operators"]
+__all__ = [
+    "OperatorPlacement",
+    "WorkerNode",
+    "Scheduler",
+    "plan_operators",
+    "plan_prefix_operators",
+    "plan_residual_operators",
+]
 
 
 @dataclass
@@ -65,11 +72,11 @@ class WorkerNode:
             self.load = 0.0  # don't let float residue accumulate
 
 
-def plan_operators(plan: ContinuousPlan) -> list[tuple[str, float]]:
-    """Decompose a plan into (operator name, cost estimate) pairs.
+def plan_prefix_operators(plan: ContinuousPlan) -> list[tuple[str, float]]:
+    """The plan's shareable pipeline-prefix operators (scan … filter).
 
-    Costs follow a simple volume model: stream scans dominate, joins cost
-    proportionally to their inputs, filters and projections are cheap.
+    These are the operators the MQO subsystem executes once per shared
+    pipeline, however many queries subscribe to it.
     """
     operators: list[tuple[str, float]] = []
     for window in plan.windows:
@@ -81,11 +88,23 @@ def plan_operators(plan: ContinuousPlan) -> list[tuple[str, float]]:
         operators.append((f"join[{index}]", 1.0))
     for index, _ in enumerate(plan.filters):
         operators.append((f"filter[{index}]", 0.2))
-    if plan.aggregate is not None:
-        operators.append(("aggregate", 1.0 + 0.5 * len(plan.aggregate.calls)))
-    else:
-        operators.append(("project", 0.2))
     return operators
+
+
+def plan_residual_operators(plan: ContinuousPlan) -> list[tuple[str, float]]:
+    """The per-query residual operators (final aggregation / projection)."""
+    if plan.aggregate is not None:
+        return [("aggregate", 1.0 + 0.5 * len(plan.aggregate.calls))]
+    return [("project", 0.2)]
+
+
+def plan_operators(plan: ContinuousPlan) -> list[tuple[str, float]]:
+    """Decompose a plan into (operator name, cost estimate) pairs.
+
+    Costs follow a simple volume model: stream scans dominate, joins cost
+    proportionally to their inputs, filters and projections are cheap.
+    """
+    return plan_prefix_operators(plan) + plan_residual_operators(plan)
 
 
 class Scheduler:
@@ -101,6 +120,9 @@ class Scheduler:
         self._scan_affinity: dict[str, int] = {}
         self._scan_refs: dict[str, int] = {}
         self._by_query: dict[str, list[OperatorPlacement]] = {}
+        #: shared-pipeline key -> subscriber refcount (MQO accounting:
+        #: the prefix operators weigh on the cluster once per pipeline)
+        self._pipeline_refs: dict[str, int] = {}
 
     # -- placement --------------------------------------------------------
 
@@ -108,21 +130,66 @@ class Scheduler:
     #: a node (the wCache effect: later queries hit the shared cache)
     CACHED_SCAN_FACTOR = 0.1
 
-    def place(self, plan: ContinuousPlan) -> list[OperatorPlacement]:
-        """Place every operator of ``plan``; returns the placements."""
+    def place(
+        self,
+        plan: ContinuousPlan,
+        operators: list[tuple[str, float]] | None = None,
+        query: str | None = None,
+    ) -> list[OperatorPlacement]:
+        """Place ``operators`` (default: all of ``plan``'s) for a query."""
+        if operators is None:
+            operators = plan_operators(plan)
+        name = query if query is not None else plan.name
         placements: list[OperatorPlacement] = []
-        for operator, cost in plan_operators(plan):
+        for operator, cost in operators:
             if operator.startswith("scan[") and operator in self._scan_affinity:
                 cost *= self.CACHED_SCAN_FACTOR
-            placement = OperatorPlacement(plan.name, operator, cost, worker=-1)
+            placement = OperatorPlacement(name, operator, cost, worker=-1)
             worker = self._choose_worker(operator)
             worker.assign(placement)
             if operator.startswith("scan["):
                 self._scan_affinity[operator] = worker.node_id
                 self._scan_refs[operator] = self._scan_refs.get(operator, 0) + 1
             placements.append(placement)
-        self._by_query.setdefault(plan.name, []).extend(placements)
+        self._by_query.setdefault(name, []).extend(placements)
         return placements
+
+    def place_residual(self, plan: ContinuousPlan) -> list[OperatorPlacement]:
+        """Place only the per-query residual operators of ``plan``.
+
+        Used with :meth:`place_pipeline` by the gateway's MQO path: the
+        shareable prefix weighs on the cluster once per pipeline, each
+        subscriber query adds only its residual aggregation/projection.
+        """
+        return self.place(plan, operators=plan_residual_operators(plan))
+
+    def place_pipeline(
+        self, key: str, plan: ContinuousPlan
+    ) -> list[OperatorPlacement]:
+        """Account one shared pipeline's prefix operators (refcounted).
+
+        The first subscriber places the prefix under the synthetic query
+        id ``mqo::<key>``; later subscribers only bump the refcount.
+        Returns the pipeline's live placements.
+        """
+        refs = self._pipeline_refs.get(key, 0)
+        pipeline_query = f"mqo::{key}"
+        self._pipeline_refs[key] = refs + 1
+        if refs == 0:
+            return self.place(
+                plan, operators=plan_prefix_operators(plan),
+                query=pipeline_query,
+            )
+        return self.placements_for(pipeline_query)
+
+    def release_pipeline(self, key: str) -> None:
+        """Drop one subscriber of a shared pipeline; release it at zero."""
+        refs = self._pipeline_refs.get(key, 0) - 1
+        if refs > 0:
+            self._pipeline_refs[key] = refs
+            return
+        self._pipeline_refs.pop(key, None)
+        self.remove(f"mqo::{key}")
 
     def _choose_worker(self, operator: str) -> WorkerNode:
         # Shared stream scans stay where their window cache lives.

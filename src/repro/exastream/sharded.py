@@ -197,6 +197,7 @@ class ShardedPlanRuntime:
         use_fork = parallel in ("fork", "process") and fork_available()
         worker_cls = ForkShardWorker if use_fork else LocalShardWorker
         self.parallel = "fork" if use_fork else "serial"
+        self._shard_runtimes = shard_runtimes
         self.workers: list[LocalShardWorker | ForkShardWorker] = [
             worker_cls(runtime) for runtime in shard_runtimes
         ]
@@ -275,6 +276,13 @@ class ShardedPlanRuntime:
         rows = list(heapq.merge(*(p[3] for p in present), key=canonical_row_key))
         return columns, rows
 
+    def release_demand(self) -> None:
+        """Release the per-shard runtimes' batch-demand references."""
+        for runtime in self._shard_runtimes:
+            release = getattr(runtime, "release_demand", None)
+            if release is not None:
+                release()
+
     def close(self) -> None:
         if self._closed:
             return
@@ -326,6 +334,7 @@ class ShardedEngine:
         prefetch: int = 8,
         scheduler=None,
         incremental: bool = True,
+        mqo: bool = True,
     ) -> None:
         if shards < 1:
             raise ValueError("need at least one shard")
@@ -339,12 +348,17 @@ class ShardedEngine:
         #: shard slices preserve stream order, so each shard's output —
         #: and therefore the merge — is unchanged by the mode.
         self.incremental = incremental
+        #: shared-subplan execution across registered queries, scoped per
+        #: (partition layout, shard) — shard slices must never
+        #: interchange results across layouts
+        self.mqo = mqo
         self.shard_engines = [
             StreamEngine(
                 udfs=self.udfs,
                 cache_capacity=cache_capacity,
                 adaptive_indexing=adaptive_indexing,
                 incremental=incremental,
+                mqo=mqo,
             )
             for _ in range(shards)
         ]
@@ -427,13 +441,17 @@ class ShardedEngine:
         shared_readers: dict[str, SharedWindowReader] | None = None,
         shards: int | None = None,
         parallel: str | None = None,
+        mqo=None,
     ) -> PlanRuntime | ShardedPlanRuntime:
         """Bind a plan across shards; ``shards=1`` is the plain path.
 
         ``shared_readers`` (the gateway's reader catalog) is accepted for
         interface parity but sharing happens in per-layout
         :class:`ShardedReaderGroup`\\ s; the gateway's reference-counted
-        release reaches them through :meth:`release_reader`.
+        release reaches them through :meth:`release_reader`.  ``mqo``
+        (the gateway's shared-pipeline registry) is scoped per
+        (partition layout, shard) before it reaches the per-shard
+        engines, mirroring the reader groups.
         """
         decision = plan.partitioning
         if decision is None:
@@ -443,16 +461,21 @@ class ShardedEngine:
         if n == 1:
             group = self._group(1, None)
             return self.shard_engines[0].bind(
-                plan, shared_readers=group.per_shard[0]
+                plan,
+                shared_readers=group.per_shard[0],
+                mqo=None if mqo is None else mqo.scoped("1:none:0"),
             )
         shard_plan, combiner = make_shard_plan(plan, decision)
         group = self._group(n, decision.key_column)
         shard_runtimes = []
         for shard in range(n):
             self._seed_readers(plan, decision, group, shard, n)
+            scope = f"{n}:{decision.key_column}:{shard}"
             shard_runtimes.append(
                 self.shard_engines[shard].bind(
-                    shard_plan, shared_readers=group.per_shard[shard]
+                    shard_plan,
+                    shared_readers=group.per_shard[shard],
+                    mqo=None if mqo is None else mqo.scoped(scope),
                 )
             )
         runtime = ShardedPlanRuntime(

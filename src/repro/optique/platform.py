@@ -89,6 +89,7 @@ class OptiquePlatform:
         shards: int = 1,
         parallel: str | None = None,
         incremental: bool = True,
+        mqo: bool = True,
     ) -> None:
         self.ontology = ontology or Ontology()
         self.mappings = mappings or MappingCollection()
@@ -99,9 +100,10 @@ class OptiquePlatform:
                 parallel=parallel,
                 scheduler=self.scheduler,
                 incremental=incremental,
+                mqo=mqo,
             )
         else:
-            self.engine = StreamEngine(incremental=incremental)
+            self.engine = StreamEngine(incremental=incremental, mqo=mqo)
         self.gateway = GatewayServer(self.engine, scheduler=self.scheduler)
         self.macros = MacroRegistry()
         self.dashboard = Dashboard()

@@ -262,6 +262,7 @@ def deploy(
     shards: int = 1,
     parallel: str | None = None,
     incremental: bool = True,
+    mqo: bool = True,
 ) -> SiemensDeployment:
     """Stand up a complete deployment (generate the fleet if needed).
 
@@ -270,6 +271,9 @@ def deploy(
     default ``shards=1`` is the unchanged single-node deployment.
     ``incremental=False`` forces full window recompute (pane-incremental
     execution is on by default and falls back automatically per plan).
+    ``mqo=False`` disables shared-subplan execution across registered
+    tasks (the multi-query optimizer is on by default; results are
+    byte-identical either way).
     """
     if fleet is None:
         fleet = generate_fleet(config or FleetConfig(turbines=10, plants=4))
@@ -283,9 +287,10 @@ def deploy(
             parallel=parallel,
             scheduler=scheduler,
             incremental=incremental,
+            mqo=mqo,
         )
     else:
-        engine = StreamEngine(incremental=incremental)
+        engine = StreamEngine(incremental=incremental, mqo=mqo)
     engine.attach_database("plant", fleet.plant_db)
     engine.attach_database("legacy", fleet.legacy_db)
     engine.attach_database("history", fleet.history_db)

@@ -190,7 +190,13 @@ class SharedWindowReader:
         self._exhausted = False
         self._max_seen = -1
         self._last_pulse: WindowPulse | None = None
-        self._batch_demanded = False
+        #: batch-demand *reference count*: while positive, every pulse
+        #: assembles and caches its O(range) window batch.  Batch-driven
+        #: consumers take a reference at bind and release it when they
+        #: deregister (the gateway's reader-release path), so a surviving
+        #: pane-incremental query regains its no-batch property instead
+        #: of paying for a departed recompute query forever.
+        self._batch_refs = 0
 
     @property
     def stream_name(self) -> str:
@@ -200,6 +206,32 @@ class SharedWindowReader:
     def pane_plan(self) -> PanePlan | None:
         """The spec's pane decomposition (``None``: not pane-capable)."""
         return self._pane_plan
+
+    @property
+    def pane_broken(self) -> bool:
+        """True once the pane path is permanently disabled (late or
+        out-of-order data): every later window falls back to batches."""
+        return self._pane_broken
+
+    @property
+    def batch_demand(self) -> int:
+        """Live batch-demand references (0: no per-pulse assembly)."""
+        return self._batch_refs
+
+    def demand_batches(self) -> None:
+        """Take one batch-demand reference (see :meth:`release_batches`)."""
+        self._batch_refs += 1
+
+    def release_batches(self) -> None:
+        """Drop one batch-demand reference.
+
+        At zero the reader stops assembling batches at every pulse;
+        individual windows are still servable on demand (from the live
+        pulse buffer or cached panes), so an occasional fallback window
+        never needs a standing reference.
+        """
+        if self._batch_refs > 0:
+            self._batch_refs -= 1
 
     def demand_panes(self) -> None:
         """Turn pane slicing on (idempotent).
@@ -230,7 +262,7 @@ class SharedWindowReader:
             and not self._pane_broken
         ):
             self._slice_pulse(pulse)
-        if self._batch_demanded:
+        if self._batch_refs:
             batch = pulse.materialise(self._time_index)
             self._cache.put(self._stream_name, batch)
             return batch
@@ -384,6 +416,12 @@ class SharedWindowReader:
     def window(self, window_id: int) -> WindowBatch | None:
         """Fetch window ``window_id``'s batch, advancing as needed.
 
+        With live batch demand (:meth:`demand_batches`), advancing
+        assembles and caches a batch at every pulse.  Without it, the
+        reader advances batch-free and serves just the requested window
+        from the live pulse buffer — an ad-hoc fallback window does not
+        commit every later pulse to O(range) assembly.
+
         Returns ``None`` when the stream ends before that window closes or
         when the window was already evicted (a query lagging too far).
         """
@@ -401,14 +439,22 @@ class SharedWindowReader:
                 self._cache.put(self._stream_name, batch)
                 return batch
             return self._assemble_from_panes(window_id)
-        self._batch_demanded = True
         while self._max_seen < window_id:
             batch = self._advance()
             if self._exhausted:
                 return None
             if batch is not None and batch.window_id == window_id:
                 return batch
-        return None  # pragma: no cover - defensive
+        if (
+            self._last_pulse is not None
+            and window_id == self._last_pulse.window_id
+        ):
+            # advanced without batch demand: serve this one window from
+            # the live buffer (and cache it for lagging readers)
+            batch = self._last_pulse.materialise(self._time_index)
+            self._cache.put(self._stream_name, batch)
+            return batch
+        return self._assemble_from_panes(window_id)
 
     def _assemble_from_panes(self, window_id: int) -> WindowBatch | None:
         """Rebuild an already-passed window's batch from cached panes.

@@ -398,10 +398,18 @@ class TestScheduler:
         gateway.register(PARTITIONED_SQL, name="b")
         gateway.step(3)  # mid-run
         gateway.deregister("a")
-        # exactly b's own placements remain (b keeps its cached-scan
-        # discount: it still holds the shared reader alive)
+        # b's own (residual) placements plus the shared pipeline prefix
+        # remain — b still subscribes to the pipeline, so its operators
+        # stay accounted exactly once
         remaining = sum(p.cost for p in scheduler.placements_for("b"))
-        assert scheduler.total_load() == pytest.approx(remaining)
+        shared = sum(
+            p.cost
+            for w in scheduler.workers
+            for p in w.placements
+            if p.query.startswith("mqo::")
+        )
+        assert shared > 0  # a's departure did not tear the pipeline down
+        assert scheduler.total_load() == pytest.approx(remaining + shared)
         gateway.deregister("b")
         assert scheduler.total_load() == pytest.approx(0.0)
 

@@ -143,13 +143,27 @@ class TestWindowCache:
     def test_materialises_forward(self):
         cache = WindowCache()
         reader = self.make_reader(cache)
+        reader.demand_batches()  # a batch-driven consumer declares demand
         reader.window(4)
         # windows 0..4 are now cached
         assert all(("S_Msmt", k) in cache for k in range(5))
 
+    def test_adhoc_window_does_not_latch_assembly(self):
+        """Without a batch-demand reference only the requested window is
+        assembled — a one-off fallback must not commit every later pulse
+        to O(range) batch assembly (the old permanent latch)."""
+        cache = WindowCache()
+        reader = self.make_reader(cache)
+        batch = reader.window(4)
+        assert batch is not None and batch.window_id == 4
+        assert reader.batch_demand == 0
+        assert ("S_Msmt", 4) in cache
+        assert all(("S_Msmt", k) not in cache for k in range(4))
+
     def test_eviction(self):
         cache = WindowCache(capacity=3)
         reader = self.make_reader(cache)
+        reader.demand_batches()
         reader.window(10)
         assert len(cache) == 3
         assert cache.stats.evictions > 0
