@@ -8,10 +8,24 @@ RUFF ?= ruff
 
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-compare examples smoke lint ci
+.PHONY: test bench bench-smoke bench-compare coverage examples smoke lint ci
 
 test:
 	$(PY) -m pytest -x -q
+
+# The CI coverage gate over the streaming execution core.  CI installs
+# pytest-cov and fails below COV_MIN; locally the target skips
+# gracefully when the plugin is missing.
+COV_MIN ?= 85
+coverage:
+	@if $(PY) -c "import pytest_cov" >/dev/null 2>&1; then \
+		$(PY) -m pytest -x -q \
+			--cov=repro.exastream --cov=repro.streams \
+			--cov-report=term --cov-report=xml:coverage.xml \
+			--cov-fail-under=$(COV_MIN); \
+	else \
+		echo "pytest-cov not installed; skipping coverage (CI installs it)"; \
+	fi
 
 lint:
 	@if command -v $(RUFF) >/dev/null 2>&1; then \
@@ -26,13 +40,14 @@ bench:
 	$(PY) -m pytest benchmarks/bench_*.py -q
 
 # The CI benchmark job: session-poll + sharded-engine + incremental +
-# MQO benches on tiny workloads, with machine-readable results for the
-# workflow artifact.
+# MQO + pane-join benches on tiny workloads, with machine-readable
+# results for the workflow artifact.
 bench-smoke:
 	$(PY) -m pytest benchmarks/bench_session_poll.py \
 		benchmarks/bench_sharded_engine.py \
 		benchmarks/bench_incremental.py \
 		benchmarks/bench_mqo.py \
+		benchmarks/bench_join.py \
 		-q --smoke --benchmark-json=bench-results.json
 
 # Gate a fresh bench run against a baseline: fails on >20% regression of

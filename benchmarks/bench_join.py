@@ -1,0 +1,179 @@
+"""Symmetric-hash pane joins: stream-stream windows/sec vs overlap.
+
+The Siemens diagnostic workload correlates two live streams — e.g. a
+high-rate vibration measurement stream against a sparser temperature
+event stream on the shared sensor key.  The classic path re-loads,
+re-filters and re-hash-joins O(range) tuples *per stream* per window;
+the symmetric-hash pane join keeps per-pane hash tables on each side,
+probes only fresh panes against the partner ring, and assembles windows
+from cached pane-pair join partials.
+
+The acceptance gate asserts >= 3x over recompute at overlap factor 16 on
+the two-stream join workload, with byte-identical output at every
+overlap; ``--smoke`` shrinks the streams and only checks equality plus
+bookkeeping.
+
+Aggregate shape matters: COUNT/MIN/MAX combine pane-pair partials as
+scalars, while SUM (and AVG's numerator) must fold floats in the exact
+row-enumeration order of the recompute hash join, so their pane-pair
+partials keep per-match entries that are merge-sorted per window — an
+O(matches) combine that caps the win on match-heavy windows.  The gate
+runs the scalar shape; the AVG shape is measured alongside (and gated
+only for parity, >= 1.5x) so the trade-off stays visible.
+"""
+
+import pytest
+
+from repro.exastream import StreamEngine, Stopwatch, plan_sql
+from repro.relational import Column, Database, Schema, SQLType, Table
+from repro.streams import ListSource, Stream, StreamSchema
+
+OVERLAPS = (1, 4, 16)
+SLIDE = 5
+
+SCHEMA = StreamSchema(
+    (
+        Column("ts", SQLType.REAL),
+        Column("sid", SQLType.INTEGER),
+        Column("val", SQLType.REAL),
+    ),
+    time_column="ts",
+)
+
+#: the gate workload: scalar-combinable aggregates (COUNT/MIN/MAX)
+SQL = (
+    "SELECT a.sid AS s, COUNT(*) AS n, MAX(a.val) AS peak, "
+    "MIN(b.val) AS floor, COUNT(b.val) AS nb "
+    "FROM timeSlidingWindow(A, {range}, {slide}) AS a, "
+    "timeSlidingWindow(B, {range}, {slide}) AS b, sensors AS t "
+    "WHERE a.sid = b.sid AND a.sid = t.sid AND t.kind = 'temp' "
+    "AND a.val > 51 GROUP BY a.sid"
+)
+
+#: the order-sensitive variant: AVG forces the exact-fold entry combine
+AVG_SQL = SQL.replace("COUNT(b.val) AS nb", "AVG(b.val) AS m")
+
+
+def _workload(smoke: bool):
+    if smoke:
+        return dict(n_seconds=120, n_sensors=10, hz_a=4, hz_b=1)
+    return dict(n_seconds=400, n_sensors=24, hz_a=4, hz_b=1)
+
+
+def _rows(n_seconds: int, n_sensors: int, hz: int, offset: float = 0.0):
+    return [
+        (t / float(hz), s, 50.0 + ((t * 7 + s * 13) % 23) + 0.1234 + offset)
+        for t in range(n_seconds * hz)
+        for s in range(n_sensors)
+    ]
+
+
+def _engine(rows_a, rows_b, n_sensors: int, incremental: bool) -> StreamEngine:
+    engine = StreamEngine(incremental=incremental)
+    engine.register_stream(ListSource(Stream("A", SCHEMA), rows_a))
+    engine.register_stream(ListSource(Stream("B", SCHEMA), rows_b))
+    db = Database(
+        Schema(
+            "meta",
+            {
+                "sensors": Table(
+                    "sensors",
+                    [
+                        Column("sid", SQLType.INTEGER),
+                        Column("kind", SQLType.TEXT),
+                    ],
+                )
+            },
+        )
+    )
+    db.insert(
+        "sensors", [(s, "temp" if s % 3 else "pres") for s in range(n_sensors)]
+    )
+    engine.attach_database("meta", db)
+    return engine
+
+
+def _run(rows_a, rows_b, n_sensors: int, overlap: int, incremental: bool,
+         sql: str = SQL):
+    engine = _engine(rows_a, rows_b, n_sensors, incremental)
+    sql = sql.format(range=overlap * SLIDE, slide=SLIDE)
+    plan = plan_sql(sql, engine, name="j")
+    watch = Stopwatch()
+    results = [
+        (r.window_id, r.window_end, tuple(r.columns), tuple(r.rows))
+        for r in engine.run_continuous(plan)
+    ]
+    seconds = watch.elapsed()
+    return results, seconds, engine.metrics.query("j")
+
+
+@pytest.mark.parametrize("overlap", OVERLAPS)
+@pytest.mark.parametrize("mode", ("pane_join", "recompute"))
+def test_join_window_throughput(benchmark, smoke, mode, overlap):
+    """Tracked medians for the bench artifact: one entry per mode/overlap."""
+    workload = _workload(smoke)
+    rows_a = _rows(workload["n_seconds"], workload["n_sensors"], workload["hz_a"])
+    rows_b = _rows(
+        workload["n_seconds"], workload["n_sensors"], workload["hz_b"], 1.5
+    )
+
+    def once():
+        return _run(
+            rows_a, rows_b, workload["n_sensors"], overlap,
+            mode == "pane_join",
+        )
+
+    results, seconds, _ = benchmark.pedantic(once, rounds=1, iterations=1)
+    windows_per_second = len(results) / seconds if seconds else 0.0
+    benchmark.extra_info["windows_per_second"] = windows_per_second
+    benchmark.extra_info["overlap"] = overlap
+    print(
+        f"\n{mode} r/s={overlap}: {len(results)} windows, "
+        f"{windows_per_second:,.0f} windows/s"
+    )
+    assert len(results) > 0
+
+
+def test_pane_join_speedup_over_recompute(smoke):
+    """The acceptance gate: >= 3x at overlap factor 16, identical output."""
+    workload = _workload(smoke)
+    rows_a = _rows(workload["n_seconds"], workload["n_sensors"], workload["hz_a"])
+    rows_b = _rows(
+        workload["n_seconds"], workload["n_sensors"], workload["hz_b"], 1.5
+    )
+    print()
+    speedups = {}
+    for overlap in OVERLAPS:
+        pane_join, fast, metrics = _run(
+            rows_a, rows_b, workload["n_sensors"], overlap, True
+        )
+        recompute, slow, _ = _run(
+            rows_a, rows_b, workload["n_sensors"], overlap, False
+        )
+        assert pane_join == recompute, f"output diverged at overlap {overlap}"
+        speedups[overlap] = slow / fast if fast else 0.0
+        print(
+            f"overlap {overlap:>2}: recompute {slow:.3f}s, "
+            f"pane join {fast:.3f}s, {speedups[overlap]:.1f}x "
+            f"({metrics.pane_pairs_built} pane pairs built)"
+        )
+        if overlap > 1:
+            # overlapping windows must actually run the pane-join path
+            assert metrics.windows_pane_join == metrics.windows_processed
+    # the order-sensitive shape at the headline overlap
+    avg_join, fast, _ = _run(
+        rows_a, rows_b, workload["n_sensors"], 16, True, sql=AVG_SQL
+    )
+    avg_recompute, slow, _ = _run(
+        rows_a, rows_b, workload["n_sensors"], 16, False, sql=AVG_SQL
+    )
+    assert avg_join == avg_recompute, "AVG shape diverged at overlap 16"
+    avg_speedup = slow / fast if fast else 0.0
+    print(
+        f"overlap 16 (AVG shape): recompute {slow:.3f}s, "
+        f"pane join {fast:.3f}s, {avg_speedup:.1f}x (exact-fold combine)"
+    )
+    if not smoke:
+        assert speedups[16] >= 3.0, speedups
+        assert speedups[16] > speedups[4] > 0.0, speedups
+        assert avg_speedup >= 1.5, avg_speedup

@@ -10,10 +10,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from operator import itemgetter
 from typing import Any, Iterator
 
 from ..relational import Database
-from ..sql import BinOp, Col, Expr
+from ..sql import Expr
 from ..streams import (
     AdaptiveIndexer,
     SharedWindowReader,
@@ -22,7 +23,7 @@ from ..streams import (
     WindowCache,
 )
 from .metrics import EngineMetrics, QueryMetrics, Stopwatch
-from .mqo.runtime import MQOBinding
+from .mqo.runtime import MQOBinding, PaneSideEntry
 from .mqo.signature import plan_signature
 from .operators import (
     Relation,
@@ -38,7 +39,14 @@ from .partial_agg import (
     decompose_calls,
     finalize_rows,
 )
-from .plan import AggregateCall, AggregateSpec, ContinuousPlan, WindowedStreamRef
+from .plan import (
+    AggregateCall,
+    AggregateSpec,
+    ContinuousPlan,
+    WindowedStreamRef,
+    as_equi_join,
+    expr_aliases,
+)
 from .sharding import canonical_row_key
 from .udf import UDFRegistry, builtin_registry
 
@@ -152,44 +160,17 @@ class BoundedResultSink:
             self.dropped += 1
 
 
-def _expr_aliases(expr: Expr) -> set[str]:
-    """All table aliases a predicate references."""
-    if isinstance(expr, Col):
-        return {expr.table} if expr.table else set()
-    if isinstance(expr, BinOp):
-        return _expr_aliases(expr.left) | _expr_aliases(expr.right)
-    from ..sql import Func, UnaryOp
-
-    if isinstance(expr, UnaryOp):
-        return _expr_aliases(expr.operand)
-    if isinstance(expr, Func):
-        out: set[str] = set()
-        for arg in expr.args:
-            out |= _expr_aliases(arg)
-        return out
-    return set()
-
-
-def _as_equi_join(expr: Expr) -> tuple[str, str, str, str] | None:
-    """Decompose ``a.x = b.y`` into (alias_a, col_a, alias_b, col_b)."""
-    if (
-        isinstance(expr, BinOp)
-        and expr.op == "="
-        and isinstance(expr.left, Col)
-        and isinstance(expr.right, Col)
-        and expr.left.table
-        and expr.right.table
-        and expr.left.table != expr.right.table
-    ):
-        return (expr.left.table, expr.left.name, expr.right.table, expr.right.name)
-    return None
+# equi-join decomposition and alias collection live in .plan (shared
+# with the pane-join analysis); re-exported names kept for callers
+_expr_aliases = expr_aliases
+_as_equi_join = as_equi_join
 
 
 @dataclass
 class PlanRuntime:
     """A plan bound to engine resources, ready to execute windows.
 
-    Two execution paths produce identical output:
+    Three execution paths produce identical output:
 
     * **recompute** — the classic window-at-a-time pipeline: join, filter,
       aggregate every window from scratch;
@@ -197,9 +178,18 @@ class PlanRuntime:
       pipeline (load, filter pushdown, stream-static join probe, partial
       aggregation) runs exactly once per pane and each window combines
       the partial state of its constituent panes — O(slide) instead of
-      O(range) pipeline work per window.  Any per-window anomaly
-      (out-of-order batch, evicted pane coverage, boundary mismatch)
-      falls back to recompute for that window.
+      O(range) pipeline work per window;
+    * **symmetric-hash pane join** — for PANE_JOIN plans (two windowed
+      streams joined on equi-keys), each side keeps a ring of per-pane
+      hash tables over its filtered pane prefix; a new pane probes the
+      partner stream's live ring once, pane-pair join partials are
+      cached, and each window combines the partials of its pane pairs —
+      only the pairs touching a fresh pane (plus the cheap pulse-instant
+      edges) are computed per slide.
+
+    Any per-window anomaly (out-of-order batch, evicted pane coverage,
+    boundary mismatch) falls back to recompute for that window; disorder
+    on either stream disables the pane paths permanently.
     """
 
     plan: ContinuousPlan
@@ -255,33 +245,58 @@ class PlanRuntime:
         #: pane id -> {group key -> per-partial-call payload tuple}
         self._pane_ctx: _PaneContext | None = None
         self._pane_ring: dict[int, dict[tuple, tuple]] = {}
+        #: symmetric-hash pane-join state: per-side rings of pane
+        #: prefixes (pane id -> _SideState) and the pane-pair partial
+        #: ring ((left pane id, right pane id) -> group partials)
+        self._join_ctx: _PaneJoinContext | None = None
+        self._side_rings: tuple[dict[int, "_SideState"], dict[int, "_SideState"]] = (
+            {},
+            {},
+        )
+        self._pair_ring: dict[tuple[int, int], dict] = {}
+        self._pane_join_broken = False
         #: readers this binding holds a batch-demand reference on —
         #: released through the gateway's reader-release path so a
         #: surviving pane-incremental query regains its no-batch property
         #: once every batch-driven query deregisters
         self._batch_demanded: list[SharedWindowReader] = []
-        # Declare demand at bind time: pane-incremental bindings turn on
-        # pane slicing (so the shared reader slices from its first
+        #: readers this binding holds a pane-demand reference on —
+        #: released on deregistration (or a permanent pane break) so a
+        #: reader whose pane consumers are gone stops slicing
+        self._pane_demanded: list[SharedWindowReader] = []
+        # Declare demand at bind time: pane-driven bindings turn on
+        # pane slicing (so the shared readers slice from their first
         # pulse); batch-driven bindings take a batch-demand reference so
         # every pulse assembles (and caches) its window batch.
-        if self._incremental_active():
+        if self._pane_join_active():
+            for ref in self.plan.windows:
+                reader = self.readers[ref.reader_key]
+                reader.demand_panes()
+                self._pane_demanded.append(reader)
+        elif self._incremental_active():
             reader = self.readers[self.plan.windows[0].reader_key]
             reader.demand_panes()
+            self._pane_demanded.append(reader)
         else:
             for reader in set(self.readers.values()):
                 reader.demand_batches()
                 self._batch_demanded.append(reader)
 
     def release_demand(self) -> None:
-        """Release this binding's batch-demand references (idempotent).
+        """Release this binding's batch- and pane-demand references
+        (idempotent).
 
         Called on deregistration; once the last batch-driven binding is
         gone the shared reader stops assembling O(range) batches per
-        pulse and surviving pane-incremental queries run batch-free.
+        pulse (and likewise stops pane slicing once its last pane-driven
+        binding is gone).
         """
         for reader in self._batch_demanded:
             reader.release_batches()
         self._batch_demanded.clear()
+        for reader in self._pane_demanded:
+            reader.release_panes()
+        self._pane_demanded.clear()
 
     def _compile(self, expr: Expr, relation: Relation):
         """Memoized :func:`compile_expr` for this binding."""
@@ -295,6 +310,39 @@ class PlanRuntime:
     def execute_window(self, window_id: int) -> WindowResult | None:
         """Run one window instance; ``None`` when any stream is exhausted."""
         watch = Stopwatch()
+        if self._pane_join_active() and not self._pane_join_broken:
+            refs = self.plan.windows
+            join_readers = [self.readers[ref.reader_key] for ref in refs]
+            views = [reader.pane_view(window_id) for reader in join_readers]
+            if all(view is not None for view in views):
+                self.metrics.tuples_in += sum(len(view) for view in views)
+                rows, columns = self._execute_pane_join(refs, views)
+                self.metrics.windows_incremental += 1
+                self.metrics.windows_pane_join += 1
+                self.metrics.windows_processed += 1
+                self.metrics.tuples_out += len(rows)
+                self.metrics.wall_seconds += watch.elapsed()
+                return WindowResult(
+                    self.plan.name, window_id, views[-1].end, columns, rows
+                )
+            if any(reader.pane_broken for reader in join_readers):
+                # Disorder on either stream kills the pane-join path for
+                # good: drop the pair/side rings, release pane demand,
+                # and take (releasable) batch demand so every remaining
+                # window recomputes from assembled batches.
+                self._pane_join_broken = True
+                self._side_rings[0].clear()
+                self._side_rings[1].clear()
+                self._pair_ring.clear()
+                for reader in self._pane_demanded:
+                    reader.release_panes()
+                self._pane_demanded.clear()
+                if not self._batch_demanded:
+                    for reader in set(self.readers.values()):
+                        reader.demand_batches()
+                        self._batch_demanded.append(reader)
+            # else: a transient miss (eviction, warmup, stream end) —
+            # recompute just this window from batches below
         if self._incremental_active():
             # Pane path first: O(slide) work, no batch materialisation.
             ref = self.plan.windows[0]
@@ -316,6 +364,9 @@ class PlanRuntime:
                 # reference and let pulses assemble + cache them again.
                 reader.demand_batches()
                 self._batch_demanded.append(reader)
+                for demanded in self._pane_demanded:
+                    demanded.release_panes()
+                self._pane_demanded.clear()
         raw: list[tuple[WindowedStreamRef, WindowBatch]] = []
         window_end = 0.0
         for ref in self.plan.windows:
@@ -362,7 +413,6 @@ class PlanRuntime:
 
     def _join_all(self, batches: dict[str, Relation]) -> Relation:
         plan = self.plan
-        equi = self._equi
         single_alias = self._single_alias
 
         def load(alias: str) -> Relation:
@@ -380,6 +430,23 @@ class PlanRuntime:
         pending = [w.alias for w in plan.windows] + [s.alias for s in plan.statics]
         current = load(pending.pop(0))
         joined = {plan.windows[0].alias}
+        return self._join_rest(current, joined, pending, load)
+
+    def _join_rest(
+        self,
+        current: Relation,
+        joined: set[str],
+        pending: list[str],
+        load,
+    ) -> Relation:
+        """Fold the remaining FROM items into ``current``.
+
+        Shared by the window recompute pipeline and the pane-pair join
+        pipeline: both visit the pending aliases in the identical
+        discovery order with identical keys, so static expansion order —
+        and therefore per-group value order — is the same on every path.
+        """
+        equi = self._equi
         while pending:
             # pick an alias connected to the joined set by an equi-join
             chosen = None
@@ -494,14 +561,18 @@ class PlanRuntime:
 
     # -- pane-incremental execution ---------------------------------------------
 
-    def _incremental_active(self) -> bool:
-        if not self.incremental_enabled:
-            return False
+    def _decision(self):
         decision = self.plan.incremental
         if decision is None:
             decision = analyze_incremental(self.plan)
             self.plan.incremental = decision
-        return decision.is_incremental
+        return decision
+
+    def _incremental_active(self) -> bool:
+        return self.incremental_enabled and self._decision().is_incremental
+
+    def _pane_join_active(self) -> bool:
+        return self.incremental_enabled and self._decision().is_pane_join
 
     def _pane_context(self) -> "_PaneContext":
         if self._pane_ctx is None:
@@ -667,6 +738,370 @@ class PlanRuntime:
         return state
 
 
+    # -- symmetric-hash pane-join execution ---------------------------------------
+    #
+    # A two-stream equi-join window decomposes as
+    #
+    #   W_A(k) |><| W_B(k)  =  U over (u, v)  u |><| v
+    #
+    # where u ranges over window k's complete panes of A plus its edge
+    # slice, and v over B's.  Complete-pane pairs persist across windows
+    # (cached in the pair ring, computed once when the newer pane first
+    # appears); edge pairs are window-specific and recomputed — edges are
+    # O(pulse-instant) small.  Per pair, each side's filtered pane prefix
+    # carries a hidden arrival-position column, so the window combine can
+    # fold order-sensitive partials (SUM, AVG's numerator) in the exact
+    # row-enumeration order of the recompute hash join — including its
+    # build-side choice, which depends on the two *window* sizes.
+
+    def _pane_join_context(self) -> "_PaneJoinContext":
+        if self._join_ctx is None:
+            aggregate = self.plan.aggregate
+            decision = self._decision()
+            assert aggregate is not None and decision.join is not None
+            partial_calls, finals = decompose_calls(aggregate.calls)
+            combiner = CombinerSpec(
+                group_arity=len(aggregate.group_names),
+                finals=tuple(finals),
+                out_columns=tuple(self.plan.output_names()),
+                having=aggregate.having,
+                distinct=self.plan.distinct,
+            )
+            # SUM folds floats left-to-right, so its partials keep
+            # per-row values with arrival positions ("ordered"); COUNT,
+            # MIN and MAX combine exactly in any order ("scalar").
+            kinds = [
+                "ordered" if c.function.upper() == "SUM" else "scalar"
+                for c in partial_calls
+            ]
+            scalar_slot: dict[int, int] = {}
+            ordered_slot: dict[int, int] = {}
+            for index, kind in enumerate(kinds):
+                if kind == "scalar":
+                    scalar_slot[index] = len(scalar_slot)
+                else:
+                    ordered_slot[index] = len(ordered_slot)
+            empty = PaneSideEntry(Relation([], []))
+            self._join_ctx = _PaneJoinContext(
+                partial_calls=partial_calls,
+                kinds=kinds,
+                factories=[
+                    accumulator_factory(c.function) for c in partial_calls
+                ],
+                scalar_slot=scalar_slot,
+                ordered_slot=ordered_slot,
+                combiner=combiner,
+                group_by=aggregate.group_by,
+                join=decision.join,
+                side_panes=decision.side_panes,
+                empty_side=_SideState(empty, empty.relation),
+            )
+        return self._join_ctx
+
+    def _execute_pane_join(
+        self, refs: list[WindowedStreamRef], views: list
+    ) -> tuple[list[tuple], list[str]]:
+        """One window as the combination of its pane-pair join partials."""
+        ctx = self._pane_join_context()
+        units: list[list[tuple[int, _SideState]]] = []
+        for side, (ref, view) in enumerate(zip(refs, views)):
+            ring = self._side_rings[side]
+            side_units: list[tuple[int, _SideState]] = []
+            for pane in view.panes:
+                state = ring.get(pane.pane_id)
+                if state is None:
+                    state = self._side_pane(
+                        side, ref, pane.tuples, ("p", pane.pane_id)
+                    )
+                    ring[pane.pane_id] = state
+                side_units.append((pane.pane_id, state))
+            # the edge slice sits at the head of the *next* (incomplete)
+            # pane — id window_id * panes_per_slide — which orders it
+            # after every complete pane of this window on this side.
+            # Empty edges (no tuple exactly at the pulse instant, the
+            # common case on integer-aligned streams) share one inert
+            # state instead of building and publishing per window.
+            if view.edge:
+                edge_state = self._side_pane(
+                    side, ref, view.edge, ("e", view.window_id)
+                )
+            else:
+                edge_state = ctx.empty_side
+            side_units.append(
+                (view.window_id * ctx.side_panes[side].panes_per_slide,
+                 edge_state)
+            )
+            units.append(side_units)
+
+        # The recompute path hash-joins the two filtered window batches
+        # with the smaller side as build; its output enumerates probe
+        # rows (outer) x build matches (inner), which fixes the fold
+        # order of every order-sensitive aggregate.  Window sizes are the
+        # sums of the per-pane filtered counts.
+        size_left = sum(state.count for _, state in units[0])
+        size_right = sum(state.count for _, state in units[1])
+        probe_is_right = size_left <= size_right
+
+        merged: dict[tuple, tuple] = {}
+        n_scalar, n_ordered = len(ctx.scalar_slot), len(ctx.ordered_slot)
+        last_left = len(units[0]) - 1
+        last_right = len(units[1]) - 1
+        for ai, (a_id, a_state) in enumerate(units[0]):
+            for bi, (b_id, b_state) in enumerate(units[1]):
+                if ai == last_left or bi == last_right:
+                    # An edge participates: window-specific, never
+                    # cached.  Probe with the smaller relation (usually
+                    # the edge, reusing the pane's cached hash table)
+                    # instead of the window's probe side: enumeration
+                    # order within a pair is irrelevant — ordered
+                    # entries re-sort on positions, scalar partials are
+                    # order-insensitive, and static-expansion tie order
+                    # is produced after the stream join either way.
+                    state = self._pair_partials(
+                        ctx, a_id, a_state, b_id, b_state,
+                        b_state.count <= a_state.count,
+                    )
+                else:
+                    state = self._pair_ring.get((a_id, b_id))
+                    if state is None:
+                        state = self._pair_partials(
+                            ctx, a_id, a_state, b_id, b_state, probe_is_right
+                        )
+                        self._pair_ring[(a_id, b_id)] = state
+                        self.metrics.pane_pairs_built += 1
+                for key, (scalars, ordered) in state.items():
+                    slots = merged.get(key)
+                    if slots is None:
+                        merged[key] = slots = (
+                            tuple([] for _ in range(n_scalar)),
+                            tuple([] for _ in range(n_ordered)),
+                        )
+                    for slot, payload in zip(slots[0], scalars):
+                        slot.append(payload)
+                    for slot, entries in zip(slots[1], ordered):
+                        slot.extend(entries)
+
+        # Entries carry (a_gid, a_pos, b_gid, b_pos, value); sorting on
+        # the four position fields only (never the value: rows of one
+        # static expansion share all four, and the stable sort must keep
+        # their expansion order) reproduces the recompute enumeration.
+        if probe_is_right:
+            sort_key = itemgetter(2, 3, 0, 1)
+        else:
+            sort_key = itemgetter(0, 1, 2, 3)
+
+        value_of = itemgetter(4)
+        out_rows: list[tuple] = []
+        for key, (scalar_slots, ordered_slots) in merged.items():
+            totals: list[Any] = []
+            for entries in ordered_slots:
+                if entries:
+                    # each pair's entries were emitted probe-major, so
+                    # the concatenation is a sequence of sorted runs
+                    # that Timsort merges near-linearly
+                    entries.sort(key=sort_key)
+                    totals.append(sum(map(value_of, entries)))
+                else:
+                    totals.append(None)
+            values: list[Any] = list(key)
+            for final in ctx.combiner.finals:
+                if final.function == "AVG":
+                    sum_i, count_i = final.partial_indexes
+                    count = ctx.factories[count_i].combine(
+                        scalar_slots[ctx.scalar_slot[count_i]]
+                    )
+                    if count:
+                        values.append(totals[ctx.ordered_slot[sum_i]] / count)
+                    else:
+                        values.append(None)
+                elif final.function == "SUM":
+                    values.append(
+                        totals[ctx.ordered_slot[final.partial_indexes[0]]]
+                    )
+                else:
+                    index = final.partial_indexes[0]
+                    values.append(
+                        ctx.factories[index].combine(
+                            scalar_slots[ctx.scalar_slot[index]]
+                        )
+                    )
+            out_rows.append(tuple(values))
+        rows = finalize_rows(
+            out_rows, ctx.combiner, self.udfs, compiler=self._compile
+        )
+
+        # Panes that slid out of range never come back: keep one
+        # window's worth per side, and only pair entries both of whose
+        # panes are still live.
+        low_left = views[0].panes[0].pane_id if views[0].panes else 0
+        low_right = views[1].panes[0].pane_id if views[1].panes else 0
+        for ring, low in zip(self._side_rings, (low_left, low_right)):
+            for pane_id in [j for j in ring if j < low]:
+                del ring[pane_id]
+        for pair in [
+            p for p in self._pair_ring
+            if p[0] < low_left or p[1] < low_right
+        ]:
+            del self._pair_ring[pair]
+        if self.mqo is not None:
+            for side, (view, low) in enumerate(
+                zip(views, (low_left, low_right))
+            ):
+                self.mqo.advance_side(side, "p", low)
+                self.mqo.advance_side(side, "e", view.window_id + 1)
+        return rows, list(ctx.combiner.out_columns)
+
+    def _side_pane(
+        self,
+        side: int,
+        ref: WindowedStreamRef,
+        tuples: list,
+        mqo_key: tuple[str, int],
+    ) -> "_SideState":
+        """One side's pane prefix: load -> computed columns -> pushed
+        filters -> arrival-position column (+ lazy join hash tables).
+
+        The prefix is the shareable unit of the pane join: queries with
+        the same side signature reuse the entry — relation, positions and
+        hash tables — through the MQO registry.
+        """
+        mqo = self.mqo
+        if mqo is not None:
+            cached = mqo.side_entry(side, *mqo_key)
+            if cached is not None:
+                self.metrics.mqo_relation_hits += 1
+                entry, renamed = cached
+                return _SideState(entry, renamed)
+        relation = self._load_batch(ref, tuples)
+        for predicate in self._single_alias.get(ref.alias, ()):
+            fn = self._compile(predicate, relation)
+            relation = Relation(
+                relation.columns, [r for r in relation.rows if fn(r)]
+            )
+        relation = Relation(
+            relation.columns + [f"{ref.alias}.__pane_pos"],
+            [row + (i,) for i, row in enumerate(relation.rows)],
+        )
+        entry = PaneSideEntry(relation)
+        if mqo is not None:
+            # adopt the published canonical entry (when sharing is live)
+            # so publisher and subscribers use one hash-table cache;
+            # index_for resolves key columns through the local relation,
+            # and positions are rename-invariant
+            shared = mqo.put_side_entry(side, *mqo_key, entry)
+            if shared is not None:
+                entry = shared
+        return _SideState(entry, relation)
+
+    def _pair_partials(
+        self,
+        ctx: "_PaneJoinContext",
+        left_id: int,
+        left: "_SideState",
+        right_id: int,
+        right: "_SideState",
+        probe_is_right: bool,
+    ) -> dict[tuple, tuple]:
+        """Join one pane pair and fold it into per-group partial state.
+
+        One pane probes the partner pane's cached hash table (the
+        symmetric-hash step), enumerating in the current window's
+        probe-major order — so each pair's order-sensitive entries come
+        out presorted for the window combine.  The pair relation then
+        runs through the *same* static-join and residual-filter
+        operators as the recompute pipeline, so per-row semantics are
+        identical by construction.  Partial state per group: one payload
+        per scalar call, one ``(left_pane, left_pos, right_pane,
+        right_pos, value)`` entry list per order-sensitive call (pane
+        ids baked in so the window combine merges lists with C-level
+        extends).
+        """
+        rel_left, rel_right = left.relation, right.relation
+        if left.count == 0 or right.count == 0:
+            return {}
+        rows: list[tuple] = []
+        if probe_is_right:
+            index = left.entry.index_for(ctx.join.left_keys, rel_left)
+            key_idx = [rel_right.index_of(c) for c in ctx.join.right_keys]
+            for r_row in rel_right.rows:
+                matches = index.get(tuple(r_row[i] for i in key_idx))
+                if matches:
+                    for l_row in matches:
+                        rows.append(l_row + r_row)
+        else:
+            index = right.entry.index_for(ctx.join.right_keys, rel_right)
+            key_idx = [rel_left.index_of(c) for c in ctx.join.left_keys]
+            for l_row in rel_left.rows:
+                matches = index.get(tuple(l_row[i] for i in key_idx))
+                if matches:
+                    for r_row in matches:
+                        rows.append(l_row + r_row)
+        if not rows:
+            return {}
+        relation = Relation(rel_left.columns + rel_right.columns, rows)
+        if self.plan.statics:
+            relation = self._join_rest(
+                relation,
+                {ctx.join.left_alias, ctx.join.right_alias},
+                [s.alias for s in self.plan.statics],
+                lambda alias: self.statics[alias].relation,
+            )
+        relation = self._apply_residual_filters(relation)
+        if not relation.rows:
+            return {}
+        group_fns = [self._compile(e, relation) for e in ctx.group_by]
+        left_pos = relation.index_of(f"{ctx.join.left_alias}.__pane_pos")
+        right_pos = relation.index_of(f"{ctx.join.right_alias}.__pane_pos")
+        groups: dict[tuple, list[tuple]] = {}
+        for row in relation.rows:
+            groups.setdefault(
+                tuple(fn(row) for fn in group_fns), []
+            ).append(row)
+        argument_fns = [
+            None if call.argument is None
+            else self._compile(call.argument, relation)
+            for call in ctx.partial_calls
+        ]
+        state: dict[tuple, tuple] = {}
+        for key, members in groups.items():
+            # Partials sharing an argument closure (AVG's SUM + COUNT)
+            # share one evaluated, None-filtered pass per group.
+            entry_lists: dict[int, list] = {}
+            value_lists: dict[int, list] = {}
+            scalars: list[Any] = []
+            ordered: list[list] = []
+            for kind, factory, fn in zip(
+                ctx.kinds, ctx.factories, argument_fns
+            ):
+                if kind == "ordered":
+                    entries = entry_lists.get(id(fn))
+                    if entries is None:
+                        entries = [
+                            (left_id, m[left_pos], right_id, m[right_pos], v)
+                            for m in members
+                            if (v := fn(m)) is not None
+                        ]
+                        entry_lists[id(fn)] = entries
+                    ordered.append(entries)
+                    continue
+                if fn is None:  # COUNT(*): counts rows
+                    scalars.append(factory.build(members))
+                    continue
+                values = value_lists.get(id(fn))
+                if values is None:
+                    entries = entry_lists.get(id(fn))
+                    if entries is not None:  # AVG: reuse the SUM pass
+                        values = [entry[4] for entry in entries]
+                    else:
+                        values = [
+                            v for m in members if (v := fn(m)) is not None
+                        ]
+                    value_lists[id(fn)] = values
+                scalars.append(factory.build(values))
+            state[key] = (tuple(scalars), tuple(ordered))
+        return state
+
+
 @dataclass
 class _PaneContext:
     """Per-binding pane-execution state: the partial decomposition of the
@@ -676,6 +1111,38 @@ class _PaneContext:
     factories: list
     combiner: CombinerSpec
     group_by: tuple[Expr, ...]
+
+
+@dataclass
+class _SideState:
+    """One pane of one join side, as this binding sees it: the shared
+    entry (rows, counts, hash tables) plus the relation under this
+    query's own aliases."""
+
+    entry: PaneSideEntry
+    relation: Relation
+
+    @property
+    def count(self) -> int:
+        return self.entry.count
+
+
+@dataclass
+class _PaneJoinContext:
+    """Per-binding pane-join state: the partial decomposition, each
+    partial's order sensitivity, and the stream-stream key layout."""
+
+    partial_calls: list[AggregateCall]
+    kinds: list[str]  # per partial call: "scalar" | "ordered"
+    factories: list
+    scalar_slot: dict[int, int]  # partial index -> scalar slot
+    ordered_slot: dict[int, int]  # partial index -> ordered slot
+    combiner: CombinerSpec
+    group_by: tuple[Expr, ...]
+    join: Any  # PaneJoinSpec
+    side_panes: tuple  # per-side PanePlan
+    #: shared inert state for windows whose pulse-instant edge is empty
+    empty_side: "_SideState"
 
 
 class StreamEngine:

@@ -30,7 +30,11 @@ from .metrics import Stopwatch
 from .mqo import SharedPipelineRegistry, plan_signature
 from .plan import ContinuousPlan
 from .planner import plan_sql
-from .scheduler import Scheduler
+from .scheduler import (
+    Scheduler,
+    plan_join_stage_operators,
+    plan_side_prefix_operators,
+)
 
 __all__ = ["QueryState", "RegisteredQuery", "GatewayServer"]
 
@@ -155,8 +159,10 @@ class GatewayServer:
         self.mqo: SharedPipelineRegistry | None = (
             SharedPipelineRegistry() if getattr(engine, "mqo", False) else None
         )
-        #: query name -> shared-pipeline key placed with the scheduler
-        self._pipeline_keys: dict[str, str] = {}
+        #: query name -> shared-pipeline keys placed with the scheduler
+        #: (one for a single-stream prefix; per-side prefixes plus the
+        #: join stage for a two-stream join plan)
+        self._pipeline_keys: dict[str, list[str]] = {}
 
     # -- registration ----------------------------------------------------------
 
@@ -246,12 +252,36 @@ class GatewayServer:
                 key_column = None
                 if layout > 1 and plan.partitioning is not None:
                     key_column = plan.partitioning.key_column
-                pipeline_key = (
-                    f"shards={layout}:{key_column}|{signature.relation_key}"
-                )
-                self.scheduler.place_pipeline(pipeline_key, plan)
+                scope = f"shards={layout}:{key_column}"
+                pipeline_keys: list[str] = []
+                if signature.sides:
+                    # Two-stream join: each side's scan+filter prefix
+                    # weighs on the cluster once per (scope, side
+                    # signature) — queries joining the same stream share
+                    # that side's load even when their partner streams
+                    # differ — plus one shared join stage per full
+                    # relation prefix.
+                    for index, side in enumerate(signature.sides):
+                        side_key = f"{scope}|side|{side.key}"
+                        self.scheduler.place_pipeline(
+                            side_key,
+                            plan,
+                            operators=plan_side_prefix_operators(plan, index),
+                        )
+                        pipeline_keys.append(side_key)
+                    join_key = f"{scope}|{signature.relation_key}"
+                    self.scheduler.place_pipeline(
+                        join_key,
+                        plan,
+                        operators=plan_join_stage_operators(plan),
+                    )
+                    pipeline_keys.append(join_key)
+                else:
+                    pipeline_key = f"{scope}|{signature.relation_key}"
+                    self.scheduler.place_pipeline(pipeline_key, plan)
+                    pipeline_keys.append(pipeline_key)
                 self.scheduler.place_residual(plan)
-                self._pipeline_keys[name] = pipeline_key
+                self._pipeline_keys[name] = pipeline_keys
         return registered
 
     def deregister(self, name: str) -> None:
@@ -274,8 +304,7 @@ class GatewayServer:
             self.mqo.release_query(name)
         if self.scheduler is not None:
             self.scheduler.remove(name)
-            pipeline_key = self._pipeline_keys.pop(name, None)
-            if pipeline_key is not None:
+            for pipeline_key in self._pipeline_keys.pop(name, []):
                 self.scheduler.release_pipeline(pipeline_key)
         release = getattr(self.engine, "release_reader", None)
         for key in self._reader_keys.pop(name, set()):

@@ -40,8 +40,13 @@ class QueryMetrics:
     wall_seconds: float = 0.0
     #: windows answered by combining cached pane partials (no recompute)
     windows_incremental: int = 0
+    #: subset of ``windows_incremental`` assembled from symmetric-hash
+    #: pane-pair join partials (two-stream PANE_JOIN plans)
+    windows_pane_join: int = 0
     #: pane pipelines executed (each pane is evaluated at most once)
     panes_built: int = 0
+    #: pane-pair join partials computed (each live pane pair at most once)
+    pane_pairs_built: int = 0
     #: pane/edge partial states served by another query's shared pipeline
     mqo_partial_hits: int = 0
     #: joined pane/window relations served by another query's pipeline
@@ -60,7 +65,9 @@ class QueryMetrics:
         self.tuples_out += other.tuples_out
         self.wall_seconds += other.wall_seconds
         self.windows_incremental += other.windows_incremental
+        self.windows_pane_join += other.windows_pane_join
         self.panes_built += other.panes_built
+        self.pane_pairs_built += other.pane_pairs_built
         self.mqo_partial_hits += other.mqo_partial_hits
         self.mqo_relation_hits += other.mqo_relation_hits
 

@@ -18,11 +18,17 @@ The gateway owns one :class:`SharedPipelineRegistry` and folds every
 from .runtime import (
     MQOBinding,
     MQOStats,
+    PaneSideEntry,
     ScopedPipelineRegistry,
     SharedPipeline,
     SharedPipelineRegistry,
 )
-from .signature import PlanSignature, canonical_expr, plan_signature
+from .signature import (
+    PlanSignature,
+    SideSignature,
+    canonical_expr,
+    plan_signature,
+)
 
 __all__ = [
     "MQOBinding",
@@ -30,7 +36,9 @@ __all__ = [
     "ScopedPipelineRegistry",
     "SharedPipeline",
     "SharedPipelineRegistry",
+    "PaneSideEntry",
     "PlanSignature",
+    "SideSignature",
     "canonical_expr",
     "plan_signature",
 ]

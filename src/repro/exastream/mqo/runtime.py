@@ -38,10 +38,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..operators import Relation
-from .signature import PlanSignature
+from .signature import PlanSignature, SideSignature
 
 __all__ = [
     "MQOStats",
+    "PaneSideEntry",
     "SharedPipeline",
     "SharedPipelineRegistry",
     "ScopedPipelineRegistry",
@@ -51,6 +52,47 @@ __all__ = [
 #: entry namespaces within one pipeline: pane partial/relation results,
 #: per-window edge results, and full-window (recompute path) relations
 _NAMESPACES = ("p", "e", "w")
+
+
+class PaneSideEntry:
+    """One stream side's pane prefix: the loaded, computed-column-extended
+    and filtered pane relation plus its lazily built join hash tables.
+
+    This is the per-(side signature, pane) unit of the symmetric-hash
+    pane join — and the unit the MQO registry shares across queries
+    joining the same stream pair.  Hash indexes are cached by *resolved
+    column positions*, which are alias-rename-invariant, so subscribers
+    reading the relation under their own aliases still share one index
+    per join-key layout.
+    """
+
+    __slots__ = ("relation", "count", "_indexes")
+
+    def __init__(self, relation: Relation) -> None:
+        self.relation = relation
+        self.count = len(relation.rows)
+        self._indexes: dict[tuple[int, ...], dict] = {}
+
+    def index_for(
+        self, key_columns, relation: Relation | None = None
+    ) -> dict:
+        """The pane's hash table on ``key_columns`` (built on first use).
+
+        ``relation`` resolves the (possibly subscriber-renamed) column
+        names; the table itself maps key-value tuples to the matching
+        rows in pane arrival order.
+        """
+        resolver = relation if relation is not None else self.relation
+        positions = tuple(resolver.index_of(c) for c in key_columns)
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for row in self.relation.rows:
+                index.setdefault(
+                    tuple(row[i] for i in positions), []
+                ).append(row)
+            self._indexes[positions] = index
+        return index
 
 
 @dataclass
@@ -186,9 +228,13 @@ class SharedPipelineRegistry:
         aggregate_pipe = None
         if signature.aggregate_key is not None:
             aggregate_pipe = self._subscribe(signature.aggregate_key, query)
+        side_pipes = tuple(
+            (self._subscribe(side.key, query), side.alias_map)
+            for side in signature.sides
+        )
         return MQOBinding(
             query, self.stats, relation_pipe, aggregate_pipe,
-            signature.alias_map,
+            signature.alias_map, side_pipes,
         )
 
     def release_query(self, query: str) -> list[str]:
@@ -236,6 +282,10 @@ class ScopedPipelineRegistry:
                 else f"{self._tag}::{signature.aggregate_key}"
             ),
             alias_map=signature.alias_map,
+            sides=tuple(
+                SideSignature(f"{self._tag}::{side.key}", side.alias_map)
+                for side in signature.sides
+            ),
         )
         return self._root.bind(scoped, query)
 
@@ -253,7 +303,9 @@ class MQOBinding:
     Relations are published under canonical column names (``s0.val``,
     ``t0.kind``) and translated back through the subscriber's own alias
     map on read; partial-payload maps are alias-free (group-key values to
-    payload tuples) and interchange directly.
+    payload tuples) and interchange directly.  ``side_pipes`` (two-stream
+    join plans) hold one pipeline per stream side for the shared
+    per-(side, pane) :class:`PaneSideEntry` prefixes.
     """
 
     query: str
@@ -261,10 +313,16 @@ class MQOBinding:
     relation_pipe: SharedPipeline
     aggregate_pipe: SharedPipeline | None
     alias_map: dict[str, str]
+    side_pipes: tuple[tuple[SharedPipeline, dict[str, str]], ...] = ()
     _from_canon: dict[str, str] = field(init=False)
+    _side_from_canon: tuple[dict[str, str], ...] = field(init=False)
 
     def __post_init__(self) -> None:
         self._from_canon = {v: k for k, v in self.alias_map.items()}
+        self._side_from_canon = tuple(
+            {v: k for k, v in side_map.items()}
+            for _, side_map in self.side_pipes
+        )
 
     def _rename(self, columns: list[str], mapping: dict[str, str]) -> list[str]:
         out: list[str] = []
@@ -304,6 +362,54 @@ class MQOBinding:
                 self._rename(relation.columns, self.alias_map), relation.rows
             ),
         )
+
+    # -- side tier (two-stream pane joins) -----------------------------------
+
+    def side_entry(
+        self, side: int, namespace: str, index: int
+    ) -> tuple[PaneSideEntry, Relation] | None:
+        """A shared side-pane prefix, with its relation renamed into this
+        subscriber's alias (the entry's hash tables are shared as-is:
+        they cache by resolved column positions, not names)."""
+        if side >= len(self.side_pipes):
+            return None
+        cached = self.side_pipes[side][0].get(namespace, index)
+        if cached is None:
+            self.stats.relation_misses += 1
+            return None
+        self.stats.relation_hits += 1
+        assert isinstance(cached, PaneSideEntry)
+        renamed = Relation(
+            self._rename(cached.relation.columns, self._side_from_canon[side]),
+            cached.relation.rows,
+        )
+        return cached, renamed
+
+    def put_side_entry(
+        self, side: int, namespace: str, index: int, entry: PaneSideEntry
+    ) -> PaneSideEntry | None:
+        """Publish a side-pane prefix; returns the canonical entry when
+        published so the publisher adopts it too — one hash-table cache
+        per pane, shared by publisher and subscribers alike."""
+        if side >= len(self.side_pipes):
+            return None
+        pipe, side_map = self.side_pipes[side]
+        if pipe.subscriber_count < 2:
+            # nobody to share with (see ``put_relation``)
+            return None
+        canonical = PaneSideEntry(
+            Relation(
+                self._rename(entry.relation.columns, side_map),
+                entry.relation.rows,
+            )
+        )
+        pipe.put(namespace, index, canonical)
+        return canonical
+
+    def advance_side(self, side: int, namespace: str, low: int) -> None:
+        """This query no longer needs side entries below ``low``."""
+        if side < len(self.side_pipes):
+            self.side_pipes[side][0].advance(self.query, namespace, low)
 
     # -- partial-aggregation tier --------------------------------------------
 

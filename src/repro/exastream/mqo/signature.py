@@ -11,21 +11,28 @@ across independently registered plans.
 Two queries share iff their signatures are equal, so the signature must
 capture **everything** that affects the prefix's output byte-for-byte:
 
-* the stream, its window grid (range/slide *and* pulse anchor) and the
-  ordered computed columns (they extend the scan schema in order);
+* the streams (one or two), their window grids (range/slide *and* pulse
+  anchor) and the ordered computed columns (they extend the scan schema
+  in order);
 * the ordered static relations (join order follows plan order, and join
   order determines output column order);
 * the equi-join predicate *set* and the filter *set* — application order
   of conjunctive predicates cannot change the surviving rows or their
   relative order, so these sort canonically to widen sharing;
-* for the aggregation tier: the ordered GROUP BY expressions (they form
-  the group-key tuple) and the ordered partial aggregate calls (they
-  index the partial payload tuples).
+* for the aggregation tier (single-stream plans): the ordered GROUP BY
+  expressions (they form the group-key tuple) and the ordered partial
+  aggregate calls (they index the partial payload tuples);
+* for two-stream join plans: one *side signature* per windowed stream —
+  the side's scan, computed columns and pushed single-alias filters —
+  keying the symmetric-hash pane join's shared per-(side, pane) prefix
+  relations and hash tables, shared across queries joining that stream
+  even when their partner streams differ.
 
-Aliases are normalized away (the windowed stream becomes ``s0``, statics
-become ``t0``, ``t1``, … in plan order), so structurally equal prefixes
-written with different aliases still share; the runtime translates cached
-relation columns back into each subscriber's own aliases.
+Aliases are normalized away (windowed streams become ``s0``/``s1``,
+statics become ``t0``, ``t1``, … in plan order; each side's own stream
+is ``s0`` within its side signature), so structurally equal prefixes
+written with different aliases still share; the runtime translates
+cached relation columns back into each subscriber's own aliases.
 
 Everything *after* the prefix — final aggregation mapping, HAVING,
 DISTINCT, projection, output names — is per-query residual work and is
@@ -37,12 +44,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ...sql import BinOp, Col, Expr, Func, Lit, Star, UnaryOp
-from ..partial_agg import COMBINABLE, decompose_calls
-from ..plan import ContinuousPlan
+from ..partial_agg import COMBINABLE, analyze_incremental, decompose_calls
+from ..plan import ContinuousPlan, expr_aliases
 
-__all__ = ["PlanSignature", "canonical_expr", "plan_signature"]
+__all__ = [
+    "PlanSignature",
+    "SideSignature",
+    "canonical_expr",
+    "plan_signature",
+]
 
-#: canonical alias of the (single) windowed stream
+#: canonical alias of the (first) windowed stream
 STREAM_ALIAS = "s0"
 
 
@@ -79,6 +91,31 @@ def canonical_expr(expr: Expr, alias_map: dict[str, str]) -> str:
 
 
 @dataclass(frozen=True)
+class SideSignature:
+    """The sharing identity of one stream side of a windowed join.
+
+    The side prefix is the per-pane work done *before* the stream-stream
+    join: scan, computed columns, and the side's pushed single-alias
+    filters.  Queries with equal side keys produce the identical
+    filtered pane relation — and therefore interchangeable per-pane join
+    hash tables — for that stream, whatever they join it against.
+    ``alias_map`` maps the plan's real side alias to the canonical
+    ``s0``.
+    """
+
+    key: str
+    alias_map: dict[str, str]
+
+    def __hash__(self) -> int:  # alias_map is per-plan, not identity
+        return hash(self.key)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SideSignature):
+            return NotImplemented
+        return self.key == other.key
+
+
+@dataclass(frozen=True)
 class PlanSignature:
     """The sharing identity of one plan's pipeline prefix.
 
@@ -91,11 +128,16 @@ class PlanSignature:
     (``None`` when the plan has no combinable grouped aggregation).
     ``alias_map`` maps the plan's real aliases to the canonical ones, so
     the runtime can translate shared relation columns per subscriber.
+    ``sides`` (two-stream join plans only) carries one
+    :class:`SideSignature` per windowed stream, keying the shared
+    per-(side, pane) prefix relations + hash tables of the
+    symmetric-hash pane join.
     """
 
     relation_key: str
     aggregate_key: str | None
     alias_map: dict[str, str]
+    sides: tuple[SideSignature, ...] = ()
 
     def __hash__(self) -> int:  # alias_map is per-plan, not identity
         return hash((self.relation_key, self.aggregate_key))
@@ -109,6 +151,34 @@ class PlanSignature:
         )
 
 
+def _side_signature(plan: ContinuousPlan, index: int) -> SideSignature:
+    """The canonical per-side prefix key of windowed stream ``index``."""
+    window = plan.windows[index]
+    side_map = {window.alias: STREAM_ALIAS}
+    key = repr(
+        (
+            "side",
+            window.stream,
+            (repr(window.spec.range_seconds), repr(window.spec.slide_seconds)),
+            repr(plan.start),
+            tuple(
+                (c.name, canonical_expr(c.expr, side_map))
+                for c in window.computed
+            ),
+            # exactly the filters the runtime pushes below the join:
+            # single-alias conjuncts on this side, canonically sorted
+            tuple(
+                sorted(
+                    canonical_expr(p, side_map)
+                    for p in plan.filters
+                    if expr_aliases(p) == {window.alias}
+                )
+            ),
+        )
+    )
+    return SideSignature(key, side_map)
+
+
 def plan_signature(plan: ContinuousPlan) -> PlanSignature | None:
     """Canonical signature of ``plan``'s shareable prefix (memoized on
     the plan, like its partitioning/incremental classifications).
@@ -116,30 +186,43 @@ def plan_signature(plan: ContinuousPlan) -> PlanSignature | None:
     Keys are ``repr``\\ s of nested tuples of strings — Python's string
     escaping keeps every component unambiguous, so no static SQL text or
     filter rendering can collide two structurally different plans into
-    one key.  Returns ``None`` for plans the shared-subplan runtime does
-    not cover: joins *between* windowed streams (pane matches can span
-    panes — see the ROADMAP follow-up on shared two-stream pane joins).
+    one key.  Single-stream plans carry a relation tier and (for
+    combinable grouped aggregations) an aggregate tier; two-stream join
+    plans additionally carry per-side prefix signatures, so queries
+    joining the same stream pair share the per-(side, pane) hash tables
+    of the symmetric-hash pane join even when their groupings differ.
+    Joins across more than two windowed streams are not covered and
+    return ``None``.
     """
     cached = plan.mqo_signature
     if cached is not None:
         return cached or None  # False marks "analyzed, ineligible"
-    if len(plan.windows) != 1:
+    if len(plan.windows) > 2:
         plan.mqo_signature = False
         return None
-    window = plan.windows[0]
-    alias_map = {window.alias: STREAM_ALIAS}
+    alias_map = {
+        window.alias: f"s{index}" for index, window in enumerate(plan.windows)
+    }
     for index, static in enumerate(plan.statics):
         alias_map[static.alias] = f"t{index}"
 
     relation = (
         "rel",
-        window.stream,
-        (repr(window.spec.range_seconds), repr(window.spec.slide_seconds)),
-        repr(plan.start),
         tuple(
-            (c.name, canonical_expr(c.expr, alias_map))
-            for c in window.computed
+            (
+                window.stream,
+                (
+                    repr(window.spec.range_seconds),
+                    repr(window.spec.slide_seconds),
+                ),
+                tuple(
+                    (c.name, canonical_expr(c.expr, alias_map))
+                    for c in window.computed
+                ),
+            )
+            for window in plan.windows
         ),
+        repr(plan.start),
         # Static order is load-bearing: the join pipeline visits statics
         # in plan order, and output column order follows join order.
         tuple(
@@ -157,9 +240,14 @@ def plan_signature(plan: ContinuousPlan) -> PlanSignature | None:
 
     aggregate_key = None
     aggregate = plan.aggregate
-    if aggregate is not None and all(
-        c.function.upper() in COMBINABLE for c in aggregate.calls
+    if (
+        len(plan.windows) == 1
+        and aggregate is not None
+        and all(c.function.upper() in COMBINABLE for c in aggregate.calls)
     ):
+        # The aggregate tier interchanges per-pane partial payloads;
+        # two-stream pane-join partials are pane-*pair* state owned by
+        # each runtime, so the tier exists only for single-stream plans.
         partial_calls, _ = decompose_calls(aggregate.calls)
         # Partial call *order* is part of the identity: payload tuples
         # index by position, so subscribers must agree on it exactly.
@@ -182,6 +270,21 @@ def plan_signature(plan: ContinuousPlan) -> PlanSignature | None:
             )
         )
 
-    signature = PlanSignature(relation_key, aggregate_key, alias_map)
+    sides: tuple[SideSignature, ...] = ()
+    if len(plan.windows) == 2:
+        # Gate on the actual PANE_JOIN classification (not just "has
+        # equi-keys"): a two-stream plan whose grids cannot pane-
+        # decompose recomputes every window and never touches the side
+        # pipes — emitting sides for it would subscribe dead pipelines
+        # and make the scheduler account its scans as shared while each
+        # query in fact re-scans privately.
+        decision = plan.incremental
+        if decision is None:
+            decision = analyze_incremental(plan)
+            plan.incremental = decision
+        if decision.is_pane_join:
+            sides = (_side_signature(plan, 0), _side_signature(plan, 1))
+
+    signature = PlanSignature(relation_key, aggregate_key, alias_map, sides)
     plan.mqo_signature = signature
     return signature

@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 from ..sql import Expr
 from ..streams import PanePlan, pane_plan
 from .operators import Relation, compile_expr
-from .plan import AggregateCall, ContinuousPlan
+from .plan import AggregateCall, ContinuousPlan, PaneJoinSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .udf import UDFRegistry
@@ -228,6 +228,7 @@ def combine_partials(
 
 class IncrementalMode(Enum):
     PANE_INCREMENTAL = "pane_incremental"
+    PANE_JOIN = "pane_join"
     RECOMPUTE = "recompute"
 
 
@@ -238,42 +239,51 @@ class IncrementalDecision:
     ``PANE_INCREMENTAL`` plans evaluate the per-pane pipeline (load,
     filter pushdown, stream-static join probe, partial aggregation)
     exactly once per pane and combine partials per window;
-    ``RECOMPUTE`` plans run the classic window-at-a-time pipeline.
-    The decision is a *ceiling*: a pane-incremental runtime still falls
-    back to recompute per window on out-of-order batches or evicted
-    panes, so output never depends on the mode.
+    ``PANE_JOIN`` plans (two windowed streams joined on equi-keys) keep
+    per-pane hash tables on each side, probe new panes against the
+    partner stream's live pane ring, and assemble each window from
+    pane-pair join partials; ``RECOMPUTE`` plans run the classic
+    window-at-a-time pipeline.  The decision is a *ceiling*: a
+    pane-driven runtime still falls back to recompute per window on
+    out-of-order batches or evicted panes, so output never depends on
+    the mode.
     """
 
     mode: IncrementalMode
     reason: str = ""
     panes: PanePlan | None = None
+    #: per-stream pane decompositions of a PANE_JOIN plan (the two
+    #: streams may use different — mismatched — window grids)
+    side_panes: tuple[PanePlan, PanePlan] | None = None
+    #: the stream-stream equi-key layout of a PANE_JOIN plan
+    join: PaneJoinSpec | None = None
 
     @property
     def is_incremental(self) -> bool:
         return self.mode is IncrementalMode.PANE_INCREMENTAL
 
+    @property
+    def is_pane_join(self) -> bool:
+        return self.mode is IncrementalMode.PANE_JOIN
+
 
 def analyze_incremental(plan: ContinuousPlan) -> IncrementalDecision:
-    """Classify ``plan`` as PANE-INCREMENTAL or RECOMPUTE.
+    """Classify ``plan`` as PANE-INCREMENTAL, PANE-JOIN or RECOMPUTE.
 
     Pane decomposition requires a grouped aggregation of combinable
-    calls over exactly one windowed stream (stream-static joins stay
-    per-tuple and pane-local; joins *between* windowed streams can match
-    tuples across panes and stay on the recompute path — see ROADMAP
-    open items).  With a single windowed stream every filter and
-    residual predicate applies per joined row, so no predicate can span
-    panes.  Plain projections recompute: their row order is part of the
-    result.
+    calls (stream-static joins stay per-tuple and pane-local; with
+    conjunctive predicates no filter can span panes).  One windowed
+    stream classifies PANE_INCREMENTAL; two windowed streams joined by a
+    direct equi-key classify PANE_JOIN when both window grids are
+    pane-decomposable — stream-stream matches *can* span panes, which is
+    exactly what the symmetric-hash pane join handles by probing every
+    pane pair of the two live rings.  Plain projections recompute: their
+    row order is part of the result.
     """
     recompute = IncrementalMode.RECOMPUTE
     if plan.aggregate is None:
         return IncrementalDecision(
             recompute, reason="projection row order must be preserved"
-        )
-    if len(plan.windows) != 1:
-        return IncrementalDecision(
-            recompute,
-            reason="joins between windowed streams can match across panes",
         )
     bad = [
         c.function.upper()
@@ -285,20 +295,55 @@ def analyze_incremental(plan: ContinuousPlan) -> IncrementalDecision:
             recompute,
             reason=f"non-decomposable aggregates {sorted(set(bad))}",
         )
-    panes = pane_plan(plan.spec)
-    if panes is None:
+    if len(plan.windows) == 1:
+        panes = pane_plan(plan.spec)
+        if panes is None:
+            return IncrementalDecision(
+                recompute,
+                reason=(
+                    "window is not pane-decomposable "
+                    "(no overlap, or gcd(range, slide) too fine)"
+                ),
+            )
         return IncrementalDecision(
-            recompute,
+            IncrementalMode.PANE_INCREMENTAL,
             reason=(
-                "window is not pane-decomposable "
-                "(no overlap, or gcd(range, slide) too fine)"
+                f"combinable aggregates over {panes.panes_per_window} panes "
+                f"per window ({panes.panes_per_slide} new per slide)"
             ),
+            panes=panes,
+        )
+    if len(plan.windows) == 2:
+        join = plan.stream_join_keys()
+        if join is None:
+            return IncrementalDecision(
+                recompute,
+                reason=(
+                    "no direct stream-stream equi-join key "
+                    "(symmetric-hash pane joins need one)"
+                ),
+            )
+        left = pane_plan(plan.windows[0].spec)
+        right = pane_plan(plan.windows[1].spec)
+        if left is None or right is None:
+            return IncrementalDecision(
+                recompute,
+                reason=(
+                    "a joined stream's window is not pane-decomposable "
+                    "(no overlap, or gcd(range, slide) too fine)"
+                ),
+            )
+        return IncrementalDecision(
+            IncrementalMode.PANE_JOIN,
+            reason=(
+                "symmetric-hash pane join over "
+                f"{left.panes_per_window}x{right.panes_per_window} "
+                "pane pairs per window"
+            ),
+            side_panes=(left, right),
+            join=join,
         )
     return IncrementalDecision(
-        IncrementalMode.PANE_INCREMENTAL,
-        reason=(
-            f"combinable aggregates over {panes.panes_per_window} panes "
-            f"per window ({panes.panes_per_slide} new per slide)"
-        ),
-        panes=panes,
+        recompute,
+        reason="joins across more than two windowed streams recompute",
     )

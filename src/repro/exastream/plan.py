@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from ..sql import Expr
+from ..sql import BinOp, Col, Expr, Func, UnaryOp
 from ..streams import WindowSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -32,7 +32,57 @@ __all__ = [
     "AggregateSpec",
     "OutputColumn",
     "ContinuousPlan",
+    "PaneJoinSpec",
+    "expr_aliases",
+    "as_equi_join",
 ]
+
+
+def expr_aliases(expr: Expr) -> set[str]:
+    """All table aliases a predicate references."""
+    if isinstance(expr, Col):
+        return {expr.table} if expr.table else set()
+    if isinstance(expr, BinOp):
+        return expr_aliases(expr.left) | expr_aliases(expr.right)
+    if isinstance(expr, UnaryOp):
+        return expr_aliases(expr.operand)
+    if isinstance(expr, Func):
+        out: set[str] = set()
+        for arg in expr.args:
+            out |= expr_aliases(arg)
+        return out
+    return set()
+
+
+def as_equi_join(expr: Expr) -> tuple[str, str, str, str] | None:
+    """Decompose ``a.x = b.y`` into (alias_a, col_a, alias_b, col_b)."""
+    if (
+        isinstance(expr, BinOp)
+        and expr.op == "="
+        and isinstance(expr.left, Col)
+        and isinstance(expr.right, Col)
+        and expr.left.table
+        and expr.right.table
+        and expr.left.table != expr.right.table
+    ):
+        return (expr.left.table, expr.left.name, expr.right.table, expr.right.name)
+    return None
+
+
+@dataclass(frozen=True)
+class PaneJoinSpec:
+    """The equi-key layout of a two-windowed-stream join.
+
+    ``left_keys``/``right_keys`` are the qualified join columns in the
+    exact order the runtime's join pipeline collects them, so both the
+    recompute hash join and the symmetric-hash pane join key their hash
+    tables identically.
+    """
+
+    left_alias: str
+    right_alias: str
+    left_keys: tuple[str, ...]
+    right_keys: tuple[str, ...]
 
 
 @dataclass(frozen=True)
@@ -135,11 +185,6 @@ class ContinuousPlan:
     def __post_init__(self) -> None:
         if not self.windows:
             raise ValueError("a continuous plan needs at least one stream")
-        specs = {w.spec for w in self.windows}
-        if len(specs) > 1:
-            raise ValueError(
-                "all windowed streams of one plan must share the window spec"
-            )
         aliases = [w.alias for w in self.windows] + [s.alias for s in self.statics]
         if len(set(aliases)) != len(aliases):
             raise ValueError("duplicate aliases in plan")
@@ -148,7 +193,43 @@ class ContinuousPlan:
 
     @property
     def spec(self) -> WindowSpec:
+        """The first (driving) stream's window spec.
+
+        Streams of one plan may use different range/slide grids; window
+        instances pair across streams by window id, each stream closing
+        its own ``k``-th window on its own grid.
+        """
         return self.windows[0].spec
+
+    def stream_join_keys(self) -> PaneJoinSpec | None:
+        """The direct equi-join keys between this plan's two streams.
+
+        ``None`` unless the plan joins exactly two windowed streams
+        through at least one direct ``a.x = b.y`` predicate.  Key order
+        mirrors the runtime join pipeline's collection order (iteration
+        over the decomposable join predicates in plan order), which is
+        what makes the symmetric-hash pane join reproduce the recompute
+        hash join exactly.
+        """
+        if len(self.windows) != 2:
+            return None
+        left, right = self.windows[0].alias, self.windows[1].alias
+        left_keys: list[str] = []
+        right_keys: list[str] = []
+        for predicate in self.join_predicates:
+            decomposed = as_equi_join(predicate)
+            if decomposed is None:
+                continue
+            a, ac, b, bc = decomposed
+            if a == left and b == right:
+                left_keys.append(f"{a}.{ac}")
+                right_keys.append(f"{b}.{bc}")
+            elif b == left and a == right:
+                left_keys.append(f"{b}.{bc}")
+                right_keys.append(f"{a}.{ac}")
+        if not left_keys:
+            return None
+        return PaneJoinSpec(left, right, tuple(left_keys), tuple(right_keys))
 
     def output_names(self) -> list[str]:
         """Column names of the produced result rows."""

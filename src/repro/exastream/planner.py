@@ -8,10 +8,19 @@ execution environment."  Planning decisions made here:
   windowed stream scans that share the engine's window cache;
 * bare tables are located in the attached static databases and read once;
 * WHERE conjunctions split into equi-join predicates vs residual filters
-  (the runtime pushes single-source filters below joins);
+  (the runtime pushes single-source filters below joins); for plans
+  joining two windowed streams the direct stream-stream equi-keys are
+  carried to the runtimes (``ContinuousPlan.stream_join_keys`` →
+  :class:`~repro.exastream.plan.PaneJoinSpec`) so the symmetric-hash
+  pane join and the recompute hash join key their tables identically;
 * GROUP BY blocks become aggregation specs, mapping SQL aggregate
   functions and registered sequence UDFs onto the engine's aggregate
-  stage (aggregates without GROUP BY form one whole-window group).
+  stage (aggregates without GROUP BY form one whole-window group);
+* every plan is classified up front as PANE_INCREMENTAL / PANE_JOIN /
+  RECOMPUTE and PARTITIONED / PARTIAL / SINGLETON, so runtimes and the
+  scheduler see both decisions at registration.  Windowed streams of
+  one plan may use *different* range/slide grids — window instances
+  pair across streams by window id on each stream's own pulse grid.
 """
 
 from __future__ import annotations

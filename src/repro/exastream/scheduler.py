@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .plan import ContinuousPlan
+from .plan import ContinuousPlan, expr_aliases
 
 __all__ = [
     "OperatorPlacement",
@@ -32,6 +32,8 @@ __all__ = [
     "Scheduler",
     "plan_operators",
     "plan_prefix_operators",
+    "plan_side_prefix_operators",
+    "plan_join_stage_operators",
     "plan_residual_operators",
 ]
 
@@ -88,6 +90,42 @@ def plan_prefix_operators(plan: ContinuousPlan) -> list[tuple[str, float]]:
         operators.append((f"join[{index}]", 1.0))
     for index, _ in enumerate(plan.filters):
         operators.append((f"filter[{index}]", 0.2))
+    return operators
+
+
+def plan_side_prefix_operators(
+    plan: ContinuousPlan, side: int
+) -> list[tuple[str, float]]:
+    """One stream side's prefix operators of a two-stream join plan.
+
+    The scan and the side's pushed single-alias filters — the work the
+    symmetric-hash pane join shares per (side signature, pane), so the
+    scheduler accounts it once per side pipeline, however many queries
+    join that stream.
+    """
+    window = plan.windows[side]
+    volume = window.spec.range_seconds / window.spec.slide_seconds
+    operators: list[tuple[str, float]] = [
+        (f"scan[{window.reader_key}]", 1.0 + 0.1 * volume)
+    ]
+    for index, predicate in enumerate(plan.filters):
+        if expr_aliases(predicate) == {window.alias}:
+            operators.append((f"filter[{window.alias}:{index}]", 0.2))
+    return operators
+
+
+def plan_join_stage_operators(plan: ContinuousPlan) -> list[tuple[str, float]]:
+    """The post-prefix shared join stage of a two-stream join plan:
+    stream-stream + static joins and the residual (multi-alias) filters."""
+    operators: list[tuple[str, float]] = []
+    for static in plan.statics:
+        operators.append((f"static[{static.alias}]", 0.5))
+    for index, _ in enumerate(plan.join_predicates):
+        operators.append((f"join[{index}]", 1.0))
+    side_aliases = [{w.alias} for w in plan.windows]
+    for index, predicate in enumerate(plan.filters):
+        if expr_aliases(predicate) not in side_aliases:
+            operators.append((f"filter[{index}]", 0.2))
     return operators
 
 
@@ -164,20 +202,30 @@ class Scheduler:
         return self.place(plan, operators=plan_residual_operators(plan))
 
     def place_pipeline(
-        self, key: str, plan: ContinuousPlan
+        self,
+        key: str,
+        plan: ContinuousPlan,
+        operators: list[tuple[str, float]] | None = None,
     ) -> list[OperatorPlacement]:
         """Account one shared pipeline's prefix operators (refcounted).
 
-        The first subscriber places the prefix under the synthetic query
-        id ``mqo::<key>``; later subscribers only bump the refcount.
-        Returns the pipeline's live placements.
+        The first subscriber places the prefix (``operators`` defaults
+        to the plan's full pipeline prefix; the gateway passes per-side
+        prefixes and the join stage separately for two-stream join
+        plans) under the synthetic query id ``mqo::<key>``; later
+        subscribers only bump the refcount.  Returns the pipeline's live
+        placements.
         """
         refs = self._pipeline_refs.get(key, 0)
         pipeline_query = f"mqo::{key}"
         self._pipeline_refs[key] = refs + 1
         if refs == 0:
             return self.place(
-                plan, operators=plan_prefix_operators(plan),
+                plan,
+                operators=(
+                    operators if operators is not None
+                    else plan_prefix_operators(plan)
+                ),
                 query=pipeline_query,
             )
         return self.placements_for(pipeline_query)

@@ -344,9 +344,12 @@ class ShardedEngine:
         self.prefetch = prefetch
         self.scheduler = scheduler
         self.metrics = EngineMetrics()
-        #: per-shard engines run PANE-INCREMENTAL plans incrementally;
-        #: shard slices preserve stream order, so each shard's output —
-        #: and therefore the merge — is unchanged by the mode.
+        #: per-shard engines run PANE-INCREMENTAL plans incrementally and
+        #: PANE_JOIN plans as shard-local symmetric-hash pane joins:
+        #: join-key-partitioned layouts route both streams' matching
+        #: tuples to the same shard, shard slices preserve stream order,
+        #: so each shard's output — and therefore the merge — is
+        #: unchanged by the mode.
         self.incremental = incremental
         #: shared-subplan execution across registered queries, scoped per
         #: (partition layout, shard) — shard slices must never

@@ -180,8 +180,13 @@ class SharedWindowReader:
         self._pane_plan: PanePlan | None = pane_plan(spec)
         self._pane_broken = False
         #: pane slicing is demand-gated like batch assembly: recompute-only
-        #: consumers never pay per-tuple pane assignment or slice churn
-        self._pane_demanded = False
+        #: consumers never pay per-tuple pane assignment or slice churn.
+        #: Engine-bound pane consumers hold counted references
+        #: (``_pane_refs``); direct :meth:`pane_view` callers latch
+        #: slicing on instead (``_pane_latched``), preserving the
+        #: original fire-and-forget behaviour.
+        self._pane_refs = 0
+        self._pane_latched = False
         #: last pulse whose pane/edge slicing completed — windows up to
         #: here stay pane-servable even after a later break
         self._pane_valid_until = -1
@@ -233,17 +238,44 @@ class SharedWindowReader:
         if self._batch_refs > 0:
             self._batch_refs -= 1
 
-    def demand_panes(self) -> None:
-        """Turn pane slicing on (idempotent).
+    @property
+    def pane_demand(self) -> int:
+        """Live counted pane-demand references (direct ``pane_view``
+        consumers latch slicing on without a reference)."""
+        return self._pane_refs
 
-        Pane-incremental runtimes call this at bind time, before the
-        reader advances, so slicing covers the stream from the first
-        pulse.  Demanded later (e.g. an incremental query joining an
+    @property
+    def _pane_demanded(self) -> bool:
+        return self._pane_refs > 0 or self._pane_latched
+
+    def demand_panes(self) -> None:
+        """Take one pane-demand reference (see :meth:`release_panes`).
+
+        Pane-driven runtimes call this at bind time, before the reader
+        advances, so slicing covers the stream from the first pulse.
+        Demanded later (e.g. an incremental query joining an
         already-advanced shared reader), slicing starts at the current
         pulse and the first windows fall back to batches until the pane
         ring spans a full window.
         """
-        self._pane_demanded = True
+        self._pane_refs += 1
+
+    def release_panes(self) -> None:
+        """Drop one pane-demand reference.
+
+        At zero (and with no direct-consumer latch) the reader stops
+        per-tuple pane assignment and resets the slicer, so pulses
+        consumed while nobody wants panes cost nothing.  Re-demanding
+        later warms up exactly like a mid-stream :meth:`demand_panes`:
+        the unsliced region's panes are simply absent from the cache and
+        windows touching it fall back to batches — never served
+        incomplete.
+        """
+        if self._pane_refs > 0:
+            self._pane_refs -= 1
+        if not self._pane_demanded:
+            self._next_pane = None
+            self._carry = []
 
     # -- pulse advancement --------------------------------------------------
 
@@ -489,7 +521,8 @@ class SharedWindowReader:
         """
         if self._pane_plan is None:
             return None
-        self._pane_demanded = True  # direct consumers demand implicitly
+        if self._pane_refs == 0:
+            self._pane_latched = True  # direct consumers demand implicitly
         while (
             self._max_seen < window_id
             and not self._exhausted

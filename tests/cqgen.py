@@ -1,0 +1,350 @@
+"""Shared randomized-CQ test harness.
+
+The differential suites (``test_incremental``, ``test_mqo``,
+``test_sharded``, ``test_pane_join``) all exercise the same property —
+byte-identical :class:`WindowResult` sequences across execution modes —
+over the same synthetic measurement workload.  This module owns the
+pieces they used to copy-paste:
+
+* the measurement stream schema and deterministic row generator (with
+  per-sensor gaps and full outages for sparse/empty-pane scenarios);
+* the static sensor-metadata database;
+* engine/gateway builders and result snapshot helpers;
+* seeded random continuous-query generators — single-stream CQs,
+  prefix-sharing CQ families, and two-stream join CQs over
+  join-compatible templates (both streams carry the shared ``sid`` key,
+  so generated equi-joins always have matching domains).
+
+Everything is deterministic under a caller-provided ``random.Random``.
+"""
+
+from repro.exastream import GatewayServer, ShardedEngine, StreamEngine, plan_sql
+from repro.relational import Column, Database, Schema, SQLType, Table
+from repro.streams import ListSource, Stream, StreamSchema
+
+__all__ = [
+    "SCHEMA",
+    "SPECS",
+    "measurement_rows",
+    "static_db",
+    "build_engine",
+    "run_engine",
+    "snapshot",
+    "run_concurrently",
+    "random_single_stream_sql",
+    "random_family",
+    "random_join_sql",
+    "random_join_family",
+]
+
+SCHEMA = StreamSchema(
+    (
+        Column("ts", SQLType.REAL),
+        Column("sid", SQLType.INTEGER),
+        Column("val", SQLType.REAL),
+    ),
+    time_column="ts",
+)
+
+#: overlap factors r/s ∈ {1, 4, 16} on a 5s slide
+SPECS = [(5, 5), (20, 5), (80, 5)]
+
+
+def measurement_rows(
+    n_seconds=200,
+    n_sensors=6,
+    gap_sensor=None,
+    gap=(None, None),
+    silence=None,
+    value_offset=0.0,
+    fraction=0.1234567,
+):
+    """Float-valued measurements; optional per-sensor gap and full outage.
+
+    ``value_offset`` shifts every value, so two calls produce distinct
+    but join-compatible streams (same sensors, same timestamps).
+    ``fraction=0.0`` yields integer-valued floats — exact under any
+    addition order, which the PARTIAL-mode shard recombination (shard
+    sums re-added at the merge) relies on for bitwise equality.
+    """
+    rows = []
+    for t in range(n_seconds):
+        if silence is not None and silence[0] <= t < silence[1]:
+            continue
+        for s in range(n_sensors):
+            if s == gap_sensor and gap[0] <= t < gap[1]:
+                continue
+            rows.append(
+                (
+                    float(t),
+                    s,
+                    50.0 + ((t * 7 + s * 13) % 23) + fraction + value_offset,
+                )
+            )
+    return rows
+
+
+def static_db(n_sensors=6):
+    db = Database(
+        Schema(
+            "meta",
+            {
+                "sensors": Table(
+                    "sensors",
+                    [
+                        Column("sid", SQLType.INTEGER),
+                        Column("kind", SQLType.TEXT),
+                    ],
+                )
+            },
+        )
+    )
+    db.insert(
+        "sensors", [(s, "temp" if s % 3 else "pres") for s in range(n_sensors)]
+    )
+    return db
+
+
+def build_engine(
+    rows=None,
+    *,
+    shards=1,
+    incremental=True,
+    mqo=True,
+    cache_capacity=4096,
+    streams=None,
+    attach_static=True,
+    **engine_kwargs,
+):
+    """An engine over the shared workload.
+
+    ``rows`` registers a single stream ``S``; ``streams`` (a
+    ``name -> rows`` mapping) registers several join-compatible streams
+    instead.  ``shards > 1`` builds a :class:`ShardedEngine`; extra
+    keyword arguments (``parallel``, ``scheduler``, ...) pass through to
+    the engine constructor.
+    """
+    if shards > 1:
+        engine = ShardedEngine(
+            shards=shards,
+            incremental=incremental,
+            mqo=mqo,
+            cache_capacity=cache_capacity,
+            **engine_kwargs,
+        )
+    else:
+        engine = StreamEngine(
+            incremental=incremental,
+            mqo=mqo,
+            cache_capacity=cache_capacity,
+            **engine_kwargs,
+        )
+    if streams is None:
+        streams = {"S": rows if rows is not None else measurement_rows()}
+    for name, stream_rows in streams.items():
+        engine.register_stream(ListSource(Stream(name, SCHEMA), stream_rows))
+    if attach_static:
+        engine.attach_database("meta", static_db())
+    return engine
+
+
+def run_engine(engine, sql, shards=1):
+    """Plan + execute one query to exhaustion; hashable result tuples."""
+    plan = plan_sql(sql, engine, name="q")
+    if isinstance(engine, ShardedEngine):
+        results = engine.run_continuous(plan, shards=shards)
+    else:
+        results = engine.run_continuous(plan)
+    return [
+        (r.window_id, r.window_end, tuple(r.columns), tuple(r.rows))
+        for r in results
+    ]
+
+
+def snapshot(registered):
+    """A registered query's retained results as hashable tuples."""
+    return [
+        (r.window_id, r.window_end, tuple(r.columns), tuple(r.rows))
+        for r in registered.results()
+    ]
+
+
+def run_concurrently(sqls, engine, shards=1):
+    """Register every query on one gateway, run to exhaustion, snapshot.
+
+    Returns ``(snapshots, gateway)``; queries are deregistered before
+    returning, so gateway bookkeeping assertions see the final state.
+    """
+    gateway = GatewayServer(engine)
+    registered = [
+        gateway.register(
+            sql, name=f"q{i}", shards=shards if shards > 1 else None
+        )
+        for i, sql in enumerate(sqls)
+    ]
+    gateway.run()
+    out = [snapshot(q) for q in registered]
+    for q in registered:
+        gateway.deregister(q.name)
+    return out, gateway
+
+
+# -- seeded random query generators -------------------------------------------
+
+SINGLE_STREAM_AGGREGATES = [
+    "AVG(w.val)",
+    "SUM(w.val)",
+    "COUNT(*)",
+    "COUNT(w.val)",
+    "MIN(w.val)",
+    "MAX(w.val)",
+    "AVG(w.val * 2 + 1)",
+    "SUM(w.val - 50)",
+]
+
+FAMILY_AGGREGATES = [
+    "AVG(w.val)",
+    "SUM(w.val)",
+    "COUNT(*)",
+    "MIN(w.val)",
+    "MAX(w.val)",
+    "AVG(w.val * 2 + 1)",
+]
+
+#: join-compatible aggregate templates: every column resolves against
+#: the canonical two-stream join prefix (aliases ``a``/``b`` over the
+#: shared schema)
+JOIN_AGGREGATES = [
+    "COUNT(*)",
+    "COUNT(b.val)",
+    "SUM(a.val)",
+    "SUM(a.val + b.val)",
+    "AVG(b.val)",
+    "AVG(a.val * b.val)",
+    "MIN(a.val)",
+    "MAX(b.val)",
+]
+
+
+def random_single_stream_sql(rng, r, s):
+    """One random single-stream CQ over stream ``S`` (+ static joins)."""
+    calls = rng.sample(SINGLE_STREAM_AGGREGATES, rng.randint(1, 3))
+    select = ", ".join(f"{c} AS a{i}" for i, c in enumerate(calls))
+    group = rng.random() < 0.7
+    join = rng.random() < 0.4
+    tables = f"timeSlidingWindow(S, {r}, {s}) AS w"
+    where = []
+    if join:
+        tables += ", sensors AS t"
+        where.append("w.sid = t.sid")
+        if rng.random() < 0.5:
+            where.append("t.kind = 'temp'")
+    if rng.random() < 0.6:
+        where.append(f"w.val > {rng.randint(45, 65)}")
+    sql = "SELECT "
+    if group:
+        sql += "w.sid AS s, "
+    sql += select + " FROM " + tables
+    if where:
+        sql += " WHERE " + " AND ".join(where)
+    if group:
+        sql += " GROUP BY w.sid"
+    return sql
+
+
+def random_family(rng):
+    """A base prefix plus 2-4 variants sharing it (and one outsider)."""
+    r, s = rng.choice([(20, 5), (12, 4), (30, 10)])
+    join = rng.random() < 0.6
+    where = []
+    tables = f"timeSlidingWindow(S, {r}, {s}) AS w"
+    if join:
+        tables += ", sensors AS t"
+        where.append("w.sid = t.sid")
+        if rng.random() < 0.5:
+            where.append("t.kind = 'temp'")
+    if rng.random() < 0.7:
+        where.append(f"w.val > {rng.randint(48, 62)}")
+    prefix = " FROM " + tables
+    if where:
+        prefix += " WHERE " + " AND ".join(where)
+    calls = rng.sample(FAMILY_AGGREGATES, rng.randint(1, 3))
+    select = ", ".join(f"{c} AS a{i}" for i, c in enumerate(calls))
+    family = []
+    for _ in range(rng.randint(2, 4)):
+        sql = f"SELECT w.sid AS g, {select}{prefix} GROUP BY w.sid"
+        if rng.random() < 0.5:
+            sql += f" HAVING {calls[0]} > {rng.randint(40, 80)}"
+        family.append(sql)
+    # one structurally different query keeps the registry honest
+    family.append(
+        f"SELECT COUNT(*) AS n FROM timeSlidingWindow(S, {r}, {s}) AS w "
+        f"WHERE w.val > {rng.randint(48, 62)}"
+    )
+    return family
+
+
+def random_join_sql(rng, spec_a, spec_b=None, streams=("A", "B")):
+    """One random two-stream equi-join CQ over streams ``A``/``B``.
+
+    The join key is always the shared ``sid`` column (join-compatible by
+    construction); ``spec_b`` defaults to ``spec_a`` and may differ for
+    mismatched per-side grids.  Static joins, per-side filters, residual
+    cross-stream filters, grouping and HAVING are all randomized.
+    """
+    ra, sa = spec_a
+    rb, sb = spec_b if spec_b is not None else spec_a
+    name_a, name_b = streams
+    calls = rng.sample(JOIN_AGGREGATES, rng.randint(1, 3))
+    select = ", ".join(f"{c} AS a{i}" for i, c in enumerate(calls))
+    group = rng.random() < 0.7
+    tables = (
+        f"timeSlidingWindow({name_a}, {ra}, {sa}) AS a, "
+        f"timeSlidingWindow({name_b}, {rb}, {sb}) AS b"
+    )
+    where = ["a.sid = b.sid"]
+    if rng.random() < 0.4:
+        tables += ", sensors AS t"
+        where.append("a.sid = t.sid")
+        if rng.random() < 0.5:
+            where.append("t.kind = 'temp'")
+    if rng.random() < 0.5:
+        where.append(f"a.val > {rng.randint(45, 60)}")
+    if rng.random() < 0.4:
+        where.append(f"b.val < {rng.randint(58, 78)}")
+    if rng.random() < 0.3:
+        where.append("a.val < b.val + 20")  # residual cross-stream filter
+    sql = "SELECT "
+    if group:
+        sql += "a.sid AS g, "
+    sql += select + " FROM " + tables + " WHERE " + " AND ".join(where)
+    if group:
+        sql += " GROUP BY a.sid"
+        if rng.random() < 0.4:
+            sql += f" HAVING {calls[0]} > {rng.randint(0, 60)}"
+    return sql
+
+
+def random_join_family(rng, spec_a, spec_b=None):
+    """2-4 join CQs sharing both side prefixes (grouping/HAVING vary)."""
+    ra, sa = spec_a
+    rb, sb = spec_b if spec_b is not None else spec_a
+    tables = (
+        f"timeSlidingWindow(A, {ra}, {sa}) AS a, "
+        f"timeSlidingWindow(B, {rb}, {sb}) AS b"
+    )
+    where = ["a.sid = b.sid"]
+    if rng.random() < 0.5:
+        where.append(f"a.val > {rng.randint(45, 58)}")
+    if rng.random() < 0.5:
+        where.append(f"b.val < {rng.randint(60, 78)}")
+    prefix = f" FROM {tables} WHERE " + " AND ".join(where)
+    calls = rng.sample(JOIN_AGGREGATES, rng.randint(1, 3))
+    select = ", ".join(f"{c} AS a{i}" for i, c in enumerate(calls))
+    family = []
+    for _ in range(rng.randint(2, 4)):
+        sql = f"SELECT a.sid AS g, {select}{prefix} GROUP BY a.sid"
+        if rng.random() < 0.5:
+            sql += f" HAVING {calls[0]} > {rng.randint(0, 70)}"
+        family.append(sql)
+    return family

@@ -14,103 +14,32 @@ import random
 
 import pytest
 
+from cqgen import (
+    SCHEMA,
+    SPECS,
+    build_engine,
+    measurement_rows,
+    random_single_stream_sql,
+    run_engine,
+)
 from repro.exastream import (
     CountAccumulator,
     IncrementalMode,
     MaxAccumulator,
     MinAccumulator,
-    ShardedEngine,
     StreamEngine,
     SumAccumulator,
     analyze_incremental,
     plan_sql,
 )
-from repro.relational import Column, Database, Schema, SQLType, Table
 from repro.siemens import FleetConfig, deploy, diagnostic_catalog, generate_fleet
 from repro.streams import (
     ListSource,
     PanePlan,
     Stream,
-    StreamSchema,
     WindowSpec,
     pane_plan,
 )
-
-SCHEMA = StreamSchema(
-    (
-        Column("ts", SQLType.REAL),
-        Column("sid", SQLType.INTEGER),
-        Column("val", SQLType.REAL),
-    ),
-    time_column="ts",
-)
-
-#: overlap factors r/s ∈ {1, 4, 16} on a 5s slide
-SPECS = [(5, 5), (20, 5), (80, 5)]
-
-
-def measurement_rows(
-    n_seconds=200, n_sensors=6, gap_sensor=None, gap=(None, None), silence=None
-):
-    """Float-valued measurements; optional per-sensor gap and full outage."""
-    rows = []
-    for t in range(n_seconds):
-        if silence is not None and silence[0] <= t < silence[1]:
-            continue
-        for s in range(n_sensors):
-            if s == gap_sensor and gap[0] <= t < gap[1]:
-                continue
-            rows.append(
-                (float(t), s, 50.0 + ((t * 7 + s * 13) % 23) + 0.1234567)
-            )
-    return rows
-
-
-def static_db(n_sensors=6):
-    db = Database(
-        Schema(
-            "meta",
-            {
-                "sensors": Table(
-                    "sensors",
-                    [
-                        Column("sid", SQLType.INTEGER),
-                        Column("kind", SQLType.TEXT),
-                    ],
-                )
-            },
-        )
-    )
-    db.insert(
-        "sensors", [(s, "temp" if s % 3 else "pres") for s in range(n_sensors)]
-    )
-    return db
-
-
-def build_engine(rows, incremental, shards=1, cache_capacity=4096):
-    if shards > 1:
-        engine = ShardedEngine(
-            shards=shards, incremental=incremental, cache_capacity=cache_capacity
-        )
-    else:
-        engine = StreamEngine(
-            incremental=incremental, cache_capacity=cache_capacity
-        )
-    engine.register_stream(ListSource(Stream("S", SCHEMA), rows))
-    engine.attach_database("meta", static_db())
-    return engine
-
-
-def run_engine(engine, sql, shards=1):
-    plan = plan_sql(sql, engine, name="q")
-    if isinstance(engine, ShardedEngine):
-        results = engine.run_continuous(plan, shards=shards)
-    else:
-        results = engine.run_continuous(plan)
-    return [
-        (r.window_id, r.window_end, tuple(r.columns), tuple(r.rows))
-        for r in results
-    ]
 
 
 def assert_differential(sql, rows=None, shards=1, cache_capacity=4096):
@@ -118,10 +47,20 @@ def assert_differential(sql, rows=None, shards=1, cache_capacity=4096):
     if rows is None:
         rows = measurement_rows()
     incremental = run_engine(
-        build_engine(rows, True, shards, cache_capacity), sql, shards
+        build_engine(
+            rows, incremental=True, shards=shards,
+            cache_capacity=cache_capacity,
+        ),
+        sql,
+        shards,
     )
     recompute = run_engine(
-        build_engine(rows, False, shards, cache_capacity), sql, shards
+        build_engine(
+            rows, incremental=False, shards=shards,
+            cache_capacity=cache_capacity,
+        ),
+        sql,
+        shards,
     )
     assert incremental == recompute
     assert len(incremental) > 0
@@ -189,7 +128,7 @@ class TestPaneMath:
 
 class TestClassification:
     def _plan(self, sql, rows=None):
-        engine = build_engine(rows or measurement_rows(20), True)
+        engine = build_engine(rows or measurement_rows(20))
         return plan_sql(sql, engine, name="q")
 
     def test_combinable_aggregate_is_incremental(self):
@@ -210,7 +149,7 @@ class TestClassification:
         decision = self._plan(AGG_SQL.format(r=5, s=5)).incremental
         assert decision.mode is IncrementalMode.RECOMPUTE
 
-    def test_two_stream_join_falls_back(self):
+    def test_two_stream_equi_join_is_pane_join(self):
         engine = StreamEngine()
         engine.register_stream(
             ListSource(Stream("A", SCHEMA), measurement_rows(20))
@@ -224,8 +163,28 @@ class TestClassification:
             engine,
             name="j",
         )
+        assert plan.incremental.mode is IncrementalMode.PANE_JOIN
+        assert plan.incremental.join.left_keys == ("a.sid",)
+        assert analyze_incremental(plan).mode is IncrementalMode.PANE_JOIN
+
+    def test_two_stream_cross_join_falls_back(self):
+        """No direct stream-stream equi-key: symmetric hashing has
+        nothing to hash on, so the plan stays on the recompute path."""
+        engine = StreamEngine()
+        engine.register_stream(
+            ListSource(Stream("A", SCHEMA), measurement_rows(20))
+        )
+        engine.register_stream(
+            ListSource(Stream("B", SCHEMA), measurement_rows(20))
+        )
+        plan = plan_sql(
+            "SELECT COUNT(*) AS n FROM timeSlidingWindow(A, 20, 5) AS a, "
+            "timeSlidingWindow(B, 20, 5) AS b WHERE a.val < b.val",
+            engine,
+            name="x",
+        )
         assert plan.incremental.mode is IncrementalMode.RECOMPUTE
-        assert analyze_incremental(plan).mode is IncrementalMode.RECOMPUTE
+        assert "equi-join" in plan.incremental.reason
 
 
 class TestAccumulators:
@@ -273,7 +232,7 @@ class TestDifferential:
 
     def test_incremental_actually_engages(self):
         """Guard against the pane path silently always falling back."""
-        engine = build_engine(measurement_rows(), True)
+        engine = build_engine(measurement_rows())
         plan = plan_sql(AGG_SQL.format(r=80, s=5), engine, name="q")
         results = list(engine.run_continuous(plan))
         metrics = engine.metrics.query("q")
@@ -296,8 +255,8 @@ class TestDifferential:
         """A tiny cache evicts panes mid-run; fallback keeps output exact."""
         rows = measurement_rows()
         sql = AGG_SQL.format(r=80, s=5)
-        tiny = run_engine(build_engine(rows, True, cache_capacity=2), sql)
-        reference = run_engine(build_engine(rows, False), sql)
+        tiny = run_engine(build_engine(rows, cache_capacity=2), sql)
+        reference = run_engine(build_engine(rows, incremental=False), sql)
         assert tiny == reference
 
     def test_mixed_consumers_share_one_reader(self):
@@ -308,7 +267,7 @@ class TestDifferential:
         rows = measurement_rows()
 
         def run(incremental):
-            engine = build_engine(rows, incremental)
+            engine = build_engine(rows, incremental=incremental)
             gateway = GatewayServer(engine)
             agg = gateway.register(AGG_SQL.format(r=20, s=5), name="agg")
             proj = gateway.register(
@@ -489,7 +448,7 @@ class TestDisorderFallback:
         rows = measurement_rows(n_seconds=100)
 
         def run(incremental):
-            engine = build_engine(rows, incremental)
+            engine = build_engine(rows, incremental=incremental)
             plan = plan_sql(AGG_SQL.format(r=20, s=5), engine, name="q")
             plan = replace(plan, start=30.0)
             plan.partitioning = None
@@ -560,47 +519,14 @@ class TestFloatBoundaryGrids:
 
 
 class TestRandomizedDifferential:
-    AGGREGATES = [
-        "AVG(w.val)",
-        "SUM(w.val)",
-        "COUNT(*)",
-        "COUNT(w.val)",
-        "MIN(w.val)",
-        "MAX(w.val)",
-        "AVG(w.val * 2 + 1)",
-        "SUM(w.val - 50)",
-    ]
-
-    def _random_sql(self, rng, r, s):
-        calls = rng.sample(self.AGGREGATES, rng.randint(1, 3))
-        select = ", ".join(f"{c} AS a{i}" for i, c in enumerate(calls))
-        group = rng.random() < 0.7
-        join = rng.random() < 0.4
-        tables = f"timeSlidingWindow(S, {r}, {s}) AS w"
-        where = []
-        if join:
-            tables += ", sensors AS t"
-            where.append("w.sid = t.sid")
-            if rng.random() < 0.5:
-                where.append("t.kind = 'temp'")
-        if rng.random() < 0.6:
-            where.append(f"w.val > {rng.randint(45, 65)}")
-        sql = "SELECT "
-        if group:
-            sql += "w.sid AS s, "
-        sql += select + " FROM " + tables
-        if where:
-            sql += " WHERE " + " AND ".join(where)
-        if group:
-            sql += " GROUP BY w.sid"
-        return sql
+    """Seeded random single-stream CQs from the shared harness."""
 
     @pytest.mark.parametrize("seed", range(8))
     def test_random_queries(self, seed):
         rng = random.Random(1000 + seed)
         rows = measurement_rows(n_seconds=120)
         r, s = SPECS[seed % len(SPECS)]
-        sql = self._random_sql(rng, r, s)
+        sql = random_single_stream_sql(rng, r, s)
         shards = 1 + (seed % 2)
         assert_differential(sql, rows=rows, shards=shards)
 
@@ -662,7 +588,7 @@ class TestStaticFilterPushdown:
             "WHERE w.sid = t.sid AND t.kind = 'temp' GROUP BY w.sid"
         )
         for incremental in (True, False):
-            engine = build_engine(rows, incremental)
+            engine = build_engine(rows, incremental=incremental)
             plan = plan_sql(sql, engine, name="q")
             out = list(engine.run_continuous(plan))
             sids = {row[0] for result in out for row in result.rows}

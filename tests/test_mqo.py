@@ -13,86 +13,30 @@ import random
 
 import pytest
 
+import cqgen
+from cqgen import SCHEMA, build_engine, random_family, snapshot
 from repro.exastream import (
     GatewayServer,
     Scheduler,
-    ShardedEngine,
     StreamEngine,
     plan_sql,
     plan_signature,
 )
-from repro.relational import Column, Database, Schema, SQLType, Table
 from repro.siemens import FleetConfig, deploy, diagnostic_catalog, generate_fleet
-from repro.streams import ListSource, Stream, StreamSchema
-
-SCHEMA = StreamSchema(
-    (
-        Column("ts", SQLType.REAL),
-        Column("sid", SQLType.INTEGER),
-        Column("val", SQLType.REAL),
-    ),
-    time_column="ts",
-)
+from repro.streams import ListSource, Stream
 
 
 def measurement_rows(n_seconds=120, n_sensors=6):
-    return [
-        (float(t), s, 50.0 + ((t * 7 + s * 13) % 23) + 0.1234567)
-        for t in range(n_seconds)
-        for s in range(n_sensors)
-    ]
-
-
-def static_db(n_sensors=6):
-    db = Database(
-        Schema(
-            "meta",
-            {
-                "sensors": Table(
-                    "sensors",
-                    [
-                        Column("sid", SQLType.INTEGER),
-                        Column("kind", SQLType.TEXT),
-                    ],
-                )
-            },
-        )
-    )
-    db.insert(
-        "sensors", [(s, "temp" if s % 3 else "pres") for s in range(n_sensors)]
-    )
-    return db
-
-
-def build_engine(rows, mqo, shards=1, incremental=True):
-    if shards > 1:
-        engine = ShardedEngine(shards=shards, mqo=mqo, incremental=incremental)
-    else:
-        engine = StreamEngine(mqo=mqo, incremental=incremental)
-    engine.register_stream(ListSource(Stream("S", SCHEMA), rows))
-    engine.attach_database("meta", static_db())
-    return engine
-
-
-def snapshot(registered):
-    return [
-        (r.window_id, r.window_end, tuple(r.columns), tuple(r.rows))
-        for r in registered.results()
-    ]
+    """This suite's default workload size over the shared generator."""
+    return cqgen.measurement_rows(n_seconds, n_sensors)
 
 
 def run_concurrently(rows, sqls, mqo, shards=1, incremental=True):
     """Register every query on one gateway, run to exhaustion, snapshot."""
-    engine = build_engine(rows, mqo, shards=shards, incremental=incremental)
-    gateway = GatewayServer(engine)
-    registered = [
-        gateway.register(sql, name=f"q{i}", shards=shards if shards > 1 else None)
-        for i, sql in enumerate(sqls)
-    ]
-    gateway.run()
-    out = [snapshot(q) for q in registered]
-    for q in registered:
-        gateway.deregister(q.name)
+    engine = build_engine(
+        rows, mqo=mqo, shards=shards, incremental=incremental
+    )
+    out, gateway = cqgen.run_concurrently(sqls, engine, shards=shards)
     return out, gateway, engine
 
 
@@ -123,7 +67,7 @@ def variant(r=20, s=5, threshold=None):
 
 class TestSignature:
     def _sig(self, sql, engine=None):
-        engine = engine or build_engine(measurement_rows(20), True)
+        engine = engine or build_engine(measurement_rows(20))
         return plan_signature(plan_sql(sql, engine, name="q"))
 
     def test_having_variants_share_both_tiers(self):
@@ -190,17 +134,50 @@ class TestSignature:
         assert sig is not None
         assert sig.aggregate_key is None
 
-    def test_two_stream_join_is_ineligible(self):
+    def test_two_stream_join_carries_side_signatures(self):
         engine = StreamEngine()
-        engine.register_stream(
-            ListSource(Stream("A", SCHEMA), measurement_rows(20))
+        for name in ("A", "B", "C"):
+            engine.register_stream(
+                ListSource(Stream(name, SCHEMA), measurement_rows(20))
+            )
+
+        def sig(sql):
+            return plan_signature(plan_sql(sql, engine, name="j"))
+
+        base = (
+            "SELECT COUNT(*) AS n FROM timeSlidingWindow(A, 20, 5) AS a, "
+            "timeSlidingWindow(B, 20, 5) AS b WHERE a.sid = b.sid"
         )
-        engine.register_stream(
-            ListSource(Stream("B", SCHEMA), measurement_rows(20))
+        signature = sig(base)
+        assert signature is not None
+        assert len(signature.sides) == 2
+        # per-stream pane-join state interchanges only within one side
+        assert signature.sides[0].key != signature.sides[1].key
+        # the pane-pair partials are runtime-local: no aggregate tier
+        assert signature.aggregate_key is None
+        # a query joining A against a *different* partner stream still
+        # shares A's side (but not the partner's)
+        other = sig(
+            base.replace("timeSlidingWindow(B", "timeSlidingWindow(C")
         )
+        assert other.relation_key != signature.relation_key
+        assert other.sides[0] == signature.sides[0]
+        assert other.sides[1] != signature.sides[1]
+        # a side filter changes only that side's signature
+        filtered = sig(base + " AND a.val > 50")
+        assert filtered.sides[0] != signature.sides[0]
+        assert filtered.sides[1] == signature.sides[1]
+
+    def test_three_stream_join_is_ineligible(self):
+        engine = StreamEngine()
+        for name in ("A", "B", "C"):
+            engine.register_stream(
+                ListSource(Stream(name, SCHEMA), measurement_rows(20))
+            )
         plan = plan_sql(
             "SELECT COUNT(*) AS n FROM timeSlidingWindow(A, 20, 5) AS a, "
-            "timeSlidingWindow(B, 20, 5) AS b WHERE a.sid = b.sid",
+            "timeSlidingWindow(B, 20, 5) AS b, timeSlidingWindow(C, 20, 5) AS c "
+            "WHERE a.sid = b.sid AND b.sid = c.sid",
             engine,
             name="j",
         )
@@ -285,50 +262,12 @@ class TestDifferential:
 
 
 class TestRandomizedFamilies:
-    AGGREGATES = [
-        "AVG(w.val)",
-        "SUM(w.val)",
-        "COUNT(*)",
-        "MIN(w.val)",
-        "MAX(w.val)",
-        "AVG(w.val * 2 + 1)",
-    ]
-
-    def _family(self, rng):
-        """A base prefix plus 2-4 variants sharing it (and one outsider)."""
-        r, s = rng.choice([(20, 5), (12, 4), (30, 10)])
-        join = rng.random() < 0.6
-        where = []
-        tables = f"timeSlidingWindow(S, {r}, {s}) AS w"
-        if join:
-            tables += ", sensors AS t"
-            where.append("w.sid = t.sid")
-            if rng.random() < 0.5:
-                where.append("t.kind = 'temp'")
-        if rng.random() < 0.7:
-            where.append(f"w.val > {rng.randint(48, 62)}")
-        prefix = " FROM " + tables
-        if where:
-            prefix += " WHERE " + " AND ".join(where)
-        calls = rng.sample(self.AGGREGATES, rng.randint(1, 3))
-        select = ", ".join(f"{c} AS a{i}" for i, c in enumerate(calls))
-        family = []
-        for _ in range(rng.randint(2, 4)):
-            sql = f"SELECT w.sid AS g, {select}{prefix} GROUP BY w.sid"
-            if rng.random() < 0.5:
-                sql += f" HAVING {calls[0]} > {rng.randint(40, 80)}"
-            family.append(sql)
-        # one structurally different query keeps the registry honest
-        family.append(
-            f"SELECT COUNT(*) AS n FROM timeSlidingWindow(S, {r}, {s}) AS w "
-            f"WHERE w.val > {rng.randint(48, 62)}"
-        )
-        return family
+    """Seeded prefix-sharing CQ families from the shared harness."""
 
     @pytest.mark.parametrize("seed", range(6))
     def test_random_families(self, seed):
         rng = random.Random(4000 + seed)
-        sqls = self._family(rng)
+        sqls = random_family(rng)
         shards = 1 + (seed % 2)
         assert_differential(sqls, shards=shards)
 
@@ -339,7 +278,7 @@ class TestMidFlight:
 
     def _run(self, mqo):
         rows = measurement_rows()
-        engine = build_engine(rows, mqo)
+        engine = build_engine(rows, mqo=mqo)
         gateway = GatewayServer(engine)
         results = {}
         a = gateway.register(variant(threshold=55), name="a")
@@ -423,7 +362,7 @@ class TestGatewayTeardown:
 
     def _gateway(self, n=3):
         rows = measurement_rows(60)
-        engine = build_engine(rows, True)
+        engine = build_engine(rows)
         gateway = GatewayServer(engine)
         names = [f"q{i}" for i in range(n)]
         for i, name in enumerate(names):
@@ -453,13 +392,13 @@ class TestGatewayTeardown:
     def test_lone_survivor_keeps_producing(self):
         rows = measurement_rows()
         # reference: the survivor running alone, fully private
-        engine = build_engine(rows, False)
+        engine = build_engine(rows, mqo=False)
         gateway = GatewayServer(engine)
         solo = gateway.register(variant(threshold=60), name="solo")
         gateway.run()
         reference = snapshot(solo)
 
-        engine = build_engine(rows, True)
+        engine = build_engine(rows)
         gateway = GatewayServer(engine)
         survivor = gateway.register(variant(threshold=60), name="s")
         others = [
@@ -477,7 +416,7 @@ class TestGatewayTeardown:
 
     def test_scoped_sharded_pipelines_release(self):
         rows = measurement_rows()
-        engine = build_engine(rows, True, shards=2)
+        engine = build_engine(rows, shards=2)
         gateway = GatewayServer(engine)
         a = gateway.register(variant(threshold=55), name="a", shards=2)
         b = gateway.register(variant(threshold=65), name="b", shards=2)
@@ -491,7 +430,7 @@ class TestGatewayTeardown:
 class TestSchedulerAccounting:
     def test_shared_pipeline_weighs_once(self):
         rows = measurement_rows(40)
-        engine = build_engine(rows, True)
+        engine = build_engine(rows)
         scheduler = Scheduler(2)
         gateway = GatewayServer(engine, scheduler=scheduler)
         gateway.register(variant(threshold=55), name="a")
@@ -521,7 +460,7 @@ class TestSchedulerAccounting:
 
     def test_private_gateway_accounts_per_query(self):
         rows = measurement_rows(40)
-        engine = build_engine(rows, False)  # mqo escape hatch
+        engine = build_engine(rows, mqo=False)  # mqo escape hatch
         scheduler = Scheduler(2)
         gateway = GatewayServer(engine, scheduler=scheduler)
         assert gateway.mqo is None
@@ -545,7 +484,7 @@ class TestBatchDemandRefcount:
 
     def test_survivor_regains_no_batch_property(self):
         rows = measurement_rows(200)
-        engine = build_engine(rows, True)
+        engine = build_engine(rows)
         gateway = GatewayServer(engine)
         pane = gateway.register(self.PANE_SQL, name="pane")
         gateway.register(self.RECOMPUTE_SQL, name="batchy")
@@ -562,7 +501,7 @@ class TestBatchDemandRefcount:
 
     def test_demand_is_counted_not_latched(self):
         rows = measurement_rows(100)
-        engine = build_engine(rows, True)
+        engine = build_engine(rows)
         gateway = GatewayServer(engine)
         gateway.register(self.PANE_SQL, name="pane")
         r1 = gateway.register(self.RECOMPUTE_SQL, name="r1")

@@ -3,13 +3,13 @@ merge operators, the shard-assignment scheduler and worker processes."""
 
 import pytest
 
+import cqgen
 from repro.exastream import (
     GatewayServer,
     PartitionMode,
     Scheduler,
     ShardedEngine,
     StreamEngine,
-    analyze_partitioning,
     plan_sql,
     stable_hash,
 )
@@ -19,30 +19,31 @@ from repro.siemens import FleetConfig, deploy, diagnostic_catalog, generate_flee
 from repro.streams import Heartbeat, ListSource, Stream, StreamSchema, WindowSpec
 from repro.streams import time_sliding_window
 
-SCHEMA = StreamSchema(
-    (
-        Column("ts", SQLType.REAL),
-        Column("sid", SQLType.INTEGER),
-        Column("val", SQLType.REAL),
-    ),
-    time_column="ts",
-)
+SCHEMA = cqgen.SCHEMA
 
 
 def measurement_rows(n_seconds=40, n_sensors=12, gap_sensor=None, gap_after=10):
-    rows = []
-    for t in range(n_seconds):
-        for s in range(n_sensors):
-            if s == gap_sensor and t > gap_after:
-                continue
-            rows.append((float(t), s, 50.0 + ((t * 7 + s * 13) % 23)))
-    return rows
+    """This suite's workload shape (12 sensors, trailing per-sensor gap,
+    integer-valued floats) over the shared generator.
+
+    ``fraction=0.0`` matters: PARTIAL-mode merges re-add shard sums, so
+    bitwise shard-count invariance needs addition-order-insensitive
+    values."""
+    return cqgen.measurement_rows(
+        n_seconds, n_sensors, gap_sensor=gap_sensor,
+        gap=(gap_after + 1, n_seconds), fraction=0.0,
+    )
 
 
 def engine_with(rows, cls=StreamEngine, **kwargs):
-    engine = cls(**kwargs)
-    engine.register_stream(ListSource(Stream("S", SCHEMA), rows))
-    return engine
+    shards = kwargs.pop("shards", None)
+    if cls is ShardedEngine:
+        return cqgen.build_engine(
+            rows, shards=shards if shards is not None else 2,
+            attach_static=False, **kwargs,
+        )
+    assert not kwargs, kwargs
+    return cqgen.build_engine(rows, attach_static=False)
 
 
 def run_gateway(engine, sql, **register_kwargs):
