@@ -8,7 +8,7 @@ RUFF ?= ruff
 
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-compare coverage examples smoke lint ci
+.PHONY: test bench bench-smoke bench-compare coverage examples smoke lint lint-cq ci
 
 test:
 	$(PY) -m pytest -x -q
@@ -35,6 +35,12 @@ lint:
 	else \
 		echo "ruff not installed; skipping lint (CI installs the pinned version)"; \
 	fi
+
+# Static CQ analysis over everything this repo ships: the 20 Siemens
+# diagnostic-catalog tasks plus every STARQL query embedded in the
+# example scripts.  Exits non-zero on any error-severity diagnostic.
+lint-cq:
+	$(PY) -m repro.analysis --siemens --examples examples
 
 bench:
 	$(PY) -m pytest benchmarks/bench_*.py -q
@@ -72,4 +78,4 @@ examples:
 		$(PY) $$script > /dev/null; \
 	done; echo "all examples OK"
 
-ci: lint test smoke examples bench-smoke
+ci: lint lint-cq test smoke examples bench-smoke

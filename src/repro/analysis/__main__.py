@@ -1,0 +1,144 @@
+"""``python -m repro.analysis`` — lint STARQL queries from the shell.
+
+Queries are analyzed against the reference Siemens deployment (its
+ontology, mappings and registered streams), which is what every example
+and diagnostic task in this repository targets.  Exit status is 1 when
+any error-severity diagnostic is found, so CI can gate on it
+(``make lint-cq``).
+
+Usage::
+
+    python -m repro.analysis file.starql [more.starql ...]
+    python -m repro.analysis --siemens          # the 20 catalog tasks
+    python -m repro.analysis --examples DIR     # STARQL inside example .py
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+from ..starql.parser import STARQLSyntaxError, parse_document
+from .analyzer import analyze_starql
+from .diagnostics import AnalysisReport, Severity
+
+#: triple-quoted strings inside example scripts that hold STARQL text
+_TRIPLE_QUOTED = re.compile(r'"""(.*?)"""|\'\'\'(.*?)\'\'\'', re.DOTALL)
+
+
+def _deployment():
+    from ..siemens import deploy
+
+    return deploy(stream_duration=5)
+
+
+def _analyze_text(
+    label: str, text: str, deployment, reports: list[AnalysisReport]
+) -> None:
+    try:
+        queries, macros = parse_document(text)
+    except STARQLSyntaxError as exc:
+        report = AnalysisReport(label)
+        report.add("ANA000", Severity.ERROR, f"STARQL syntax error: {exc}")
+        reports.append(report)
+        return
+    for macro in macros:
+        deployment.translator.macros.register(macro)
+    if not queries:
+        report = AnalysisReport(label)
+        report.add(
+            "ANA000",
+            Severity.WARNING,
+            "no STARQL queries found in the input",
+        )
+        reports.append(report)
+        return
+    for index, query in enumerate(queries):
+        name = f"{label}#{index}" if len(queries) > 1 else label
+        reports.append(
+            analyze_starql(
+                query,
+                deployment.translator,
+                gateway=deployment.gateway,
+                name=name,
+            )
+        )
+
+
+def _extract_starql(path: Path) -> list[str]:
+    """Triple-quoted STARQL blocks inside an example script."""
+    blocks: list[str] = []
+    for match in _TRIPLE_QUOTED.finditer(path.read_text()):
+        text = match.group(1) or match.group(2) or ""
+        if "CREATE STREAM" in text and "CONSTRUCT" in text:
+            blocks.append(text)
+    return blocks
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis of STARQL continuous queries.",
+    )
+    parser.add_argument(
+        "files", nargs="*", type=Path, help="STARQL files to analyze"
+    )
+    parser.add_argument(
+        "--siemens",
+        action="store_true",
+        help="analyze the 20 Siemens diagnostic catalog tasks",
+    )
+    parser.add_argument(
+        "--examples",
+        type=Path,
+        metavar="DIR",
+        help="analyze STARQL embedded in example scripts under DIR",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only queries with findings",
+    )
+    args = parser.parse_args(argv)
+    if not args.files and not args.siemens and args.examples is None:
+        parser.error("nothing to analyze: pass files, --siemens or --examples")
+
+    deployment = _deployment()
+    reports: list[AnalysisReport] = []
+
+    for path in args.files:
+        _analyze_text(str(path), path.read_text(), deployment, reports)
+
+    if args.siemens:
+        from ..siemens import diagnostic_catalog
+
+        for task in diagnostic_catalog():
+            _analyze_text(task.name, task.starql, deployment, reports)
+
+    if args.examples is not None:
+        for path in sorted(args.examples.glob("*.py")):
+            for index, text in enumerate(_extract_starql(path)):
+                _analyze_text(
+                    f"{path.name}#{index}", text, deployment, reports
+                )
+
+    errors = 0
+    for report in reports:
+        errors += len(report.errors)
+        if args.quiet and not len(report):
+            continue
+        print(report.render())
+
+    checked = len(reports)
+    findings = sum(len(r) for r in reports)
+    print(
+        f"\n{checked} quer{'y' if checked == 1 else 'ies'} analyzed, "
+        f"{findings} finding(s), {errors} error(s)"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""The registration-time CQ analyzer: one entry point per input kind.
+
+``analyze_plan`` runs every plan-level dimension — type inference,
+interval satisfiability, window-grid diagnostics, sharing predictions —
+over a planned/translated :class:`~repro.exastream.plan.ContinuousPlan`.
+``analyze_starql`` adds the STARQL-level checks (syntax, unknown streams,
+malformed windows, unmapped attributes) and then analyzes the translated
+plan; translation failures become diagnostics instead of exceptions, so
+the CLI and ``Session.lint`` can report *all* queries of a document.
+
+Analysis is read-only with respect to execution: the only plan state it
+touches are the memoized classification fields (``incremental``,
+``mqo_signature``) that registration computes anyway.
+"""
+
+from __future__ import annotations
+
+from ..starql.ast import (
+    AggregateComparison,
+    BoolOp,
+    Exists,
+    Forall,
+    Implies,
+    STARQLQuery,
+)
+from ..starql.parser import STARQLSyntaxError, parse_starql
+from ..starql.translator import TranslationError
+from .diagnostics import AnalysisReport, Severity, find_span
+from .intervals import check_satisfiability
+from .sharing import check_sharing
+from .typecheck import check_types
+from .windows import check_windows
+
+__all__ = ["analyze_plan", "analyze_starql"]
+
+
+def analyze_plan(plan, engine, gateway=None, name=None) -> AnalysisReport:
+    """All plan-level diagnostics for one continuous plan."""
+    report = AnalysisReport(name or plan.name or "<query>")
+    check_types(plan, engine, report)
+    source = plan.source
+    check_satisfiability(list(plan.filters), report, source, "filter")
+    check_satisfiability(
+        list(plan.join_predicates), report, source, "join predicate"
+    )
+    if plan.aggregate is not None and plan.aggregate.having:
+        check_satisfiability(
+            list(plan.aggregate.having), report, source, "HAVING predicate"
+        )
+    check_windows(plan, report)
+    check_sharing(plan, gateway, report)
+    return report
+
+
+def analyze_starql(
+    text_or_query, translator, gateway=None, name=None
+) -> AnalysisReport:
+    """STARQL-level + plan-level diagnostics for one STARQL query.
+
+    Accepts query text or an already-parsed :class:`STARQLQuery`.  Never
+    raises on bad queries — syntax, reference and translation failures
+    all surface as error diagnostics in the returned report.
+    """
+    if isinstance(text_or_query, STARQLQuery):
+        query, text = text_or_query, text_or_query.text
+    else:
+        text = text_or_query
+        report = AnalysisReport(name or "<starql>")
+        try:
+            query = parse_starql(text)
+        except STARQLSyntaxError as exc:
+            report.add(
+                "ANA000",
+                Severity.ERROR,
+                f"STARQL syntax error: {exc}",
+                hint="fix the query text; nothing else was checked",
+            )
+            return report
+
+    report = AnalysisReport(name or query.output_stream or "<starql>")
+    engine = translator.engine
+
+    for window in query.windows:
+        if window.stream not in engine.stream_names:
+            report.add(
+                "ANA002",
+                Severity.ERROR,
+                f"unknown stream {window.stream!r} in FROM STREAM "
+                f"(registered: {sorted(engine.stream_names)})",
+                span=find_span(text, window.stream),
+                hint="register the stream or fix the FROM STREAM clause",
+            )
+        if window.range_seconds <= 0 or window.slide_seconds <= 0:
+            report.add(
+                "ANA005",
+                Severity.ERROR,
+                f"malformed window over {window.stream!r}: range "
+                f"{window.range_seconds}s, slide {window.slide_seconds}s "
+                "(both must be positive)",
+                span=find_span(text, window.stream),
+            )
+
+    for aggregate in _having_aggregates(query.having):
+        for attribute in (aggregate.attribute, aggregate.second_attribute):
+            if attribute is None:
+                continue
+            try:
+                translator.resolve_stream_attribute(attribute)
+            except TranslationError as exc:
+                report.add(
+                    "ANA006",
+                    Severity.ERROR,
+                    f"HAVING references attribute "
+                    f"{attribute.local_name!r} that no stream mapping "
+                    f"provides: {exc}",
+                    span=find_span(
+                        text, attribute.local_name, attribute.value
+                    ),
+                    hint="map the attribute onto a stream column, or fix "
+                    "the attribute IRI",
+                )
+
+    if report.has_errors:
+        return report  # translation would fail on the same defects
+
+    try:
+        result = translator.translate(query)
+    except (TranslationError, ValueError) as exc:
+        report.add(
+            "ANA007",
+            Severity.ERROR,
+            f"translation failed: {exc}",
+        )
+        return report
+
+    plan_report = analyze_plan(
+        result.plan, engine, gateway=gateway, name=report.query
+    )
+    report.diagnostics.extend(plan_report.diagnostics)
+    return report
+
+
+def _having_aggregates(having):
+    """All :class:`AggregateComparison` nodes of a HAVING expression."""
+    if having is None:
+        return
+    if isinstance(having, AggregateComparison):
+        yield having
+    elif isinstance(having, BoolOp):
+        for operand in having.operands:
+            yield from _having_aggregates(operand)
+    elif isinstance(having, (Exists, Forall)):
+        yield from _having_aggregates(having.body)
+    elif isinstance(having, Implies):
+        yield from _having_aggregates(having.premise)
+        yield from _having_aggregates(having.conclusion)

@@ -1,0 +1,219 @@
+"""Interval-arithmetic satisfiability for conjunctive predicate sets.
+
+Each conjunct of the form ``column <op> literal`` tightens a per-column
+interval; a column whose interval collapses to empty makes the whole
+conjunction unsatisfiable (the query can never emit a row — an error),
+while a conjunct that does not tighten its column's interval is redundant
+(an info-level observation).  Only numeric comparisons participate;
+anything else — disjunctions, UDF calls, cross-column comparisons — is
+conservatively treated as opaque and never flagged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..sql import BinOp, Col, Expr, Lit, print_expr
+from .diagnostics import AnalysisReport, Severity, find_span
+
+
+def _needles(printed: str) -> tuple[str, ...]:
+    """Span-search candidates for a printed predicate.
+
+    ``print_expr`` parenthesises comparisons; source text usually does
+    not, so also try the paren-stripped rendering.
+    """
+    stripped = printed[1:-1] if printed.startswith("(") else printed
+    return (printed, stripped)
+
+__all__ = ["Interval", "check_satisfiability"]
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A closed/open numeric range plus point exclusions (from ``!=``)."""
+
+    low: float = -math.inf
+    high: float = math.inf
+    low_open: bool = False
+    high_open: bool = False
+    excluded: frozenset[float] = frozenset()
+
+    @property
+    def empty(self) -> bool:
+        if self.low > self.high:
+            return True
+        if self.low == self.high:
+            if self.low_open or self.high_open:
+                return True
+            return self.low in self.excluded
+        return False
+
+    def constrain(self, op: str, value: float) -> Interval:
+        """The interval after also requiring ``x <op> value``."""
+        if op == "=":
+            # intersect with the closed point [value, value]; a bound that
+            # was open *at* value keeps its openness (x > 5 AND x = 5 is
+            # empty), a bound value moves past closes at value.
+            low, low_open = self.low, self.low_open
+            high, high_open = self.high, self.high_open
+            if value > low:
+                low, low_open = value, False
+            if value < high:
+                high, high_open = value, False
+            return replace(
+                self, low=low, high=high, low_open=low_open, high_open=high_open
+            )
+        if op == "!=":
+            return replace(self, excluded=self.excluded | {value})
+        if op in ("<", "<="):
+            open_ = op == "<"
+            if value < self.high or (value == self.high and open_):
+                return replace(self, high=value, high_open=open_)
+            return self
+        if op in (">", ">="):
+            open_ = op == ">"
+            if value > self.low or (value == self.low and open_):
+                return replace(self, low=value, low_open=open_)
+            return self
+        return self
+
+    def implies(self, op: str, value: float) -> bool:
+        """Whether every point of this interval satisfies ``x <op> value``."""
+        if self.empty:
+            return True
+        if op == "<":
+            return self.high < value or (self.high == value and self.high_open)
+        if op == "<=":
+            return self.high <= value
+        if op == ">":
+            return self.low > value or (self.low == value and self.low_open)
+        if op == ">=":
+            return self.low >= value
+        if op == "=":
+            return (
+                self.low == self.high == value
+                and not self.low_open
+                and not self.high_open
+            )
+        if op == "!=":
+            return (
+                value in self.excluded
+                or value < self.low
+                or (value == self.low and self.low_open)
+                or value > self.high
+                or (value == self.high and self.high_open)
+            )
+        return False
+
+
+def _as_constraint(expr: Expr) -> tuple[str, str, float] | None:
+    """``(column_key, op, value)`` when the conjunct is col-op-literal."""
+    if not isinstance(expr, BinOp) or expr.op not in _FLIP:
+        return None
+    left, right, op = expr.left, expr.right, expr.op
+    if isinstance(left, Lit) and isinstance(right, Col):
+        left, right, op = right, left, _FLIP[op]
+    if not (isinstance(left, Col) and isinstance(right, Lit)):
+        return None
+    value = right.value
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    key = f"{left.table}.{left.name}" if left.table else left.name
+    return key, op, float(value)
+
+
+def check_satisfiability(
+    predicates: list[Expr],
+    report: AnalysisReport,
+    source: str | None,
+    where: str = "filter",
+) -> None:
+    """Flag always-false conjunctions and always-true conjuncts.
+
+    ``predicates`` is one conjunction (all must hold).  Constraints are
+    folded in order; a conjunct already implied by the interval built
+    from the *other* conjuncts on its column is redundant.
+    """
+    constraints: list[tuple[Expr, str, str, float]] = []
+    for predicate in predicates:
+        parsed = _as_constraint(predicate)
+        if parsed is not None:
+            constraints.append((predicate, *parsed))
+        else:
+            _check_literal_tautology(predicate, report, source, where)
+
+    intervals: dict[str, Interval] = {}
+    for predicate, key, op, value in constraints:
+        interval = intervals.get(key, Interval())
+        if interval.implies(op, value) and not interval.empty:
+            report.add(
+                "ANA011",
+                Severity.INFO,
+                f"redundant {where} {print_expr(predicate)!r}: already "
+                f"implied by the other constraints on {key!r}",
+                span=find_span(source, *_needles(print_expr(predicate))),
+                hint="drop the predicate; it never rejects a row",
+            )
+            continue
+        intervals[key] = interval.constrain(op, value)
+
+    for key, interval in intervals.items():
+        if interval.empty:
+            involved = [
+                print_expr(p) for p, k, _, _ in constraints if k == key
+            ]
+            report.add(
+                "ANA010",
+                Severity.ERROR,
+                f"unsatisfiable {where}s on {key!r}: "
+                f"{' AND '.join(involved)} — no value satisfies all of "
+                "them, so the query can never produce a row",
+                span=find_span(source, *[n for i in involved for n in _needles(i)]),
+                hint="relax or remove one of the conflicting bounds",
+            )
+
+
+def _check_literal_tautology(
+    expr: Expr, report: AnalysisReport, source: str | None, where: str
+) -> None:
+    """Constant-fold ``literal <op> literal`` conjuncts."""
+    if not (
+        isinstance(expr, BinOp)
+        and expr.op in _FLIP
+        and isinstance(expr.left, Lit)
+        and isinstance(expr.right, Lit)
+    ):
+        return
+    lhs, rhs = expr.left.value, expr.right.value
+    try:
+        result = {
+            "=": lhs == rhs,
+            "!=": lhs != rhs,
+            "<": lhs < rhs,
+            "<=": lhs <= rhs,
+            ">": lhs > rhs,
+            ">=": lhs >= rhs,
+        }[expr.op]
+    except TypeError:
+        return
+    if result:
+        report.add(
+            "ANA011",
+            Severity.INFO,
+            f"constant {where} {print_expr(expr)!r} is always true",
+            span=find_span(source, *_needles(print_expr(expr))),
+            hint="drop the predicate; it never rejects a row",
+        )
+    else:
+        report.add(
+            "ANA010",
+            Severity.ERROR,
+            f"constant {where} {print_expr(expr)!r} is always false: the "
+            "query can never produce a row",
+            span=find_span(source, *_needles(print_expr(expr))),
+            hint="fix or remove the contradictory predicate",
+        )

@@ -1,0 +1,277 @@
+"""Plan-invariant verifier: debug/audit assertions over live engine state.
+
+The static analyzer reasons about queries *before* they run; this module
+checks that the running engine honours the invariants the analyzer (and
+the rest of the system) relies on:
+
+* **demand balance** — every pane/batch demand a runtime declared on a
+  shared window reader is matched by the reader's refcount, and all
+  counts return to zero when the last query deregisters;
+* **pane-ring bounds** — the per-runtime pane rings (aggregation panes,
+  join side prefixes, pane-pair partials) never hold more state than one
+  window span, i.e. eviction keeps up with the window grid;
+* **signature agreement** — the planner's sharing eligibility
+  (:func:`~repro.exastream.mqo.plan_signature`) and the MQO runtime's
+  actual subscriptions never disagree.
+
+All checks are read-only.  ``verify_gateway`` raises
+:class:`InvariantViolation` listing every violated invariant; the
+gateway calls it automatically when the ``REPRO_AUDIT`` environment
+variable is set (registration, deregistration, and whenever a ``step()``
+makes no progress), and CI runs the full Siemens suite and the
+randomized query corpus under it.
+"""
+
+from __future__ import annotations
+
+from ..exastream.mqo.signature import plan_signature
+from ..streams.window import pane_plan
+
+__all__ = ["InvariantViolation", "verify_runtime", "verify_gateway"]
+
+
+class InvariantViolation(AssertionError):
+    """One or more engine invariants do not hold."""
+
+    def __init__(self, violations: list[str]) -> None:
+        self.violations = list(violations)
+        super().__init__(
+            "engine invariant violation:\n  - " + "\n  - ".join(violations)
+        )
+
+
+def verify_runtime(runtime, name: str = "") -> list[str]:
+    """Invariant violations of one bound runtime (empty list = healthy)."""
+    violations: list[str] = []
+    label = name or getattr(getattr(runtime, "plan", None), "name", "?")
+    plan = getattr(runtime, "plan", None)
+    if plan is None or not hasattr(runtime, "_pane_ring"):
+        return violations  # sharded facades own no pane state directly
+
+    # -- pane-ring bounds ---------------------------------------------------
+    plan0 = pane_plan(plan.windows[0].spec)
+    _check_ring_bounds(
+        violations, f"{label}: aggregation pane ring",
+        runtime._pane_ring.keys(),
+        plan0.panes_per_window if plan0 is not None else None,
+    )
+    side_plans = [pane_plan(w.spec) for w in plan.windows[:2]]
+    for index, ring in enumerate(getattr(runtime, "_side_rings", ())):
+        side = side_plans[index] if index < len(side_plans) else None
+        _check_ring_bounds(
+            violations, f"{label}: join side {index} pane ring",
+            ring.keys(),
+            side.panes_per_window if side is not None else None,
+        )
+    pair_ring = getattr(runtime, "_pair_ring", {})
+    for coord, side in enumerate(side_plans):
+        if side is None:
+            continue
+        keys = {pair[coord] for pair in pair_ring}
+        _check_ring_bounds(
+            violations, f"{label}: pane-pair ring coordinate {coord}",
+            keys, side.panes_per_window,
+        )
+
+    # -- demand sanity ------------------------------------------------------
+    for reader in getattr(runtime, "_batch_demanded", ()):
+        if reader.batch_demand <= 0:
+            violations.append(
+                f"{label}: holds a batch demand on {reader.key!r} whose "
+                f"refcount is {reader.batch_demand}"
+            )
+    for reader in getattr(runtime, "_pane_demanded", ()):
+        if reader.pane_demand <= 0:
+            violations.append(
+                f"{label}: holds a pane demand on {reader.key!r} whose "
+                f"refcount is {reader.pane_demand}"
+            )
+
+    # -- signature eligibility agreement ------------------------------------
+    binding = getattr(runtime, "mqo", None)
+    if binding is not None and plan_signature(plan) is None:
+        violations.append(
+            f"{label}: runtime carries an MQO binding but plan_signature "
+            "deems the plan ineligible"
+        )
+    return violations
+
+
+def _check_ring_bounds(
+    violations: list[str], what: str, keys, panes_per_window: int | None
+) -> None:
+    keys = list(keys)
+    if not keys:
+        return
+    if panes_per_window is None:
+        violations.append(
+            f"{what} holds {len(keys)} panes although the window grid is "
+            "not pane-decomposable"
+        )
+        return
+    if len(keys) > panes_per_window:
+        violations.append(
+            f"{what} holds {len(keys)} panes, over the window span of "
+            f"{panes_per_window}"
+        )
+    spread = max(keys) - min(keys)
+    if spread >= panes_per_window:
+        violations.append(
+            f"{what} spans pane ids {min(keys)}..{max(keys)} "
+            f"({spread + 1} grid slots), wider than the window span of "
+            f"{panes_per_window}: eviction fell behind"
+        )
+
+
+def verify_gateway(gateway) -> None:
+    """Assert all cross-query invariants of a gateway; raise on failure."""
+    violations: list[str] = []
+    queries = gateway._queries
+
+    runtimes = {
+        name: registered.runtime for name, registered in queries.items()
+    }
+    for name, runtime in runtimes.items():
+        violations.extend(verify_runtime(runtime, name))
+
+    # -- reader refcount balance --------------------------------------------
+    for name in queries:
+        if name not in gateway._reader_keys:
+            violations.append(f"query {name!r} has no reader-key record")
+    for name in gateway._reader_keys:
+        if name not in queries:
+            violations.append(
+                f"reader keys recorded for unregistered query {name!r}"
+            )
+    expected_refs: dict[str, int] = {}
+    for keys in gateway._reader_keys.values():
+        for key in keys:
+            expected_refs[key] = expected_refs.get(key, 0) + 1
+    if expected_refs != dict(gateway._reader_refs):
+        violations.append(
+            f"reader refcounts {dict(gateway._reader_refs)} do not match "
+            f"the registered queries' reader keys {expected_refs}"
+        )
+
+    # -- demand balance on shared readers -----------------------------------
+    # Exact only when every runtime exposes its demand lists (single-node
+    # runtimes do; sharded facades manage demand inside their layouts).
+    if all(hasattr(r, "_batch_demanded") for r in runtimes.values()):
+        batch_counts: dict[int, int] = {}
+        pane_counts: dict[int, int] = {}
+        for runtime in runtimes.values():
+            for reader in runtime._batch_demanded:
+                batch_counts[id(reader)] = batch_counts.get(id(reader), 0) + 1
+            for reader in runtime._pane_demanded:
+                pane_counts[id(reader)] = pane_counts.get(id(reader), 0) + 1
+        for key, reader in gateway._shared_readers.items():
+            expected = batch_counts.get(id(reader), 0)
+            if reader.batch_demand != expected:
+                violations.append(
+                    f"reader {key!r} batch demand is {reader.batch_demand} "
+                    f"but {expected} runtime(s) hold batch demands on it"
+                )
+            expected = pane_counts.get(id(reader), 0)
+            if reader.pane_demand != expected:
+                violations.append(
+                    f"reader {key!r} pane demand is {reader.pane_demand} "
+                    f"but {expected} runtime(s) hold pane demands on it"
+                )
+
+    # -- MQO subscription agreement -----------------------------------------
+    mqo = gateway.mqo
+    if mqo is not None:
+        by_query = getattr(mqo, "_by_query", {})
+        for name in by_query:
+            if name not in queries:
+                violations.append(
+                    f"MQO registry still holds subscriptions of "
+                    f"deregistered query {name!r}"
+                )
+        for key, subscribers in mqo.subscribers().items():
+            if not subscribers:
+                violations.append(
+                    f"MQO pipeline {key[:80]!r} has zero subscribers but "
+                    "was not released"
+                )
+            for sub in subscribers:
+                if sub not in queries:
+                    violations.append(
+                        f"MQO pipeline subscriber {sub!r} is not a "
+                        "registered query"
+                    )
+        for name, runtime in runtimes.items():
+            binding = getattr(runtime, "mqo", None)
+            if binding is not None and name not in by_query:
+                violations.append(
+                    f"query {name!r} carries an MQO binding but the "
+                    "registry has no subscriptions for it"
+                )
+
+    # -- scheduler bookkeeping ----------------------------------------------
+    scheduler = gateway.scheduler
+    if scheduler is not None:
+        pipeline_refs = getattr(scheduler, "_pipeline_refs", {})
+        for name in getattr(scheduler, "_by_query", {}):
+            if name.startswith("mqo::"):
+                # shared-pipeline placements live under the synthetic id
+                # ``mqo::<key>`` for as long as any subscriber holds a ref
+                if pipeline_refs.get(name[len("mqo::"):], 0) <= 0:
+                    violations.append(
+                        f"scheduler still places shared pipeline "
+                        f"{name[:80]!r} with no live refs"
+                    )
+            elif name not in queries:
+                violations.append(
+                    f"scheduler still places operators of deregistered "
+                    f"query {name!r}"
+                )
+        for key, refs in pipeline_refs.items():
+            if refs <= 0:
+                violations.append(
+                    f"scheduler pipeline {key[:80]!r} refcount is {refs}"
+                )
+        expected_pipeline_refs: dict[str, int] = {}
+        for keys in gateway._pipeline_keys.values():
+            for key in keys:
+                expected_pipeline_refs[key] = (
+                    expected_pipeline_refs.get(key, 0) + 1
+                )
+        if expected_pipeline_refs != dict(pipeline_refs):
+            violations.append(
+                "scheduler pipeline refcounts do not match the gateway's "
+                f"per-query pipeline keys ({len(pipeline_refs)} vs "
+                f"{len(expected_pipeline_refs)} distinct keys)"
+            )
+
+    # -- everything drains at zero ------------------------------------------
+    if not queries:
+        for attr in ("_reader_refs", "_reader_keys", "_shared_readers",
+                     "_pipeline_keys"):
+            leftover = getattr(gateway, attr)
+            if leftover:
+                violations.append(
+                    f"gateway.{attr} not empty after the last deregister: "
+                    f"{sorted(leftover)!r}"
+                )
+        if mqo is not None and (mqo._pipelines or mqo._by_query):
+            violations.append(
+                "MQO registry not empty after the last deregister: "
+                f"{mqo.pipeline_count} pipelines, "
+                f"{len(mqo._by_query)} query records"
+            )
+        if scheduler is not None:
+            if getattr(scheduler, "_pipeline_refs", None):
+                violations.append(
+                    "scheduler pipeline refs not empty after the last "
+                    "deregister"
+                )
+            for worker in getattr(scheduler, "workers", ()):
+                if abs(worker.load) > 1e-9:
+                    violations.append(
+                        f"worker {worker.node_id} load is {worker.load} "
+                        "after the last deregister"
+                    )
+
+    if violations:
+        raise InvariantViolation(violations)

@@ -62,7 +62,7 @@ class BootstrapResult:
     subject_template_for_table: dict[str, Template] = field(default_factory=dict)
     warnings: list[str] = field(default_factory=list)
 
-    def merge(self, other: "BootstrapResult") -> "BootstrapResult":
+    def merge(self, other: BootstrapResult) -> BootstrapResult:
         """Combine two passes (e.g. static schema + stream schemas)."""
         self.ontology.extend(other.ontology.axioms)
         self.ontology.classes |= other.ontology.classes

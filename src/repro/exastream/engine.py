@@ -11,7 +11,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from operator import itemgetter
-from typing import Any, Iterator
+from collections.abc import Iterator
+from typing import Any
 
 from ..relational import Database
 from ..sql import Expr
@@ -249,7 +250,7 @@ class PlanRuntime:
         #: prefixes (pane id -> _SideState) and the pane-pair partial
         #: ring ((left pane id, right pane id) -> group partials)
         self._join_ctx: _PaneJoinContext | None = None
-        self._side_rings: tuple[dict[int, "_SideState"], dict[int, "_SideState"]] = (
+        self._side_rings: tuple[dict[int, _SideState], dict[int, _SideState]] = (
             {},
             {},
         )
@@ -574,7 +575,7 @@ class PlanRuntime:
     def _pane_join_active(self) -> bool:
         return self.incremental_enabled and self._decision().is_pane_join
 
-    def _pane_context(self) -> "_PaneContext":
+    def _pane_context(self) -> _PaneContext:
         if self._pane_ctx is None:
             aggregate = self.plan.aggregate
             assert aggregate is not None
@@ -680,7 +681,7 @@ class PlanRuntime:
 
     def _pane_partials(
         self,
-        ctx: "_PaneContext",
+        ctx: _PaneContext,
         ref: WindowedStreamRef,
         tuples: list,
         mqo_key: tuple[str, int] | None = None,
@@ -754,7 +755,7 @@ class PlanRuntime:
     # row-enumeration order of the recompute hash join — including its
     # build-side choice, which depends on the two *window* sizes.
 
-    def _pane_join_context(self) -> "_PaneJoinContext":
+    def _pane_join_context(self) -> _PaneJoinContext:
         if self._join_ctx is None:
             aggregate = self.plan.aggregate
             decision = self._decision()
@@ -957,7 +958,7 @@ class PlanRuntime:
         ref: WindowedStreamRef,
         tuples: list,
         mqo_key: tuple[str, int],
-    ) -> "_SideState":
+    ) -> _SideState:
         """One side's pane prefix: load -> computed columns -> pushed
         filters -> arrival-position column (+ lazy join hash tables).
 
@@ -995,11 +996,11 @@ class PlanRuntime:
 
     def _pair_partials(
         self,
-        ctx: "_PaneJoinContext",
+        ctx: _PaneJoinContext,
         left_id: int,
-        left: "_SideState",
+        left: _SideState,
         right_id: int,
-        right: "_SideState",
+        right: _SideState,
         probe_is_right: bool,
     ) -> dict[tuple, tuple]:
         """Join one pane pair and fold it into per-group partial state.
@@ -1142,7 +1143,7 @@ class _PaneJoinContext:
     join: Any  # PaneJoinSpec
     side_panes: tuple  # per-side PanePlan
     #: shared inert state for windows whose pulse-instant edge is empty
-    empty_side: "_SideState"
+    empty_side: _SideState
 
 
 class StreamEngine:

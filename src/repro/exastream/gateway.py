@@ -20,9 +20,10 @@ compatibility wrapper (``step()`` in a loop).
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable
+from collections.abc import Callable
 
 from ..streams import SharedWindowReader
 from .engine import BoundedResultSink, PlanRuntime, StreamEngine, WindowResult
@@ -72,6 +73,9 @@ class RegisteredQuery:
     subscribers: list[Callable[[WindowResult], None]] = field(
         default_factory=list
     )
+    #: advisory registration-time diagnostics (sharing predictions,
+    #: filter-subsumption opportunities); never consulted by execution
+    diagnostics: list = field(default_factory=list)
 
     @property
     def active(self) -> bool:
@@ -163,6 +167,10 @@ class GatewayServer:
         #: (one for a single-stream prefix; per-side prefixes plus the
         #: join stage for a two-stream join plan)
         self._pipeline_keys: dict[str, list[str]] = {}
+        #: audit mode: verify the engine's refcount/ring/signature
+        #: invariants on every register/deregister and whenever a step
+        #: drains (CI sets REPRO_AUDIT=1; read-only, output-identical)
+        self.audit = bool(os.environ.get("REPRO_AUDIT"))
 
     # -- registration ----------------------------------------------------------
 
@@ -174,6 +182,7 @@ class GatewayServer:
         sink_policy: str = BoundedResultSink.DROP_OLDEST,
         window_limit: int | None = None,
         shards: int | None = None,
+        strict: bool = False,
     ) -> RegisteredQuery:
         """Register SQL(+) text or a prepared plan as a continuous query.
 
@@ -184,6 +193,14 @@ class GatewayServer:
         ``shards`` requests data-parallel execution across that many
         shards; it needs a :class:`~repro.exastream.sharded.ShardedEngine`
         behind the gateway (``shards=1``/``None`` runs anywhere).
+
+        ``strict`` runs the full static analyzer before binding any
+        resources and raises
+        :class:`~repro.analysis.StrictAnalysisError` on error-severity
+        findings (unsatisfiable filters, unknown columns, incompatible
+        join keys).  Analysis is advisory otherwise: registration always
+        attaches the cheap sharing/subsumption predictions to
+        :attr:`RegisteredQuery.diagnostics` without affecting execution.
         """
         if isinstance(query, str):
             plan = plan_sql(query, self.engine, name=name)
@@ -197,6 +214,24 @@ class GatewayServer:
         elif name in self._queries:
             raise ValueError(f"query name {name!r} already registered")
         plan.name = name
+        # Static analysis runs before any resource is bound.  Lazy import:
+        # repro.analysis imports plan/signature modules from this package.
+        from ..analysis import StrictAnalysisError, analyze_plan
+        from ..analysis.diagnostics import AnalysisReport
+        from ..analysis.sharing import check_sharing
+
+        if strict:
+            analysis = analyze_plan(plan, self.engine, gateway=self, name=name)
+            if analysis.has_errors:
+                raise StrictAnalysisError(analysis)
+            diagnostics = list(analysis)
+        else:
+            # Advisory path: only the cheap structural predictions
+            # (signature sharing + containment subsumption), no type or
+            # satisfiability passes.
+            advisory = AnalysisReport(name)
+            check_sharing(plan, self, advisory)
+            diagnostics = list(advisory)
         if shards is None:
             runtime = self.engine.bind(
                 plan, shared_readers=self._shared_readers, mqo=self.mqo
@@ -222,6 +257,7 @@ class GatewayServer:
             runtime=runtime,
             sink=BoundedResultSink(sink_capacity, sink_policy),
             window_limit=window_limit,
+            diagnostics=diagnostics,
         )
         self._queries[name] = registered
         keys = {
@@ -282,7 +318,15 @@ class GatewayServer:
                     pipeline_keys.append(pipeline_key)
                 self.scheduler.place_residual(plan)
                 self._pipeline_keys[name] = pipeline_keys
+        if self.audit:
+            self._verify()
         return registered
+
+    def _verify(self) -> None:
+        """Audit-mode invariant check (raises InvariantViolation)."""
+        from ..analysis import verify_gateway
+
+        verify_gateway(self)
 
     def deregister(self, name: str) -> None:
         """Remove a query from the catalog.
@@ -316,6 +360,8 @@ class GatewayServer:
                 self._shared_readers.pop(key, None)
                 if release is not None:  # sharded per-layout readers
                     release(key)
+        if self.audit:
+            self._verify()
 
     def query(self, name: str) -> RegisteredQuery:
         return self._queries[name]
@@ -389,6 +435,8 @@ class GatewayServer:
                 executed += 1
             if not progressed:
                 break
+        if self.audit and executed == 0:
+            self._verify()  # quiescent points are where refcounts settle
         return executed
 
     def run(

@@ -59,7 +59,7 @@ class QueryMetrics:
             return 0.0
         return self.tuples_in / self.wall_seconds
 
-    def merge(self, other: "QueryMetrics") -> None:
+    def merge(self, other: QueryMetrics) -> None:
         self.windows_processed += other.windows_processed
         self.tuples_in += other.tuples_in
         self.tuples_out += other.tuples_out

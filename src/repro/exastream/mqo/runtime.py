@@ -212,6 +212,17 @@ class SharedPipelineRegistry:
     def pipelines(self) -> dict[str, SharedPipeline]:
         return dict(self._pipelines)
 
+    def subscribers(self) -> dict[str, tuple[str, ...]]:
+        """Pipeline key -> sorted names of the queries subscribed to it.
+
+        A read-only snapshot for diagnostics (sharing predictions, the
+        plan-invariant verifier); never consulted by execution.
+        """
+        return {
+            key: tuple(sorted(pipeline.frontiers))
+            for key, pipeline in self._pipelines.items()
+        }
+
     def _subscribe(self, key: str, query: str) -> SharedPipeline:
         pipeline = self._pipelines.get(key)
         if pipeline is None:
@@ -222,7 +233,7 @@ class SharedPipelineRegistry:
         self._by_query.setdefault(query, set()).add(key)
         return pipeline
 
-    def bind(self, signature: PlanSignature, query: str) -> "MQOBinding":
+    def bind(self, signature: PlanSignature, query: str) -> MQOBinding:
         """Subscribe ``query`` to the pipelines its signature names."""
         relation_pipe = self._subscribe(signature.relation_key, query)
         aggregate_pipe = None
@@ -251,7 +262,7 @@ class SharedPipelineRegistry:
                 died.append(key)
         return died
 
-    def scoped(self, tag: str) -> "ScopedPipelineRegistry":
+    def scoped(self, tag: str) -> ScopedPipelineRegistry:
         """A view whose signature keys are prefixed with ``tag``.
 
         The sharded engine scopes sharing per (partition layout, shard):
@@ -273,7 +284,7 @@ class ScopedPipelineRegistry:
     def stats(self) -> MQOStats:
         return self._root.stats
 
-    def bind(self, signature: PlanSignature, query: str) -> "MQOBinding":
+    def bind(self, signature: PlanSignature, query: str) -> MQOBinding:
         scoped = PlanSignature(
             relation_key=f"{self._tag}::{signature.relation_key}",
             aggregate_key=(
@@ -292,7 +303,7 @@ class ScopedPipelineRegistry:
     def release_query(self, query: str) -> list[str]:
         return self._root.release_query(query)
 
-    def scoped(self, tag: str) -> "ScopedPipelineRegistry":
+    def scoped(self, tag: str) -> ScopedPipelineRegistry:
         return ScopedPipelineRegistry(self._root, f"{self._tag}::{tag}")
 
 

@@ -11,7 +11,8 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 from itertools import chain
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from ..sql import BinOp, Col, Expr, Func, Lit, Star, UnaryOp
 from .udf import UDFRegistry

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import TYPE_CHECKING, Any, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
 
 from ..sql import Expr
 from ..streams import PanePlan, pane_plan
@@ -152,7 +153,7 @@ def _reduce(fn: str, acc: Any, value: Any) -> Any:
 def finalize_rows(
     rows: list[tuple],
     combiner: CombinerSpec,
-    udfs: "UDFRegistry | None" = None,
+    udfs: UDFRegistry | None = None,
     compiler=None,
 ) -> list[tuple]:
     """The shared post-combine tail: HAVING, canonical order, DISTINCT.
@@ -179,7 +180,7 @@ def finalize_rows(
 def combine_partials(
     shard_rows: Sequence[Sequence[tuple]],
     combiner: CombinerSpec,
-    udfs: "UDFRegistry | None" = None,
+    udfs: UDFRegistry | None = None,
 ) -> list[tuple]:
     """Recombine per-shard partial aggregate rows into final rows.
 

@@ -97,7 +97,7 @@ class WindowedStreamRef:
     stream: str
     spec: WindowSpec
     alias: str
-    computed: tuple["OutputColumn", ...] = ()
+    computed: tuple[OutputColumn, ...] = ()
 
     @property
     def reader_key(self) -> str:
@@ -166,21 +166,25 @@ class ContinuousPlan:
     #: sharding classification (operators marked partitionable vs
     #: merge-requiring); ``None`` means "not analyzed yet" — the sharded
     #: engine analyzes lazily at bind time.
-    partitioning: "ShardingDecision | None" = field(
+    partitioning: ShardingDecision | None = field(
         default=None, compare=False, repr=False
     )
     #: incremental-execution classification (PANE-INCREMENTAL vs
     #: RECOMPUTE); ``None`` means "not analyzed yet" — runtimes analyze
     #: lazily at bind time.
-    incremental: "IncrementalDecision | None" = field(
+    incremental: IncrementalDecision | None = field(
         default=None, compare=False, repr=False
     )
     #: shared-subplan signature memo (``None``: not analyzed yet;
     #: ``False``: analyzed and ineligible) — see
     #: :func:`repro.exastream.mqo.plan_signature`.
-    mqo_signature: "PlanSignature | bool | None" = field(
+    mqo_signature: PlanSignature | bool | None = field(
         default=None, compare=False, repr=False
     )
+    #: the query text this plan was planned/translated from (SQL(+) or
+    #: STARQL), kept for diagnostics so analyzer findings can point at a
+    #: source span; never consulted by execution.
+    source: str | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.windows:

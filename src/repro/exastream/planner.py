@@ -72,17 +72,19 @@ class PlanningError(ValueError):
 
 
 def plan_sql(
-    text: str, engine: "StreamEngine", name: str | None = None
+    text: str, engine: StreamEngine, name: str | None = None
 ) -> ContinuousPlan:
     """Parse and plan SQL(+) text against an engine's catalogs."""
     query = parse_sql(text)
     if not isinstance(query, SelectQuery):
         raise PlanningError("continuous queries must be single SELECT blocks")
-    return plan_select(query, engine, name=name)
+    plan = plan_select(query, engine, name=name)
+    plan.source = text
+    return plan
 
 
 def plan_select(
-    query: SelectQuery, engine: "StreamEngine", name: str | None = None
+    query: SelectQuery, engine: StreamEngine, name: str | None = None
 ) -> ContinuousPlan:
     """Plan a parsed SELECT block as a :class:`ContinuousPlan`."""
     windows: list[WindowedStreamRef] = []
@@ -192,7 +194,7 @@ def plan_select(
     return plan
 
 
-def _static_subselect_source(query: Query, engine: "StreamEngine") -> str:
+def _static_subselect_source(query: Query, engine: StreamEngine) -> str:
     """Locate the database a static subselect reads from."""
     tables: list[str] = []
 
@@ -236,7 +238,7 @@ def _is_equi_join(expr: Expr) -> bool:
     )
 
 
-def _contains_aggregate(expr: Expr, engine: "StreamEngine") -> bool:
+def _contains_aggregate(expr: Expr, engine: StreamEngine) -> bool:
     if isinstance(expr, Func):
         if expr.name.upper() in _SQL_AGGREGATES:
             return True
@@ -253,7 +255,7 @@ def _contains_aggregate(expr: Expr, engine: "StreamEngine") -> bool:
 
 
 def _plan_aggregation(
-    query: SelectQuery, engine: "StreamEngine"
+    query: SelectQuery, engine: StreamEngine
 ) -> AggregateSpec | None:
     has_aggregate = any(
         _contains_aggregate(item.expr, engine) for item in query.select
@@ -304,7 +306,7 @@ def _default_name(expr: Expr) -> str:
 
 
 def _plan_call(
-    expr: Func, alias: str | None, engine: "StreamEngine"
+    expr: Func, alias: str | None, engine: StreamEngine
 ) -> AggregateCall:
     fn_name = expr.name.upper()
     output = alias or print_expr(expr)
@@ -333,7 +335,7 @@ def _plan_call(
 
 
 def _rewrite_having(
-    expr: Expr, call_by_text: dict[str, str], engine: "StreamEngine"
+    expr: Expr, call_by_text: dict[str, str], engine: StreamEngine
 ) -> Expr:
     """Replace aggregate calls in HAVING by their output column names."""
     printed = print_expr(expr)

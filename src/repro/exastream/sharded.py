@@ -26,7 +26,7 @@ from __future__ import annotations
 import heapq
 import multiprocessing
 import sys
-from typing import Iterator
+from collections.abc import Iterator
 
 from ..relational import Database
 from ..streams import SharedWindowReader, StreamSource
@@ -571,7 +571,7 @@ class ShardedEngine:
             runtime.close()
         self._runtimes.clear()
 
-    def __enter__(self) -> "ShardedEngine":
+    def __enter__(self) -> ShardedEngine:
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -31,7 +31,8 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Any, Callable, Iterator, Sequence
+from collections.abc import Callable, Iterator, Sequence
+from typing import Any
 
 from ..sql import BinOp, Col, Expr
 from ..streams import Heartbeat

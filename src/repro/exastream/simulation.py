@@ -101,8 +101,8 @@ class ClusterSimulator:
         # Deterministic round-robin over (query, window) tasks in window
         # order — the same frontier order the gateway uses.
         task = 0
-        for window in range(windows_per_query):
-            for query in range(num_queries):
+        for _window in range(windows_per_query):
+            for _query in range(num_queries):
                 node_slot = task % slots
                 work = tuples_per_window * params.tuple_service_seconds
                 work += params.network_latency_seconds

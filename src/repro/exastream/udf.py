@@ -20,7 +20,8 @@ exactly as tracing removes interpreter context switches (benchmark E12).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
 

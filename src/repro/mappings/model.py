@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Union
+from collections.abc import Iterable, Iterator
+from typing import Union
 
 from ..rdf import IRI, Term, XSD
 from ..sql import Query, parse_sql
@@ -155,7 +156,7 @@ class MappingAssertion:
         source_name: str = "default",
         is_stream: bool = False,
         identifier: str = "",
-    ) -> "MappingAssertion":
+    ) -> MappingAssertion:
         """Build a class mapping, parsing ``sql`` when given as text."""
         query = parse_sql(sql) if isinstance(sql, str) else sql
         return MappingAssertion(
@@ -171,7 +172,7 @@ class MappingAssertion:
         source_name: str = "default",
         is_stream: bool = False,
         identifier: str = "",
-    ) -> "MappingAssertion":
+    ) -> MappingAssertion:
         """Build a property mapping, parsing ``sql`` when given as text."""
         query = parse_sql(sql) if isinstance(sql, str) else sql
         return MappingAssertion(
@@ -192,13 +193,13 @@ class MappingCollection:
         for assertion in self.assertions:
             self._by_predicate.setdefault(assertion.predicate, []).append(assertion)
 
-    def add(self, assertion: MappingAssertion) -> "MappingCollection":
+    def add(self, assertion: MappingAssertion) -> MappingCollection:
         """Register one assertion."""
         self.assertions.append(assertion)
         self._by_predicate.setdefault(assertion.predicate, []).append(assertion)
         return self
 
-    def extend(self, assertions: Iterable[MappingAssertion]) -> "MappingCollection":
+    def extend(self, assertions: Iterable[MappingAssertion]) -> MappingCollection:
         for assertion in assertions:
             self.add(assertion)
         return self

@@ -101,7 +101,7 @@ def _prune_redundant(collection: MappingCollection) -> MappingCollection:
         assertions = collection.for_predicate(predicate)
         signatures = [_mapping_signature(a) for a in assertions]
         kept: list[int] = []
-        for i, (assertion, sig) in enumerate(zip(assertions, signatures)):
+        for i, sig in enumerate(signatures):
             if sig is None:
                 kept.append(i)
                 continue

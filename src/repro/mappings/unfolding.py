@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Sequence, Union
+from collections.abc import Sequence
+from typing import Union
 
 from ..queries import ConjunctiveQuery, Filter, UnionOfConjunctiveQueries
 from ..rdf import IRI, Literal, Term, Variable, XSD

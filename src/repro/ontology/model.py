@@ -13,7 +13,8 @@ the rewriting engine only ever sees the classic DL-Lite_R axiom shapes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Union
+from collections.abc import Iterable, Iterator
+from typing import Union
 
 from ..rdf import IRI, Term
 
@@ -49,7 +50,7 @@ class Role:
     iri: IRI
     inverse: bool = False
 
-    def inverted(self) -> "Role":
+    def inverted(self) -> Role:
         """The inverse role: ``P`` becomes ``P^-`` and vice versa."""
         return Role(self.iri, not self.inverse)
 
@@ -225,7 +226,7 @@ class Ontology:
 
     # -- axiom entry points -------------------------------------------------
 
-    def add(self, axiom: Axiom) -> "Ontology":
+    def add(self, axiom: Axiom) -> Ontology:
         """Append an axiom, auto-declaring the vocabulary it mentions."""
         self.axioms.append(axiom)
         for expr in _mentioned_expressions(axiom):
@@ -237,7 +238,7 @@ class Ontology:
                 self.data_properties.add(expr.iri)
         return self
 
-    def extend(self, axioms: Iterable[Axiom]) -> "Ontology":
+    def extend(self, axioms: Iterable[Axiom]) -> Ontology:
         """Append all ``axioms``."""
         for axiom in axioms:
             self.add(axiom)

@@ -25,7 +25,7 @@ tokenizer + recursive descent parser.
 from __future__ import annotations
 
 import re
-from typing import Iterator
+from collections.abc import Iterator
 
 from ..rdf import IRI, Literal, PrefixMap, XSD
 from .model import (

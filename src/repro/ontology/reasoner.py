@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Hashable
+from collections.abc import Hashable
 
 from ..rdf import IRI
 from .model import (

@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from ..exastream import BoundedResultSink, GatewayServer, QueryState, WindowResult
 from ..exastream.gateway import RegisteredQuery
@@ -45,7 +46,7 @@ class PreparedQuery:
     """A STARQL query parsed and translated once, reusable many times."""
 
     text: str  # normalized query text — the translation-cache key
-    translation: "TranslationResult"
+    translation: TranslationResult
 
     @property
     def fleet_size(self) -> int:
@@ -61,7 +62,7 @@ class QueryHandle:
 
     def __init__(
         self,
-        session: "Session",
+        session: Session,
         prepared: PreparedQuery,
         registered: RegisteredQuery,
     ) -> None:
@@ -153,7 +154,7 @@ class Session:
         self._handles: dict[str, QueryHandle] = {}
 
     @property
-    def translator(self) -> "STARQLTranslator":
+    def translator(self) -> STARQLTranslator:
         translator = self._translator
         return translator() if callable(translator) else translator
 
@@ -170,6 +171,36 @@ class Session:
         translation = translator.translate_text(starql_text)
         return PreparedQuery(translator.normalize_text(starql_text), translation)
 
+    # -- static analysis -----------------------------------------------------
+
+    def explain(self, query: PreparedQuery | str, name=None):
+        """Static analysis of a query *without* registering it.
+
+        Returns an :class:`~repro.analysis.AnalysisReport` of everything
+        the analyzer can establish against this session's deployment:
+        type errors, unsatisfiable predicates, window-grid behaviour,
+        and the MQO sharing/subsumption predictions relative to the
+        currently registered queries.  Accepts raw STARQL text (also
+        covers syntax/reference errors) or an already-prepared query.
+        """
+        from ..analysis import analyze_plan, analyze_starql
+
+        if isinstance(query, str):
+            return analyze_starql(
+                query, self.translator, gateway=self.gateway, name=name
+            )
+        return analyze_plan(
+            query.translation.plan,
+            self.gateway.engine,
+            gateway=self.gateway,
+            name=name,
+        )
+
+    def lint(self, query: PreparedQuery | str, name=None) -> list:
+        """The diagnostics of :meth:`explain`, most severe first."""
+        report = self.explain(query, name=name)
+        return sorted(report, key=lambda d: -d.severity.rank)
+
     def submit(
         self,
         query: PreparedQuery | str,
@@ -178,6 +209,7 @@ class Session:
         sink_capacity=_INHERIT,
         overflow=_INHERIT,
         shards: int | None = None,
+        strict: bool = False,
     ) -> QueryHandle:
         """Register a prepared query (or raw STARQL text) for execution.
 
@@ -185,7 +217,9 @@ class Session:
         can back many concurrently registered handles.  ``shards=N``
         requests data-parallel execution on a sharded deployment; the
         default inherits the engine's configuration (plain engines run
-        single-shard).
+        single-shard).  ``strict=True`` rejects the query (raising
+        :class:`~repro.analysis.StrictAnalysisError`) when the static
+        analyzer finds error-severity defects.
         """
         if isinstance(query, str):
             query = self.prepare(query)
@@ -201,6 +235,7 @@ class Session:
             sink_policy=overflow,
             window_limit=max_windows,
             shards=shards,
+            strict=strict,
         )
         handle = QueryHandle(self, query, registered)
         self._handles[handle.name] = handle
@@ -236,7 +271,7 @@ class Session:
                 self.gateway.deregister(handle.name)
         self._handles.clear()
 
-    def __enter__(self) -> "Session":
+    def __enter__(self) -> Session:
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -9,7 +9,7 @@ parses such patterns into :class:`~repro.queries.cq.Atom` lists, including
 from __future__ import annotations
 
 import re
-from typing import Iterator
+from collections.abc import Iterator
 
 from ..rdf import IRI, Literal, PrefixMap, Term, Variable, XSD
 from .cq import Atom, ClassAtom, Filter, PropertyAtom

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterator, Mapping, Sequence
+from collections.abc import Callable, Iterator, Mapping, Sequence
 
 from ..rdf import IRI, Literal, Term, Variable
 
@@ -59,7 +59,7 @@ class Atom:
             if isinstance(arg, Variable):
                 yield arg
 
-    def substitute(self, mapping: Mapping[Variable, Term]) -> "Atom":
+    def substitute(self, mapping: Mapping[Variable, Term]) -> Atom:
         """Apply a variable substitution to the atom."""
         return Atom(
             self.predicate,
@@ -106,7 +106,7 @@ class Filter:
         if self.op not in _COMPARATORS:
             raise ValueError(f"unsupported comparison operator {self.op!r}")
 
-    def substitute(self, mapping: Mapping[Variable, Term]) -> "Filter":
+    def substitute(self, mapping: Mapping[Variable, Term]) -> Filter:
         def sub(term: Term) -> Term:
             return mapping.get(term, term) if isinstance(term, Variable) else term
 
@@ -182,7 +182,7 @@ class ConjunctiveQuery:
             counts[var] = counts.get(var, 0) + 1
         return counts
 
-    def substitute(self, mapping: Mapping[Variable, Term]) -> "ConjunctiveQuery":
+    def substitute(self, mapping: Mapping[Variable, Term]) -> ConjunctiveQuery:
         """Apply a substitution to atoms, filters and answer variables.
 
         Substituting an answer variable by a constant is not allowed here
@@ -200,7 +200,7 @@ class ConjunctiveQuery:
             tuple(f.substitute(mapping) for f in self.filters),
         )
 
-    def with_atoms(self, atoms: Sequence[Atom]) -> "ConjunctiveQuery":
+    def with_atoms(self, atoms: Sequence[Atom]) -> ConjunctiveQuery:
         """Copy of the query with its atom list replaced."""
         return replace(self, atoms=tuple(atoms))
 

@@ -8,7 +8,7 @@ graph matching) or through unfolding + SQL.
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping
+from collections.abc import Iterator, Mapping
 
 from ..rdf import RDF, Graph, Term, Variable
 from .cq import Atom, ConjunctiveQuery, UnionOfConjunctiveQueries

@@ -10,7 +10,7 @@ lookup rather than a scan.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from .terms import IRI, Term, Variable
 
@@ -48,7 +48,7 @@ class Graph:
         for triple in triples:
             self.add(triple)
 
-    def add(self, triple: Triple) -> "Graph":
+    def add(self, triple: Triple) -> Graph:
         """Insert ``triple``; duplicates are ignored.  Returns ``self``."""
         if triple in self._triples:
             return self
@@ -71,7 +71,7 @@ class Graph:
         self._pos[p][o].discard(s)
         self._osp[o][s].discard(p)
 
-    def update(self, triples: Iterable[Triple]) -> "Graph":
+    def update(self, triples: Iterable[Triple]) -> Graph:
         """Insert every triple from ``triples``.  Returns ``self``."""
         for triple in triples:
             self.add(triple)
@@ -149,11 +149,11 @@ class Graph:
             return o
         return None
 
-    def copy(self) -> "Graph":
+    def copy(self) -> Graph:
         """A shallow copy (terms are immutable, so this is safe)."""
         return Graph(self._triples)
 
-    def __or__(self, other: "Graph") -> "Graph":
+    def __or__(self, other: Graph) -> Graph:
         merged = self.copy()
         merged.update(other)
         return merged

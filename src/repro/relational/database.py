@@ -11,7 +11,8 @@ its :class:`~repro.relational.schema.Schema`.
 from __future__ import annotations
 
 import sqlite3
-from typing import Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 from .schema import Schema, Table
 
@@ -97,7 +98,7 @@ class Database:
         """Close the underlying connection."""
         self._conn.close()
 
-    def __enter__(self) -> "Database":
+    def __enter__(self) -> Database:
         return self
 
     def __exit__(self, *exc_info: object) -> None:

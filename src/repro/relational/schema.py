@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterator
+from collections.abc import Iterator
 
 __all__ = ["SQLType", "Column", "ForeignKey", "Table", "Schema"]
 
@@ -125,7 +125,7 @@ class Schema:
     name: str
     tables: dict[str, Table] = field(default_factory=dict)
 
-    def add(self, table: Table) -> "Schema":
+    def add(self, table: Table) -> Schema:
         """Register ``table``; raises on duplicate names."""
         if table.name in self.tables:
             raise ValueError(f"duplicate table {table.name!r} in schema {self.name}")

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..ontology import (
     AtomicClass,

@@ -268,7 +268,7 @@ def generate_fleet(config: FleetConfig | None = None) -> SiemensFleet:
     ]
     legacy_db.insert("EQUIP", equip_rows)
     meas_rows = []
-    for i, tid in enumerate(turbine_ids[:legacy_count]):
+    for tid in turbine_ids[:legacy_count]:
         for s in range(4):
             meas_rows.append(
                 (

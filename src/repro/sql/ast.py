@@ -10,7 +10,8 @@ renders it; the EXASTREAM planner compiles it to operator pipelines.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence, Union
+from collections.abc import Sequence
+from typing import Union
 
 __all__ = [
     "Expr",
@@ -171,7 +172,7 @@ class BaseTable(TableExpr):
 class SubSelect(TableExpr):
     """A parenthesised subquery with a mandatory alias."""
 
-    query: "Query"
+    query: Query
     alias: str
 
     @property

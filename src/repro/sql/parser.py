@@ -16,7 +16,7 @@ the subset the system emits and consumes:
 from __future__ import annotations
 
 import re
-from typing import Iterator
+from collections.abc import Iterator
 
 from .ast import (
     BaseTable,

@@ -117,7 +117,7 @@ class Exists:
     """``EXISTS ?k IN SEQ : body``."""
 
     variables: tuple[Variable, ...]
-    body: "HavingExpr"
+    body: HavingExpr
 
 
 @dataclass(frozen=True)
@@ -133,7 +133,7 @@ class Forall:
     index_variables: tuple[Variable, ...]
     index_constraints: tuple[Comparison, ...]
     value_variables: tuple[Variable, ...]
-    body: "HavingExpr"
+    body: HavingExpr
 
 
 @dataclass(frozen=True)
@@ -141,15 +141,15 @@ class BoolOp:
     """AND / OR / NOT over having expressions."""
 
     op: str  # "AND" | "OR" | "NOT"
-    operands: tuple["HavingExpr", ...]
+    operands: tuple[HavingExpr, ...]
 
 
 @dataclass(frozen=True)
 class Implies:
     """``IF premise THEN conclusion``."""
 
-    premise: "HavingExpr"
-    conclusion: "HavingExpr"
+    premise: HavingExpr
+    conclusion: HavingExpr
 
 
 HavingExpr = Union[

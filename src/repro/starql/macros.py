@@ -24,7 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product
-from typing import Any, Callable, Iterable, Iterator, Mapping
+from collections.abc import Callable, Iterable, Iterator, Mapping
+from typing import Any
 
 from ..queries import Atom
 from ..rdf import IRI, Graph, Literal, RDF, Term, Variable

@@ -16,7 +16,7 @@ cross-checked (the tests assert both paths produce identical alerts).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 from ..exastream.engine import StreamEngine
 from ..exastream.operators import Relation, compile_expr
@@ -104,6 +104,11 @@ class ReferenceEvaluator:
         ]
 
         stream_name = query.windows[0].stream
+        if stream_name not in self.engine.stream_names:
+            raise ValueError(
+                f"unknown stream {stream_name!r} in FROM STREAM "
+                f"(registered: {sorted(self.engine.stream_names)})"
+            )
         spec = WindowSpec(
             query.windows[0].range_seconds, query.windows[0].slide_seconds
         )
@@ -159,6 +164,13 @@ class ReferenceEvaluator:
         schema = source.stream.schema
         time_index = schema.time_index
         assertions = self._stream_mappings(stream_name)
+        if not assertions:
+            # An unmapped stream would silently yield empty state graphs
+            # for every window — surface the configuration error instead.
+            raise ValueError(
+                f"stream {stream_name!r} has no stream mappings: no RDF "
+                "state graphs can be built from its tuples"
+            )
         base_relation = Relation(list(schema.column_names), [])
         compiled = []
         for assertion in assertions:

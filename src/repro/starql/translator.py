@@ -22,7 +22,8 @@ from __future__ import annotations
 import itertools
 import re
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from ..exastream.engine import StreamEngine
 from ..exastream.plan import (
@@ -280,6 +281,7 @@ class STARQLTranslator:
         if query.having is not None:
             builder.add_having(query.having)
         plan = builder.build(name or f"starql_{next(_translator_counter)}")
+        plan.source = query.text
 
         constructors = dict(unfolding.disjuncts[0].constructors)
         slots = {}

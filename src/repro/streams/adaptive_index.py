@@ -16,7 +16,8 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Any, Hashable, Iterable
+from collections.abc import Hashable, Iterable
+from typing import Any
 
 __all__ = ["AdaptiveIndexStats", "AdaptiveIndexer", "BatchIndex"]
 
@@ -41,7 +42,7 @@ class BatchIndex:
     @staticmethod
     def build(
         tuples: Iterable[tuple[Any, ...]], column_index: int
-    ) -> "BatchIndex":
+    ) -> BatchIndex:
         buckets: dict[Hashable, list[tuple[Any, ...]]] = defaultdict(list)
         for item in tuples:
             buckets[item[column_index]].append(item)

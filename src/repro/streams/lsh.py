@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -49,7 +49,7 @@ class StreamSignature:
     key: object
     bits: np.ndarray  # uint8 array of 0/1
 
-    def hamming_fraction(self, other: "StreamSignature") -> float:
+    def hamming_fraction(self, other: StreamSignature) -> float:
         if self.bits.shape != other.bits.shape:
             raise ValueError("signatures must have equal bit width")
         return float(np.mean(self.bits != other.bits))

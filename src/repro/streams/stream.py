@@ -8,7 +8,8 @@ here are replayable generators so every experiment is deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Iterator, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from typing import Any
 
 from ..relational import Column
 

@@ -1,0 +1,119 @@
+"""Plan-invariant verifier tests: refcount balance, pane-ring bounds and
+signature-eligibility agreement, checked mid-flight and at teardown."""
+
+import pytest
+
+from cqgen import build_engine
+from repro.analysis import InvariantViolation, verify_gateway, verify_runtime
+from repro.exastream import GatewayServer
+from repro.siemens import deploy, diagnostic_catalog
+
+ROWS = [(float(i), i % 3, float(i) * 1.5) for i in range(20)]
+
+QUERIES = {
+    "agg": (
+        "SELECT s.sid AS sid, COUNT(*) AS n, AVG(s.val) AS a "
+        "FROM timeSlidingWindow(S, 6, 2) AS s GROUP BY s.sid"
+    ),
+    "agg_twin": (
+        "SELECT s.sid AS sid, SUM(s.val) AS total "
+        "FROM timeSlidingWindow(S, 6, 2) AS s GROUP BY s.sid"
+    ),
+    "join": (
+        "SELECT s.sid AS sid, t.kind AS kind "
+        "FROM timeSlidingWindow(S, 6, 2) AS s, sensors AS t "
+        "WHERE s.sid = t.sid"
+    ),
+    "pane_join": (
+        "SELECT a.sid AS sid, a.val AS va, b.val AS vb "
+        "FROM timeSlidingWindow(S, 6, 2) AS a, "
+        "timeSlidingWindow(S, 6, 2) AS b "
+        "WHERE a.sid = b.sid"
+    ),
+}
+
+
+def fresh_gateway():
+    return GatewayServer(build_engine(list(ROWS)))
+
+
+def test_clean_gateway_verifies():
+    verify_gateway(fresh_gateway())
+
+
+@pytest.mark.parametrize("key", sorted(QUERIES))
+def test_single_query_lifecycle(key):
+    gateway = fresh_gateway()
+    gateway.register(QUERIES[key], name=key)
+    verify_gateway(gateway)  # after bind, before any execution
+    while gateway.step(1):
+        verify_gateway(gateway)  # between every window
+    gateway.deregister(key)
+    verify_gateway(gateway)  # quiescent: every refcount back to zero
+
+
+def test_concurrent_queries_with_shared_state():
+    gateway = fresh_gateway()
+    for name, sql in QUERIES.items():
+        gateway.register(sql, name=name)
+    verify_gateway(gateway)
+    gateway.run()
+    verify_gateway(gateway)
+    # staggered teardown exercises the partial-release paths
+    for name in QUERIES:
+        gateway.deregister(name)
+        verify_gateway(gateway)
+
+
+def test_runtime_ring_bounds_direct():
+    gateway = fresh_gateway()
+    registered = gateway.register(QUERIES["pane_join"], name="pj")
+    gateway.step(3)
+    runtime = registered.runtime
+    assert verify_runtime(runtime, "pj") == []
+    gateway.deregister("pj")
+
+
+def test_violation_detected_when_refcounts_corrupted():
+    gateway = fresh_gateway()
+    gateway.register(QUERIES["agg"], name="agg")
+    key = next(iter(gateway._reader_refs))
+    gateway._reader_refs[key] += 1  # simulate a leaked reference
+    with pytest.raises(InvariantViolation) as info:
+        verify_gateway(gateway)
+    assert any("refcount" in v or "reader" in v for v in info.value.violations)
+
+
+def test_violation_detected_on_stale_reader_key():
+    gateway = fresh_gateway()
+    gateway.register(QUERIES["agg"], name="agg")
+    gateway._reader_keys["ghost"] = set(gateway._reader_keys["agg"])
+    with pytest.raises(InvariantViolation):
+        verify_gateway(gateway)
+
+
+def test_audit_mode_runs_checks_inline(monkeypatch):
+    monkeypatch.setenv("REPRO_AUDIT", "1")
+    gateway = fresh_gateway()
+    assert gateway.audit
+    for name, sql in QUERIES.items():
+        gateway.register(sql, name=name)
+    gateway.run()  # audit hooks fire at drain and on every deregister
+    for name in QUERIES:
+        gateway.deregister(name)
+    verify_gateway(gateway)
+
+
+def test_audit_mode_over_siemens_session(monkeypatch):
+    monkeypatch.setenv("REPRO_AUDIT", "1")
+    deployment = deploy(stream_duration=5)
+    assert deployment.gateway.audit
+    session = deployment.session()
+    try:
+        for task in diagnostic_catalog()[:4]:
+            session.submit(task.starql, name=f"t{task.task_id}")
+        session.step(20)
+        verify_gateway(deployment.gateway)
+    finally:
+        session.close()
+    verify_gateway(deployment.gateway)

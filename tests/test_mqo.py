@@ -118,10 +118,8 @@ class TestSignature:
         a = self._sig(variant())
         b = self._sig(
             "SELECT AVG(w.val * 9 / 5 + 32) AS f, COUNT(*) AS n "
-            "FROM timeSlidingWindow(S, {r}, {s}) AS w, sensors AS t "
-            "WHERE w.sid = t.sid AND t.kind = 'temp' AND w.val > 51".format(
-                r=20, s=5
-            )
+            "FROM timeSlidingWindow(S, 20, 5) AS w, sensors AS t "
+            "WHERE w.sid = t.sid AND t.kind = 'temp' AND w.val > 51"
         )
         assert a.relation_key == b.relation_key
         assert a.aggregate_key != b.aggregate_key

@@ -1,0 +1,86 @@
+"""Error paths of the STARQL reference semantics: malformed windows,
+unknown streams, unmapped streams and unknown attributes must fail loudly
+instead of silently producing empty windows."""
+
+import dataclasses
+
+import pytest
+
+from repro.starql import TranslationError, parse_starql
+from repro.starql.ast import WindowClause
+from repro.starql.semantics import ReferenceEvaluator, static_abox_graph
+
+from test_starql import FIG1_QUERY, tiny_deployment
+
+
+def make_evaluator():
+    onto, mc, engine, macros, translator = tiny_deployment()
+    return ReferenceEvaluator(
+        onto, mc, engine, static_abox_graph(onto), macros
+    )
+
+
+def with_window(query, window):
+    return dataclasses.replace(query, windows=(window,))
+
+
+def test_zero_range_window_rejected():
+    evaluator = make_evaluator()
+    query = parse_starql(FIG1_QUERY)
+    bad = with_window(query, WindowClause("S_Msmt", 0.0, 1.0))
+    with pytest.raises(ValueError, match="window range must be positive"):
+        evaluator.evaluate(bad, max_windows=2)
+
+
+def test_negative_slide_window_rejected():
+    evaluator = make_evaluator()
+    query = parse_starql(FIG1_QUERY)
+    bad = with_window(query, WindowClause("S_Msmt", 10.0, -1.0))
+    with pytest.raises(ValueError, match="window slide must be positive"):
+        evaluator.evaluate(bad, max_windows=2)
+
+
+def test_unknown_stream_rejected():
+    evaluator = make_evaluator()
+    query = parse_starql(FIG1_QUERY)
+    bad = with_window(query, WindowClause("S_Nope", 10.0, 1.0))
+    with pytest.raises(ValueError, match="unknown stream 'S_Nope'"):
+        evaluator.evaluate(bad, max_windows=2)
+
+
+def test_unknown_stream_message_lists_registered_streams():
+    evaluator = make_evaluator()
+    query = parse_starql(FIG1_QUERY)
+    bad = with_window(query, WindowClause("S_Nope", 10.0, 1.0))
+    with pytest.raises(ValueError, match="S_Msmt"):
+        evaluator.evaluate(bad, max_windows=2)
+
+
+def test_unmapped_stream_rejected():
+    onto, mc, engine, macros, translator = tiny_deployment()
+    # a registered stream with tuples but no stream mappings: state
+    # graphs cannot be built from it, which must not pass silently
+    from repro.relational import Column, SQLType
+    from repro.streams import ListSource, Stream, StreamSchema
+
+    orphan_schema = StreamSchema(
+        (Column("ts", SQLType.REAL), Column("val", SQLType.REAL)),
+        time_column="ts",
+    )
+    engine.register_stream(
+        ListSource(Stream("S_Orphan", orphan_schema), [(0.0, 1.0)])
+    )
+    evaluator = ReferenceEvaluator(
+        onto, mc, engine, static_abox_graph(onto), macros
+    )
+    query = parse_starql(FIG1_QUERY)
+    bad = with_window(query, WindowClause("S_Orphan", 10.0, 1.0))
+    with pytest.raises(ValueError, match="no stream mappings"):
+        evaluator.evaluate(bad, max_windows=2)
+
+
+def test_unknown_attribute_fails_translation():
+    onto, mc, engine, macros, translator = tiny_deployment()
+    bad = FIG1_QUERY.replace("sie:hasValue", "sie:noSuchAttribute")
+    with pytest.raises(TranslationError):
+        translator.translate_text(bad)

@@ -86,7 +86,7 @@ class TestGenerator:
         a, b = small_fleet.correlated[0]
         source = small_fleet.measurement_source([a, b], duration_seconds=30)
         series = {a: [], b: []}
-        for ts, sid, val, _ in source:
+        for _ts, sid, val, _ in source:
             series[sid].append(val)
         assert exact_pearson(series[a], series[b]) > 0.95
 
