@@ -46,14 +46,15 @@ bench:
 	$(PY) -m pytest benchmarks/bench_*.py -q
 
 # The CI benchmark job: session-poll + sharded-engine + incremental +
-# MQO + pane-join benches on tiny workloads, with machine-readable
-# results for the workflow artifact.
+# MQO + pane-join + event-bus fan-out benches on tiny workloads, with
+# machine-readable results for the workflow artifact.
 bench-smoke:
 	$(PY) -m pytest benchmarks/bench_session_poll.py \
 		benchmarks/bench_sharded_engine.py \
 		benchmarks/bench_incremental.py \
 		benchmarks/bench_mqo.py \
 		benchmarks/bench_join.py \
+		benchmarks/bench_fanout.py \
 		-q --smoke --benchmark-json=bench-results.json
 
 # Gate a fresh bench run against a baseline: fails on >20% regression of

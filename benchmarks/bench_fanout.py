@@ -1,0 +1,215 @@
+"""Event-bus fan-out: 1k+ await-able subscribers vs 1k polled queries.
+
+The paper's deployment serves many concurrent dashboard sessions per
+diagnostic task.  Before the event bus, every dashboard needed its own
+registered query polled to completion — N viewers of one task cost N
+window executions per window plus N poll cycles.  With the bus, the
+task is registered (and executed) once and each viewer holds a bounded
+subscription over the query's topic: ``async for result in
+handle.stream()`` — fan-out is a queue append, not a query execution.
+
+The workload registers ``QUERIES`` diagnostic variants (identical MQO
+prefix, different HAVING thresholds) and delivers every window result
+to ``subscribers`` consumers two ways:
+
+* **eventbus** — the variants are registered once each; subscribers are
+  spread across them as bus subscriptions, all driven by one
+  ``serve()`` task on the event loop;
+* **polled**  — the old surface: one registered query *per subscriber*
+  (MQO still shares the pipeline prefix — the baseline is the best the
+  pull API could do), stepped and polled to exhaustion.
+
+Throughput is delivered results per second, measured after
+registration.  The acceptance gate asserts >= 10x at 1000 subscribers;
+``--smoke`` shrinks to 120 subscribers, relaxes the gate, and checks
+byte-identical delivery (content and per-query order) plus event-bus
+bookkeeping instead of real-hardware ratios.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.analysis import verify_gateway
+from repro.exastream import GatewayServer, Stopwatch, StreamEngine
+from repro.relational import Column, SQLType
+from repro.streams import ListSource, Stream, StreamSchema
+
+QUERIES = 4  # distinct variants actually registered on the eventbus side
+GATE_FULL = 10.0  # delivered-results/s, eventbus over polled, full workload
+GATE_SMOKE = 2.0
+
+SCHEMA = StreamSchema(
+    (
+        Column("ts", SQLType.REAL),
+        Column("sid", SQLType.INTEGER),
+        Column("val", SQLType.REAL),
+    ),
+    time_column="ts",
+)
+
+SQL = (
+    "SELECT w.sid AS s, AVG(w.val) AS m, COUNT(*) AS n "
+    "FROM timeSlidingWindow(S, 20, 5) AS w "
+    "WHERE w.val > 50 GROUP BY w.sid "
+    "HAVING AVG(w.val) > {threshold}"
+)
+
+
+def _workload(smoke: bool):
+    if smoke:
+        return dict(n_seconds=60, hz=2, n_sensors=6, subscribers=120)
+    return dict(n_seconds=120, hz=2, n_sensors=12, subscribers=1000)
+
+
+def _rows(n_seconds: int, hz: int, n_sensors: int):
+    return [
+        (t / float(hz), s, 50.0 + ((t * 7 + s * 13) % 23) + 0.1234)
+        for t in range(n_seconds * hz)
+        for s in range(n_sensors)
+    ]
+
+
+def _gateway(rows) -> GatewayServer:
+    engine = StreamEngine(mqo=True)
+    engine.register_stream(ListSource(Stream("S", SCHEMA), rows))
+    return GatewayServer(engine)
+
+
+def _register(gateway: GatewayServer, name: str, variant: int, capacity):
+    return gateway.register(
+        SQL.format(threshold=51 + variant),
+        name=name,
+        sink_capacity=capacity,
+    )
+
+
+def _canon(results):
+    return [
+        (r.window_id, r.window_end, tuple(r.columns), tuple(r.rows))
+        for r in results
+    ]
+
+
+def _run_polled(rows, subscribers: int):
+    """One registered query per subscriber, stepped and polled."""
+    gateway = _gateway(rows)
+    handles = [
+        _register(gateway, f"p{i}", i % QUERIES, capacity=None)
+        for i in range(subscribers)
+    ]
+    watch = Stopwatch()
+    delivered = 0
+    # handles[0..QUERIES-1] cover each variant once: the equality sample
+    sample = [[] for _ in range(QUERIES)]
+    while True:
+        progressed = gateway.step()
+        for index, handle in enumerate(handles):
+            batch = handle.poll()
+            delivered += len(batch)
+            if index < QUERIES:
+                sample[index].extend(batch)
+        if not progressed:
+            break
+    seconds = watch.elapsed()
+    return delivered, seconds, [_canon(s) for s in sample], gateway
+
+
+def _run_eventbus(rows, subscribers: int):
+    """QUERIES registered once; subscribers fan out over bus topics."""
+    gateway = _gateway(rows)
+    registered = [
+        # unbounded sinks: stream(capacity=None) inherits this, so every
+        # subscription keeps all results (the equality check needs them)
+        _register(gateway, f"q{v}", v, capacity=None)
+        for v in range(QUERIES)
+    ]
+    per_query = subscribers // QUERIES
+
+    async def main():
+        delivered = 0
+        sample = [None] * QUERIES
+        consumers = []
+
+        async def consume(variant, keep, subscription):
+            nonlocal delivered
+            kept = [] if keep else None
+            async for result in subscription:
+                delivered += 1
+                if kept is not None:
+                    kept.append(result)
+            if kept is not None:
+                sample[variant] = kept
+
+        for variant, query in enumerate(registered):
+            for j in range(per_query):
+                # subscribe *before* serving: no pulse precedes anyone
+                subscription = query.stream(capacity=None)
+                consumers.append(
+                    asyncio.create_task(
+                        consume(variant, j == 0, subscription)
+                    )
+                )
+        watch = Stopwatch()
+        await gateway.serve()
+        await asyncio.gather(*consumers)
+        return delivered, watch.elapsed(), sample
+
+    delivered, seconds, sample = asyncio.run(main())
+    return delivered, seconds, [_canon(s) for s in sample], gateway
+
+
+@pytest.mark.parametrize("mode", ("eventbus", "polled"))
+def test_fanout_delivery(benchmark, smoke, mode):
+    """Tracked medians for the bench artifact: one entry per mode."""
+    workload = _workload(smoke)
+    rows = _rows(workload["n_seconds"], workload["hz"], workload["n_sensors"])
+    subscribers = workload["subscribers"]
+    run = _run_eventbus if mode == "eventbus" else _run_polled
+
+    def once():
+        return run(rows, subscribers)
+
+    delivered, seconds, _, _ = benchmark.pedantic(once, rounds=1, iterations=1)
+    results_per_second = delivered / seconds if seconds else 0.0
+    benchmark.extra_info["delivered_results_per_second"] = results_per_second
+    benchmark.extra_info["subscribers"] = subscribers
+    print(
+        f"\n{mode} subscribers={subscribers}: {delivered} results "
+        f"delivered, {results_per_second:,.0f} results/s"
+    )
+    assert delivered > 0
+
+
+def test_fanout_speedup_over_polled(smoke):
+    """The acceptance gate: >= 10x delivered-result throughput for 1k
+    bus subscribers over 1k independent polled queries, byte-identical
+    delivery, and clean bus bookkeeping."""
+    workload = _workload(smoke)
+    rows = _rows(workload["n_seconds"], workload["hz"], workload["n_sensors"])
+    subscribers = workload["subscribers"]
+
+    ev_delivered, ev_seconds, ev_sample, ev_gateway = _run_eventbus(
+        rows, subscribers
+    )
+    po_delivered, po_seconds, po_sample, _ = _run_polled(rows, subscribers)
+
+    # identical delivery: same results, same per-query order, both ways
+    assert ev_sample == po_sample, "event-bus delivery diverged from polling"
+    assert ev_delivered == po_delivered > 0
+
+    # bookkeeping: every topic released, all subscribers were counted
+    assert ev_gateway.bus.topics == {}
+    assert ev_gateway.bus.metrics.peak_subscribers == subscribers
+    assert ev_gateway.bus.metrics.results_dropped == 0
+    verify_gateway(ev_gateway)
+
+    ev_rate = ev_delivered / ev_seconds if ev_seconds else 0.0
+    po_rate = po_delivered / po_seconds if po_seconds else 0.0
+    speedup = ev_rate / po_rate if po_rate else 0.0
+    print(
+        f"\nsubscribers {subscribers}: polled {po_rate:,.0f} results/s "
+        f"({po_seconds:.3f}s), eventbus {ev_rate:,.0f} results/s "
+        f"({ev_seconds:.3f}s), {speedup:.1f}x"
+    )
+    assert speedup >= (GATE_SMOKE if smoke else GATE_FULL), speedup

@@ -97,7 +97,8 @@ def _run(rows, n_sensors: int, n_tasks: int, mqo: bool):
         for i in range(n_tasks)
     ]
     watch = Stopwatch()
-    gateway.run()
+    while gateway.step():
+        pass
     seconds = watch.elapsed()
     results = [
         [

@@ -167,7 +167,8 @@ def test_sharded_gateway_path(smoke):
         engine.register_stream(ListSource(stream, rows))
         gateway = GatewayServer(engine)
         query = gateway.register(sql, name="agg", **kw)
-        gateway.run()
+        while gateway.step():
+            pass
         out = [(r.window_id, r.window_end, r.rows) for r in query.results()]
         gateway.deregister("agg")
         return out

@@ -1,0 +1,109 @@
+"""Async dashboard: await-able result fan-out over the event bus.
+
+One asyncio task drives the whole deployment (``AsyncSession.serve``)
+while many independent dashboard consumers — each just an ``async for``
+over its own bounded subscription — receive every window result as it
+is produced.  Idle consumers cost nothing between results: there is no
+poll cycle, the serve loop parks on the bus when nothing is runnable.
+
+The example registers two diagnostic tasks
+(monotonic-increase and Pearson-correlation) and attaches three
+consumers with different delivery contracts:
+
+* an *alert log* over the monotonic-increase task (``block`` policy:
+  the producer defers that query's next window rather than drop);
+* a *live gauge* over the same task that only ever wants the most
+  recent reading (``drop_oldest`` with capacity 1);
+* a *correlation counter* over the Pearson-correlation task.
+
+Run:  python examples/async_dashboard.py
+"""
+
+import asyncio
+
+from repro.exastream import BoundedResultSink
+from repro.siemens import FleetConfig, deploy, diagnostic_catalog, generate_fleet
+
+
+async def alert_log(handle, out: list) -> None:
+    """Every window, in order, no drops: block-policy subscription.
+
+    The consumer is deliberately slower than the producer — the serve
+    loop defers only this query's next window until the queue drains.
+    """
+    async for result in handle.stream(
+        capacity=2, policy=BoundedResultSink.BLOCK
+    ):
+        out.append((result.window_id, len(result.rows)))
+        await asyncio.sleep(0.003)  # render...
+
+
+async def live_gauge(handle) -> tuple[int, int]:
+    """Only the freshest window matters: capacity-1 drop_oldest.
+
+    Equally slow, but this consumer asked the bus to evict stale
+    frames instead of slowing anyone down.
+    """
+    seen = last = 0
+    async for result in handle.stream(
+        capacity=1, policy=BoundedResultSink.DROP_OLDEST
+    ):
+        seen += 1
+        last = result.window_id
+        await asyncio.sleep(0.003)
+    return seen, last
+
+
+async def correlation_counter(handle) -> int:
+    pairs = 0
+    async for result in handle.stream():
+        pairs += len(result.rows)
+    return pairs
+
+
+async def main() -> None:
+    fleet = generate_fleet(FleetConfig(turbines=3, plants=2))
+    deployment = deploy(fleet=fleet, stream_duration=20)
+    catalog = diagnostic_catalog()
+
+    async with deployment.async_session(sink_capacity=32) as session:
+        monotonic = session.submit(catalog[0].starql, name="monotonic")
+        correlation = session.submit(catalog[4].starql, name="correlation")
+
+        alerts: list[tuple[int, int]] = []
+        consumers = [
+            asyncio.create_task(alert_log(monotonic, alerts)),
+            asyncio.create_task(live_gauge(monotonic)),
+            asyncio.create_task(correlation_counter(correlation)),
+        ]
+        await asyncio.sleep(0)  # consumers subscribe before the first pulse
+
+        executed = await session.serve()
+        _, (gauge_seen, gauge_last), pairs = await asyncio.gather(*consumers)
+        handle_count = len(session.handles)
+
+    print(f"served {executed} window executions across "
+          f"{handle_count} handles (session closed on exit)")
+    print(f"alert log   : {len(alerts)} windows, in order, no drops")
+    print(f"live gauge  : rendered {gauge_seen} frames, "
+          f"last window {gauge_last}")
+    print(f"correlation : {pairs} correlated sensor-pair rows")
+
+    windows = monotonic.windows_executed
+    assert [w for w, _ in alerts] == list(range(windows)), \
+        "block-policy consumer must see every window in order"
+    assert gauge_last == windows - 1, "gauge must end on the last window"
+    assert gauge_seen <= windows, "capacity-1 gauge may skip stale frames"
+    bus = deployment.gateway.bus
+    assert bus.metrics.backpressure_deferrals > 0, \
+        "the slow block-policy consumer must have deferred the producer"
+    assert bus.topics == {}, "all topics released once consumers finished"
+    print(f"bus metrics : {bus.metrics.results_published} published, "
+          f"fanout x{bus.metrics.fanout:.1f}, "
+          f"{bus.metrics.results_dropped} dropped (gauge), "
+          f"{bus.metrics.backpressure_deferrals} deferrals (alert log)")
+    print("\nOK: one serving task, three consumers, three delivery contracts.")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

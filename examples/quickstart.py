@@ -67,7 +67,7 @@ def main() -> None:
             alerted.add(str(subject).rsplit("/", 1)[-1])
     for subject, _, _ in handle.alerts():  # drain the tail
         alerted.add(str(subject).rsplit("/", 1)[-1])
-    print(f"handle {handle.name!r} finished as {handle.status().name} "
+    print(f"handle {handle.name!r} finished as {handle.state.name} "
           f"after {handle.windows_executed} windows")
     print(f"alerts raised for sensors: {sorted(alerted)}")
     print(f"injected ramp sensor     : {fleet.ramp_sensors[0]}")

@@ -52,7 +52,7 @@ def main() -> None:
         pass  # handles progress round-robin; panels update per result
     seconds = time.perf_counter() - started
     print(dashboard.render())
-    states = {h.name: h.status().name for h in session.handles}
+    states = {h.name: h.state.name for h in session.handles}
     print(f"\nhandle states: {states}")
     metrics = deployment.engine.metrics
     stats = deployment.engine.cache.stats

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from ..errors import ReproError
+
 __all__ = [
     "Severity",
     "SourceSpan",
@@ -153,8 +155,12 @@ class AnalysisReport:
         return "\n".join(d.render(self.query) for d in ordered)
 
 
-class StrictAnalysisError(ValueError):
-    """Raised by strict registration when analysis finds errors."""
+class StrictAnalysisError(ReproError, ValueError):
+    """Raised by strict registration when analysis finds errors.
+
+    Part of the :mod:`repro.errors` family (also re-exported there);
+    keeps its historical ``ValueError`` base for existing guards.
+    """
 
     def __init__(self, report: AnalysisReport) -> None:
         self.report = report

@@ -24,13 +24,14 @@ randomized query corpus under it.
 
 from __future__ import annotations
 
+from ..errors import ReproError
 from ..exastream.mqo.signature import plan_signature
 from ..streams.window import pane_plan
 
 __all__ = ["InvariantViolation", "verify_runtime", "verify_gateway"]
 
 
-class InvariantViolation(AssertionError):
+class InvariantViolation(ReproError, AssertionError):
     """One or more engine invariants do not hold."""
 
     def __init__(self, violations: list[str]) -> None:
@@ -207,6 +208,44 @@ def verify_gateway(gateway) -> None:
                     f"query {name!r} carries an MQO binding but the "
                     "registry has no subscriptions for it"
                 )
+
+    # -- event-bus bookkeeping ----------------------------------------------
+    bus = getattr(gateway, "bus", None)
+    if bus is not None:
+        for name, topic in bus.topics.items():
+            live = [s for s in topic.subscriptions if not s.closed]
+            if topic.refcount != len(live):
+                violations.append(
+                    f"topic {name!r} refcount {topic.refcount} does not "
+                    f"match its {len(live)} live subscriber(s)"
+                )
+            if topic.refcount == 0:
+                violations.append(
+                    f"topic {name!r} has zero subscribers but was not "
+                    "dropped from the bus"
+                )
+            if name not in queries and not topic.finished:
+                violations.append(
+                    f"topic {name!r} has no registered query but was "
+                    "never finished: its subscribers would await forever"
+                )
+            for subscription in topic.subscriptions:
+                capacity = subscription.capacity
+                if capacity is not None and len(subscription) > capacity:
+                    violations.append(
+                        f"a subscription on topic {name!r} holds "
+                        f"{len(subscription)} results over its bound of "
+                        f"{capacity}"
+                    )
+        for name, registered in queries.items():
+            if registered.state.is_terminal:
+                topic = bus.topic(name)
+                if topic is not None and not topic.finished:
+                    violations.append(
+                        f"query {name!r} is terminal but its topic was "
+                        "not finished (terminal transition fired twice "
+                        "or not at all?)"
+                    )
 
     # -- scheduler bookkeeping ----------------------------------------------
     scheduler = gateway.scheduler

@@ -1,0 +1,80 @@
+"""The public exception hierarchy of the repro platform.
+
+Every error the platform raises on purpose derives from
+:class:`ReproError`, so callers embedding the engine can guard one
+family instead of a grab-bag of builtins::
+
+    try:
+        session.handle("fig1").poll()
+    except repro.errors.ReproError:
+        ...
+
+Concrete classes keep their historical builtin bases (``KeyError``,
+``ValueError``) so existing ``except`` clauses continue to work:
+
+* :class:`QueryNotFound` — a query name is not registered (gateway
+  ``deregister``/``query``, session ``handle``); also a ``KeyError``;
+* :class:`SinkOverflow` — a result had to be refused by a bounded
+  delivery channel that cannot block (an event-bus subscription whose
+  ``block``-policy queue is force-offered); also a ``RuntimeError``;
+* :class:`~repro.analysis.StrictAnalysisError` — strict registration
+  rejected a query on error-severity static findings; defined in
+  ``repro.analysis`` (it carries the analysis report) but re-parented
+  under :class:`ReproError` and re-exported here;
+* :class:`~repro.analysis.InvariantViolation` — the audit-mode
+  verifier found engine invariants broken; re-exported here.
+
+This module is a dependency leaf: it imports nothing from the rest of
+the package, so any layer may raise from it.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "QueryNotFound",
+    "SinkOverflow",
+    "StrictAnalysisError",
+    "InvariantViolation",
+]
+
+
+class ReproError(Exception):
+    """Base class of every intentional platform error."""
+
+
+class QueryNotFound(ReproError, KeyError):
+    """A query name is not (or no longer) registered.
+
+    Subclasses ``KeyError`` for compatibility with callers that guarded
+    the old bare-``KeyError`` behaviour of ``GatewayServer.deregister``
+    and ``Session.handle``.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"query {name!r} is not registered")
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s its arg
+        return self.args[0]
+
+
+class SinkOverflow(ReproError, RuntimeError):
+    """A bounded delivery channel refused a result it could not buffer.
+
+    Raised when a ``block``-policy subscription is offered a result
+    while full from a context that cannot await (the producer's
+    contract is to check ``would_block()`` first and defer the window
+    instead); never raised by ``drop_oldest`` channels, which evict.
+    """
+
+
+def __getattr__(name: str):
+    # StrictAnalysisError / InvariantViolation live in repro.analysis
+    # (they carry analysis-layer state); re-export lazily to keep this
+    # module import-cycle free.
+    if name in ("StrictAnalysisError", "InvariantViolation"):
+        from . import analysis
+
+        return getattr(analysis, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -7,25 +7,43 @@ planned) or ready :class:`~repro.exastream.plan.ContinuousPlan` objects,
 keeps the catalog of registered continuous queries, and drives them over
 *shared* window readers so the wCache benefits apply across queries.
 
-Execution is **cooperative and re-entrant**: :meth:`GatewayServer.step`
-advances every runnable query by up to ``n_windows`` windows round-robin
-and returns, so many client sessions can interleave execution without any
-one call blocking to exhaustion.  Each query owns an explicit lifecycle
-(``REGISTERED → RUNNING → PAUSED/CANCELLED/COMPLETED``) and a bounded
-:class:`~repro.exastream.engine.BoundedResultSink` for incremental result
-delivery.  The batch :meth:`GatewayServer.run` survives as a thin
-compatibility wrapper (``step()`` in a loop).
+Two executors drive the same registered queries:
+
+* :meth:`GatewayServer.step` — cooperative and re-entrant: advances
+  every runnable query by up to ``n_windows`` windows round-robin and
+  returns, so many client sessions can interleave execution without any
+  one call blocking to exhaustion.  This is the synchronous oracle the
+  async path is differentially tested against.
+* :meth:`GatewayServer.serve` — the asyncio event-bus runtime: the same
+  round-robin pulse loop driven off an event loop, publishing each
+  completed window to the query's :class:`~repro.exastream.bus.Topic`
+  so await-able subscribers (``async for result in handle``) are fanned
+  out to without polling.  Idle subscribers cost nothing; a full
+  ``block``-policy subscriber defers only its own query's next window,
+  exactly like a full ``BLOCK`` sink does under ``step()``.
+
+Each query owns an explicit lifecycle (``REGISTERED → RUNNING →
+PAUSED/CANCELLED/COMPLETED``) whose terminal transition fires exactly
+once (closing the query's topic), and a bounded
+:class:`~repro.exastream.engine.BoundedResultSink` for incremental pull
+delivery.  The batch :meth:`GatewayServer.run` is deprecated in favour
+of ``step()``/``serve()`` and survives as a thin compatibility wrapper
+(``step()`` in a loop).
 """
 
 from __future__ import annotations
 
+import asyncio
 import itertools
 import os
+import warnings
 from dataclasses import dataclass, field
 from enum import Enum
 from collections.abc import Callable
 
+from ..errors import QueryNotFound
 from ..streams import SharedWindowReader
+from .bus import EventBus, Subscription
 from .engine import BoundedResultSink, PlanRuntime, StreamEngine, WindowResult
 from .metrics import Stopwatch
 from .mqo import SharedPipelineRegistry, plan_signature
@@ -76,6 +94,9 @@ class RegisteredQuery:
     #: advisory registration-time diagnostics (sharing predictions,
     #: filter-subsumption opportunities); never consulted by execution
     diagnostics: list = field(default_factory=list)
+    #: the owning gateway's event bus (push-side delivery); set at
+    #: registration, ``None`` only for hand-built instances
+    bus: EventBus | None = field(default=None, repr=False)
 
     @property
     def active(self) -> bool:
@@ -100,14 +121,57 @@ class RegisteredQuery:
         if callback not in self.subscribers:
             self.subscribers.append(callback)
 
+    def stream(
+        self,
+        capacity: int | None = None,
+        policy: str | None = None,
+    ) -> Subscription:
+        """Open an await-able subscription to this query's results.
+
+        Returns a :class:`~repro.exastream.bus.Subscription` — iterate
+        with ``async for result in query.stream()``; iteration ends once
+        the query reaches a terminal state and the queue drains.
+        ``capacity``/``policy`` default to this query's sink
+        configuration, so a ``block``-policy query back-pressures the
+        async executor exactly as it back-pressures ``step()``.
+        """
+        if self.bus is None:
+            raise RuntimeError(
+                f"query {self.name!r} is not attached to an event bus"
+            )
+        subscription = self.bus.subscribe(
+            self.name,
+            capacity=self.sink.capacity if capacity is None else capacity,
+            policy=self.sink.policy if policy is None else policy,
+        )
+        if self.state.is_terminal:
+            # nothing will ever be published; end iteration immediately
+            self.bus.finish(self.name)
+        return subscription
+
     # -- lifecycle ----------------------------------------------------------
+
+    def _set_state(self, state: QueryState) -> bool:
+        """Transition (terminal states win exactly once; re-entrant safe).
+
+        A subscriber callback running inside :meth:`_deliver` may cancel
+        this query (or close its whole session) mid-delivery; the first
+        terminal transition sticks, fires the topic ``finish`` exactly
+        once, and every later transition attempt is a no-op.
+        """
+        if self.state.is_terminal:
+            return False
+        self.state = state
+        if state.is_terminal and self.bus is not None:
+            self.bus.finish(self.name)
+        return True
 
     def pause(self) -> None:
         if self.state.is_terminal:
             raise ValueError(
                 f"cannot pause {self.name!r}: already {self.state.value}"
             )
-        self.state = QueryState.PAUSED
+        self._set_state(QueryState.PAUSED)
 
     def resume(self) -> None:
         if self.state.is_terminal:
@@ -115,12 +179,13 @@ class RegisteredQuery:
                 f"cannot resume {self.name!r}: already {self.state.value}"
             )
         if self.state is QueryState.PAUSED:
-            self.state = QueryState.RUNNING
+            self._set_state(QueryState.RUNNING)
+            if self.bus is not None:
+                self.bus.wake()  # a parked serve() loop has work again
 
     def cancel(self) -> None:
         """Terminal: the executor will never touch this query again."""
-        if not self.state.is_terminal:
-            self.state = QueryState.CANCELLED
+        self._set_state(QueryState.CANCELLED)
 
     def _deliver(
         self,
@@ -132,6 +197,8 @@ class RegisteredQuery:
             callback(result)
         if on_result is not None:
             on_result(result)
+        if self.bus is not None:
+            self.bus.publish(self.name, result)
 
 
 class GatewayServer:
@@ -152,6 +219,11 @@ class GatewayServer:
     def __init__(self, engine: StreamEngine, scheduler: Scheduler | None = None):
         self.engine = engine
         self.scheduler = scheduler
+        #: push-side delivery: per-query topics with await-able,
+        #: individually bounded subscriber queues (``serve()`` publishes
+        #: and ``step()`` publishes too, so either executor feeds
+        #: ``async for`` consumers)
+        self.bus = EventBus()
         self._queries: dict[str, RegisteredQuery] = {}
         self._shared_readers: dict[str, SharedWindowReader] = {}
         self._reader_keys: dict[str, set[str]] = {}
@@ -258,8 +330,10 @@ class GatewayServer:
             sink=BoundedResultSink(sink_capacity, sink_policy),
             window_limit=window_limit,
             diagnostics=diagnostics,
+            bus=self.bus,
         )
         self._queries[name] = registered
+        self.bus.wake()  # a parked serve() loop has new work
         keys = {
             StreamEngine.shared_reader_key(ref, plan) for ref in plan.windows
         }
@@ -331,11 +405,12 @@ class GatewayServer:
     def deregister(self, name: str) -> None:
         """Remove a query from the catalog.
 
-        Raises :class:`KeyError` for unknown names, and releases each
-        shared window reader once its last query is gone.
+        Raises :class:`~repro.errors.QueryNotFound` (a ``KeyError``) for
+        unknown names, and releases each shared window reader once its
+        last query is gone.
         """
         if name not in self._queries:
-            raise KeyError(f"query {name!r} is not registered")
+            raise QueryNotFound(name)
         registered = self._queries.pop(name)
         registered.cancel()
         release_demand = getattr(registered.runtime, "release_demand", None)
@@ -364,7 +439,10 @@ class GatewayServer:
             self._verify()
 
     def query(self, name: str) -> RegisteredQuery:
-        return self._queries[name]
+        try:
+            return self._queries[name]
+        except KeyError:
+            raise QueryNotFound(name) from None
 
     def __contains__(self, name: str) -> bool:
         return name in self._queries
@@ -378,6 +456,66 @@ class GatewayServer:
         return len(self._shared_readers)
 
     # -- execution ------------------------------------------------------------------
+
+    #: outcomes of one pulse attempt on one query
+    _EXECUTED = "executed"
+    _BLOCKED = "blocked"  # waiting on a consumer (sink or subscriber)
+    _IDLE = "idle"
+
+    def _pulse_query(
+        self,
+        registered: RegisteredQuery,
+        on_result: Callable[[WindowResult], None] | None,
+        window_limit: int | None,
+    ) -> str:
+        """Advance one query by at most one window.
+
+        The single pulse path both executors share: ``step()`` and
+        ``serve()`` differ only in how they loop over it, so the async
+        runtime's delivery is byte-identical (content and per-query
+        order) to the cooperative oracle by construction.  Delivery
+        happens *before* the terminal transition, so the final limited
+        window still reaches every subscriber queue of a topic that
+        ``finish()`` is about to close.
+        """
+        if not registered.active:
+            return self._IDLE
+        limit = registered.window_limit
+        if limit is not None and registered.next_window >= limit:
+            registered._set_state(QueryState.COMPLETED)
+            return self._IDLE
+        if (
+            window_limit is not None
+            and registered.next_window >= window_limit
+        ):
+            return self._IDLE
+        if registered.sink.would_block():
+            return self._BLOCKED
+        if self.bus.would_block(registered.name):
+            self.bus.metrics.backpressure_deferrals += 1
+            return self._BLOCKED
+        registered._set_state(QueryState.RUNNING)
+        watch = Stopwatch() if self.scheduler is not None else None
+        result = registered.runtime.execute_window(registered.next_window)
+        if watch is not None:
+            # pulse accounting: fold the observed per-window cost into
+            # the scheduler's tracked load for this query's placements
+            self.scheduler.observe(
+                registered.name,
+                seconds=watch.elapsed(),
+                tuples=len(result.rows) if result is not None else 0,
+            )
+        if result is None:
+            registered._set_state(QueryState.COMPLETED)
+            return self._IDLE
+        registered.next_window += 1
+        registered._deliver(result, on_result)
+        # completing on the last limited window (not one visit later)
+        # keeps the state accurate the moment work is done; a no-op if a
+        # subscriber callback already cancelled the query mid-delivery
+        if limit is not None and registered.next_window >= limit:
+            registered._set_state(QueryState.COMPLETED)
+        return self._EXECUTED
 
     def step(
         self,
@@ -393,9 +531,10 @@ class GatewayServer:
         also keeps all readers near the cache frontier, so shared windows
         are materialised exactly once.  The call is re-entrant — clients
         alternate ``step()`` with ``poll()`` — and never blocks to
-        exhaustion.  Queries whose ``BLOCK``-policy sink is full are
-        skipped until a consumer drains them.  ``window_limit`` is a
-        per-call cap on window ids (queries beyond it stay runnable).
+        exhaustion.  Queries whose ``BLOCK``-policy sink (or any
+        ``block``-policy bus subscriber) is full are skipped until a
+        consumer drains them.  ``window_limit`` is a per-call cap on
+        window ids (queries beyond it stay runnable).
 
         Returns the number of window executions performed; ``0`` means no
         query could make progress.
@@ -404,40 +543,71 @@ class GatewayServer:
         for _ in range(n_windows):
             progressed = False
             for registered in list(self._queries.values()):
-                if not registered.active:
-                    continue
-                limit = registered.window_limit
-                if limit is not None and registered.next_window >= limit:
-                    registered.state = QueryState.COMPLETED
-                    continue
-                if (
-                    window_limit is not None
-                    and registered.next_window >= window_limit
-                ):
-                    continue
-                if registered.sink.would_block():
-                    continue
-                result = registered.runtime.execute_window(
-                    registered.next_window
+                outcome = self._pulse_query(
+                    registered, on_result, window_limit
                 )
-                if result is None:
-                    registered.state = QueryState.COMPLETED
-                    continue
-                registered.next_window += 1
-                # completing on the last limited window (not one visit
-                # later) keeps status() accurate the moment work is done
-                if limit is not None and registered.next_window >= limit:
-                    registered.state = QueryState.COMPLETED
-                else:
-                    registered.state = QueryState.RUNNING
-                registered._deliver(result, on_result)
-                progressed = True
-                executed += 1
+                if outcome == self._EXECUTED:
+                    progressed = True
+                    executed += 1
             if not progressed:
                 break
         if self.audit and executed == 0:
             self._verify()  # quiescent points are where refcounts settle
         return executed
+
+    async def serve(
+        self,
+        window_limit: int | None = None,
+        on_result: Callable[[WindowResult], None] | None = None,
+        stop_when_idle: bool = True,
+        drain_poll: float = 0.05,
+    ) -> int:
+        """Drive pulses off the event loop, publishing to the bus.
+
+        The asyncio runtime: the same round-robin pulse loop as
+        :meth:`step`, yielding to the loop after every executed window
+        so ``async for`` subscribers consume concurrently.  A query
+        whose ``block``-policy subscriber (or ``BLOCK`` sink) is full is
+        deferred — only that query waits, everything else keeps pulsing —
+        and the loop parks on the bus until a consumer drains
+        (``drain_poll`` caps the park so pull-side ``poll()`` drains,
+        which have no wake channel, are noticed too).
+
+        With ``stop_when_idle`` (default) the call returns once no query
+        can make progress and none is waiting on a consumer — mirroring
+        ``step()`` returning 0.  ``stop_when_idle=False`` keeps serving:
+        the loop parks when idle and wakes on ``register()`` or
+        ``resume()``, which is how a long-lived deployment runs; cancel
+        the task to stop it.
+
+        Returns the number of window executions performed.
+        """
+        executed_total = 0
+        while True:
+            progressed = False
+            blocked = False
+            for registered in list(self._queries.values()):
+                outcome = self._pulse_query(
+                    registered, on_result, window_limit
+                )
+                if outcome == self._EXECUTED:
+                    progressed = True
+                    executed_total += 1
+                    # yield: consumers drain their queues between windows
+                    await asyncio.sleep(0)
+                elif outcome == self._BLOCKED:
+                    blocked = True
+            if progressed:
+                continue
+            if self.audit:
+                self._verify()  # quiescent points: refcounts settled
+            if blocked:
+                await self.bus.wait(drain_poll)
+                continue
+            if stop_when_idle:
+                break
+            await self.bus.wait(drain_poll)
+        return executed_total
 
     def run(
         self,
@@ -445,7 +615,12 @@ class GatewayServer:
         on_result: Callable[[WindowResult], None] | None = None,
         keep_results: bool = True,
     ) -> float:
-        """Compatibility wrapper: ``step()`` in a loop until no progress.
+        """Deprecated batch wrapper: ``step()`` in a loop until no progress.
+
+        .. deprecated::
+            Drive execution with :meth:`step` (cooperative pull) or
+            :meth:`serve` (asyncio push) instead; ``run()`` remains as a
+            compatibility shim for the original batch workflow.
 
         Drives every runnable query until exhaustion (or ``max_windows``).
         ``keep_results=False`` no longer discards results silently — it
@@ -459,6 +634,12 @@ class GatewayServer:
         their unread results buffered.  Drive blocking queries with
         ``step()`` + ``poll()`` instead.  Returns total wall seconds.
         """
+        warnings.warn(
+            "GatewayServer.run() is deprecated; drive execution with "
+            "step() or the asyncio serve() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         watch = Stopwatch()
         if not keep_results:
             for registered in self._queries.values():

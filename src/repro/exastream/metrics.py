@@ -10,7 +10,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["QueryMetrics", "EngineMetrics", "Stopwatch"]
+__all__ = ["QueryMetrics", "EngineMetrics", "BusMetrics", "Stopwatch"]
 
 
 class Stopwatch:
@@ -70,6 +70,31 @@ class QueryMetrics:
         self.pane_pairs_built += other.pane_pairs_built
         self.mqo_partial_hits += other.mqo_partial_hits
         self.mqo_relation_hits += other.mqo_relation_hits
+
+
+@dataclass
+class BusMetrics:
+    """Counters for one gateway's event-bus fan-out."""
+
+    #: window results published to a live topic (once per result, not
+    #: per subscriber — queries with no subscribers publish nothing)
+    results_published: int = 0
+    #: result deliveries into subscriber queues (published × fan-out)
+    fanout_deliveries: int = 0
+    #: results evicted from ``drop_oldest`` subscriber queues
+    results_dropped: int = 0
+    #: high-water mark of concurrent subscriptions across all topics
+    peak_subscribers: int = 0
+    #: window executions deferred because a ``block``-policy
+    #: subscriber's queue was full (the push-side back-pressure signal)
+    backpressure_deferrals: int = 0
+
+    @property
+    def fanout(self) -> float:
+        """Mean deliveries per published result."""
+        if not self.results_published:
+            return 0.0
+        return self.fanout_deliveries / self.results_published
 
 
 @dataclass

@@ -308,6 +308,40 @@ class Scheduler:
                 placement.cost = updated
                 return
 
+    def observe(
+        self, query: str, seconds: float = 0.0, tuples: int = 0
+    ) -> None:
+        """Fold one observed pulse (window execution) into a query's load.
+
+        The executors report each window's wall cost here (the pulse
+        accounting behind :meth:`rebalance`): the observation is scaled
+        like :meth:`observe_shard` and distributed over the query's live
+        operator placements proportionally to their current cost
+        estimates, each becoming an exponential moving average.  Worker
+        loads track the placement costs, so releasing the query later
+        still drains every worker back to zero.  Unknown queries (or
+        MQO-subscriber queries whose prefix is placed under a shared
+        pipeline id) fold into whatever placements the query does own;
+        a query with none is a no-op.
+        """
+        placements = [
+            p for p in self._by_query.get(query, ())
+            if not p.operator.startswith("shard[")
+        ]
+        if not placements:
+            return
+        observed = seconds * 1000.0 + tuples * 1e-4
+        total = sum(p.cost for p in placements)
+        for placement in placements:
+            share = (
+                placement.cost / total if total > 0
+                else 1.0 / len(placements)
+            )
+            updated = 0.5 * placement.cost + 0.5 * observed * share
+            worker = self.workers[placement.worker]
+            worker.load += updated - placement.cost
+            placement.cost = updated
+
     def shard_assignments(self, query: str) -> dict[int, int]:
         """shard index -> worker id for one query's live shards."""
         out: dict[int, int] = {}

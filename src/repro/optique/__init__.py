@@ -1,7 +1,7 @@
 """OPTIQUE platform facade: deployment, verification, query lifecycle."""
 
 from .platform import OptiquePlatform, RegisteredTask
-from .session import PreparedQuery, QueryHandle, Session
+from .session import AsyncSession, PreparedQuery, QueryHandle, Session
 
 __all__ = [
     "OptiquePlatform",
@@ -9,4 +9,5 @@ __all__ = [
     "PreparedQuery",
     "QueryHandle",
     "Session",
+    "AsyncSession",
 ]

@@ -45,7 +45,7 @@ from ..starql import (
     parse_aggregate_macro,
 )
 from ..streams import StreamSource
-from .session import Session
+from .session import AsyncSession, Session
 
 __all__ = ["RegisteredTask", "OptiquePlatform"]
 
@@ -190,6 +190,29 @@ class OptiquePlatform:
             overflow=overflow,
             name=name,
         )
+
+    def async_session(
+        self,
+        sink_capacity: int | None = 256,
+        overflow: str = BoundedResultSink.DROP_OLDEST,
+        name: str | None = None,
+    ) -> AsyncSession:
+        """An asyncio client session: ``await session.serve()`` drives
+        pulses off the event loop while handles are consumed with
+        ``async for result in handle`` (see :class:`AsyncSession`)."""
+        return AsyncSession(
+            lambda: self.translator,
+            self.gateway,
+            dashboard=self.dashboard,
+            sink_capacity=sink_capacity,
+            overflow=overflow,
+            name=name,
+        )
+
+    async def serve(self, **kwargs) -> int:
+        """Drive the gateway's asyncio pulse loop; see
+        :meth:`~repro.exastream.gateway.GatewayServer.serve`."""
+        return await self.gateway.serve(**kwargs)
 
     def register_task(
         self, starql_text: str, name: str | None = None

@@ -13,29 +13,40 @@ cooperative executor:
   query text, reusable across submissions and sessions;
 * :class:`QueryHandle` — explicit lifecycle (``REGISTERED → RUNNING →
   PAUSED/CANCELLED/COMPLETED``) with incremental, bounded result
-  delivery: ``poll(max_results=n)`` drains a ring-buffer sink and
-  ``subscribe(callback)`` replaces the global ``on_result`` hook.
+  delivery: pull via ``poll(max_results=n)`` (ring-buffer sink) or
+  ``subscribe(callback)``, push via the await-able ``stream()`` /
+  ``async for result in handle`` event-bus surface.  Handles are
+  context managers: leaving the block cancels and deregisters.
+* :class:`AsyncSession` — the asyncio entry point: ``await
+  session.serve()`` drives pulses off the event loop while any number
+  of ``async for`` consumers await their own bounded queues, so idle
+  dashboard sessions cost nothing between results.
 
-Execution stays cooperative: ``session.step(n)`` (delegating to
+Execution is either cooperative — ``session.step(n)`` (delegating to
 :meth:`~repro.exastream.gateway.GatewayServer.step`) advances every
 runnable query round-robin, so many sessions interleave on one gateway
-without any call blocking to exhaustion.
+without any call blocking to exhaustion — or event-driven via
+``serve()``; both deliver byte-identical results in identical per-query
+order.
 """
 
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass, replace
 from collections.abc import Callable
 from typing import TYPE_CHECKING
 
+from ..errors import QueryNotFound
 from ..exastream import BoundedResultSink, GatewayServer, QueryState, WindowResult
+from ..exastream.bus import Subscription
 from ..exastream.gateway import RegisteredQuery
 
 if TYPE_CHECKING:
     from ..starql import STARQLTranslator, TranslationResult
 
-__all__ = ["PreparedQuery", "QueryHandle", "Session"]
+__all__ = ["PreparedQuery", "QueryHandle", "Session", "AsyncSession"]
 
 _session_counter = itertools.count(1)
 _INHERIT = object()  # sentinel: submit() inherits the session's sink config
@@ -76,9 +87,17 @@ class QueryHandle:
 
     @property
     def state(self) -> QueryState:
+        """The handle's lifecycle state (the one canonical accessor)."""
         return self.registered.state
 
     def status(self) -> QueryState:
+        """Deprecated alias of :attr:`state` (the old duplicate surface)."""
+        warnings.warn(
+            "QueryHandle.status() is deprecated; read the "
+            "QueryHandle.state property instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.registered.state
 
     @property
@@ -100,6 +119,26 @@ class QueryHandle:
     def cancel(self) -> None:
         self.registered.cancel()
 
+    def close(self) -> None:
+        """Cancel and deregister this handle (idempotent).
+
+        The terminal transition happens exactly once even when a
+        subscriber callback closes the handle mid-delivery; gateway
+        resources (shared readers, MQO subscriptions, scheduler
+        placements, bus topic) are released.
+        """
+        self.registered.cancel()
+        gateway = self.session.gateway
+        if self.name in gateway:
+            gateway.deregister(self.name)
+        self.session._handles.pop(self.name, None)
+
+    def __enter__(self) -> QueryHandle:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- result delivery ----------------------------------------------------
 
     def poll(self, max_results: int | None = None) -> list[WindowResult]:
@@ -109,6 +148,30 @@ class QueryHandle:
     def subscribe(self, callback: Callable[[WindowResult], None]) -> None:
         """Register a per-handle result callback."""
         self.registered.subscribe(callback)
+
+    def stream(
+        self,
+        capacity: int | None = None,
+        policy: str | None = None,
+    ) -> Subscription:
+        """An await-able subscription to this handle's future results.
+
+        Iterate with ``async for result in handle.stream()`` (or the
+        shorthand ``async for result in handle``, which consumes to the
+        end); iteration finishes once the query reaches a terminal
+        state and the queue drains.  Each subscription owns its bounded
+        queue — ``capacity``/``policy`` default to the handle's sink
+        configuration, so a ``block`` policy back-pressures the serving
+        executor per subscriber while ``drop_oldest`` keeps slow
+        consumers from stalling anyone.  Close partially consumed
+        subscriptions (``async with handle.stream() as sub`` or
+        ``sub.close()``) to release the topic reference; cancelling a
+        task awaiting the subscription releases it too.
+        """
+        return self.registered.stream(capacity=capacity, policy=policy)
+
+    def __aiter__(self) -> Subscription:
+        return self.stream()
 
     def alerts(self, max_results: int | None = None) -> list[tuple]:
         """Drain up to ``max_results`` results into CONSTRUCTed triples."""
@@ -257,22 +320,84 @@ class Session:
     # -- handle management ---------------------------------------------------
 
     def handle(self, name: str) -> QueryHandle:
-        return self._handles[name]
+        try:
+            return self._handles[name]
+        except KeyError:
+            raise QueryNotFound(name) from None
 
     @property
     def handles(self) -> list[QueryHandle]:
         return list(self._handles.values())
 
     def close(self) -> None:
-        """Cancel and deregister every handle issued by this session."""
-        for handle in self._handles.values():
-            handle.cancel()
-            if handle.name in self.gateway:
-                self.gateway.deregister(handle.name)
-        self._handles.clear()
+        """Cancel and deregister every handle issued by this session.
+
+        Safe to call from inside a subscriber callback while a delivery
+        is in flight (and idempotent): the handle map is detached before
+        anything is cancelled, so re-entrant closes see an empty
+        session, and each handle's terminal transition fires exactly
+        once.
+        """
+        handles, self._handles = list(self._handles.values()), {}
+        for handle in handles:
+            handle.close()
 
     def __enter__(self) -> Session:
         return self
 
     def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncSession(Session):
+    """A session whose executor runs on the asyncio event loop.
+
+    Everything a :class:`Session` does (prepare/submit/poll) plus the
+    event-driven entry point: ``await session.serve()`` pulses every
+    runnable query on the shared gateway, publishing each window result
+    to the event bus, while consumers iterate ``async for result in
+    handle`` on their own bounded queues.  Idle subscribers cost
+    nothing — no poll cycles — so one serving task supports thousands
+    of dashboard sessions.
+
+    Use as an async context manager; leaving the block closes every
+    handle the session issued::
+
+        async with platform.async_session() as session:
+            handle = session.submit(prepared)
+            server = asyncio.create_task(session.serve())
+            async for result in handle:
+                ...
+            await server
+    """
+
+    async def serve(
+        self,
+        window_limit: int | None = None,
+        stop_when_idle: bool = True,
+        drain_poll: float = 0.05,
+    ) -> int:
+        """Drive the shared gateway's pulse loop on the event loop.
+
+        All runnable queries progress round-robin (this session's and
+        every other session's — like :meth:`Session.step`, the executor
+        is shared); delivery order and content are byte-identical to
+        the cooperative ``step()`` oracle.  Returns the number of
+        window executions performed; see
+        :meth:`~repro.exastream.gateway.GatewayServer.serve`.
+        """
+        return await self.gateway.serve(
+            window_limit=window_limit,
+            stop_when_idle=stop_when_idle,
+            drain_poll=drain_poll,
+        )
+
+    async def drain(self, handle: QueryHandle) -> list[WindowResult]:
+        """Collect every remaining result of ``handle`` via the bus."""
+        return [result async for result in handle.stream()]
+
+    async def __aenter__(self) -> AsyncSession:
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
         self.close()

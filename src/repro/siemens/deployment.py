@@ -244,9 +244,19 @@ class SiemensDeployment:
 
         return Session(self.translator, self.gateway, **kwargs)
 
+    def async_session(self, **kwargs):
+        """An asyncio session (``serve()`` + ``async for`` handles)."""
+        from ..optique.session import AsyncSession
+
+        return AsyncSession(self.translator, self.gateway, **kwargs)
+
     def step(self, n_windows: int = 1) -> int:
         """Advance the cooperative executor; see ``GatewayServer.step``."""
         return self.gateway.step(n_windows)
+
+    async def serve(self, **kwargs) -> int:
+        """Drive the asyncio pulse loop; see ``GatewayServer.serve``."""
+        return await self.gateway.serve(**kwargs)
 
     def run(self, max_windows: int | None = None) -> float:
         """Drive all registered tasks; returns wall seconds."""

@@ -182,7 +182,8 @@ def run_concurrently(sqls, engine, shards=1):
         )
         for i, sql in enumerate(sqls)
     ]
-    gateway.run()
+    while gateway.step():
+        pass
     out = [snapshot(q) for q in registered]
     for q in registered:
         gateway.deregister(q.name)

@@ -263,7 +263,8 @@ class TestRegistrationDiagnostics:
         assert subsumed[0].severity is Severity.INFO
         assert "broad" in subsumed[0].message
         # and execution is unchanged: both queries run to completion
-        gateway.run()
+        while gateway.step():
+            pass
 
     def test_no_subsumption_in_reverse_direction(self):
         gateway = fresh_gateway()
@@ -335,7 +336,8 @@ class TestByteIdentity:
                 gateway.register(sql, name=f"q{i}", strict=strict)
                 for i, sql in enumerate(sqls)
             ]
-            gateway.run()
+            while gateway.step():
+                pass
             out = [
                 [(r.window_id, tuple(map(tuple, r.rows))) for r in h.results()]
                 for h in handles

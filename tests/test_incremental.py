@@ -273,7 +273,8 @@ class TestDifferential:
             proj = gateway.register(
                 PROJECTION_SQL.format(r=20, s=5), name="proj"
             )
-            gateway.run()
+            while gateway.step():
+                pass
             return [
                 [
                     (r.window_id, r.window_end, tuple(r.columns), tuple(r.rows))

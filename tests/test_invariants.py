@@ -57,7 +57,8 @@ def test_concurrent_queries_with_shared_state():
     for name, sql in QUERIES.items():
         gateway.register(sql, name=name)
     verify_gateway(gateway)
-    gateway.run()
+    while gateway.step():
+        pass
     verify_gateway(gateway)
     # staggered teardown exercises the partial-release paths
     for name in QUERIES:
@@ -98,7 +99,8 @@ def test_audit_mode_runs_checks_inline(monkeypatch):
     assert gateway.audit
     for name, sql in QUERIES.items():
         gateway.register(sql, name=name)
-    gateway.run()  # audit hooks fire at drain and on every deregister
+    while gateway.step():  # audit hooks fire at drain and on every deregister
+        pass
     for name in QUERIES:
         gateway.deregister(name)
     verify_gateway(gateway)

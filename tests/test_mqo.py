@@ -289,7 +289,8 @@ class TestMidFlight:
         gateway.deregister("a")
         gateway.step(4)
         d = gateway.register(variant(threshold=75), name="d")
-        gateway.run()
+        while gateway.step():
+            pass
         for name, q in (("b", b), ("c", c), ("d", d)):
             results[name] = snapshot(q)
         for name in ("b", "c", "d"):
@@ -393,7 +394,8 @@ class TestGatewayTeardown:
         engine = build_engine(rows, mqo=False)
         gateway = GatewayServer(engine)
         solo = gateway.register(variant(threshold=60), name="solo")
-        gateway.run()
+        while gateway.step():
+            pass
         reference = snapshot(solo)
 
         engine = build_engine(rows)
@@ -406,7 +408,8 @@ class TestGatewayTeardown:
         gateway.step(5)
         for other in others:
             gateway.deregister(other.name)
-        gateway.run()
+        while gateway.step():
+            pass
         assert snapshot(survivor) == reference
         assert gateway.mqo.pipeline_count > 0  # survivor's pipeline lives
         gateway.deregister("s")
@@ -418,7 +421,8 @@ class TestGatewayTeardown:
         gateway = GatewayServer(engine)
         a = gateway.register(variant(threshold=55), name="a", shards=2)
         b = gateway.register(variant(threshold=65), name="b", shards=2)
-        gateway.run()
+        while gateway.step():
+            pass
         assert snapshot(a) and snapshot(b)
         gateway.deregister("a")
         gateway.deregister("b")
@@ -529,7 +533,8 @@ class TestBatchDemandRefcount:
             )
             gateway = GatewayServer(engine)
             q = gateway.register(self.PANE_SQL, name="pane")
-            gateway.run()
+            while gateway.step():
+                pass
             return snapshot(q), q, gateway
 
         shared, q, gateway = run(True)
@@ -546,5 +551,6 @@ class TestBatchDemandRefcount:
         )
         gateway = GatewayServer(engine)
         q = gateway.register(self.PANE_SQL, name="pane")
-        gateway.run()
+        while gateway.step():
+            pass
         assert shared == snapshot(q)

@@ -112,7 +112,8 @@ class TestClassificationAndEngagement:
         gateway = GatewayServer(engine)
         q = gateway.register(sql, name="j")
         assert q.plan.incremental.mode is IncrementalMode.PANE_JOIN
-        gateway.run()
+        while gateway.step():
+            pass
         metrics = engine.metrics.query("j")
         assert metrics.windows_processed > 10
         assert metrics.windows_pane_join == metrics.windows_processed
@@ -274,7 +275,8 @@ class TestMidFlight:
         late = gateway.register(
             JOIN_SQL.format(ra=20, sa=5, rb=20, sb=5), name="late"
         )
-        gateway.run()
+        while gateway.step():
+            pass
         out = (snapshot(survivor), snapshot(late))
         gateway.deregister("survivor")
         gateway.deregister("late")
@@ -322,7 +324,8 @@ class TestDisorderFallback:
         )
         gateway = GatewayServer(engine)
         q = gateway.register(self.SQL, name="q")
-        gateway.run()
+        while gateway.step():
+            pass
         return snapshot(q), q, gateway, engine
 
     @pytest.mark.parametrize("side", ["A", "B", "both"])
@@ -465,7 +468,8 @@ class TestSiemensPairs:
                 )
                 for i, (left, right, key) in enumerate(pairs)
             ]
-            dep.gateway.run()
+            while dep.gateway.step():
+                pass
             outputs[incremental] = {
                 q.name: snapshot(q) for q in queries
             }
@@ -477,7 +481,8 @@ class TestSiemensPairs:
         pairs = self._pairs(dep)
         for i, (left, right, key) in enumerate(pairs):
             dep.gateway.register(self._sql(left, right, key), name=f"p{i}")
-        dep.gateway.run()
+        while dep.gateway.step():
+            pass
         pane_join_windows = sum(
             m.windows_pane_join
             for m in dep.engine.metrics.per_query.values()

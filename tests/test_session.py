@@ -4,6 +4,14 @@ shared-reader release on deregister."""
 
 import pytest
 
+# These modules predate (and deliberately cover) the deprecated batch
+# wrappers -- run(max_windows=/on_result=/keep_results=) compat stays
+# tested without warning noise in tier-1 output.
+pytestmark = pytest.mark.filterwarnings(
+    r"ignore:.*run\(\) is deprecated:DeprecationWarning"
+)
+
+
 from repro.exastream import (
     BoundedResultSink,
     GatewayServer,
@@ -311,7 +319,7 @@ class TestSessionAPI:
         while session.step():
             pass
         assert h1.windows_executed == h2.windows_executed == 4
-        assert h1.status() is QueryState.COMPLETED
+        assert h1.state is QueryState.COMPLETED
 
     def test_poll_bounded_and_incremental(self, deployment):
         session = deployment.session(sink_capacity=4)
@@ -342,7 +350,7 @@ class TestSessionAPI:
         handle = session.submit(diagnostic_catalog()[0].starql, name="life")
         session.step(2)
         handle.pause()
-        assert handle.status() is QueryState.PAUSED
+        assert handle.state is QueryState.PAUSED
         session.step(2)
         assert handle.windows_executed == 2
         handle.resume()
@@ -351,7 +359,7 @@ class TestSessionAPI:
         alerts = handle.alerts()
         assert isinstance(alerts, list)
         handle.cancel()
-        assert handle.status() is QueryState.CANCELLED
+        assert handle.state is QueryState.CANCELLED
 
     def test_subscribe_callback(self, deployment):
         session = deployment.session()
@@ -366,7 +374,7 @@ class TestSessionAPI:
             handle = session.submit(diagnostic_catalog()[0].starql, name="tmp")
             assert "tmp" in deployment.gateway
         assert "tmp" not in deployment.gateway
-        assert handle.status() is QueryState.CANCELLED
+        assert handle.state is QueryState.CANCELLED
 
 
 class TestPlatformSessionFacade:
@@ -395,7 +403,7 @@ class TestPlatformSessionFacade:
         )
         while platform.step(4):
             pass
-        assert handle.status() is QueryState.COMPLETED
+        assert handle.state is QueryState.COMPLETED
         # the dashboard observed every window through the handle subscriber
         assert platform.dashboard.panel("fig1").windows_seen == 18
         # ...while the sink retained only its bounded tail

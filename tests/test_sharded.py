@@ -49,7 +49,8 @@ def engine_with(rows, cls=StreamEngine, **kwargs):
 def run_gateway(engine, sql, **register_kwargs):
     gateway = GatewayServer(engine)
     query = gateway.register(sql, name="q", **register_kwargs)
-    gateway.run()
+    while gateway.step():
+        pass
     results = [
         (r.window_id, r.window_end, r.columns, r.rows) for r in query.results()
     ]
@@ -212,7 +213,8 @@ class TestDeterminism:
             dep = deploy(fleet=fleet, stream_duration=20, shards=shards)
             gateway = dep.gateway
             query = gateway.register(sql, name="q")
-            gateway.run()
+            while gateway.step():
+                pass
             return [
                 (r.window_id, r.window_end, r.columns, r.rows)
                 for r in query.results()
@@ -250,7 +252,8 @@ class TestDeterminism:
         q1 = gateway.register(PARTITIONED_SQL, name="one", shards=1)
         q4 = gateway.register(PARTITIONED_SQL, name="four", shards=4)
         q2 = gateway.register(PARTITIONED_SQL, name="two", shards=2)
-        gateway.run()
+        while gateway.step():
+            pass
         for query in (q1, q4, q2):
             got = [
                 (r.window_id, r.window_end, r.columns, r.rows)
@@ -454,7 +457,8 @@ class TestReaderSharing:
         gateway = GatewayServer(engine)
         gateway.register(PARTITIONED_SQL, name="a")
         gateway.register(PARTITIONED_SQL, name="b")
-        gateway.run()
+        while gateway.step():
+            pass
         # the second query's windows come from the shard caches (batch
         # hits on the recompute path, pane hits on the incremental path)
         assert any(
