@@ -8,7 +8,7 @@ RUFF ?= ruff
 
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-compare coverage examples smoke lint lint-cq ci
+.PHONY: test bench bench-smoke bench-compare bench-recovery coverage examples smoke lint lint-cq test-recovery ci
 
 test:
 	$(PY) -m pytest -x -q
@@ -46,8 +46,10 @@ bench:
 	$(PY) -m pytest benchmarks/bench_*.py -q
 
 # The CI benchmark job: session-poll + sharded-engine + incremental +
-# MQO + pane-join + event-bus fan-out benches on tiny workloads, with
-# machine-readable results for the workflow artifact.
+# MQO + pane-join + event-bus fan-out + durability benches on tiny
+# workloads, with machine-readable results for the workflow artifact.
+# The recovery gates (recovery >= 5x over replay, checkpoint overhead
+# <= 10%) assert in smoke mode too.
 bench-smoke:
 	$(PY) -m pytest benchmarks/bench_session_poll.py \
 		benchmarks/bench_sharded_engine.py \
@@ -55,7 +57,17 @@ bench-smoke:
 		benchmarks/bench_mqo.py \
 		benchmarks/bench_join.py \
 		benchmarks/bench_fanout.py \
+		benchmarks/bench_recovery.py \
 		-q --smoke --benchmark-json=bench-results.json
+
+# The durability gates alone, at full workload scale.
+bench-recovery:
+	$(PY) -m pytest benchmarks/bench_recovery.py -q
+
+# The crash/recovery differential + fault-injection suite, with the
+# gateway's plan-invariant verifier on (the CI fault-injection job).
+test-recovery:
+	REPRO_AUDIT=1 $(PY) -m pytest tests/test_recovery.py -q
 
 # Gate a fresh bench run against a baseline: fails on >20% regression of
 # any tracked median.  `make bench-smoke` writes bench-results.json; copy

@@ -38,7 +38,7 @@ def test_fig1_execution_detects_ramp(fresh_deployment, small_fleet, benchmark):
         registered.next_window = 0
         registered.sink.clear()
         registered.state = QueryState.REGISTERED
-        fresh_deployment.gateway.run(max_windows=22)
+        fresh_deployment.run(max_windows=22)
         return registered.results()
 
     results = benchmark(run_all)

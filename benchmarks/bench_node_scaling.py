@@ -15,6 +15,7 @@ from repro.exastream import (
     ClusterParameters,
     ClusterSimulator,
     GatewayServer,
+    Stopwatch,
     StreamEngine,
     calibrate,
 )
@@ -44,8 +45,12 @@ def _measure_single_node() -> float:
         "FROM timeSlidingWindow(S, 10, 5) AS w GROUP BY w.sid",
         name="probe",
     )
-    seconds = gateway.run(keep_results=False)
-    return engine.metrics.total_tuples_in / seconds
+    for query in gateway.queries:
+        query.sink.limit(GatewayServer.UNKEPT_SINK_CAPACITY)
+    watch = Stopwatch()
+    while gateway.step():
+        pass
+    return engine.metrics.total_tuples_in / watch.elapsed()
 
 
 def test_node_scaling_shape(benchmark):

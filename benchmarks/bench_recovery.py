@@ -1,0 +1,217 @@
+"""Durability gates: recovery beats replay, checkpointing stays cheap.
+
+Two acceptance properties for the checkpoint log (`repro.exastream
+.durability`), gated in both ``--smoke`` and full mode:
+
+* **recovery >= 5x over replay** — restarting after a crash near the
+  end of a high-overlap run (r/s = 16, the Siemens diagnostic shape)
+  must be at least 5x faster than recomputing the stream from scratch.
+  Recovery seeks to the newest epoch via the offsets HEAD publishes,
+  restores the pane rings and reader cursors, and replays at most
+  ``RECOVERY_INTERVAL`` windows of tail — its cost is bounded by the
+  checkpoint interval while replay grows with the stream.
+* **checkpoint overhead <= 10%** — a run checkpointed every
+  ``OVERHEAD_INTERVAL`` pulses must cost at most 1.10x the
+  uncheckpointed run (min-of-3 both sides, fsync on).  The interval is
+  the documented operating point: one epoch per 32 windows of 5 s
+  slide = one durable cut every ~2.5 minutes of stream time, so a
+  crash costs at most that much replay.
+
+Both gated runs must stay byte-identical to the uninterrupted oracle;
+the sinks keep a bounded 64-window tail so the comparison covers the
+same suffix in every run.
+"""
+
+import pytest
+
+from repro.exastream import GatewayServer, Stopwatch, StreamEngine
+from repro.exastream.durability import (
+    CheckpointManager,
+    FaultInjector,
+    SimulatedCrash,
+    recover,
+)
+from repro.relational import Column, Database, Schema, SQLType, Table
+from repro.streams import ListSource, Stream, StreamSchema
+
+OVERLAP = 16
+SLIDE = 5
+SINK_TAIL = 64
+RECOVERY_INTERVAL = 5
+OVERHEAD_INTERVAL = 32
+
+SCHEMA = StreamSchema(
+    (
+        Column("ts", SQLType.REAL),
+        Column("sid", SQLType.INTEGER),
+        Column("val", SQLType.REAL),
+    ),
+    time_column="ts",
+)
+
+SQL = (
+    "SELECT w.sid AS s, AVG(w.val * 9 / 5 + 32) AS fahrenheit, "
+    "COUNT(*) AS n, MAX(w.val) AS peak "
+    f"FROM timeSlidingWindow(S, {OVERLAP * SLIDE}, {SLIDE}) AS w, "
+    "sensors AS t "
+    "WHERE w.sid = t.sid AND t.kind = 'temp' AND w.val > 51 "
+    "GROUP BY w.sid"
+)
+
+
+def _rows(n_seconds: int, n_sensors: int, hz: int):
+    return [
+        (t / float(hz), s, 50.0 + ((t * 7 + s * 13) % 23) + 0.1234)
+        for t in range(n_seconds * hz)
+        for s in range(n_sensors)
+    ]
+
+
+def _engine(rows, n_sensors: int) -> StreamEngine:
+    engine = StreamEngine()
+    engine.register_stream(ListSource(Stream("S", SCHEMA), rows))
+    db = Database(
+        Schema(
+            "meta",
+            {
+                "sensors": Table(
+                    "sensors",
+                    [
+                        Column("sid", SQLType.INTEGER),
+                        Column("kind", SQLType.TEXT),
+                    ],
+                )
+            },
+        )
+    )
+    db.insert(
+        "sensors", [(s, "temp" if s % 3 else "pres") for s in range(n_sensors)]
+    )
+    engine.attach_database("meta", db)
+    return engine
+
+
+def _snapshot(registered):
+    return [
+        (r.window_id, r.window_end, tuple(r.columns), tuple(r.rows))
+        for r in registered.results()
+    ]
+
+
+def _fresh_gateway(rows, n_sensors):
+    gateway = GatewayServer(_engine(rows, n_sensors))
+    return gateway, gateway.register(SQL, name="q", sink_capacity=SINK_TAIL)
+
+
+def test_recovery_beats_replay(benchmark, smoke, tmp_path):
+    """Gate 1: resume-from-checkpoint >= 5x over recompute-from-zero."""
+    # Smoke trades sensor fan-out for stream length: replay cost (the
+    # denominator) needs enough windows to dominate the fixed restore.
+    workload = (
+        dict(n_seconds=360, n_sensors=16, hz=4)
+        if smoke
+        else dict(n_seconds=400, n_sensors=40, hz=4)
+    )
+    rows = _rows(**workload)
+
+    gateway, registered = _fresh_gateway(rows, workload["n_sensors"])
+    windows = [0]
+    watch = Stopwatch()
+    while gateway.step(on_result=lambda *_: windows.__setitem__(0, windows[0] + 1)):
+        pass
+    replay_seconds = watch.elapsed()
+    base = _snapshot(registered)
+    total = windows[0]
+    assert total > 20
+
+    # Crash one pulse before the end; the newest epoch is at most
+    # RECOVERY_INTERVAL windows behind, so recovery replays only that
+    # bounded tail.
+    gateway, _ = _fresh_gateway(rows, workload["n_sensors"])
+    CheckpointManager(
+        gateway,
+        tmp_path,
+        interval=RECOVERY_INTERVAL,
+        faults=FaultInjector(crash_after_pulses=total - 1),
+    )
+    with pytest.raises(SimulatedCrash):
+        while gateway.step():
+            pass
+
+    def recover_and_finish():
+        engine = _engine(rows, workload["n_sensors"])
+        watch = Stopwatch()
+        recovered = recover(tmp_path, engine)
+        assert recovered is not None
+        while recovered.step():
+            pass
+        return watch.elapsed(), _snapshot(recovered.query("q"))
+
+    recovery_seconds, got = benchmark.pedantic(
+        recover_and_finish, rounds=1, iterations=1
+    )
+    assert got == base, "recovered run diverged from the oracle"
+    speedup = replay_seconds / recovery_seconds if recovery_seconds else 0.0
+    benchmark.extra_info["replay_over_recovery"] = speedup
+    print(
+        f"\nreplay {replay_seconds:.3f}s vs recovery "
+        f"{recovery_seconds:.3f}s ({speedup:.1f}x, {total} windows)"
+    )
+    assert speedup >= 5.0, (replay_seconds, recovery_seconds)
+
+
+def test_checkpoint_overhead(benchmark, smoke, tmp_path):
+    """Gate 2: checkpointing every OVERHEAD_INTERVAL pulses costs <= 10%."""
+    workload = (
+        dict(n_seconds=240, n_sensors=40, hz=4)
+        if smoke
+        else dict(n_seconds=400, n_sensors=40, hz=4)
+    )
+    rows = _rows(**workload)
+
+    def plain_run():
+        gateway, registered = _fresh_gateway(rows, workload["n_sensors"])
+        watch = Stopwatch()
+        while gateway.step():
+            pass
+        return watch.elapsed(), _snapshot(registered)
+
+    def checkpointed_run(directory):
+        gateway, registered = _fresh_gateway(rows, workload["n_sensors"])
+        manager = CheckpointManager(
+            gateway, directory, interval=OVERHEAD_INTERVAL
+        )
+        watch = Stopwatch()
+        while gateway.step():
+            pass
+        assert manager.epoch > 0  # checkpoints actually happened
+        return watch.elapsed(), _snapshot(registered)
+
+    # min-of-3 on both sides: a single stolen timeslice on a shared
+    # 1-core runner must not flip the gate.
+    base = None
+    plains, ckpts = [], []
+    for rep in range(2):
+        seconds, snap = plain_run()
+        plains.append(seconds)
+        base = snap if base is None else base
+        assert snap == base
+        seconds, snap = checkpointed_run(tmp_path / f"rep{rep}")
+        assert snap == base, "checkpointed run diverged from the oracle"
+        ckpts.append(seconds)
+    seconds, snap = plain_run()
+    plains.append(seconds)
+    assert snap == base
+    seconds, snap = benchmark.pedantic(
+        checkpointed_run, args=(tmp_path / "final",), rounds=1, iterations=1
+    )
+    assert snap == base, "checkpointed run diverged from the oracle"
+    ckpts.append(seconds)
+
+    overhead = min(ckpts) / min(plains) - 1.0
+    benchmark.extra_info["checkpoint_overhead"] = overhead
+    print(
+        f"\nplain {min(plains):.3f}s vs checkpointed {min(ckpts):.3f}s "
+        f"({overhead:+.1%} at interval {OVERHEAD_INTERVAL})"
+    )
+    assert overhead <= 0.10, (plains, ckpts)

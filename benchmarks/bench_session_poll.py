@@ -96,7 +96,10 @@ def test_incremental_vs_batch_overhead(benchmark, mode, smoke):
         ]
         polled = 0
         if mode == "batch_run":
-            gateway.run(keep_results=False)
+            for query in queries:
+                query.sink.limit(GatewayServer.UNKEPT_SINK_CAPACITY)
+            while gateway.step():
+                pass
             polled = sum(len(q.results()) for q in queries)
         else:
             while gateway.step(1):

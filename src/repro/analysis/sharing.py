@@ -29,43 +29,135 @@ from ..rdf import IRI, Literal, Variable
 from ..sql import BinOp, Col, Expr, Lit
 from .diagnostics import AnalysisReport, Severity
 
-__all__ = ["check_sharing", "plan_as_cq"]
+__all__ = ["check_sharing", "plan_as_cq", "index_plan", "unindex_plan"]
 
 _CQ_OPS = {"=", "!=", "<", "<=", ">", ">="}
 
+_WINDOW_PREFIX = "urn:cqan:window:"
+
+
+def index_plan(gateway, name: str, plan) -> None:
+    """Record a newly registered plan in the gateway's sharing indexes.
+
+    The gateway calls this once per registration (after the advisory
+    analysis, so a plan never indexes itself into its own report).  The
+    indexes turn the per-registration sharing scan from O(live queries)
+    into O(1) dictionary lookups — registering N queries costs O(N)
+    signature/CQ encodings in total instead of O(N²).
+    """
+    signature = plan_signature(plan)
+    gateway._sig_by_query[name] = signature
+    if signature is not None:
+        gateway._sig_relation.setdefault(signature.relation_key, set()).add(
+            name
+        )
+        if signature.aggregate_key is not None:
+            gateway._sig_aggregate.setdefault(
+                signature.aggregate_key, set()
+            ).add(name)
+        for side in signature.sides:
+            gateway._sig_side.setdefault(side.key, set()).add(name)
+    cq = plan_as_cq(plan)
+    gateway._cq_by_query[name] = cq
+    if cq is not None:
+        preds = frozenset(atom.predicate.value for atom in cq.atoms)
+        gateway._cq_preds[name] = preds
+        for predicate in preds:
+            if predicate.startswith(_WINDOW_PREFIX):
+                gateway._cq_windex.setdefault(predicate, set()).add(name)
+
+
+def unindex_plan(gateway, name: str) -> None:
+    """Drop a deregistered query from the gateway's sharing indexes."""
+    signature = gateway._sig_by_query.pop(name, None)
+    if signature is not None:
+        for store, key in (
+            (gateway._sig_relation, signature.relation_key),
+            (gateway._sig_aggregate, signature.aggregate_key),
+        ):
+            if key is None:
+                continue
+            peers = store.get(key)
+            if peers is not None:
+                peers.discard(name)
+                if not peers:
+                    del store[key]
+        for side in signature.sides:
+            peers = gateway._sig_side.get(side.key)
+            if peers is not None:
+                peers.discard(name)
+                if not peers:
+                    del gateway._sig_side[side.key]
+    gateway._cq_by_query.pop(name, None)
+    preds = gateway._cq_preds.pop(name, None)
+    if preds is not None:
+        for predicate in preds:
+            if predicate.startswith(_WINDOW_PREFIX):
+                names = gateway._cq_windex.get(predicate)
+                if names is not None:
+                    names.discard(name)
+                    if not names:
+                        del gateway._cq_windex[predicate]
+
 
 def check_sharing(plan, gateway, report: AnalysisReport) -> None:
-    """Predict MQO sharing and containment subsumption against a gateway."""
+    """Predict MQO sharing and containment subsumption against a gateway.
+
+    With an index-maintaining gateway (``GatewayServer``) the signature
+    peers come from O(1) key lookups and containment candidates are
+    pruned through the window-predicate inverted index; bare gateway
+    stand-ins fall back to the original full scan.  Diagnostics are
+    identical either way.
+    """
     if gateway is None:
         return
+    queries = getattr(gateway, "_queries", {})
     registered = {
-        name: q.plan
-        for name, q in getattr(gateway, "_queries", {}).items()
-        if q.plan is not plan
+        name: q.plan for name, q in queries.items() if q.plan is not plan
     }
     if not registered:
         return
+    indexed = hasattr(gateway, "_sig_by_query")
 
     signature = plan_signature(plan)
     if signature is not None:
-        relation_peers: list[str] = []
-        aggregate_peers: list[str] = []
-        side_peers: dict[str, list[str]] = {}
         side_keys = {s.key for s in signature.sides}
-        for name, other in registered.items():
-            other_sig = plan_signature(other)
-            if other_sig is None:
-                continue
-            if other_sig.relation_key == signature.relation_key:
-                relation_peers.append(name)
-            if (
-                signature.aggregate_key is not None
-                and other_sig.aggregate_key == signature.aggregate_key
-            ):
-                aggregate_peers.append(name)
-            for side in other_sig.sides:
-                if side.key in side_keys:
-                    side_peers.setdefault(name, []).append(side.key)
+        if indexed:
+            live = set(registered)
+            relation_peers = sorted(
+                gateway._sig_relation.get(signature.relation_key, set())
+                & live
+            )
+            aggregate_peers = (
+                sorted(
+                    gateway._sig_aggregate.get(signature.aggregate_key, set())
+                    & live
+                )
+                if signature.aggregate_key is not None
+                else []
+            )
+            side_matches: set[str] = set()
+            for key in side_keys:
+                side_matches |= gateway._sig_side.get(key, set())
+            side_peers = {name: True for name in side_matches & live}
+        else:
+            relation_peers = []
+            aggregate_peers = []
+            side_peers = {}
+            for name, other in registered.items():
+                other_sig = plan_signature(other)
+                if other_sig is None:
+                    continue
+                if other_sig.relation_key == signature.relation_key:
+                    relation_peers.append(name)
+                if (
+                    signature.aggregate_key is not None
+                    and other_sig.aggregate_key == signature.aggregate_key
+                ):
+                    aggregate_peers.append(name)
+                for side in other_sig.sides:
+                    if side.key in side_keys:
+                        side_peers.setdefault(name, []).append(side.key)
         if aggregate_peers:
             report.add(
                 "ANA030",
@@ -95,10 +187,27 @@ def check_sharing(plan, gateway, report: AnalysisReport) -> None:
     new_cq = plan_as_cq(plan)
     if new_cq is None:
         return
-    for name, other in registered.items():
-        if other is plan:
-            continue
-        other_cq = plan_as_cq(other)
+    if indexed:
+        # Candidate pruning: a homomorphism from a registered query's
+        # atoms into the new one requires every registered predicate to
+        # appear in the new query — in particular its window predicates,
+        # so the inverted window-predicate index bounds the candidates
+        # to queries on a shared stream/grid before the (exponential in
+        # the worst case) homomorphism search runs.
+        new_preds = frozenset(atom.predicate.value for atom in new_cq.atoms)
+        candidates: set[str] = set()
+        for predicate in new_preds:
+            if predicate.startswith(_WINDOW_PREFIX):
+                candidates |= gateway._cq_windex.get(predicate, set())
+        items = [
+            (name, gateway._cq_by_query.get(name))
+            for name in registered
+            if name in candidates
+            and gateway._cq_preds.get(name, frozenset()) <= new_preds
+        ]
+    else:
+        items = [(name, plan_as_cq(other)) for name, other in registered.items()]
+    for name, other_cq in items:
         if other_cq is None:
             continue
         contained = is_contained_in(new_cq, other_cq)

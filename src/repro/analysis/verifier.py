@@ -283,6 +283,36 @@ def verify_gateway(gateway) -> None:
                 f"{len(expected_pipeline_refs)} distinct keys)"
             )
 
+    # -- sharing-index consistency ------------------------------------------
+    # The registration-time sharing analysis relies on these indexes
+    # mirroring the live catalog exactly (see repro.analysis.sharing).
+    if hasattr(gateway, "_sig_by_query"):
+        for attr in ("_sig_by_query", "_cq_by_query"):
+            indexed = set(getattr(gateway, attr))
+            if indexed != set(queries):
+                violations.append(
+                    f"gateway.{attr} indexes {sorted(indexed)!r}, not the "
+                    f"registered queries {sorted(queries)!r}"
+                )
+        for attr in ("_sig_relation", "_sig_aggregate", "_sig_side",
+                     "_cq_windex"):
+            for key, names in getattr(gateway, attr).items():
+                if not names:
+                    violations.append(
+                        f"gateway.{attr} holds an empty entry {key[:80]!r}"
+                    )
+                for name in names:
+                    if name not in queries:
+                        violations.append(
+                            f"gateway.{attr} entry {key[:80]!r} references "
+                            f"unregistered query {name!r}"
+                        )
+
+    # -- checkpoint bookkeeping ---------------------------------------------
+    checkpointer = getattr(gateway, "checkpointer", None)
+    if checkpointer is not None:
+        violations.extend(checkpointer.audit_violations())
+
     # -- everything drains at zero ------------------------------------------
     if not queries:
         for attr in ("_reader_refs", "_reader_keys", "_shared_readers",

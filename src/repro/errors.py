@@ -22,7 +22,14 @@ Concrete classes keep their historical builtin bases (``KeyError``,
   ``repro.analysis`` (it carries the analysis report) but re-parented
   under :class:`ReproError` and re-exported here;
 * :class:`~repro.analysis.InvariantViolation` — the audit-mode
-  verifier found engine invariants broken; re-exported here.
+  verifier found engine invariants broken; re-exported here;
+* :class:`CheckpointCorrupt` — a checkpoint-log segment failed its
+  checksum / framing validation (the durability layer normally handles
+  this by truncating the torn tail and falling back to the previous
+  epoch; it surfaces only from strict scans);
+* :class:`RecoveryError` — a recovery or state-migration attempt could
+  not faithfully rebuild engine state (unknown stream, occupied reader
+  slot, refcount mismatch, non-serializable fork workers).
 
 This module is a dependency leaf: it imports nothing from the rest of
 the package, so any layer may raise from it.
@@ -36,6 +43,8 @@ __all__ = [
     "SinkOverflow",
     "StrictAnalysisError",
     "InvariantViolation",
+    "CheckpointCorrupt",
+    "RecoveryError",
 ]
 
 
@@ -66,6 +75,27 @@ class SinkOverflow(ReproError, RuntimeError):
     while full from a context that cannot await (the producer's
     contract is to check ``would_block()`` first and defer the window
     instead); never raised by ``drop_oldest`` channels, which evict.
+    """
+
+
+class CheckpointCorrupt(ReproError):
+    """A checkpoint-log record failed checksum or framing validation.
+
+    The tolerant scan path (used by ``recover()``) catches this
+    internally, logs it, truncates the torn tail and falls back to the
+    newest epoch that is valid across every log file; it only escapes
+    to callers asking for a strict scan.
+    """
+
+
+class RecoveryError(ReproError):
+    """Recovery or live state migration could not rebuild engine state.
+
+    Raised when a checkpoint names a stream/static source the fresh
+    engine does not provide, when a migration target already holds the
+    reader slot being handed off, when post-restore demand refcounts
+    disagree with the checkpointed ones, or when asked to snapshot
+    state that lives in forked worker processes.
     """
 
 

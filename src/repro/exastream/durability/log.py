@@ -1,0 +1,236 @@
+"""Append-only checkpoint log: framed, checksummed, torn-tail tolerant.
+
+Each record is a fixed header — magic, format version, record kind,
+epoch, payload length, CRC32 of the payload — followed by the pickled
+payload.  Appends go through a capped-exponential-backoff retry wrapper
+for transient IO errors; reads parse front-to-back and stop at the
+first frame that fails validation, so a torn tail (partial header,
+short payload, checksum mismatch) costs exactly the records after the
+last intact one and never an older epoch.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import struct
+import time
+import zlib
+from pathlib import Path
+
+from ...errors import CheckpointCorrupt
+from .faults import FaultInjector, SimulatedCrash
+
+__all__ = [
+    "CheckpointLog",
+    "MAGIC",
+    "VERSION",
+    "KIND_GATEWAY",
+    "KIND_SCOPE",
+]
+
+logger = logging.getLogger(__name__)
+
+MAGIC = b"RCKP"
+VERSION = 1
+#: record kinds: the gateway catalog (queries, MQO pipelines, scope
+#: file list) vs one (layout, shard) scope's engine state
+KIND_GATEWAY = 1
+KIND_SCOPE = 2
+
+#: frame header: magic, version, kind, epoch, payload length, CRC32
+_HEADER = struct.Struct(">4sHHQQI")
+
+
+class CheckpointLog:
+    """One append-only record log with retried, checksummed writes.
+
+    ``max_retries`` and ``base_delay`` bound the transient-IO retry
+    policy (attempt ``k`` sleeps ``min(base_delay * 2**k, max_delay)``);
+    both are validated here so misconfiguration fails at construction,
+    not at the first crash.
+    """
+
+    def __init__(
+        self,
+        path,
+        *,
+        max_retries: int = 3,
+        base_delay: float = 0.002,
+        max_delay: float = 0.25,
+        fsync: bool = True,
+        faults: FaultInjector | None = None,
+    ) -> None:
+        if not isinstance(max_retries, int) or isinstance(max_retries, bool):
+            raise ValueError(f"max_retries must be an int, got {max_retries!r}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if not isinstance(base_delay, (int, float)) or base_delay < 0:
+            raise ValueError(
+                f"base_delay must be a number >= 0, got {base_delay!r}"
+            )
+        if not isinstance(max_delay, (int, float)) or max_delay < base_delay:
+            raise ValueError(
+                f"max_delay must be a number >= base_delay, got {max_delay!r}"
+            )
+        self.path = Path(path)
+        self.max_retries = max_retries
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self.fsync = fsync
+        self.faults = faults
+
+    # -- write path ----------------------------------------------------------
+
+    def _with_retry(self, operation: str, fn):
+        attempt = 0
+        while True:
+            try:
+                if self.faults is not None:
+                    self.faults.io_op()
+                return fn()
+            except OSError as exc:
+                if attempt >= self.max_retries:
+                    raise
+                delay = min(self.base_delay * (2**attempt), self.max_delay)
+                logger.warning(
+                    "checkpoint %s on %s failed (%s); retry %d/%d in %.3fs",
+                    operation,
+                    self.path.name,
+                    exc,
+                    attempt + 1,
+                    self.max_retries,
+                    delay,
+                )
+                if delay:
+                    time.sleep(delay)
+                attempt += 1
+
+    def append(self, kind: int, epoch: int, payload: bytes) -> int:
+        """Frame and append one record (flushed, optionally fsynced).
+
+        Returns the byte offset the record starts at, so checkpoint
+        coordination can publish it in ``HEAD`` and recovery can seek
+        straight to the newest epoch instead of scanning the whole log.
+        """
+        record = (
+            _HEADER.pack(
+                MAGIC, VERSION, kind, epoch, len(payload), zlib.crc32(payload)
+            )
+            + payload
+        )
+        tear = None if self.faults is None else self.faults.tear_offset()
+        if tear is not None:
+            # Injected torn write: persist a prefix of the record, then
+            # die — recovery must detect and truncate it.
+            with open(self.path, "ab") as fh:
+                fh.write(record[:tear])
+                fh.flush()
+                os.fsync(fh.fileno())
+            raise SimulatedCrash(
+                f"injected torn write at +{tear}B in {self.path.name}"
+            )
+
+        def write() -> int:
+            with open(self.path, "ab") as fh:
+                fh.seek(0, os.SEEK_END)
+                start = fh.tell()
+                fh.write(record)
+                fh.flush()
+                if self.fsync:
+                    os.fsync(fh.fileno())
+                return start
+
+        return self._with_retry("append", write)
+
+    def truncate(self, offset: int) -> None:
+        """Drop the invalid tail (degradation after a torn write)."""
+
+        def do() -> None:
+            with open(self.path, "r+b") as fh:
+                fh.truncate(offset)
+
+        self._with_retry("truncate", do)
+
+    # -- read path -----------------------------------------------------------
+
+    def read_at(self, offset: int) -> tuple[int, int, bytes] | None:
+        """Parse the single frame starting at ``offset``.
+
+        Returns ``(epoch, kind, payload)`` when the frame is fully
+        intact (magic, version, length and checksum all validate) and
+        ``None`` otherwise — callers treat ``None`` as "fall back to a
+        full scan", never as an error.
+        """
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(offset)
+                header = fh.read(_HEADER.size)
+                if len(header) < _HEADER.size:
+                    return None
+                magic, version, kind, epoch, length, crc = _HEADER.unpack(
+                    header
+                )
+                if magic != MAGIC or version != VERSION:
+                    return None
+                payload = fh.read(length)
+        except OSError:
+            return None
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            return None
+        return epoch, kind, payload
+
+    def scan(
+        self, strict: bool = False, start: int = 0
+    ) -> tuple[list[tuple[int, int, bytes]], int, str | None]:
+        """Parse every intact record front-to-back.
+
+        Returns ``(records, valid_end, error)``: the ``(epoch, kind,
+        payload)`` triples that validated, the byte offset just past the
+        last intact record, and ``None`` or a reason string describing
+        the invalid tail.  ``strict=True`` raises
+        :class:`~repro.errors.CheckpointCorrupt` instead of tolerating
+        the tail.  ``start`` begins the scan at a known frame boundary
+        (e.g. an offset published in ``HEAD``) instead of byte 0; all
+        returned offsets stay absolute.
+        """
+        try:
+            with open(self.path, "rb") as fh:
+                if start:
+                    fh.seek(start)
+                data = fh.read()
+        except FileNotFoundError:
+            return [], start, None
+        records: list[tuple[int, int, bytes]] = []
+        offset = 0
+        size = len(data)
+        error: str | None = None
+        while offset < size:
+            if offset + _HEADER.size > size:
+                error = f"truncated header at offset {start + offset}"
+                break
+            magic, version, kind, epoch, length, crc = _HEADER.unpack_from(
+                data, offset
+            )
+            if magic != MAGIC:
+                error = f"bad magic at offset {start + offset}"
+                break
+            if version != VERSION:
+                error = (
+                    f"unsupported format version {version} at offset "
+                    f"{start + offset}"
+                )
+                break
+            body = offset + _HEADER.size
+            if body + length > size:
+                error = f"truncated payload at offset {start + offset}"
+                break
+            payload = data[body : body + length]
+            if zlib.crc32(payload) != crc:
+                error = f"checksum mismatch at offset {start + offset}"
+                break
+            records.append((epoch, kind, payload))
+            offset = body + length
+        if error is not None and strict:
+            raise CheckpointCorrupt(f"{self.path}: {error}")
+        return records, start + offset, error

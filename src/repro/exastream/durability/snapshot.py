@@ -1,0 +1,355 @@
+"""Engine-state walker: snapshot and rebuild a gateway's live state.
+
+Checkpoints are organised per **scope** — one ``(layout n, key column,
+shard)`` triple — mirroring how the engines scope reader sharing and
+MQO pipelines.  A plain :class:`~repro.exastream.engine.StreamEngine`
+is the single scope ``(1, None, 0)``; a
+:class:`~repro.exastream.sharded.ShardedEngine` adds one scope per
+layout slice.  Each scope record carries its resumed reader positions,
+wCache slices and per-query runtime rings; the gateway record carries
+the query catalog (plans, lifecycle, sinks) and the shared-pipeline
+(MQO) entries, whose scoped signature keys re-derive deterministically
+when the same plans re-register.
+
+Restore inverts the walk: seed resumed readers and cache entries first,
+re-register every plan in original order (``bind`` adopts the seeded
+readers instead of restarting the streams), then overlay runtime rings,
+sinks, lifecycle state and MQO entries, and finally audit that the
+re-derived demand refcounts match the checkpoint exactly.
+"""
+
+from __future__ import annotations
+
+from ...errors import RecoveryError
+from ...streams import SharedWindowReader, pane_plan
+from ..engine import StreamEngine
+from ..sharded import ShardedPlanRuntime
+from ..sharding import partitioned_tuples
+
+__all__ = ["snapshot_gateway", "restore_gateway", "PLAIN_SCOPE"]
+
+#: the unsharded scope: layout 1, no key column, shard 0
+PLAIN_SCOPE = (1, None, 0)
+
+
+# -- snapshot ----------------------------------------------------------------
+
+
+def snapshot_gateway(gateway) -> dict:
+    """A picklable image of every query, reader, cache slice and shared
+    pipeline behind ``gateway``, keyed for per-scope log files.
+
+    Cache entries are part of the consistent cut — a follower query
+    behind its shared reader's frontier reads windows it has not
+    consumed yet from the cache — but only entries some live query can
+    still ask for are captured: window ids only move forward, so
+    everything below the scope's slowest query is pruned and the
+    checkpoint payload stays flat-sized over the run."""
+    engine = gateway.engine
+    sharded = hasattr(engine, "_groups")
+    scopes: dict[tuple, dict] = {}
+
+    def scope_record(scope: tuple) -> dict:
+        record = scopes.get(scope)
+        if record is None:
+            record = {"readers": {}, "runtimes": {}, "cache": None}
+            scopes[scope] = record
+        return record
+
+    queries = []
+    for name, q in gateway._queries.items():
+        runtime = q.runtime
+        entry = {
+            "name": name,
+            "plan": q.plan,
+            "state": q.state.value,
+            "next_window": q.next_window,
+            "window_limit": q.window_limit,
+            "sink": {
+                "capacity": q.sink.capacity,
+                "policy": q.sink.policy,
+                "results": q.sink.snapshot(),
+                "accepted": q.sink.accepted,
+                "dropped": q.sink.dropped,
+            },
+        }
+        if isinstance(runtime, ShardedPlanRuntime):
+            n = runtime.num_shards
+            key_column = runtime.decision.key_column
+            entry["shards"] = n
+            entry["sharded"] = runtime.snapshot_state()  # refuses fork
+            for shard, shard_runtime in enumerate(runtime.shard_runtimes):
+                scope = (n, key_column, shard)
+                record = scope_record(scope)
+                record["runtimes"][name] = shard_runtime.snapshot_state()
+                _record_readers(record, engine, shard_runtime, q.plan, scope)
+        else:
+            entry["shards"] = 1 if sharded else None
+            record = scope_record(PLAIN_SCOPE)
+            record["runtimes"][name] = runtime.snapshot_state()
+            _record_readers(record, engine, runtime, q.plan, PLAIN_SCOPE)
+        queries.append(entry)
+
+    for scope, record in scopes.items():
+        cache = _scope_cache(engine, scope)
+        floor = _scope_window_floor(gateway, record)
+        batch_floors, pane_floors = _cache_floors(record, floor)
+        record["cache"] = cache.snapshot_entries(
+            _scope_cache_names(record),
+            batch_floors=batch_floors,
+            pane_floors=pane_floors,
+        )
+
+    return {
+        "queries": queries,
+        "mqo": None
+        if gateway.mqo is None
+        else gateway.mqo.snapshot_pipelines(),
+        "scopes": scopes,
+    }
+
+
+def _record_readers(
+    record: dict, engine, runtime, plan, scope: tuple
+) -> None:
+    """Capture each of ``plan``'s readers in this scope (once per key)."""
+    n, _key_column, shard = scope
+    for ref in plan.windows:
+        key = StreamEngine.shared_reader_key(ref, plan)
+        if key in record["readers"]:
+            continue
+        reader = runtime.readers[ref.reader_key]
+        if n > 1:
+            key_index = plan.partitioning.stream_keys.get(ref.stream)
+            source = ("sharded", ref.stream, shard, n, key_index)
+            _data, first_ts, _last_ts = engine._materialize(ref.stream)
+            start = plan.start if plan.start is not None else first_ts
+        else:
+            source = ("plain", ref.stream)
+            start = plan.start
+        record["readers"][key] = {
+            "cache_name": reader.stream_name,
+            "stream": ref.stream,
+            "spec": reader.spec,
+            "time_index": reader.time_index,
+            "source": source,
+            "start": start,
+            "state": reader.snapshot_state(),
+            "batch_refs": reader.batch_demand,
+            "pane_refs": reader.pane_demand,
+        }
+
+
+def _scope_window_floor(gateway, record: dict) -> int:
+    """The oldest window id any of the scope's queries can still read.
+
+    ``next_window`` is the id a query's next pulse delivers, so the
+    scope minimum is exact; one window of margin guards the edge slice
+    of the window just delivered."""
+    nexts = [
+        gateway._queries[name].next_window for name in record["runtimes"]
+    ]
+    return max(0, min(nexts, default=0) - 1)
+
+
+def _cache_floors(
+    record: dict, floor: int
+) -> tuple[dict[str, int], dict[str, int]]:
+    """Per-cache-name prune floors for one scope's snapshot.
+
+    Batches and edge slices are keyed by window id; pane slices by pane
+    id, translated through each reader's pane plan (``window_panes`` of
+    the floor window starts at ``floor * panes_per_slide -
+    panes_per_window``).  Readers without a pane decomposition get no
+    pane floor."""
+    batch_floors: dict[str, int] = {}
+    pane_floors: dict[str, int] = {}
+    for reader_record in record["readers"].values():
+        name = reader_record["cache_name"]
+        edge = f"{name}@edge"
+        batch_floors[name] = batch_floors[edge] = floor
+        pane_floors[edge] = floor  # edge slices are keyed by window id
+        plan = pane_plan(reader_record["spec"])
+        if plan is not None:
+            pane_floors[name] = (
+                floor * plan.panes_per_slide - plan.panes_per_window
+            )
+    return batch_floors, pane_floors
+
+
+def _scope_cache_names(record: dict) -> set[str]:
+    names: set[str] = set()
+    for reader_record in record["readers"].values():
+        cache_name = reader_record["cache_name"]
+        names |= {cache_name, f"{cache_name}@edge"}
+    return names
+
+
+def _scope_cache(engine, scope: tuple):
+    if hasattr(engine, "shard_engines"):
+        return engine.shard_engines[scope[2]].cache
+    return engine.cache
+
+
+def _source_factory(engine, descriptor: tuple):
+    """Rebuild a reader's tuple source from its checkpoint descriptor.
+
+    Sources themselves are outside the checkpoint — the recovery engine
+    must have the same streams registered; the descriptor only records
+    how the original reader sliced them (full stream vs partition).
+    """
+    kind = descriptor[0]
+    stream = descriptor[1]
+    source = engine._sources.get(stream)
+    if source is None:
+        raise RecoveryError(
+            f"stream {stream!r} is not registered on the recovery engine"
+        )
+    if kind == "plain":
+        return lambda: iter(source)
+    _, _, shard, n, key_index = descriptor
+    data, _first_ts, last_ts = engine._materialize(stream)
+    return partitioned_tuples(data, shard, n, key_index, last_ts)
+
+
+# -- restore -----------------------------------------------------------------
+
+
+def restore_gateway(engine, gateway_state, scope_records, scheduler=None):
+    """Rebuild a gateway on a freshly constructed ``engine``.
+
+    ``engine`` must match the checkpointed deployment's shape: the same
+    streams and static databases registered, and (when sharded) a pool
+    at least as large as any checkpointed layout.
+    """
+    from ..gateway import GatewayServer, QueryState
+
+    sharded = hasattr(engine, "_groups")
+    gateway = GatewayServer(engine, scheduler=scheduler)
+
+    # 1. Seed resumed readers and cache slices before any registration:
+    # bind() adopts a seeded reader instead of restarting its stream.
+    for scope, record in scope_records.items():
+        n, key_column, shard = scope
+        if not sharded and scope != PLAIN_SCOPE:
+            raise RecoveryError(
+                f"checkpoint scope {scope!r} needs a ShardedEngine behind "
+                "the recovery gateway"
+            )
+        if sharded:
+            target = engine._group(n, key_column).per_shard[shard]
+        else:
+            target = gateway._shared_readers
+        cache = _scope_cache(engine, scope)
+        for key, reader_record in record["readers"].items():
+            state = reader_record["state"]
+            if state is None:
+                continue  # never advanced; bind recreates it verbatim
+            target[key] = SharedWindowReader.resume(
+                reader_record["cache_name"],
+                _source_factory(engine, reader_record["source"]),
+                reader_record["spec"],
+                reader_record["time_index"],
+                cache,
+                state,
+                start=reader_record["start"],
+            )
+        if record.get("cache"):
+            cache.restore_entries(record["cache"])
+
+    # 2. Re-register every plan in original order, then overlay the
+    # checkpointed runtime rings, sink contents and lifecycle state.
+    for entry in gateway_state["queries"]:
+        name = entry["name"]
+        registered = gateway.register(
+            entry["plan"],
+            name=name,
+            sink_capacity=entry["sink"]["capacity"],
+            sink_policy=entry["sink"]["policy"],
+            window_limit=entry["window_limit"],
+            shards=entry["shards"],
+        )
+        runtime = registered.runtime
+        if "sharded" in entry:
+            if not isinstance(runtime, ShardedPlanRuntime):
+                raise RecoveryError(
+                    f"query {name!r} re-bound unsharded; the recovery "
+                    "engine disagrees with the checkpointed layout"
+                )
+            runtime.restore_state(entry["sharded"])
+            n = runtime.num_shards
+            key_column = runtime.decision.key_column
+            for shard, shard_runtime in enumerate(runtime.shard_runtimes):
+                record = scope_records.get((n, key_column, shard))
+                if record is None or name not in record["runtimes"]:
+                    raise RecoveryError(
+                        f"checkpoint lacks scope state for query {name!r} "
+                        f"shard {shard} of layout ({n}, {key_column!r})"
+                    )
+                shard_runtime.restore_state(record["runtimes"][name])
+        else:
+            record = scope_records.get(PLAIN_SCOPE)
+            if record is None or name not in record["runtimes"]:
+                raise RecoveryError(
+                    f"checkpoint lacks runtime state for query {name!r}"
+                )
+            runtime.restore_state(record["runtimes"][name])
+        registered.sink.restore(
+            entry["sink"]["results"],
+            accepted=entry["sink"]["accepted"],
+            dropped=entry["sink"]["dropped"],
+        )
+        registered.next_window = entry["next_window"]
+        state = QueryState(entry["state"])
+        if state is not QueryState.REGISTERED:
+            if state.is_terminal:
+                registered._set_state(state)
+            else:
+                registered.state = state
+
+    # 3. Shared-pipeline (MQO) overlay: memoized per-pane results whose
+    # scoped signature keys re-derived identically at re-registration.
+    if gateway.mqo is not None and gateway_state.get("mqo"):
+        gateway.mqo.restore_pipelines(gateway_state["mqo"])
+
+    _audit_demand(gateway, scope_records)
+    return gateway
+
+
+def _scope_readers(gateway, scope: tuple) -> dict:
+    engine = gateway.engine
+    if hasattr(engine, "_groups"):
+        n, key_column, shard = scope
+        group = engine._groups.get((n, key_column))
+        return {} if group is None else group.per_shard[shard]
+    return gateway._shared_readers
+
+
+def _audit_demand(gateway, scope_records) -> None:
+    """Recovered demand refcounts must equal the checkpointed ones.
+
+    Demand references are *re-derived* (each runtime re-takes its own at
+    restore), so a divergence means a query rebound differently than it
+    ran — fail loudly rather than hand back an engine whose incremental
+    machinery silently degraded.
+    """
+    mismatches = []
+    for scope, record in scope_records.items():
+        live = _scope_readers(gateway, scope)
+        for key, reader_record in record["readers"].items():
+            reader = live.get(key)
+            if reader is None:
+                mismatches.append(f"{scope}: reader {key!r} not rebound")
+                continue
+            expected = (reader_record["batch_refs"], reader_record["pane_refs"])
+            actual = (reader.batch_demand, reader.pane_demand)
+            if expected != actual:
+                mismatches.append(
+                    f"{scope}: reader {key!r} demand (batch, pane)="
+                    f"{actual} != checkpointed {expected}"
+                )
+    if mismatches:
+        raise RecoveryError(
+            "recovered demand refcounts diverge from the checkpoint: "
+            + "; ".join(mismatches)
+        )

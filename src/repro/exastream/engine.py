@@ -160,6 +160,14 @@ class BoundedResultSink:
             self._buffer.popleft()
             self.dropped += 1
 
+    def restore(
+        self, results: list[WindowResult], accepted: int = 0, dropped: int = 0
+    ) -> None:
+        """Replace buffered contents and counters (checkpoint recovery)."""
+        self._buffer = deque(results)
+        self.accepted = accepted
+        self.dropped = dropped
+
 
 # equi-join decomposition and alias collection live in .plan (shared
 # with the pane-join analysis); re-exported names kept for callers
@@ -298,6 +306,69 @@ class PlanRuntime:
         for reader in self._pane_demanded:
             reader.release_panes()
         self._pane_demanded.clear()
+
+    # -- checkpoint / restore -----------------------------------------------
+
+    def _reader_key_of(self, reader: SharedWindowReader) -> str:
+        for key, bound in self.readers.items():
+            if bound is reader:
+                return key
+        raise KeyError("reader is not bound to this runtime")
+
+    def snapshot_state(self) -> dict:
+        """Picklable incremental state: pane ring, per-side pane rings,
+        pane-pair partial ring, break flag, and which readers this
+        binding currently holds demand references on (by reader key).
+
+        Compiled closures and the lazy pane/join contexts are *not*
+        state — they rebuild deterministically on first use after
+        :meth:`restore_state`.
+        """
+        return {
+            "pane_ring": self._pane_ring,
+            "side_rings": self._side_rings,
+            "pair_ring": self._pair_ring,
+            "pane_join_broken": self._pane_join_broken,
+            "batch_demanded": [
+                self._reader_key_of(r) for r in self._batch_demanded
+            ],
+            "pane_demanded": [
+                self._reader_key_of(r) for r in self._pane_demanded
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overlay checkpointed incremental state onto a freshly bound
+        runtime, re-declaring demand exactly as checkpointed.
+
+        ``__post_init__`` declared bind-time demand; a checkpoint taken
+        after a pane break recorded the *switched* demand (panes
+        released, batches taken), so restore drops the bind-time
+        references and takes the recorded ones instead — post-recovery
+        reader refcounts equal the pre-crash ones.
+        """
+        self._pane_ring = state["pane_ring"]
+        rings = state["side_rings"]
+        self._side_rings = (rings[0], rings[1])
+        self._pair_ring = state["pair_ring"]
+        self._pane_join_broken = state["pane_join_broken"]
+        # Take the recorded references before dropping the bind-time
+        # ones: a reader whose pane refcount transiently hit zero would
+        # reset its resumed slicer position.
+        old_batch, old_pane = self._batch_demanded, self._pane_demanded
+        self._batch_demanded, self._pane_demanded = [], []
+        for key in state["batch_demanded"]:
+            reader = self.readers[key]
+            reader.demand_batches()
+            self._batch_demanded.append(reader)
+        for key in state["pane_demanded"]:
+            reader = self.readers[key]
+            reader.demand_panes()
+            self._pane_demanded.append(reader)
+        for reader in old_batch:
+            reader.release_batches()
+        for reader in old_pane:
+            reader.release_panes()
 
     def _compile(self, expr: Expr, relation: Relation):
         """Memoized :func:`compile_expr` for this binding."""

@@ -243,6 +243,23 @@ class GatewayServer:
         #: invariants on every register/deregister and whenever a step
         #: drains (CI sets REPRO_AUDIT=1; read-only, output-identical)
         self.audit = bool(os.environ.get("REPRO_AUDIT"))
+        #: attached durability layer (see
+        #: :class:`repro.exastream.durability.CheckpointManager`);
+        #: ``on_pulse()`` fires after every executed window
+        self.checkpointer = None
+        #: sharing-analysis indexes maintained per registration so the
+        #: advisory ``check_sharing`` pass stops scanning every live
+        #: query (O(N) total across N registrations instead of O(N²)):
+        #: signature-key -> query names, plus each query's cached
+        #: conjunctive-query encoding and its window-predicate index for
+        #: containment candidate pruning.
+        self._sig_by_query: dict[str, object] = {}
+        self._sig_relation: dict[str, set[str]] = {}
+        self._sig_aggregate: dict[str, set[str]] = {}
+        self._sig_side: dict[str, set[str]] = {}
+        self._cq_by_query: dict[str, object] = {}
+        self._cq_preds: dict[str, frozenset] = {}
+        self._cq_windex: dict[str, set[str]] = {}
 
     # -- registration ----------------------------------------------------------
 
@@ -290,7 +307,7 @@ class GatewayServer:
         # repro.analysis imports plan/signature modules from this package.
         from ..analysis import StrictAnalysisError, analyze_plan
         from ..analysis.diagnostics import AnalysisReport
-        from ..analysis.sharing import check_sharing
+        from ..analysis.sharing import check_sharing, index_plan
 
         if strict:
             analysis = analyze_plan(plan, self.engine, gateway=self, name=name)
@@ -333,6 +350,7 @@ class GatewayServer:
             bus=self.bus,
         )
         self._queries[name] = registered
+        index_plan(self, name, plan)
         self.bus.wake()  # a parked serve() loop has new work
         keys = {
             StreamEngine.shared_reader_key(ref, plan) for ref in plan.windows
@@ -411,7 +429,10 @@ class GatewayServer:
         """
         if name not in self._queries:
             raise QueryNotFound(name)
+        from ..analysis.sharing import unindex_plan
+
         registered = self._queries.pop(name)
+        unindex_plan(self, name)
         registered.cancel()
         release_demand = getattr(registered.runtime, "release_demand", None)
         if release_demand is not None:  # drop batch-demand references
@@ -515,6 +536,11 @@ class GatewayServer:
         # subscriber callback already cancelled the query mid-delivery
         if limit is not None and registered.next_window >= limit:
             registered._set_state(QueryState.COMPLETED)
+        if self.checkpointer is not None:
+            # after delivery: a checkpoint taken here captures the sink
+            # with this window already retained, so a recovered run never
+            # re-delivers it (fault injection may raise SimulatedCrash)
+            self.checkpointer.on_pulse()
         return self._EXECUTED
 
     def step(

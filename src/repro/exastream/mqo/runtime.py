@@ -94,6 +94,17 @@ class PaneSideEntry:
             self._indexes[positions] = index
         return index
 
+    def __getstate__(self) -> dict:
+        # Checkpoints drop the derived hash tables: they rebuild on
+        # first probe, and serializing them would multiply the pane's
+        # footprint for no fidelity gain.
+        return {"relation": self.relation, "count": self.count}
+
+    def __setstate__(self, state: dict) -> None:
+        self.relation = state["relation"]
+        self.count = state["count"]
+        self._indexes = {}
+
 
 @dataclass
 class MQOStats:
@@ -271,6 +282,50 @@ class SharedPipelineRegistry:
         the root, so one ``release_query`` call tears down every scope.
         """
         return ScopedPipelineRegistry(self, tag)
+
+    # -- checkpoint support -------------------------------------------------
+
+    def snapshot_pipelines(self) -> dict[str, dict]:
+        """Picklable per-pipeline entries and subscriber frontiers.
+
+        Signature keys (and their scope prefixes) are deterministic
+        functions of the registered plans, so the same keys re-appear
+        when the plans re-register after recovery and the snapshot
+        overlays cleanly.
+        """
+        return {
+            key: {
+                "entries": {
+                    namespace: dict(store)
+                    for namespace, store in pipeline.entries.items()
+                },
+                "frontiers": {
+                    query: dict(frontier)
+                    for query, frontier in pipeline.frontiers.items()
+                },
+            }
+            for key, pipeline in self._pipelines.items()
+        }
+
+    def restore_pipelines(self, snapshot: dict[str, dict]) -> None:
+        """Overlay checkpointed entries/frontiers onto live pipelines.
+
+        Only pipelines that exist (their subscribers re-registered) are
+        touched, and only frontiers of live subscribers are restored —
+        sharing is memoizing, so a missing overlay costs recomputation,
+        never correctness.
+        """
+        for key, state in snapshot.items():
+            pipeline = self._pipelines.get(key)
+            if pipeline is None:
+                continue
+            pipeline.entries = {
+                namespace: dict(store)
+                for namespace, store in state["entries"].items()
+            }
+            for query, frontier in state["frontiers"].items():
+                if query in pipeline.frontiers:
+                    pipeline.frontiers[query] = dict(frontier)
 
 
 class ScopedPipelineRegistry:

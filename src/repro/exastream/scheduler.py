@@ -351,7 +351,11 @@ class Scheduler:
                 out[shard] = placement.worker
         return out
 
-    def rebalance(self, threshold: float = 1.25) -> list[tuple[str, str, int, int]]:
+    def rebalance(
+        self,
+        threshold: float = 1.25,
+        on_move=None,
+    ) -> list[tuple[str, str, int, int]]:
         """Migrate shard placements off overloaded workers.
 
         Repeatedly moves the heaviest movable shard from the most loaded
@@ -359,6 +363,16 @@ class Scheduler:
         ``threshold`` and each move strictly lowers the maximum load.
         Scan placements never move (their window cache is node-local).
         Returns ``(query, operator, from_worker, to_worker)`` moves.
+
+        ``on_move(query, operator, from_worker, to_worker)`` is invoked
+        after each accounting move so the caller can perform the actual
+        state handoff — e.g.
+        :func:`repro.exastream.durability.migrate_query`, which moves
+        the query's live runtime rings, reader positions and cache
+        slices to the destination instead of recomputing from the
+        stream head.  A callback exception aborts the rebalance after
+        reverting the failed move, so accounting never claims a
+        migration that did not happen.
         """
         moves: list[tuple[str, str, int, int]] = []
         while self.balance() > threshold:
@@ -381,6 +395,16 @@ class Scheduler:
             placement = best[1]
             source.release(placement)
             target.assign(placement)
+            if on_move is not None:
+                try:
+                    on_move(
+                        placement.query, placement.operator,
+                        source.node_id, target.node_id,
+                    )
+                except BaseException:
+                    target.release(placement)
+                    source.assign(placement)
+                    raise
             moves.append(
                 (placement.query, placement.operator,
                  source.node_id, target.node_id)

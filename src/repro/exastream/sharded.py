@@ -28,6 +28,7 @@ import multiprocessing
 import sys
 from collections.abc import Iterator
 
+from ..errors import RecoveryError
 from ..relational import Database
 from ..streams import SharedWindowReader, StreamSource
 from .engine import PlanRuntime, StreamEngine, WindowResult
@@ -282,6 +283,42 @@ class ShardedPlanRuntime:
             release = getattr(runtime, "release_demand", None)
             if release is not None:
                 release()
+
+    # -- checkpoint / restore -----------------------------------------------
+
+    @property
+    def shard_runtimes(self) -> list[PlanRuntime]:
+        """The per-shard bindings (the durability layer snapshots their
+        incremental state shard-by-shard)."""
+        return list(self._shard_runtimes)
+
+    def snapshot_state(self) -> dict:
+        """Picklable coordinator state: prefetched-but-unmerged payload
+        buffers and the fetch cursor.  Per-shard incremental state is
+        snapshotted separately via :attr:`shard_runtimes` (it belongs to
+        each shard's checkpoint scope).
+
+        Fork-parallel runtimes hold their state in child processes and
+        cannot be checkpointed; they raise :class:`RecoveryError`.
+        """
+        if self.parallel == "fork":
+            raise RecoveryError(
+                f"query {self.plan.name!r} runs fork-parallel shards; "
+                "worker state lives in child processes and cannot be "
+                "checkpointed (use parallel='serial')"
+            )
+        return {
+            "buffers": [dict(buffer) for buffer in self._buffers],
+            "exhausted": list(self._exhausted),
+            "next_fetch": self._next_fetch,
+            "done": self._done,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._buffers = [dict(buffer) for buffer in state["buffers"]]
+        self._exhausted = list(state["exhausted"])
+        self._next_fetch = state["next_fetch"]
+        self._done = state["done"]
 
     def close(self) -> None:
         if self._closed:

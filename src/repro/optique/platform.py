@@ -31,6 +31,7 @@ from ..exastream import (
     GatewayServer,
     Scheduler,
     ShardedEngine,
+    Stopwatch,
     StreamEngine,
 )
 from ..mappings import MappingCollection
@@ -247,7 +248,12 @@ class OptiquePlatform:
         Dashboard panels update as results arrive through each query's
         subscribers.  Returns wall-clock seconds.
         """
-        return self.gateway.run(max_windows=max_windows)
+        watch = Stopwatch()
+        while self.gateway.step(window_limit=max_windows):
+            pass
+        elapsed = watch.elapsed()
+        self.engine.metrics.wall_seconds += elapsed
+        return elapsed
 
     def task(self, name: str) -> RegisteredTask:
         return self._tasks[name]

@@ -11,7 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..exastream import GatewayServer, Scheduler, ShardedEngine, StreamEngine
+from ..exastream import (
+    GatewayServer,
+    Scheduler,
+    ShardedEngine,
+    Stopwatch,
+    StreamEngine,
+)
 from ..mappings import (
     ColumnSpec,
     MappingAssertion,
@@ -260,7 +266,12 @@ class SiemensDeployment:
 
     def run(self, max_windows: int | None = None) -> float:
         """Drive all registered tasks; returns wall seconds."""
-        return self.gateway.run(max_windows=max_windows)
+        watch = Stopwatch()
+        while self.gateway.step(window_limit=max_windows):
+            pass
+        elapsed = watch.elapsed()
+        self.engine.metrics.wall_seconds += elapsed
+        return elapsed
 
 
 def deploy(

@@ -10,6 +10,7 @@ from .window import (
     PanePlan,
     PaneSlice,
     PaneWindow,
+    PulseResume,
     WindowBatch,
     WindowSpec,
     pane_plan,
@@ -39,6 +40,7 @@ __all__ = [
     "PanePlan",
     "PaneSlice",
     "PaneWindow",
+    "PulseResume",
     "WindowBatch",
     "WindowSpec",
     "pane_plan",

@@ -14,8 +14,9 @@ it, the first reader pays the materialisation and later readers answer
 from __future__ import annotations
 
 import math
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
+from itertools import islice
 from collections.abc import Callable, Iterator
 from typing import Any
 
@@ -23,6 +24,7 @@ from .window import (
     PanePlan,
     PaneSlice,
     PaneWindow,
+    PulseResume,
     WindowBatch,
     WindowPulse,
     WindowSpec,
@@ -138,6 +140,56 @@ class WindowCache:
     def __contains__(self, key: tuple[str, int]) -> bool:
         return key in self._store
 
+    # -- checkpoint support -------------------------------------------------
+
+    def snapshot_entries(
+        self,
+        names: set[str],
+        *,
+        batch_floors: dict[str, int] | None = None,
+        pane_floors: dict[str, int] | None = None,
+    ) -> dict[str, list]:
+        """Cached batches and pane slices under the given stream/edge
+        names, in LRU order (oldest first) — the durability layer's view
+        of one reader scope's cache footprint.
+
+        The floor mappings prune entries below a per-name id (window id
+        for ``batch_floors``, pane id for ``pane_floors``): once every
+        query sharing a reader has moved past a window, its entries can
+        never be asked for again, so checkpoints stay flat-sized over
+        the run instead of growing with the cache."""
+        batch_floors = batch_floors or {}
+        pane_floors = pane_floors or {}
+
+        def keep(key: tuple[str, int], floors: dict[str, int]) -> bool:
+            if key[0] not in names:
+                return False
+            floor = floors.get(key[0])
+            # Pane ids may be negative (pre-anchor partial windows), so
+            # an absent floor means "keep everything", not ">= 0".
+            return floor is None or key[1] >= floor
+
+        return {
+            "batches": [
+                (key, batch)
+                for key, batch in self._store.items()
+                if keep(key, batch_floors)
+            ],
+            "panes": [
+                (key, pane)
+                for key, pane in self._panes.items()
+                if keep(key, pane_floors)
+            ],
+        }
+
+    def restore_entries(self, entries: dict[str, list]) -> None:
+        """Re-insert checkpointed entries through the normal put paths
+        (capacity limits and eviction apply as usual)."""
+        for (name, _), batch in entries["batches"]:
+            self.put(name, batch)
+        for (name, _), pane in entries["panes"]:
+            self.put_pane(name, pane)
+
 
 class SharedWindowReader:
     """Demand-driven windowing of one stream, shared across queries.
@@ -207,6 +259,14 @@ class SharedWindowReader:
     @property
     def stream_name(self) -> str:
         return self._stream_name
+
+    @property
+    def spec(self) -> WindowSpec:
+        return self._spec
+
+    @property
+    def time_index(self) -> int:
+        return self._time_index
 
     @property
     def pane_plan(self) -> PanePlan | None:
@@ -560,3 +620,102 @@ class SharedWindowReader:
                 return
             yield batch
             window_id += 1
+
+    # -- checkpoint / resume ------------------------------------------------
+
+    @property
+    def cache_names(self) -> set[str]:
+        """The cache key names this reader populates (stream + edge)."""
+        return {self._stream_name, self._edge_name}
+
+    def snapshot_state(self) -> dict[str, Any] | None:
+        """Picklable mid-stream position, or ``None`` if the reader has
+        never advanced (a freshly constructed reader reproduces it).
+
+        Captured at a quiescent point — the pulse generator suspended at
+        its last yield — so the recorded ``processed`` count plus the
+        live buffer fully determine every pulse still to come (see
+        :class:`~repro.streams.window.PulseResume`).  Demand refcounts
+        are *not* part of the state: they are re-derived when runtimes
+        rebind after recovery (and audited against the checkpoint).
+        """
+        pulse = self._last_pulse
+        if pulse is None and not self._exhausted:
+            return None
+        return {
+            "exhausted": self._exhausted,
+            "max_seen": self._max_seen,
+            "pane_broken": self._pane_broken,
+            "pane_latched": self._pane_latched,
+            "pane_valid_until": self._pane_valid_until,
+            "next_pane": self._next_pane,
+            "carry": list(self._carry),
+            "pulse": None
+            if pulse is None
+            else {
+                "window_id": pulse.window_id,
+                "start": pulse.start,
+                "end": pulse.end,
+                "anchor": pulse.anchor,
+                "buffer": list(pulse.buffer),
+                "processed": pulse.processed,
+                "eos": pulse.eos,
+            },
+        }
+
+    @classmethod
+    def resume(
+        cls,
+        stream_name: str,
+        tuples: Iterator[tuple[Any, ...]] | Callable[[], Iterator[tuple[Any, ...]]],
+        spec: WindowSpec,
+        time_index: int,
+        cache: WindowCache,
+        state: dict[str, Any],
+        start: float | None = None,
+    ) -> SharedWindowReader:
+        """Rebuild a reader mid-stream from :meth:`snapshot_state`.
+
+        ``tuples`` must replay the *same* source from the beginning; the
+        resume path skips the checkpointed ``processed`` prefix and the
+        restarted pulse generator yields exactly the pulses the original
+        had not produced yet.
+        """
+        reader = cls(stream_name, iter(()), spec, time_index, cache, start)
+        pulse_state = state["pulse"]
+        if pulse_state is not None:
+            source = tuples() if callable(tuples) else tuples
+            resume_point = PulseResume(
+                anchor=pulse_state["anchor"],
+                next_window=pulse_state["window_id"] + 1,
+                buffer=pulse_state["buffer"],
+                processed=pulse_state["processed"],
+                eos=pulse_state["eos"],
+            )
+            reader._pulses = time_window_pulses(
+                islice(iter(source), pulse_state["processed"], None),
+                spec,
+                time_index,
+                start,
+                resume=resume_point,
+            )
+            # Re-materialised last pulse: window() can still serve the
+            # checkpointed window from the (restored) live buffer.
+            reader._last_pulse = WindowPulse(
+                pulse_state["window_id"],
+                pulse_state["start"],
+                pulse_state["end"],
+                [],
+                deque(pulse_state["buffer"]),
+                pulse_state["anchor"],
+                pulse_state["processed"],
+                pulse_state["eos"],
+            )
+        reader._exhausted = state["exhausted"]
+        reader._max_seen = state["max_seen"]
+        reader._pane_broken = state["pane_broken"]
+        reader._pane_latched = state["pane_latched"]
+        reader._pane_valid_until = state["pane_valid_until"]
+        reader._next_pane = state["next_pane"]
+        reader._carry = list(state["carry"])
+        return reader

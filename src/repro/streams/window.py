@@ -21,6 +21,7 @@ __all__ = [
     "WindowSpec",
     "WindowBatch",
     "WindowPulse",
+    "PulseResume",
     "Heartbeat",
     "time_sliding_window",
     "time_window_pulses",
@@ -107,6 +108,13 @@ class WindowPulse:
     #: the pulse grid anchor — pane slicing re-derives window boundaries
     #: with the exact float expressions batch assembly uses
     anchor: float = 0.0
+    #: source items fully consumed when this pulse was yielded — a
+    #:  triggering item still in flight is *not* counted, so a resumed
+    #:  generator re-reads it and replays exactly the pending pulses
+    processed: int = 0
+    #: pulse came from the end-of-stream drain: nothing follows it, and
+    #: a resume from it must not re-run that drain
+    eos: bool = False
 
     def materialise(self, time_index: int) -> WindowBatch:
         """Assemble the full CQL batch from the live buffer (O(range))."""
@@ -115,11 +123,32 @@ class WindowPulse:
         return WindowBatch(self.window_id, start, end, contents)
 
 
+@dataclass(frozen=True, slots=True)
+class PulseResume:
+    """Where to pick a pulse generator back up after a checkpoint.
+
+    Captured from the last pulse a consumer saw: the grid ``anchor``,
+    the ``next_window`` to emit, the live ``buffer`` contents, and how
+    many source items were fully ``processed`` (the caller skips that
+    many before handing the source back in).  ``eos`` marks a resume
+    from the end-of-stream drain pulse — the resumed generator yields
+    nothing, matching an uninterrupted run that was already past its
+    final drain.
+    """
+
+    anchor: float
+    next_window: int
+    buffer: tuple[tuple[Any, ...], ...] | list[tuple[Any, ...]]
+    processed: int = 0
+    eos: bool = False
+
+
 def time_window_pulses(
     tuples: Iterable[tuple[Any, ...] | Heartbeat],
     spec: WindowSpec,
     time_index: int,
     start: float | None = None,
+    resume: PulseResume | None = None,
 ) -> Iterator[WindowPulse]:
     """Stream tuples into window pulses (the lazy core of
     :func:`time_sliding_window`).
@@ -128,13 +157,25 @@ def time_window_pulses(
     timestamp is used (the window closing exactly at that instant fires
     first).  Windows are emitted as soon as event time passes their end
     (watermark = max seen timestamp, no lateness).
-    """
-    buffer: deque[tuple[Any, ...]] = deque()
-    fresh: list[tuple[Any, ...]] = []
-    anchor: float | None = start
-    next_window = 0
 
-    def drain_until(watermark: float) -> Iterator[WindowPulse]:
+    ``resume`` restarts the generator mid-stream from checkpointed
+    state: the caller skips ``resume.processed`` source items and the
+    generator continues as if it had consumed them itself.  A pulse's
+    triggering item is never counted as processed, so re-reading it
+    re-yields exactly the pulses the pre-checkpoint run had not yet
+    delivered — byte-identical to an uninterrupted run.
+    """
+    if resume is not None and resume.eos:
+        return
+    buffer: deque[tuple[Any, ...]] = (
+        deque(resume.buffer) if resume is not None else deque()
+    )
+    fresh: list[tuple[Any, ...]] = []
+    anchor: float | None = resume.anchor if resume is not None else start
+    next_window = resume.next_window if resume is not None else 0
+    processed = resume.processed if resume is not None else 0
+
+    def drain_until(watermark: float, eos: bool = False) -> Iterator[WindowPulse]:
         nonlocal next_window, fresh
         assert anchor is not None
         while anchor + next_window * spec.slide_seconds <= watermark:
@@ -143,7 +184,9 @@ def time_window_pulses(
             while buffer and buffer[0][time_index] < begin:
                 buffer.popleft()
             delivered, fresh = fresh, []
-            yield WindowPulse(next_window, begin, end, delivered, buffer, anchor)
+            yield WindowPulse(
+                next_window, begin, end, delivered, buffer, anchor, processed, eos
+            )
             next_window += 1
 
     for item in tuples:
@@ -152,6 +195,7 @@ def time_window_pulses(
                 anchor = item.ts
             if item.ts > anchor + next_window * spec.slide_seconds:
                 yield from drain_until(_previous_pulse(anchor, spec, item.ts))
+            processed += 1
             continue
         timestamp = item[time_index]
         if anchor is None:
@@ -163,8 +207,11 @@ def time_window_pulses(
             )
         buffer.append(item)
         fresh.append(item)
+        processed += 1
     if anchor is not None:
-        yield from drain_until(anchor + next_window * spec.slide_seconds)
+        yield from drain_until(
+            anchor + next_window * spec.slide_seconds, eos=True
+        )
 
 
 def time_sliding_window(

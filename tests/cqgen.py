@@ -19,6 +19,12 @@ Everything is deterministic under a caller-provided ``random.Random``.
 """
 
 from repro.exastream import GatewayServer, ShardedEngine, StreamEngine, plan_sql
+from repro.exastream.durability import (
+    CheckpointManager,
+    FaultInjector,
+    SimulatedCrash,
+    recover,
+)
 from repro.relational import Column, Database, Schema, SQLType, Table
 from repro.streams import ListSource, Stream, StreamSchema
 
@@ -31,6 +37,8 @@ __all__ = [
     "run_engine",
     "snapshot",
     "run_concurrently",
+    "run_checkpointed",
+    "recover_and_finish",
     "random_single_stream_sql",
     "random_family",
     "random_join_sql",
@@ -188,6 +196,68 @@ def run_concurrently(sqls, engine, shards=1):
     for q in registered:
         gateway.deregister(q.name)
     return out, gateway
+
+
+# -- fault-injection / recovery drivers ---------------------------------------
+
+
+def run_checkpointed(
+    sqls,
+    directory,
+    *,
+    shards=1,
+    interval=1,
+    faults=None,
+    engine_kwargs=None,
+    **checkpoint_kwargs,
+):
+    """Run the workload under a :class:`CheckpointManager`.
+
+    Registers every query as ``q{i}``, steps to exhaustion (or until an
+    injected :class:`SimulatedCrash` kills the engine), and returns
+    ``(snapshots_or_None, crashed)`` — snapshots only when the run
+    survived.  The crashed engine and gateway are discarded either way,
+    exactly like a dead process.
+    """
+    engine = build_engine(shards=shards, **(engine_kwargs or {}))
+    gateway = GatewayServer(engine)
+    registered = [
+        gateway.register(
+            sql, name=f"q{i}", shards=shards if shards > 1 else None
+        )
+        for i, sql in enumerate(sqls)
+    ]
+    CheckpointManager(
+        gateway, directory, interval=interval, faults=faults,
+        **checkpoint_kwargs,
+    )
+    try:
+        while gateway.step():
+            pass
+    except SimulatedCrash:
+        return None, True
+    return [snapshot(q) for q in registered], False
+
+
+def recover_and_finish(sqls, directory, *, shards=1, engine_kwargs=None):
+    """Recover from ``directory`` on a fresh engine and run to the end.
+
+    Falls back to registering ``sqls`` from scratch when no usable
+    checkpoint exists (the graceful-degradation path).  Returns
+    ``(snapshots, recovered)``.
+    """
+    engine = build_engine(shards=shards, **(engine_kwargs or {}))
+    gateway = recover(directory, engine)
+    recovered = gateway is not None
+    if gateway is None:
+        gateway = GatewayServer(engine)
+        for i, sql in enumerate(sqls):
+            gateway.register(
+                sql, name=f"q{i}", shards=shards if shards > 1 else None
+            )
+    while gateway.step():
+        pass
+    return [snapshot(gateway.query(f"q{i}")) for i in range(len(sqls))], recovered
 
 
 # -- seeded random query generators -------------------------------------------

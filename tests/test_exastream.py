@@ -178,7 +178,8 @@ class TestPlannerAndGateway:
             "FROM timeSlidingWindow(S_Msmt, 4, 2) AS w GROUP BY w.sid",
             name="avg",
         )
-        gateway.run()
+        while gateway.step():
+            pass
         assert len(q.results()) > 0
         first = q.results()[0]
         assert first.columns == ["sensor", "m"]
@@ -192,7 +193,8 @@ class TestPlannerAndGateway:
             "WHERE w.sid = s.sid GROUP BY s.assembly",
             name="join",
         )
-        gateway.run(max_windows=3)
+        while gateway.step(window_limit=3):
+            pass
         result = q.results()[2]
         assert dict((r[0], r[1]) for r in result.rows) == {
             "rotor": 5,
@@ -208,7 +210,8 @@ class TestPlannerAndGateway:
             "WHERE w.sid = 1 AND w.val > 52",
             name="filtered",
         )
-        gateway.run(max_windows=4)
+        while gateway.step(window_limit=4):
+            pass
         values = [row for r in q.results() for row in r.rows]
         assert values and all(v > 52 for _, v in values)
 
@@ -221,7 +224,8 @@ class TestPlannerAndGateway:
             "GROUP BY w.sid HAVING MAX(w.val) > 56",
             name="hv",
         )
-        gateway.run()
+        while gateway.step():
+            pass
         for result in q.results():
             for row in result.rows:
                 assert row[1] > 56
@@ -233,7 +237,8 @@ class TestPlannerAndGateway:
             "SELECT COUNT(*) AS n FROM timeSlidingWindow(S_Msmt, 2, 2) AS w",
             name="count",
         )
-        gateway.run(max_windows=2)
+        while gateway.step(window_limit=2):
+            pass
         assert q.results()[1].rows[0][0] == 6  # ts in [0,2] x 2 sensors
 
     def test_sequence_udf_in_sql(self):
@@ -244,7 +249,8 @@ class TestPlannerAndGateway:
             "FROM timeSlidingWindow(S_Msmt, 10, 1) AS w GROUP BY w.sid",
             name="mono",
         )
-        gateway.run(max_windows=10)
+        while gateway.step(window_limit=10):
+            pass
         final = dict(q.results()[9].rows)
         assert final[1] is True and final[2] is False
 
@@ -285,7 +291,8 @@ class TestPlannerAndGateway:
         )
         gateway.register(sql, name="a")
         gateway.register(sql, name="b")
-        gateway.run(max_windows=4)
+        while gateway.step(window_limit=4):
+            pass
         # second query hits the cache populated by the first (batch hits
         # on the recompute path, pane hits on the incremental path)
         stats = engine.cache.stats
@@ -298,7 +305,8 @@ class TestPlannerAndGateway:
             "SELECT w.ts AS t FROM timeSlidingWindow(S_Msmt, 2, 2) AS w",
             name="m",
         )
-        gateway.run()
+        while gateway.step():
+            pass
         metrics = engine.metrics.per_query["m"]
         assert metrics.tuples_in > 0
         assert metrics.windows_processed > 0

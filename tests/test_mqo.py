@@ -554,3 +554,45 @@ class TestBatchDemandRefcount:
         while gateway.step():
             pass
         assert shared == snapshot(q)
+
+
+class TestRegistrationCost:
+    """Registering the Nth query must not rescan the N-1 live ones."""
+
+    def test_sharing_analysis_is_linear_in_registrations(self, monkeypatch):
+        import repro.analysis.sharing as sharing
+
+        calls = {"signature": 0, "cq": 0}
+        real_sig, real_cq = sharing.plan_signature, sharing.plan_as_cq
+
+        def counted_sig(plan):
+            calls["signature"] += 1
+            return real_sig(plan)
+
+        def counted_cq(plan):
+            calls["cq"] += 1
+            return real_cq(plan)
+
+        monkeypatch.setattr(sharing, "plan_signature", counted_sig)
+        monkeypatch.setattr(sharing, "plan_as_cq", counted_cq)
+
+        n = 12
+        gateway = GatewayServer(build_engine())
+        for i in range(n):
+            r, s = (5, 5) if i % 2 else (20, 5)
+            gateway.register(
+                f"SELECT w.sid AS s, COUNT(*) AS n FROM"
+                f" timeSlidingWindow(S, {r}, {s}) AS w"
+                f" WHERE w.val > {40 + (i % 2)} GROUP BY w.sid",
+                name=f"q{i}",
+            )
+        # The sharing index gives each registration constant analysis
+        # work: one signature + one CQ encoding for check_sharing, the
+        # same again for index_plan.  The pre-index peer scan re-derived
+        # every live query's signature and CQ per registration (~n^2/2).
+        assert calls["signature"] <= 2 * n
+        assert calls["cq"] <= 2 * n
+        # And the diagnostics still fire: later same-grid queries see
+        # their sharing peers through the index.
+        last = gateway.query("q10")
+        assert any(d.code == "ANA030" for d in last.diagnostics)

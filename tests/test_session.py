@@ -129,7 +129,8 @@ class TestGatewayStep:
             total += n
         ran = GatewayServer(engine_with_data())
         q2 = ran.register(SQL, name="q")
-        ran.run()
+        with pytest.warns(DeprecationWarning):
+            ran.run()
         assert total == q1.next_window == q2.next_window
         assert [r.rows for r in q1.results()] == [r.rows for r in q2.results()]
 
@@ -237,7 +238,8 @@ class TestGatewayStep:
     def test_keep_results_false_retains_bounded_tail(self):
         gateway = GatewayServer(engine_with_data(n_seconds=30))
         q = gateway.register(SQL, name="q")
-        gateway.run(keep_results=False)
+        with pytest.warns(DeprecationWarning):
+            gateway.run(keep_results=False)
         assert q.next_window > GatewayServer.UNKEPT_SINK_CAPACITY
         results = q.results()
         assert 0 < len(results) <= GatewayServer.UNKEPT_SINK_CAPACITY

@@ -146,7 +146,8 @@ class TestCatalog:
         for task in diagnostic_catalog()[:3]:
             dep.register_task(task.starql, name=f"d{task.task_id}")
         dash = Dashboard()
-        dep.gateway.run(max_windows=8, on_result=dash.observe)
+        while dep.gateway.step(on_result=dash.observe, window_limit=8):
+            pass
         assert len(dash.panels) == 3
         rendered = dash.render()
         assert "total alerts" in rendered

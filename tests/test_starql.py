@@ -336,7 +336,8 @@ class TestTranslator:
         result = translator.translate(query, name="fig1")
         gateway = GatewayServer(engine)
         registered = gateway.register(result.plan)
-        gateway.run(max_windows=12)
+        while gateway.step(window_limit=12):
+            pass
         relational = {}
         for wr in registered.results():
             triples = set()
@@ -358,7 +359,8 @@ class TestTranslator:
         result = translator.translate(parse_starql(text), name="avg_task")
         gateway = GatewayServer(engine)
         registered = gateway.register(result.plan)
-        gateway.run(max_windows=12)
+        while gateway.step(window_limit=12):
+            pass
         alerts = [
             result.construct.triples_for(row)[0][0].value
             for wr in registered.results()
