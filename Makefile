@@ -8,7 +8,7 @@ RUFF ?= ruff
 
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-compare bench-recovery coverage examples smoke lint lint-cq test-recovery ci
+.PHONY: test bench bench-smoke bench-compare bench-recovery coverage examples smoke lint lint-cq test-recovery obs-demo ci
 
 test:
 	$(PY) -m pytest -x -q
@@ -49,7 +49,9 @@ bench:
 # MQO + pane-join + event-bus fan-out + durability benches on tiny
 # workloads, with machine-readable results for the workflow artifact.
 # The recovery gates (recovery >= 5x over replay, checkpoint overhead
-# <= 10%) assert in smoke mode too.
+# <= 10%) and the observability gates (registry <= 2%, tracing <= 10%)
+# assert in smoke mode too; the traced run leaves a sample span file
+# at obs-sample-trace.jsonl for the workflow artifact.
 bench-smoke:
 	$(PY) -m pytest benchmarks/bench_session_poll.py \
 		benchmarks/bench_sharded_engine.py \
@@ -58,6 +60,7 @@ bench-smoke:
 		benchmarks/bench_join.py \
 		benchmarks/bench_fanout.py \
 		benchmarks/bench_recovery.py \
+		benchmarks/bench_obs_overhead.py \
 		-q --smoke --benchmark-json=bench-results.json
 
 # The durability gates alone, at full workload scale.
@@ -84,6 +87,14 @@ bench-compare:
 
 smoke:
 	$(PY) -m pytest tests/test_examples_smoke.py -q
+
+# The monitoring surface end to end: run the async dashboard example
+# with tracing on, then render the trace through the `repro.obs` CLI.
+OBS_TRACE ?= obs-demo-trace.jsonl
+obs-demo:
+	rm -f $(OBS_TRACE)
+	REPRO_TRACE=$(OBS_TRACE) $(PY) examples/async_dashboard.py
+	$(PY) -m repro.obs $(OBS_TRACE)
 
 examples:
 	@set -e; for script in examples/*.py; do \

@@ -81,6 +81,7 @@ async def main() -> None:
         executed = await session.serve()
         _, (gauge_seen, gauge_last), pairs = await asyncio.gather(*consumers)
         handle_count = len(session.handles)
+        report = session.metrics()  # registry view before handles close
 
     print(f"served {executed} window executions across "
           f"{handle_count} handles (session closed on exit)")
@@ -102,6 +103,8 @@ async def main() -> None:
           f"fanout x{bus.metrics.fanout:.1f}, "
           f"{bus.metrics.results_dropped} dropped (gauge), "
           f"{bus.metrics.backpressure_deferrals} deferrals (alert log)")
+    print("\nper-task registry view (Session.metrics):")
+    print(report.render())
     print("\nOK: one serving task, three consumers, three delivery contracts.")
 
 

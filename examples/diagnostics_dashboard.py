@@ -40,6 +40,7 @@ def main() -> None:
     print(f"submitted {len(catalog)} STARQL diagnostic tasks "
           f"({fleet_total} unfolded SQL blocks)\n")
 
+    monitor = deployment.monitor()
     started = time.perf_counter()
     rounds = 0
     while session.step(5):
@@ -47,9 +48,16 @@ def main() -> None:
         running = sum(1 for h in session.handles if not h.state.is_terminal)
         print(f"round {rounds}: {running}/{len(catalog)} handles runnable, "
               f"{dashboard.total_alerts()} alerts so far")
+        if rounds % 4 == 0:  # live per-task progress (S2's monitoring view)
+            print()
+            print(monitor.render())
+            print()
     seconds = time.perf_counter() - started
     print()
     print(dashboard.render())
+    print()
+    print("final registry view (throughput / latency percentiles / MQO):")
+    print(session.metrics().render())
 
     stats = deployment.engine.cache.stats
     print(f"\nran in {seconds:.2f}s; wCache: "

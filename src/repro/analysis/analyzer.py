@@ -49,7 +49,47 @@ def analyze_plan(plan, engine, gateway=None, name=None) -> AnalysisReport:
         )
     check_windows(plan, report)
     check_sharing(plan, gateway, report)
+    check_observed(gateway, report)
     return report
+
+
+def check_observed(gateway, report: AnalysisReport) -> None:
+    """Observed per-operator selectivities for this query name (INFO).
+
+    When the deployment's metric registry already carries per-operator
+    rows-in/rows-out counts under the analyzed name — the query ran, or
+    is running — ``explain`` surfaces them: the observed side of the
+    cardinality-estimator feed, next to the static predictions.
+    """
+    snapshot_fn = getattr(gateway, "metrics_snapshot", None)
+    if snapshot_fn is None:
+        return
+    snapshot = snapshot_fn()
+    name = report.query
+    operators = sorted(
+        value
+        for (series, labels) in snapshot.series
+        if series == "operator_rows_in_total" and (("query", name) in labels)
+        for key, value in labels
+        if key == "operator"
+    )
+    for operator in operators:
+        rows_in = snapshot.value(
+            "operator_rows_in_total", query=name, operator=operator
+        )
+        rows_out = snapshot.value(
+            "operator_rows_out_total", query=name, operator=operator
+        )
+        if not rows_in:
+            continue
+        report.add(
+            "ANA040",
+            Severity.INFO,
+            f"observed {operator}: {int(rows_in)} rows in -> "
+            f"{int(rows_out or 0)} out "
+            f"(selectivity {(rows_out or 0) / rows_in:.3f})",
+            hint="live per-operator stats recorded for this query name",
+        )
 
 
 def analyze_starql(

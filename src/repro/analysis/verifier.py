@@ -250,8 +250,9 @@ def verify_gateway(gateway) -> None:
     # -- scheduler bookkeeping ----------------------------------------------
     scheduler = gateway.scheduler
     if scheduler is not None:
-        pipeline_refs = getattr(scheduler, "_pipeline_refs", {})
-        for name in getattr(scheduler, "_by_query", {}):
+        report = scheduler.load_report()
+        pipeline_refs = report.pipeline_refs
+        for name in report.query_costs:
             if name.startswith("mqo::"):
                 # shared-pipeline placements live under the synthetic id
                 # ``mqo::<key>`` for as long as any subscriber holds a ref
@@ -276,7 +277,7 @@ def verify_gateway(gateway) -> None:
                 expected_pipeline_refs[key] = (
                     expected_pipeline_refs.get(key, 0) + 1
                 )
-        if expected_pipeline_refs != dict(pipeline_refs):
+        if expected_pipeline_refs != pipeline_refs:
             violations.append(
                 "scheduler pipeline refcounts do not match the gateway's "
                 f"per-query pipeline keys ({len(pipeline_refs)} vs "
@@ -313,6 +314,13 @@ def verify_gateway(gateway) -> None:
     if checkpointer is not None:
         violations.extend(checkpointer.audit_violations())
 
+    # -- span-tree invariants -----------------------------------------------
+    # Every opened span must close, parent to a live span, and attribute
+    # to a registered query (the tracer records violations as it closes).
+    obs = getattr(gateway, "obs", None)
+    if obs is not None and obs.tracer.enabled:
+        violations.extend(obs.tracer.audit_violations())
+
     # -- everything drains at zero ------------------------------------------
     if not queries:
         for attr in ("_reader_refs", "_reader_keys", "_shared_readers",
@@ -330,12 +338,13 @@ def verify_gateway(gateway) -> None:
                 f"{len(mqo._by_query)} query records"
             )
         if scheduler is not None:
-            if getattr(scheduler, "_pipeline_refs", None):
+            report = scheduler.load_report()
+            if report.pipeline_refs:
                 violations.append(
                     "scheduler pipeline refs not empty after the last "
                     "deregister"
                 )
-            for worker in getattr(scheduler, "workers", ()):
+            for worker in report.workers:
                 if abs(worker.load) > 1e-9:
                     violations.append(
                         f"worker {worker.node_id} load is {worker.load} "

@@ -22,6 +22,7 @@ import tempfile
 from contextlib import contextmanager
 from pathlib import Path
 
+from ..metrics import Stopwatch
 from .log import KIND_GATEWAY, KIND_SCOPE, CheckpointLog
 from .snapshot import restore_gateway, snapshot_gateway
 
@@ -144,6 +145,13 @@ class CheckpointManager:
         # must append strictly newer epochs, never reuse one.
         self.epoch = int(head["epoch"]) if head is not None else 0
         self.pulses = 0
+        # Flush-time series live in the gateway's registry; the span
+        # opened per flush nests under the pulse span (when tracing).
+        self._obs = getattr(gateway, "obs", None)
+        self._h_flush = (
+            self._obs.registry.histogram("checkpoint_flush_seconds")
+            if self._obs is not None and self._obs.enabled else None
+        )
         gateway.checkpointer = self
 
     def _log(self, filename: str) -> CheckpointLog:
@@ -175,8 +183,18 @@ class CheckpointManager:
         the log tail written after it, instead of re-reading the whole
         append-only history.
         """
-        with _gc_paused():
-            return self._checkpoint()
+        obs = self._obs
+        watch = Stopwatch() if self._h_flush is not None else None
+        if obs is not None and obs.tracer.enabled:
+            with obs.span("checkpoint_flush", epoch=self.epoch + 1):
+                with _gc_paused():
+                    epoch = self._checkpoint()
+        else:
+            with _gc_paused():
+                epoch = self._checkpoint()
+        if watch is not None:
+            self._h_flush.observe(watch.elapsed())
+        return epoch
 
     def _checkpoint(self) -> int:
         snap = snapshot_gateway(self.gateway)

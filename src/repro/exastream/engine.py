@@ -14,6 +14,7 @@ from operator import itemgetter
 from collections.abc import Iterator
 from typing import Any
 
+from ..obs import Observability
 from ..relational import Database
 from ..sql import Expr
 from ..streams import (
@@ -211,8 +212,12 @@ class PlanRuntime:
     #: shared-subplan handle (multi-query optimization); ``None`` runs
     #: the binding fully private — output is identical either way
     mqo: MQOBinding | None = None
+    #: the engine's observability bundle (registry + tracer); ``None``
+    #: or a disabled bundle skips histograms/per-operator recording
+    obs: Observability | None = None
 
     def __post_init__(self) -> None:
+        self._bind_obs()
         #: compiled expression closures keyed by (expr identity, relation
         #: schema) — expressions are plan-owned, so one binding compiles
         #: each (expr, schema) pair exactly once across all windows.
@@ -290,6 +295,46 @@ class PlanRuntime:
             for reader in set(self.readers.values()):
                 reader.demand_batches()
                 self._batch_demanded.append(reader)
+
+    def _bind_obs(self) -> None:
+        # -- observability bindings: histograms are bound once here so
+        # the per-window cost is one attribute test + one observe; both
+        # are ``None`` when detailed recording is off.
+        obs = self.obs
+        detailed = obs is not None and obs.enabled
+        self._h_window = (
+            obs.registry.histogram(
+                "window_latency_seconds", query=self.plan.name
+            ) if detailed else None
+        )
+        self._h_pane = (
+            obs.registry.histogram(
+                "pane_build_seconds", query=self.plan.name
+            ) if detailed else None
+        )
+        #: operator name -> (rows_in counter, rows_out counter), bound
+        #: lazily — the observed-selectivity feed for the ROADMAP's
+        #: cardinality estimator
+        self._op_counters: dict[str, tuple] = {}
+        self._detailed = detailed
+        #: which path produced the last window (trace span attribute)
+        self._last_path = "none"
+
+    def rebind_obs(self, obs: Observability | None) -> None:
+        """Re-point every instrument at a new bundle (fork isolation).
+
+        A forked shard worker inherits the parent registry, whose
+        pre-fork counts the parent still reports; the fork child calls
+        this with :meth:`Observability.forked` so it counts only its own
+        post-fork work — the delta the coordinator merges when the
+        snapshot ships back over the worker pipe.
+        """
+        self.obs = obs
+        self.metrics = QueryMetrics(
+            self.plan.name,
+            registry=obs.registry if obs is not None else None,
+        )
+        self._bind_obs()
 
     def release_demand(self) -> None:
         """Release this binding's batch- and pane-demand references
@@ -379,8 +424,45 @@ class PlanRuntime:
             self._compiled[key] = fn
         return fn
 
+    def _record_op(self, operator: str, rows_in: int, rows_out: int) -> None:
+        """Per-operator cardinality stats (the cardinality-estimator feed)."""
+        pair = self._op_counters.get(operator)
+        if pair is None:
+            registry = self.obs.registry
+            pair = (
+                registry.counter("operator_rows_in_total",
+                                 query=self.plan.name, operator=operator),
+                registry.counter("operator_rows_out_total",
+                                 query=self.plan.name, operator=operator),
+            )
+            self._op_counters[operator] = pair
+        pair[0].value += rows_in
+        pair[1].value += rows_out
+
+    def _finish_window(self, watch: Stopwatch, path: str) -> None:
+        elapsed = watch.elapsed()
+        self.metrics.wall_seconds += elapsed
+        self._last_path = path
+        if self._h_window is not None:
+            self._h_window.observe(elapsed)
+
     def execute_window(self, window_id: int) -> WindowResult | None:
-        """Run one window instance; ``None`` when any stream is exhausted."""
+        """Run one window instance; ``None`` when any stream is exhausted.
+
+        Tracing wraps the execution in a ``window`` span; the engine's
+        output is byte-identical either way — spans only observe.
+        """
+        obs = self.obs
+        if obs is None or not obs.tracer.enabled:
+            return self._execute_window(window_id)
+        with obs.span("window", self.plan.name, window=window_id) as span:
+            result = self._execute_window(window_id)
+            span.attrs["path"] = self._last_path
+            if result is not None:
+                span.attrs["rows"] = len(result.rows)
+        return result
+
+    def _execute_window(self, window_id: int) -> WindowResult | None:
         watch = Stopwatch()
         if self._pane_join_active() and not self._pane_join_broken:
             refs = self.plan.windows
@@ -393,7 +475,7 @@ class PlanRuntime:
                 self.metrics.windows_pane_join += 1
                 self.metrics.windows_processed += 1
                 self.metrics.tuples_out += len(rows)
-                self.metrics.wall_seconds += watch.elapsed()
+                self._finish_window(watch, "pane_join")
                 return WindowResult(
                     self.plan.name, window_id, views[-1].end, columns, rows
                 )
@@ -426,7 +508,7 @@ class PlanRuntime:
                 self.metrics.windows_incremental += 1
                 self.metrics.windows_processed += 1
                 self.metrics.tuples_out += len(rows)
-                self.metrics.wall_seconds += watch.elapsed()
+                self._finish_window(watch, "incremental")
                 return WindowResult(
                     self.plan.name, window_id, view.end, columns, rows
                 )
@@ -444,6 +526,7 @@ class PlanRuntime:
         for ref in self.plan.windows:
             batch = self.readers[ref.reader_key].window(window_id)
             if batch is None:
+                self._last_path = "exhausted"
                 return None
             window_end = batch.end
             self.metrics.tuples_in += len(batch)
@@ -452,6 +535,7 @@ class PlanRuntime:
         if self.mqo is not None:
             relation = self.mqo.relation("w", window_id)
         if relation is None:
+            path = "recompute"
             batches = {
                 ref.alias: self._load_batch(ref, batch.tuples)
                 for ref, batch in raw
@@ -461,13 +545,14 @@ class PlanRuntime:
             if self.mqo is not None:
                 self.mqo.put_relation("w", window_id, relation)
         else:
+            path = "mqo_hit"
             self.metrics.mqo_relation_hits += 1
         rows, columns = self._finalize(relation)
         if self.mqo is not None:
             self.mqo.advance("w", window_id + 1)
         self.metrics.windows_processed += 1
         self.metrics.tuples_out += len(rows)
-        self.metrics.wall_seconds += watch.elapsed()
+        self._finish_window(watch, path)
         return WindowResult(self.plan.name, window_id, window_end, columns, rows)
 
     def _load_batch(self, ref: WindowedStreamRef, tuples: list) -> Relation:
@@ -486,15 +571,24 @@ class PlanRuntime:
     def _join_all(self, batches: dict[str, Relation]) -> Relation:
         plan = self.plan
         single_alias = self._single_alias
+        detailed = self._detailed
 
         def load(alias: str) -> Relation:
             if alias in batches:
                 relation = batches[alias]
-                for predicate in single_alias.get(alias, ()):
-                    fn = self._compile(predicate, relation)
-                    relation = Relation(
-                        relation.columns, [r for r in relation.rows if fn(r)]
-                    )
+                predicates = single_alias.get(alias, ())
+                if predicates:
+                    rows_in = len(relation.rows)
+                    for predicate in predicates:
+                        fn = self._compile(predicate, relation)
+                        relation = Relation(
+                            relation.columns,
+                            [r for r in relation.rows if fn(r)],
+                        )
+                    if detailed:
+                        self._record_op(
+                            f"filter:{alias}", rows_in, len(relation.rows)
+                        )
                 return relation
             # statics were filtered once at bind time
             return self.statics[alias].relation
@@ -542,16 +636,21 @@ class PlanRuntime:
                 keys = None
             pending.remove(chosen)
             joined.add(chosen)
+            rows_in = len(current.rows)
             if chosen in self.statics and keys is not None:
                 static = self.statics[chosen]
+                rows_in += len(static.relation.rows)
                 # indexed stream-static join: probe the static hash index
                 current = static.join_probe(current, keys[0], keys[1])
             else:
                 right = load(chosen)
+                rows_in += len(right.rows)
                 if keys is not None:
                     current = hash_join(current, right, keys[0], keys[1])
                 else:
                     current = nested_loop_join(current, right)
+            if self._detailed:
+                self._record_op(f"join:{chosen}", rows_in, len(current.rows))
         return current
 
     def _apply_residual_filters(self, relation: Relation) -> Relation:
@@ -559,6 +658,8 @@ class PlanRuntime:
             return relation
         fns = [self._compile(p, relation) for p in self._residual]
         rows = [r for r in relation.rows if all(fn(r) for fn in fns)]
+        if self._detailed:
+            self._record_op("residual", len(relation.rows), len(rows))
         return Relation(relation.columns, rows)
 
     # -- output stage -----------------------------------------------------------
@@ -598,6 +699,10 @@ class PlanRuntime:
         # Canonical group order: aggregate output is deterministic under
         # any tuple arrival order and any shard count (the sharded merge
         # relies on both sides agreeing on this order).
+        if self._detailed:
+            self._record_op(
+                "aggregate", len(relation.rows), len(result.rows)
+            )
         return sorted(result.rows, key=canonical_row_key), out_columns
 
     def _aggregate_call(
@@ -707,6 +812,25 @@ class PlanRuntime:
             else:
                 self.metrics.mqo_partial_hits += 1
             states.append(edge_state)
+        obs = self.obs
+        if obs is not None and obs.tracer.enabled:
+            with obs.span("combine", self.plan.name, panes=len(states)):
+                rows = self._combine_pane_states(ctx, states)
+        else:
+            rows = self._combine_pane_states(ctx, states)
+        # Panes that slid out of range never come back (window ids are
+        # monotonically non-decreasing): keep exactly one window's worth.
+        low = view.panes[0].pane_id if view.panes else 0
+        for pane_id in [j for j in ring if j < low]:
+            del ring[pane_id]
+        if self.mqo is not None:
+            self.mqo.advance("p", low)
+            self.mqo.advance("e", view.window_id + 1)
+        return rows, list(ctx.combiner.out_columns)
+
+    def _combine_pane_states(
+        self, ctx: _PaneContext, states: list
+    ) -> list[tuple]:
         # Gather each group's partial payloads into per-call slots (cheap
         # list appends), then fold every slot at C speed via the
         # accumulator classes' ``combine``.  Slot order is pane order, so
@@ -737,20 +861,39 @@ class PlanRuntime:
                     index = final.partial_indexes[0]
                     values.append(ctx.factories[index].combine(slots[index]))
             out_rows.append(tuple(values))
-        rows = finalize_rows(
+        return finalize_rows(
             out_rows, ctx.combiner, self.udfs, compiler=self._compile
         )
-        # Panes that slid out of range never come back (window ids are
-        # monotonically non-decreasing): keep exactly one window's worth.
-        low = view.panes[0].pane_id if view.panes else 0
-        for pane_id in [j for j in ring if j < low]:
-            del ring[pane_id]
-        if self.mqo is not None:
-            self.mqo.advance("p", low)
-            self.mqo.advance("e", view.window_id + 1)
-        return rows, list(ctx.combiner.out_columns)
 
     def _pane_partials(
+        self,
+        ctx: _PaneContext,
+        ref: WindowedStreamRef,
+        tuples: list,
+        mqo_key: tuple[str, int] | None = None,
+    ) -> dict[tuple, list]:
+        """Timed/traced wrapper over :meth:`_pane_partials_impl`."""
+        watch = Stopwatch() if self._h_pane is not None else None
+        obs = self.obs
+        if obs is not None and obs.tracer.enabled:
+            before = self.metrics.mqo_relation_hits
+            with obs.span(
+                "pane_build", self.plan.name,
+                kind=mqo_key[0] if mqo_key else "p",
+                pane=mqo_key[1] if mqo_key else -1,
+            ) as span:
+                state = self._pane_partials_impl(ctx, ref, tuples, mqo_key)
+                span.attrs["mqo"] = (
+                    "hit" if self.metrics.mqo_relation_hits > before
+                    else "miss"
+                )
+        else:
+            state = self._pane_partials_impl(ctx, ref, tuples, mqo_key)
+        if watch is not None:
+            self._h_pane.observe(watch.elapsed())
+        return state
+
+    def _pane_partials_impl(
         self,
         ctx: _PaneContext,
         ref: WindowedStreamRef,
@@ -953,6 +1096,40 @@ class PlanRuntime:
                     for slot, entries in zip(slots[1], ordered):
                         slot.extend(entries)
 
+        obs = self.obs
+        if obs is not None and obs.tracer.enabled:
+            with obs.span("combine", self.plan.name, groups=len(merged)):
+                rows = self._combine_pair_states(ctx, merged, probe_is_right)
+        else:
+            rows = self._combine_pair_states(ctx, merged, probe_is_right)
+
+        # Panes that slid out of range never come back: keep one
+        # window's worth per side, and only pair entries both of whose
+        # panes are still live.
+        low_left = views[0].panes[0].pane_id if views[0].panes else 0
+        low_right = views[1].panes[0].pane_id if views[1].panes else 0
+        for ring, low in zip(self._side_rings, (low_left, low_right)):
+            for pane_id in [j for j in ring if j < low]:
+                del ring[pane_id]
+        for pair in [
+            p for p in self._pair_ring
+            if p[0] < low_left or p[1] < low_right
+        ]:
+            del self._pair_ring[pair]
+        if self.mqo is not None:
+            for side, (view, low) in enumerate(
+                zip(views, (low_left, low_right))
+            ):
+                self.mqo.advance_side(side, "p", low)
+                self.mqo.advance_side(side, "e", view.window_id + 1)
+        return rows, list(ctx.combiner.out_columns)
+
+    def _combine_pair_states(
+        self,
+        ctx: _PaneJoinContext,
+        merged: dict[tuple, tuple],
+        probe_is_right: bool,
+    ) -> list[tuple]:
         # Entries carry (a_gid, a_pos, b_gid, b_pos, value); sorting on
         # the four position fields only (never the value: rows of one
         # static expansion share all four, and the stable sort must keep
@@ -998,32 +1175,38 @@ class PlanRuntime:
                         )
                     )
             out_rows.append(tuple(values))
-        rows = finalize_rows(
+        return finalize_rows(
             out_rows, ctx.combiner, self.udfs, compiler=self._compile
         )
 
-        # Panes that slid out of range never come back: keep one
-        # window's worth per side, and only pair entries both of whose
-        # panes are still live.
-        low_left = views[0].panes[0].pane_id if views[0].panes else 0
-        low_right = views[1].panes[0].pane_id if views[1].panes else 0
-        for ring, low in zip(self._side_rings, (low_left, low_right)):
-            for pane_id in [j for j in ring if j < low]:
-                del ring[pane_id]
-        for pair in [
-            p for p in self._pair_ring
-            if p[0] < low_left or p[1] < low_right
-        ]:
-            del self._pair_ring[pair]
-        if self.mqo is not None:
-            for side, (view, low) in enumerate(
-                zip(views, (low_left, low_right))
-            ):
-                self.mqo.advance_side(side, "p", low)
-                self.mqo.advance_side(side, "e", view.window_id + 1)
-        return rows, list(ctx.combiner.out_columns)
-
     def _side_pane(
+        self,
+        side: int,
+        ref: WindowedStreamRef,
+        tuples: list,
+        mqo_key: tuple[str, int],
+    ) -> _SideState:
+        """Timed/traced wrapper over :meth:`_side_pane_impl`."""
+        watch = Stopwatch() if self._h_pane is not None else None
+        obs = self.obs
+        if obs is not None and obs.tracer.enabled:
+            before = self.metrics.mqo_relation_hits
+            with obs.span(
+                "pane_build", self.plan.name,
+                kind=mqo_key[0], pane=mqo_key[1], side=side,
+            ) as span:
+                state = self._side_pane_impl(side, ref, tuples, mqo_key)
+                span.attrs["mqo"] = (
+                    "hit" if self.metrics.mqo_relation_hits > before
+                    else "miss"
+                )
+        else:
+            state = self._side_pane_impl(side, ref, tuples, mqo_key)
+        if watch is not None:
+            self._h_pane.observe(watch.elapsed())
+        return state
+
+    def _side_pane_impl(
         self,
         side: int,
         ref: WindowedStreamRef,
@@ -1066,6 +1249,28 @@ class PlanRuntime:
         return _SideState(entry, relation)
 
     def _pair_partials(
+        self,
+        ctx: _PaneJoinContext,
+        left_id: int,
+        left: _SideState,
+        right_id: int,
+        right: _SideState,
+        probe_is_right: bool,
+    ) -> dict[tuple, tuple]:
+        """Traced wrapper over :meth:`_pair_partials_impl`."""
+        obs = self.obs
+        if obs is not None and obs.tracer.enabled:
+            with obs.span(
+                "pane_pair", self.plan.name, left=left_id, right=right_id,
+            ):
+                return self._pair_partials_impl(
+                    ctx, left_id, left, right_id, right, probe_is_right
+                )
+        return self._pair_partials_impl(
+            ctx, left_id, left, right_id, right, probe_is_right
+        )
+
+    def _pair_partials_impl(
         self,
         ctx: _PaneJoinContext,
         left_id: int,
@@ -1227,11 +1432,15 @@ class StreamEngine:
         adaptive_indexing: bool = True,
         incremental: bool = True,
         mqo: bool = True,
+        obs: Observability | None = None,
     ) -> None:
         self.udfs = udfs or builtin_registry()
         self.cache = WindowCache(cache_capacity)
         self.indexer = AdaptiveIndexer(enabled=adaptive_indexing)
-        self.metrics = EngineMetrics()
+        #: observability bundle: the metric registry every counter view
+        #: writes through, plus the (off-by-default) tracer
+        self.obs = obs if obs is not None else Observability()
+        self.metrics = EngineMetrics(registry=self.obs.registry)
         #: execute PANE-INCREMENTAL plans over panes (``False`` forces the
         #: classic full-recompute path for every plan — the differential
         #: tests run both and assert byte-identical results)
@@ -1269,6 +1478,12 @@ class StreamEngine:
     @property
     def stream_names(self) -> set[str]:
         return set(self._sources)
+
+    # -- observability -----------------------------------------------------------
+
+    def metrics_snapshot(self):
+        """A picklable point-in-time copy of this engine's registry."""
+        return self.obs.registry.snapshot()
 
     # -- plan binding ------------------------------------------------------------
 
@@ -1337,6 +1552,7 @@ class StreamEngine:
             metrics=self.metrics.query(plan.name),
             incremental_enabled=self.incremental,
             mqo=binding,
+            obs=self.obs,
         )
 
     @staticmethod

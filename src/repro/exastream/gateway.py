@@ -45,7 +45,7 @@ from ..errors import QueryNotFound
 from ..streams import SharedWindowReader
 from .bus import EventBus, Subscription
 from .engine import BoundedResultSink, PlanRuntime, StreamEngine, WindowResult
-from .metrics import Stopwatch
+from .metrics import BusMetrics, Stopwatch
 from .mqo import SharedPipelineRegistry, plan_signature
 from .plan import ContinuousPlan
 from .planner import plan_sql
@@ -219,21 +219,27 @@ class GatewayServer:
     def __init__(self, engine: StreamEngine, scheduler: Scheduler | None = None):
         self.engine = engine
         self.scheduler = scheduler
+        #: the engine's observability bundle — bus counters, MQO stats
+        #: and the per-query delivery histograms all write through it
+        self.obs = engine.obs
         #: push-side delivery: per-query topics with await-able,
         #: individually bounded subscriber queues (``serve()`` publishes
         #: and ``step()`` publishes too, so either executor feeds
         #: ``async for`` consumers)
-        self.bus = EventBus()
+        self.bus = EventBus(metrics=BusMetrics(registry=self.obs.registry))
         self._queries: dict[str, RegisteredQuery] = {}
         self._shared_readers: dict[str, SharedWindowReader] = {}
         self._reader_keys: dict[str, set[str]] = {}
         self._reader_refs: dict[str, int] = {}
         self._name_counter = itertools.count(1)
+        #: per-query ``bus_delivery_seconds`` histograms, bound lazily
+        self._h_deliver: dict[str, object] = {}
         #: the multi-query-optimization registry: per-(signature, pane)
         #: results shared across every registered query whose pipeline
         #: prefix matches.  ``mqo=False`` on the engine disables it.
         self.mqo: SharedPipelineRegistry | None = (
-            SharedPipelineRegistry() if getattr(engine, "mqo", False) else None
+            SharedPipelineRegistry(registry=self.obs.registry)
+            if getattr(engine, "mqo", False) else None
         )
         #: query name -> shared-pipeline keys placed with the scheduler
         #: (one for a single-stream prefix; per-side prefixes plus the
@@ -420,6 +426,24 @@ class GatewayServer:
 
         verify_gateway(self)
 
+    def metrics_snapshot(self):
+        """The deployment-wide registry snapshot (shards merged in).
+
+        Scheduler load gauges are refreshed from
+        :meth:`~repro.exastream.scheduler.Scheduler.load_report` right
+        before snapshotting, so the monitoring surface sees current
+        worker loads without reaching into scheduler privates.
+        """
+        if self.scheduler is not None:
+            registry = self.obs.registry
+            report = self.scheduler.load_report()
+            for worker in report.workers:
+                registry.gauge(
+                    "scheduler_worker_load", worker=worker.node_id
+                ).set(worker.load)
+            registry.gauge("scheduler_balance").set(report.balance)
+        return self.engine.metrics_snapshot()
+
     def deregister(self, name: str) -> None:
         """Remove a query from the catalog.
 
@@ -516,32 +540,61 @@ class GatewayServer:
             self.bus.metrics.backpressure_deferrals += 1
             return self._BLOCKED
         registered._set_state(QueryState.RUNNING)
-        watch = Stopwatch() if self.scheduler is not None else None
-        result = registered.runtime.execute_window(registered.next_window)
-        if watch is not None:
-            # pulse accounting: fold the observed per-window cost into
-            # the scheduler's tracked load for this query's placements
-            self.scheduler.observe(
-                registered.name,
-                seconds=watch.elapsed(),
-                tuples=len(result.rows) if result is not None else 0,
-            )
-        if result is None:
-            registered._set_state(QueryState.COMPLETED)
-            return self._IDLE
-        registered.next_window += 1
-        registered._deliver(result, on_result)
-        # completing on the last limited window (not one visit later)
-        # keeps the state accurate the moment work is done; a no-op if a
-        # subscriber callback already cancelled the query mid-delivery
-        if limit is not None and registered.next_window >= limit:
-            registered._set_state(QueryState.COMPLETED)
-        if self.checkpointer is not None:
-            # after delivery: a checkpoint taken here captures the sink
-            # with this window already retained, so a recovered run never
-            # re-delivers it (fault injection may raise SimulatedCrash)
-            self.checkpointer.on_pulse()
-        return self._EXECUTED
+        obs = self.obs
+        # the root span of this pulse's trace tree; every engine/deliver
+        # span below nests under it (no-op context when tracing is off)
+        pulse = (
+            obs.span("pulse", registered.name, window=registered.next_window)
+            if obs.tracer.enabled else None
+        )
+        if pulse is not None:
+            pulse.__enter__()
+        try:
+            watch = Stopwatch() if self.scheduler is not None else None
+            result = registered.runtime.execute_window(registered.next_window)
+            if watch is not None:
+                # pulse accounting: fold the observed per-window cost into
+                # the scheduler's tracked load for this query's placements
+                self.scheduler.observe(
+                    registered.name,
+                    seconds=watch.elapsed(),
+                    tuples=len(result.rows) if result is not None else 0,
+                )
+            if result is None:
+                registered._set_state(QueryState.COMPLETED)
+                return self._IDLE
+            registered.next_window += 1
+            deliver_watch = Stopwatch() if obs.enabled else None
+            if pulse is not None:
+                with obs.span("deliver", registered.name):
+                    registered._deliver(result, on_result)
+            else:
+                registered._deliver(result, on_result)
+            if deliver_watch is not None:
+                # sink offer + subscriber callbacks + bus publish: the
+                # delivery lag between engine output and consumers
+                histogram = self._h_deliver.get(registered.name)
+                if histogram is None:
+                    histogram = self._h_deliver[registered.name] = (
+                        obs.registry.histogram(
+                            "bus_delivery_seconds", query=registered.name
+                        )
+                    )
+                histogram.observe(deliver_watch.elapsed())
+            # completing on the last limited window (not one visit later)
+            # keeps the state accurate the moment work is done; a no-op if a
+            # subscriber callback already cancelled the query mid-delivery
+            if limit is not None and registered.next_window >= limit:
+                registered._set_state(QueryState.COMPLETED)
+            if self.checkpointer is not None:
+                # after delivery: a checkpoint taken here captures the sink
+                # with this window already retained, so a recovered run never
+                # re-delivers it (fault injection may raise SimulatedCrash)
+                self.checkpointer.on_pulse()
+            return self._EXECUTED
+        finally:
+            if pulse is not None:
+                pulse.__exit__(None, None, None)
 
     def step(
         self,

@@ -3,12 +3,28 @@
 The demo's performance scenario (S2) monitors "the throughput and
 progress of parallel query execution"; these counters are what the
 dashboards and benchmarks read.
+
+Since the observability layer landed, every class here is a *view*
+over a :class:`repro.obs.MetricRegistry`: attribute reads and writes
+(``metrics.tuples_in += n``) go straight to bound registry
+instruments, so the same numbers come out of ``engine.metrics`` and
+out of registry snapshots / Prometheus exports without double
+bookkeeping.  A view constructed without a registry gets a private
+one — standalone ``QueryMetrics()`` in tests behaves exactly as the
+old dataclass did.
+
+Wall-clock counters register with ``mode="max"``: per-shard wall
+times measure the *same* elapsed interval, so merging across shards
+takes the maximum (true elapsed time), never the sum — summing
+overstated elapsed time N-fold and deflated ``throughput`` under
+sharding.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+
+from ..obs.registry import MetricRegistry
 
 __all__ = ["QueryMetrics", "EngineMetrics", "BusMetrics", "Stopwatch"]
 
@@ -29,28 +45,75 @@ class Stopwatch:
         return elapsed
 
 
-@dataclass
-class QueryMetrics:
-    """Counters for one registered continuous query."""
+class _Instrument:
+    """Attribute-style access to one bound registry instrument."""
 
-    query_name: str = ""
-    windows_processed: int = 0
-    tuples_in: int = 0
-    tuples_out: int = 0
-    wall_seconds: float = 0.0
+    __slots__ = ("key",)
+
+    def __set_name__(self, owner, name: str) -> None:
+        self.key = name
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return obj._bound[self.key].value
+
+    def __set__(self, obj, value) -> None:
+        obj._bound[self.key].value = value
+
+
+class QueryMetrics:
+    """Counters for one registered continuous query.
+
+    Field → registry series (all labelled ``query=<name>``):
+    ``windows_processed`` → ``query_windows_total``, ``tuples_in`` →
+    ``query_tuples_in_total``, and so on per ``_SERIES`` below.
+    """
+
+    #: attribute name -> (registry series name, counter merge mode).
+    #: Merge folds *shards*: window counters (every shard executes the
+    #: same window ids) and wall clocks (overlapping intervals) take the
+    #: max, per-shard work items (tuples, panes, MQO hits) sum.
+    _SERIES = {
+        "windows_processed": ("query_windows_total", "max"),
+        "tuples_in": ("query_tuples_in_total", "sum"),
+        "tuples_out": ("query_tuples_out_total", "sum"),
+        "wall_seconds": ("query_wall_seconds", "max"),
+        "windows_incremental": ("query_windows_incremental_total", "max"),
+        "windows_pane_join": ("query_windows_pane_join_total", "max"),
+        "panes_built": ("query_panes_built_total", "sum"),
+        "pane_pairs_built": ("query_pane_pairs_built_total", "sum"),
+        "mqo_partial_hits": ("query_mqo_partial_hits_total", "sum"),
+        "mqo_relation_hits": ("query_mqo_relation_hits_total", "sum"),
+    }
+
+    windows_processed = _Instrument()
+    tuples_in = _Instrument()
+    tuples_out = _Instrument()
+    #: total wall-clock spent executing this query's windows (merge: max)
+    wall_seconds = _Instrument()
     #: windows answered by combining cached pane partials (no recompute)
-    windows_incremental: int = 0
+    windows_incremental = _Instrument()
     #: subset of ``windows_incremental`` assembled from symmetric-hash
     #: pane-pair join partials (two-stream PANE_JOIN plans)
-    windows_pane_join: int = 0
+    windows_pane_join = _Instrument()
     #: pane pipelines executed (each pane is evaluated at most once)
-    panes_built: int = 0
+    panes_built = _Instrument()
     #: pane-pair join partials computed (each live pane pair at most once)
-    pane_pairs_built: int = 0
+    pane_pairs_built = _Instrument()
     #: pane/edge partial states served by another query's shared pipeline
-    mqo_partial_hits: int = 0
+    mqo_partial_hits = _Instrument()
     #: joined pane/window relations served by another query's pipeline
-    mqo_relation_hits: int = 0
+    mqo_relation_hits = _Instrument()
+
+    def __init__(self, query_name: str = "",
+                 registry: MetricRegistry | None = None) -> None:
+        self.query_name = query_name
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._bound = {
+            attr: self.registry.counter(series, mode=mode, query=query_name)
+            for attr, (series, mode) in self._SERIES.items()
+        }
 
     @property
     def throughput(self) -> float:
@@ -60,34 +123,59 @@ class QueryMetrics:
         return self.tuples_in / self.wall_seconds
 
     def merge(self, other: QueryMetrics) -> None:
-        self.windows_processed += other.windows_processed
-        self.tuples_in += other.tuples_in
-        self.tuples_out += other.tuples_out
-        self.wall_seconds += other.wall_seconds
-        self.windows_incremental += other.windows_incremental
-        self.windows_pane_join += other.windows_pane_join
-        self.panes_built += other.panes_built
-        self.pane_pairs_built += other.pane_pairs_built
-        self.mqo_partial_hits += other.mqo_partial_hits
-        self.mqo_relation_hits += other.mqo_relation_hits
+        """Fold another view's counts in (shard merge semantics).
+
+        Work counts sum; ``wall_seconds`` merges as **max** — per-shard
+        wall times overlap in real time, and summing them overstated
+        elapsed time N-fold (deflating :attr:`throughput` accordingly).
+        Window counters also take the max: every shard executes the same
+        window ids, so summing would count each window N times.
+        """
+        for attr, (_, mode) in self._SERIES.items():
+            theirs = getattr(other, attr)
+            if mode == "max":
+                setattr(self, attr, max(getattr(self, attr), theirs))
+            else:
+                setattr(self, attr, getattr(self, attr) + theirs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = ", ".join(
+            f"{attr}={getattr(self, attr)}" for attr in self._SERIES
+        )
+        return f"QueryMetrics({self.query_name!r}, {counts})"
 
 
-@dataclass
 class BusMetrics:
     """Counters for one gateway's event-bus fan-out."""
 
+    _SERIES = {
+        "results_published": ("bus_results_published_total", "sum"),
+        "fanout_deliveries": ("bus_fanout_deliveries_total", "sum"),
+        "results_dropped": ("bus_results_dropped_total", "sum"),
+        "peak_subscribers": ("bus_peak_subscribers", "max"),
+        "backpressure_deferrals": ("bus_backpressure_deferrals_total",
+                                   "sum"),
+    }
+
     #: window results published to a live topic (once per result, not
     #: per subscriber — queries with no subscribers publish nothing)
-    results_published: int = 0
+    results_published = _Instrument()
     #: result deliveries into subscriber queues (published × fan-out)
-    fanout_deliveries: int = 0
+    fanout_deliveries = _Instrument()
     #: results evicted from ``drop_oldest`` subscriber queues
-    results_dropped: int = 0
+    results_dropped = _Instrument()
     #: high-water mark of concurrent subscriptions across all topics
-    peak_subscribers: int = 0
+    peak_subscribers = _Instrument()
     #: window executions deferred because a ``block``-policy
     #: subscriber's queue was full (the push-side back-pressure signal)
-    backpressure_deferrals: int = 0
+    backpressure_deferrals = _Instrument()
+
+    def __init__(self, registry: MetricRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._bound = {
+            attr: self.registry.counter(series, mode=mode)
+            for attr, (series, mode) in self._SERIES.items()
+        }
 
     @property
     def fanout(self) -> float:
@@ -97,19 +185,35 @@ class BusMetrics:
         return self.fanout_deliveries / self.results_published
 
 
-@dataclass
 class EngineMetrics:
     """Aggregated counters for one engine run."""
 
-    per_query: dict[str, QueryMetrics] = field(default_factory=dict)
-    wall_seconds: float = 0.0
+    def __init__(self, registry: MetricRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.per_query: dict[str, QueryMetrics] = {}
+        self._wall = self.registry.counter("engine_wall_seconds", mode="max")
+
+    @property
+    def wall_seconds(self) -> float:
+        return self._wall.value
+
+    @wall_seconds.setter
+    def wall_seconds(self, value: float) -> None:
+        self._wall.value = value
 
     def query(self, name: str) -> QueryMetrics:
         metrics = self.per_query.get(name)
         if metrics is None:
-            metrics = QueryMetrics(query_name=name)
+            metrics = QueryMetrics(query_name=name, registry=self.registry)
             self.per_query[name] = metrics
         return metrics
+
+    def merge(self, other: EngineMetrics) -> None:
+        """Fold another engine's metrics in (wall clock as max — see
+        :meth:`QueryMetrics.merge` for why sum is wrong)."""
+        self.wall_seconds = max(self.wall_seconds, other.wall_seconds)
+        for name, theirs in other.per_query.items():
+            self.query(name).merge(theirs)
 
     @property
     def total_tuples_in(self) -> int:

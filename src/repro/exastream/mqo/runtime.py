@@ -37,8 +37,26 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ...obs.registry import MetricRegistry
 from ..operators import Relation
 from .signature import PlanSignature, SideSignature
+
+
+class _StatsField:
+    """Attribute-style access to one bound registry counter."""
+
+    __slots__ = ("key",)
+
+    def __set_name__(self, owner, name: str) -> None:
+        self.key = name
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return obj._bound[self.key].value
+
+    def __set__(self, obj, value) -> None:
+        obj._bound[self.key].value = value
 
 __all__ = [
     "MQOStats",
@@ -106,17 +124,41 @@ class PaneSideEntry:
         self._indexes = {}
 
 
-@dataclass
 class MQOStats:
-    """Registry-wide sharing counters (benchmark and test observability)."""
+    """Registry-wide sharing counters (benchmark and test observability).
 
-    relation_hits: int = 0
-    relation_misses: int = 0
-    partial_hits: int = 0
-    partial_misses: int = 0
-    pipelines_created: int = 0
-    pipelines_released: int = 0
-    entries_evicted: int = 0
+    A view over a :class:`repro.obs.MetricRegistry` (its own private one
+    unless the gateway passes the engine's), so sharing behaviour shows
+    up in metric snapshots and Prometheus exports alongside everything
+    else.
+    """
+
+    _SERIES = {
+        "relation_hits": "mqo_relation_hits_total",
+        "relation_misses": "mqo_relation_misses_total",
+        "partial_hits": "mqo_partial_hits_total",
+        "partial_misses": "mqo_partial_misses_total",
+        "pipelines_created": "mqo_pipelines_created_total",
+        "pipelines_released": "mqo_pipelines_released_total",
+        "entries_evicted": "mqo_entries_evicted_total",
+    }
+
+    relation_hits = _StatsField()
+    relation_misses = _StatsField()
+    partial_hits = _StatsField()
+    partial_misses = _StatsField()
+    pipelines_created = _StatsField()
+    pipelines_released = _StatsField()
+    entries_evicted = _StatsField()
+
+    def __init__(self, registry=None) -> None:
+        if registry is None:
+            registry = MetricRegistry()
+        self.registry = registry
+        self._bound = {
+            attr: registry.counter(series)
+            for attr, series in self._SERIES.items()
+        }
 
     @property
     def hit_rate(self) -> float:
@@ -209,8 +251,9 @@ class SharedPipeline:
 class SharedPipelineRegistry:
     """Signature key -> shared pipeline, with per-query subscriptions."""
 
-    def __init__(self, cap_per_pipeline: int = 4096) -> None:
-        self.stats = MQOStats()
+    def __init__(self, cap_per_pipeline: int = 4096,
+                 registry: MetricRegistry | None = None) -> None:
+        self.stats = MQOStats(registry=registry)
         self._cap = cap_per_pipeline
         self._pipelines: dict[str, SharedPipeline] = {}
         self._by_query: dict[str, set[str]] = {}

@@ -29,6 +29,8 @@ from .plan import ContinuousPlan, expr_aliases
 __all__ = [
     "OperatorPlacement",
     "WorkerNode",
+    "WorkerLoad",
+    "SchedulerReport",
     "Scheduler",
     "plan_operators",
     "plan_prefix_operators",
@@ -46,6 +48,42 @@ class OperatorPlacement:
     operator: str
     cost: float
     worker: int
+
+
+@dataclass(frozen=True)
+class WorkerLoad:
+    """One worker's row in a :class:`SchedulerReport`."""
+
+    node_id: int
+    load: float
+    #: (query, operator, cost) triples currently placed on this worker
+    placements: tuple[tuple[str, str, float], ...]
+
+
+@dataclass(frozen=True)
+class SchedulerReport:
+    """Read-only snapshot of scheduler state (``Scheduler.load_report``)."""
+
+    workers: list[WorkerLoad]
+    #: query name -> summed cost of its current placements (EMA-updated
+    #: by ``observe``/``observe_shard``)
+    query_costs: dict[str, float]
+    #: shared-pipeline key -> subscriber refcount
+    pipeline_refs: dict[str, int]
+    #: max/mean worker load ratio — 1.0 is perfectly balanced
+    balance: float
+
+    @property
+    def loads(self) -> list[float]:
+        return [w.load for w in self.workers]
+
+    def placements_of(self, query: str) -> list[tuple[str, str, float]]:
+        return [
+            placement
+            for worker in self.workers
+            for placement in worker.placements
+            if placement[0] == query
+        ]
 
 
 @dataclass
@@ -430,3 +468,33 @@ class Scheduler:
 
     def placements_for(self, query: str) -> list[OperatorPlacement]:
         return list(self._by_query.get(query, []))
+
+    def load_report(self) -> SchedulerReport:
+        """The read API over placement/EMA state.
+
+        Everything the verifier, benches and the monitoring surface used
+        to reach into ``_by_query``/``_pipeline_refs`` privates for, as
+        one coherent read-only snapshot: per-worker loads with their
+        placements, per-query observed (EMA) costs, shared-pipeline
+        refcounts, and the balance ratio.
+        """
+        workers = [
+            WorkerLoad(
+                node_id=node.node_id,
+                load=node.load,
+                placements=tuple(
+                    (p.query, p.operator, p.cost) for p in node.placements
+                ),
+            )
+            for node in self.workers
+        ]
+        query_costs = {
+            query: sum(p.cost for p in placements)
+            for query, placements in self._by_query.items()
+        }
+        return SchedulerReport(
+            workers=workers,
+            query_costs=query_costs,
+            pipeline_refs=dict(self._pipeline_refs),
+            balance=self.balance(),
+        )

@@ -29,6 +29,7 @@ import sys
 from collections.abc import Iterator
 
 from ..errors import RecoveryError
+from ..obs import Observability
 from ..relational import Database
 from ..streams import SharedWindowReader, StreamSource
 from .engine import PlanRuntime, StreamEngine, WindowResult
@@ -104,17 +105,33 @@ class LocalShardWorker:
         self._pending = None
         return _execute_batch(self._runtime, start, count)
 
+    def metrics_snapshot(self):
+        """``None``: an in-process shard writes straight into its shard
+        engine's registry, which the coordinator snapshots directly."""
+        return None
+
     def close(self) -> None:
         pass
 
 
 def _shard_server(conn, runtime: PlanRuntime) -> None:
     """Worker-process loop: batched window execution over a pipe."""
+    if runtime.obs is not None:
+        # Fresh registry + tracer cut: the child counts only post-fork
+        # work (the parent reports the inherited pre-fork counts) and
+        # must not share the parent's span exporter file handle.
+        runtime.rebind_obs(runtime.obs.forked())
     try:
         while True:
             message = conn.recv()
             if message[0] == "close":
                 break
+            if message[0] == "metrics":
+                conn.send(
+                    runtime.obs.registry.snapshot()
+                    if runtime.obs is not None else None
+                )
+                continue
             _, start, count = message
             try:
                 conn.send(_execute_batch(runtime, start, count))
@@ -153,6 +170,21 @@ class ForkShardWorker:
             self.close()
             raise RuntimeError(f"shard worker failed: {reply[1]}")
         return reply
+
+    def metrics_snapshot(self):
+        """The child's post-fork registry delta, shipped over the pipe.
+
+        Only safe between batches (request/collect pairs are synchronous
+        inside ``execute_window``, so any caller outside a pulse is).
+        Returns ``None`` once the worker is gone.
+        """
+        if not self._process.is_alive():
+            return None
+        try:
+            self._conn.send(("metrics",))
+            return self._conn.recv()
+        except (BrokenPipeError, EOFError, OSError):
+            return None
 
     def close(self) -> None:
         if self._process.is_alive():
@@ -284,6 +316,18 @@ class ShardedPlanRuntime:
             if release is not None:
                 release()
 
+    def metric_snapshots(self) -> list:
+        """Registry deltas of this runtime's *fork* workers (in-process
+        shards report ``None`` — their counts already live in the shard
+        engine registries the coordinator snapshots)."""
+        if self._closed:
+            return []
+        return [
+            snapshot
+            for snapshot in (w.metrics_snapshot() for w in self.workers)
+            if snapshot is not None
+        ]
+
     # -- checkpoint / restore -----------------------------------------------
 
     @property
@@ -372,6 +416,7 @@ class ShardedEngine:
         scheduler=None,
         incremental: bool = True,
         mqo: bool = True,
+        obs: Observability | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError("need at least one shard")
@@ -380,6 +425,13 @@ class ShardedEngine:
         self.parallel = parallel
         self.prefetch = prefetch
         self.scheduler = scheduler
+        #: coordinator bundle: the gateway's bus/MQO/scheduler series
+        #: live here; per-shard engines get their own registries (via
+        #: ``shard_view``) that ``metrics_snapshot`` merges in
+        self.obs = obs if obs is not None else Observability()
+        #: coordinator-side per-query counters (merged window/tuple
+        #: totals) on a *private* registry: the same work is already
+        #: counted shard-side, and snapshots must not double-report it
         self.metrics = EngineMetrics()
         #: per-shard engines run PANE-INCREMENTAL plans incrementally and
         #: PANE_JOIN plans as shard-local symmetric-hash pane joins:
@@ -399,8 +451,9 @@ class ShardedEngine:
                 adaptive_indexing=adaptive_indexing,
                 incremental=incremental,
                 mqo=mqo,
+                obs=self.obs.shard_view(shard),
             )
-            for _ in range(shards)
+            for shard in range(shards)
         ]
         self._sources: dict[str, StreamSource] = {}
         self._databases: dict[str, Database] = {}
@@ -577,6 +630,25 @@ class ShardedEngine:
         """Drop a shared reader from every shard layout (gateway hook)."""
         for group in self._groups.values():
             group.release(key)
+
+    # -- observability -------------------------------------------------------
+
+    def metrics_snapshot(self):
+        """Coordinator + per-shard registries, merged into one snapshot.
+
+        Per-mode merge folds the shards: work counters (tuples, panes,
+        MQO hits) sum across shards, window counters and wall clocks
+        take the max — every shard executes the same window ids over
+        overlapping wall time.  Fork workers additionally ship their
+        post-fork registry deltas back over the worker pipe.
+        """
+        snapshot = self.obs.registry.snapshot()
+        for engine in self.shard_engines:
+            snapshot = snapshot.merge(engine.metrics_snapshot())
+        for runtime in self._runtimes:
+            for shard_snapshot in runtime.metric_snapshots():
+                snapshot = snapshot.merge(shard_snapshot)
+        return snapshot
 
     # -- execution ----------------------------------------------------------
 

@@ -1,0 +1,161 @@
+"""Registry exporters: Prometheus text format, with a parser back.
+
+:func:`to_prometheus` renders a :class:`RegistrySnapshot` in the
+Prometheus exposition text format (stable ordering — suitable for
+golden files); :func:`parse_prometheus` reads that text back into a
+snapshot so the round-trip ``to_prometheus(parse_prometheus(text)) ==
+text`` holds.  The text format does not carry merge modes or histogram
+min/max, so a parsed snapshot is for *reading* (dashboards, tests) —
+merging across shards happens on native snapshots before export.
+"""
+
+from __future__ import annotations
+
+from .registry import RegistrySnapshot
+
+__all__ = ["to_prometheus", "parse_prometheus"]
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _label_text(labels: tuple, extra: tuple = ()) -> str:
+    pairs = tuple(labels) + tuple(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{_escape(value)}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+def to_prometheus(snapshot: RegistrySnapshot) -> str:
+    """Render a snapshot in Prometheus exposition text format."""
+    by_name: dict[str, list] = {}
+    kinds: dict[str, str] = {}
+    for (name, labels), sample in sorted(snapshot.series.items()):
+        by_name.setdefault(name, []).append((labels, sample))
+        kinds[name] = sample[0]
+    lines = []
+    for name in sorted(by_name):
+        lines.append(f"# TYPE {name} {kinds[name]}")
+        for labels, (kind, _mode, data) in by_name[name]:
+            if kind != "histogram":
+                lines.append(f"{name}{_label_text(labels)} {_fmt(data)}")
+                continue
+            bounds, counts, count, total, _low, _high = data
+            cumulative = 0
+            for bound, bucket in zip(bounds, counts):
+                cumulative += bucket
+                le = _label_text(labels, (("le", _fmt(bound)),))
+                lines.append(f"{name}_bucket{le} {cumulative}")
+            cumulative += counts[-1]
+            le = _label_text(labels, (("le", "+Inf"),))
+            lines.append(f"{name}_bucket{le} {cumulative}")
+            lines.append(f"{name}_sum{_label_text(labels)} {_fmt(total)}")
+            lines.append(f"{name}_count{_label_text(labels)} {count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _parse_labels(text: str) -> list[tuple[str, str]]:
+    pairs = []
+    index = 0
+    while index < len(text):
+        equals = text.index("=", index)
+        key = text[index:equals]
+        assert text[equals + 1] == '"'
+        value = []
+        cursor = equals + 2
+        while text[cursor] != '"':
+            char = text[cursor]
+            if char == "\\":
+                cursor += 1
+                char = {"n": "\n", '"': '"', "\\": "\\"}[text[cursor]]
+            value.append(char)
+            cursor += 1
+        pairs.append((key, "".join(value)))
+        index = cursor + 1
+        if index < len(text) and text[index] == ",":
+            index += 1
+    return pairs
+
+
+def _split_line(line: str) -> tuple[str, list, float]:
+    if "{" in line:
+        name, rest = line.split("{", 1)
+        label_text, value_text = rest.rsplit("} ", 1)
+        labels = _parse_labels(label_text)
+    else:
+        name, value_text = line.rsplit(" ", 1)
+        labels = []
+    return name, labels, float(value_text)
+
+
+def parse_prometheus(text: str) -> RegistrySnapshot:
+    """Parse exposition text back into a snapshot (reading side only)."""
+    kinds: dict[str, str] = {}
+    series: dict = {}
+    histograms: dict = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                kinds[parts[2]] = parts[3]
+            continue
+        name, labels, value = _split_line(line)
+        base, suffix = name, None
+        for candidate in ("_bucket", "_sum", "_count"):
+            stem = name[: -len(candidate)]
+            if name.endswith(candidate) and kinds.get(stem) == "histogram":
+                base, suffix = stem, candidate
+                break
+        if suffix is None:
+            kind = kinds.get(name, "counter")
+            mode = "max" if kind == "gauge" else "sum"
+            series[(name, tuple(labels))] = (kind, mode, value)
+            continue
+        if suffix == "_bucket":
+            le = dict(labels).pop("le")
+            labels = [pair for pair in labels if pair[0] != "le"]
+            key = (base, tuple(labels))
+            histograms.setdefault(key, {"buckets": [], "sum": 0.0,
+                                        "count": 0})
+            histograms[key]["buckets"].append((le, value))
+        else:
+            key = (base, tuple(labels))
+            histograms.setdefault(key, {"buckets": [], "sum": 0.0,
+                                        "count": 0})
+            histograms[key]["sum" if suffix == "_sum" else "count"] = value
+    for (name, labels), parts in histograms.items():
+        bounds = tuple(float(le) for le, _ in parts["buckets"]
+                       if le != "+Inf")
+        cumulative = [value for _, value in parts["buckets"]]
+        counts = tuple(
+            int(current - previous) for current, previous in
+            zip(cumulative, [0] + cumulative[:-1])
+        )
+        count = int(parts["count"])
+        # min/max are not carried by the text format; reconstruct
+        # conservative values from the populated buckets.
+        low, high = float("inf"), float("-inf")
+        edges = (0.0,) + bounds
+        for index, bucket in enumerate(counts):
+            if bucket:
+                low = min(low, edges[index])
+                high = max(
+                    high, bounds[index] if index < len(bounds) else edges[-1]
+                )
+        series[(name, tuple(labels))] = (
+            "histogram", "sum",
+            (bounds, counts, count, parts["sum"], low, high),
+        )
+    return RegistrySnapshot(series)

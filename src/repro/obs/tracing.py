@@ -1,0 +1,289 @@
+"""Structured tracing: per-pulse span trees with pluggable exporters.
+
+A *span* covers one timed step of a pulse — the taxonomy mirrors the
+execution path::
+
+    pulse                 one gateway pulse of one query
+    └─ window             engine execute_window (attr: path, shard)
+       ├─ pane_build      one pane pipeline run (attr: pane)
+       ├─ pane_pair       one symmetric-hash pane-pair join
+       └─ combine         merging cached partials into the window answer
+    └─ deliver            sink offer + callbacks + bus publish
+    └─ checkpoint_flush   durability log append + head rewrite
+
+Tracing is **off by default**: :meth:`Tracer.span` returns a shared
+no-op context manager when disabled, and the engine's hot paths guard
+on ``tracer.enabled`` before even building attribute dicts, so the
+disabled cost is one attribute read per window.  Enabled or not, the
+engine's output is byte-identical — spans only *observe*.
+
+Spans are exported on close (children before parents) through a
+pluggable exporter; :class:`JsonlExporter` writes one JSON object per
+line, :func:`read_spans` parses a file back for tooling and tests.
+
+Under ``REPRO_AUDIT=1`` the plan-invariant verifier calls
+:meth:`Tracer.audit_violations`: every opened span must have closed,
+closes must match the top of the open stack (well-parented trees), and
+every root span must be attributed to a query.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "JsonlExporter",
+    "CollectingExporter",
+    "read_spans",
+    "TRACE_ENV",
+]
+
+#: Setting ``REPRO_TRACE=<path>`` enables tracing process-wide with a
+#: JSONL exporter appending to ``<path>`` (see ``tracer_from_env``).
+TRACE_ENV = "REPRO_TRACE"
+
+
+class Span:
+    """One timed step.  ``end`` is ``None`` while the span is open."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "query",
+                 "start", "end", "attrs")
+
+    def __init__(self, name: str, trace_id: int, span_id: int,
+                 parent_id: int | None, query: str | None,
+                 start: float, attrs: dict) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.query = query
+        self.start = start
+        self.end: float | None = None
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def to_dict(self) -> dict:
+        record = {
+            "name": self.name,
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "query": self.query,
+            "start": round(self.start, 9),
+            "end": round(self.end, 9) if self.end is not None else None,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> Span:
+        span = cls(record["name"], record["trace"], record["span"],
+                   record["parent"], record.get("query"),
+                   record["start"], record.get("attrs") or {})
+        span.end = record["end"]
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, trace={self.trace_id}, "
+                f"span={self.span_id}, query={self.query!r})")
+
+
+class _NoopSpan:
+    """The shared disabled-path context manager — allocation-free."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _SpanHandle:
+    """Context manager closing one live span (stack-ordered)."""
+
+    __slots__ = ("tracer", "span")
+
+    def __init__(self, tracer: Tracer, span: Span) -> None:
+        self.tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, *exc_info) -> bool:
+        self.tracer._close(self.span)
+        return False
+
+
+class JsonlExporter:
+    """Write one JSON object per span line, append-mode, flush-on-close."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._file = None
+
+    def export(self, span: Span) -> None:
+        if self._file is None:
+            self._file = open(self.path, "a", encoding="utf-8")
+        self._file.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+class CollectingExporter:
+    """Keep exported spans in memory (tests, the live monitor)."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+
+    def export(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def close(self) -> None:
+        pass
+
+
+def read_spans(path: str) -> list[Span]:
+    """Parse a JSONL trace file back into spans (exporter round-trip)."""
+    spans = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+class Tracer:
+    """Span factory with an explicit open-span stack.
+
+    Engine execution is single-threaded per process, so parenting is
+    the stack: a span opened while another is live becomes its child.
+    Export happens on close — children appear before parents in the
+    stream, and tooling reassembles trees by ``parent`` id.
+
+    ``clock`` is injectable for deterministic golden-file tests.
+    """
+
+    def __init__(self, exporter=None, enabled: bool = False,
+                 clock=time.perf_counter) -> None:
+        self.exporter = exporter
+        self.enabled = enabled and exporter is not None
+        self.clock = clock
+        self._stack: list[Span] = []
+        self._next_span_id = 1
+        self._next_trace_id = 1
+        self.spans_opened = 0
+        self.spans_closed = 0
+        self._violations: list[str] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def enable(self, exporter=None) -> None:
+        if exporter is not None:
+            self.exporter = exporter
+        if self.exporter is None:
+            raise ValueError("cannot enable tracing without an exporter")
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def close(self) -> None:
+        self.enabled = False
+        if self.exporter is not None:
+            self.exporter.close()
+
+    # -- spans --------------------------------------------------------------
+
+    def span(self, name: str, query: str | None = None, **attrs):
+        """Open a span; use as ``with tracer.span(...):``.
+
+        Returns a shared no-op context manager while disabled — hot
+        paths should additionally guard on ``tracer.enabled`` to skip
+        building ``attrs`` at all.
+        """
+        if not self.enabled:
+            return _NOOP
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+            if query is None:
+                query = parent.query
+        else:
+            trace_id = self._next_trace_id
+            self._next_trace_id += 1
+            parent_id = None
+        span = Span(name, trace_id, self._next_span_id, parent_id,
+                    query, self.clock(), attrs)
+        self._next_span_id += 1
+        self._stack.append(span)
+        self.spans_opened += 1
+        return _SpanHandle(self, span)
+
+    def _close(self, span: Span) -> None:
+        span.end = self.clock()
+        self.spans_closed += 1
+        if not self._stack or self._stack[-1] is not span:
+            self._violations.append(
+                f"span {span.name!r} (id {span.span_id}) closed out of "
+                "stack order"
+            )
+            if span in self._stack:
+                self._stack.remove(span)
+        else:
+            self._stack.pop()
+        if span.parent_id is None and span.query is None:
+            self._violations.append(
+                f"root span {span.name!r} (id {span.span_id}) has no "
+                "query attribution"
+            )
+        if self.exporter is not None:
+            self.exporter.export(span)
+
+    # -- audit --------------------------------------------------------------
+
+    def audit_violations(self) -> list[str]:
+        """Span-tree invariants, checked at quiescent points.
+
+        * every opened span has closed (the open stack is empty);
+        * closes matched the top of the stack (trees are well-parented);
+        * every root span carried a query attribution.
+        """
+        violations = list(self._violations)
+        for span in self._stack:
+            violations.append(
+                f"span {span.name!r} (id {span.span_id}) still open at "
+                "a quiescent point"
+            )
+        if self.spans_closed > self.spans_opened:  # pragma: no cover
+            violations.append(
+                f"{self.spans_closed} spans closed but only "
+                f"{self.spans_opened} opened"
+            )
+        return violations
+
+
+def tracer_from_env(environ=os.environ) -> Tracer:
+    """A process-default tracer: enabled iff ``REPRO_TRACE=<path>``."""
+    path = environ.get(TRACE_ENV)
+    if path:
+        return Tracer(JsonlExporter(path), enabled=True)
+    return Tracer()

@@ -173,6 +173,14 @@ class QueryHandle:
     def __aiter__(self) -> Subscription:
         return self.stream()
 
+    def stats(self) -> dict:
+        """This handle's registry series, flattened (windows, tuples,
+        throughput, latency percentiles, MQO hits) — one row of the
+        session's :meth:`Session.metrics` report."""
+        from ..obs.monitor import query_stats
+
+        return query_stats(self.session.metrics_snapshot(), self.name)
+
     def alerts(self, max_results: int | None = None) -> list[tuple]:
         """Drain up to ``max_results`` results into CONSTRUCTed triples."""
         construct = self.prepared.translation.construct
@@ -316,6 +324,23 @@ class Session:
         the number of window executions performed.
         """
         return self.gateway.step(n_windows)
+
+    # -- observability --------------------------------------------------------
+
+    def metrics_snapshot(self):
+        """The gateway's merged registry snapshot (``Monitor`` source)."""
+        return self.gateway.metrics_snapshot()
+
+    def metrics(self):
+        """A :class:`~repro.obs.MetricsReport` over the deployment.
+
+        ``report.render()`` is the per-query progress table (S2's
+        monitoring view); ``report.query(name)`` flattens one query's
+        series; ``report.to_prometheus()`` is the text exposition.
+        """
+        from ..obs import MetricsReport
+
+        return MetricsReport(self.metrics_snapshot())
 
     # -- handle management ---------------------------------------------------
 

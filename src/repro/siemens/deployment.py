@@ -273,6 +273,22 @@ class SiemensDeployment:
         self.engine.metrics.wall_seconds += elapsed
         return elapsed
 
+    # -- observability -------------------------------------------------------
+
+    def metrics_snapshot(self):
+        """The deployment's merged registry snapshot (shards included)."""
+        return self.gateway.metrics_snapshot()
+
+    def monitor(self):
+        """The live monitoring surface over this deployment (S2).
+
+        ``monitor().render()`` is the per-task throughput / latency /
+        MQO-hit progress table, re-rendered per call from the registry.
+        """
+        from ..obs import Monitor
+
+        return Monitor(self)
+
 
 def deploy(
     fleet: SiemensFleet | None = None,
