@@ -8,7 +8,7 @@ RUFF ?= ruff
 
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-compare bench-recovery coverage examples smoke lint lint-cq test-recovery obs-demo ci
+.PHONY: test bench bench-smoke bench-adaptive bench-compare bench-recovery coverage examples smoke lint lint-cq test-recovery obs-demo ci
 
 test:
 	$(PY) -m pytest -x -q
@@ -61,7 +61,14 @@ bench-smoke:
 		benchmarks/bench_fanout.py \
 		benchmarks/bench_recovery.py \
 		benchmarks/bench_obs_overhead.py \
+		benchmarks/bench_adaptive.py \
 		-q --smoke --benchmark-json=bench-results.json
+
+# The adaptive-planning gates alone, at full workload scale: auto tier
+# >= 0.9x the best static tier everywhere, >= 2x over the worst static
+# tier on an adversarial workload, byte-identical output on every tier.
+bench-adaptive:
+	$(PY) -m pytest benchmarks/bench_adaptive.py -q
 
 # The durability gates alone, at full workload scale.
 bench-recovery:

@@ -1,0 +1,177 @@
+"""Cost-based adaptive planning: the auto tier vs every static tier.
+
+Two workloads the static tiers disagree on, both estimator-relevant:
+
+* **bursty-overlap32** — bursty 24 Hz bursts over an overlap-32 grid.
+  The pane tier re-uses 31/32nds of every window; static recompute
+  re-scans it all.  The adaptive planner must keep the pane ceiling.
+* **sparse-trap** — ~1 tuple / 3 s under a fine 1 s slide with a wide
+  group-by: 60 mostly-empty panes of ring bookkeeping per window
+  against a recompute scan of ~20 tuples (the PR 3 pane trap, where
+  pane execution measured ~0.84x).  The adaptive planner must demote
+  to recompute at registration.
+
+Gates (full mode): the auto tier reaches >= 0.9x the best static
+tier's throughput on *every* workload, and beats the *worst* static
+tier by >= 2x on at least one — i.e. adaptivity is nearly free where
+the static choice was right and decisive where it was wrong.  Output
+byte-identity across all tiers is asserted in smoke mode too.
+"""
+
+import random
+
+import pytest
+
+from repro.exastream import GatewayServer, Stopwatch, StreamEngine
+from repro.relational import Column, Database, Schema, SQLType, Table
+from repro.streams import ListSource, Stream, StreamSchema
+
+SCHEMA = StreamSchema(
+    (
+        Column("ts", SQLType.REAL),
+        Column("sid", SQLType.INTEGER),
+        Column("val", SQLType.REAL),
+    ),
+    time_column="ts",
+)
+
+TIERS = ("auto", "pane", "recompute")
+
+
+def _bursty_rows(n_seconds, n_sensors, burst_hz=24):
+    """Dense bursts, near-silent gaps; seeded and deterministic."""
+    rng = random.Random(11)
+    rows = []
+    for t in range(n_seconds):
+        in_burst = (t % 60) < 30
+        count = burst_hz if in_burst else (1 if rng.random() < 0.2 else 0)
+        for k in range(count):
+            s = rng.randrange(n_sensors)
+            rows.append((t + k / float(max(count, 1)), s,
+                         50.0 + (t * 7 + s * 13) % 23))
+    return rows
+
+
+def _sparse_rows(n_seconds, n_sensors):
+    """~1 tuple per 3 s, cycling through a wide sensor domain."""
+    return [
+        (float(t), (t // 3) % n_sensors, 50.0 + t % 17)
+        for t in range(0, n_seconds, 3)
+    ]
+
+
+def _workloads(smoke):
+    scale = 1 if smoke else 3
+    n_sensors = 12 if smoke else 24
+    return {
+        "bursty-overlap32": (
+            _bursty_rows(300 * scale, n_sensors),
+            n_sensors,
+            "SELECT w.sid AS s, AVG(w.val) AS a, COUNT(*) AS n "
+            "FROM timeSlidingWindow(S, 160, 5) AS w GROUP BY w.sid",
+            "keep",  # expected adaptive decision at registration
+        ),
+        "sparse-trap": (
+            _sparse_rows(600 * scale, n_sensors),
+            n_sensors,
+            "SELECT w.sid AS s, COUNT(*) AS n, SUM(w.val) AS total "
+            "FROM timeSlidingWindow(S, 60, 1) AS w GROUP BY w.sid",
+            "demote",
+        ),
+    }
+
+
+def _engine(rows, n_sensors, tier):
+    engine = StreamEngine(
+        incremental=tier != "recompute", adaptive=tier == "auto"
+    )
+    engine.register_stream(ListSource(Stream("S", SCHEMA), rows))
+    db = Database(
+        Schema(
+            "meta",
+            {
+                "sensors": Table(
+                    "sensors",
+                    [
+                        Column("sid", SQLType.INTEGER),
+                        Column("kind", SQLType.TEXT),
+                    ],
+                )
+            },
+        )
+    )
+    db.insert(
+        "sensors", [(s, "temp" if s % 3 else "pres") for s in range(n_sensors)]
+    )
+    engine.attach_database("meta", db)
+    return engine
+
+
+def _run(rows, n_sensors, sql, tier):
+    """One gateway-driven run to exhaustion; every tier uses the same
+    pulse harness so the comparison isolates the execution tier."""
+    engine = _engine(rows, n_sensors, tier)
+    gateway = GatewayServer(engine)
+    registered = gateway.register(sql, name="q")
+    watch = Stopwatch()
+    while gateway.step(1):
+        pass
+    seconds = watch.elapsed()
+    results = [
+        (r.window_id, r.window_end, tuple(r.columns), tuple(r.rows))
+        for r in registered.results()
+    ]
+    return results, seconds, registered.plan.choice
+
+
+@pytest.mark.parametrize("tier", TIERS)
+@pytest.mark.parametrize("workload", ("bursty-overlap32", "sparse-trap"))
+def test_tier_throughput(benchmark, smoke, workload, tier):
+    """Tracked medians for the bench artifact: one entry per cell."""
+    rows, n_sensors, sql, _ = _workloads(smoke)[workload]
+
+    def once():
+        return _run(rows, n_sensors, sql, tier)
+
+    results, seconds, _ = benchmark.pedantic(once, rounds=1, iterations=1)
+    windows_per_second = len(results) / seconds if seconds else 0.0
+    benchmark.extra_info["windows_per_second"] = windows_per_second
+    benchmark.extra_info["workload"] = workload
+    print(
+        f"\n{workload}/{tier}: {len(results)} windows, "
+        f"{windows_per_second:,.0f} windows/s"
+    )
+    assert len(results) > 0
+
+
+def test_adaptive_gates(smoke):
+    """The acceptance gates: near-best everywhere, 2x where it matters."""
+    print()
+    best_ratios = {}
+    worst_ratios = {}
+    for name, (rows, n_sensors, sql, expected) in _workloads(smoke).items():
+        runs = {tier: _run(rows, n_sensors, sql, tier) for tier in TIERS}
+        reference = runs["recompute"][0]
+        for tier in TIERS:
+            assert runs[tier][0] == reference, (name, tier)
+        choice = runs["auto"][2]
+        assert choice is not None
+        if expected == "demote":
+            assert choice.demoted_at_registration, choice.reason
+        else:
+            assert not choice.demoted_at_registration, choice.reason
+        auto = runs["auto"][1]
+        static = {t: runs[t][1] for t in ("pane", "recompute")}
+        best_ratios[name] = min(static.values()) / auto if auto else 0.0
+        worst_ratios[name] = max(static.values()) / auto if auto else 0.0
+        print(
+            f"{name}: auto {auto:.3f}s (chose {choice.chosen.name}), "
+            f"pane {static['pane']:.3f}s, "
+            f"recompute {static['recompute']:.3f}s -> "
+            f"{best_ratios[name]:.2f}x of best, "
+            f"{worst_ratios[name]:.2f}x over worst"
+        )
+    if not smoke:
+        for name, ratio in best_ratios.items():
+            assert ratio >= 0.9, (name, best_ratios)
+        assert max(worst_ratios.values()) >= 2.0, worst_ratios

@@ -15,6 +15,7 @@ touches are the memoized classification fields (``incremental``,
 
 from __future__ import annotations
 
+from ..errors import QueryNotFound
 from ..starql.ast import (
     AggregateComparison,
     BoolOp,
@@ -50,6 +51,7 @@ def analyze_plan(plan, engine, gateway=None, name=None) -> AnalysisReport:
     check_windows(plan, report)
     check_sharing(plan, gateway, report)
     check_observed(gateway, report)
+    check_estimates(plan, gateway, report)
     return report
 
 
@@ -89,6 +91,61 @@ def check_observed(gateway, report: AnalysisReport) -> None:
             f"{int(rows_out or 0)} out "
             f"(selectivity {(rows_out or 0) / rows_in:.3f})",
             hint="live per-operator stats recorded for this query name",
+        )
+
+
+def check_estimates(plan, gateway, report: AnalysisReport) -> None:
+    """The costed-plan explain record, when one exists (INFO, ANA050).
+
+    Adaptive engines attach a
+    :class:`~repro.exastream.estimator.PlanChoice` at registration; this
+    surfaces it through ``explain`` — chosen tier vs ceiling with the
+    per-tier cost estimates, the advisory hints, any mid-flight demotion
+    — plus an estimated-vs-observed selectivity comparison per stream
+    once the query has run (the feedback loop the estimator's
+    ``effective_selectivity`` refinement closes).
+    """
+    choice = getattr(plan, "choice", None)
+    if choice is None and gateway is not None:
+        # Analyzing a re-planned copy (Session.explain re-plans the SQL
+        # text): fall back to the registered plan's record.
+        try:
+            choice = gateway.query(report.query).plan.choice
+        except QueryNotFound:
+            choice = None
+    if choice is None:
+        return
+    for line in choice.explain_lines():
+        report.add(
+            "ANA050",
+            Severity.INFO,
+            f"cost-based plan: {line}",
+            hint="estimates from the adaptive engine's statistics catalog",
+        )
+    snapshot_fn = getattr(gateway, "metrics_snapshot", None)
+    if snapshot_fn is None:
+        return
+    snapshot = snapshot_fn()
+    for alias, estimated in sorted(choice.est_selectivity.items()):
+        rows_in = snapshot.value(
+            "operator_rows_in_total",
+            query=report.query,
+            operator=f"filter:{alias}",
+        )
+        rows_out = snapshot.value(
+            "operator_rows_out_total",
+            query=report.query,
+            operator=f"filter:{alias}",
+        )
+        if not rows_in:
+            continue
+        observed = (rows_out or 0) / rows_in
+        report.add(
+            "ANA050",
+            Severity.INFO,
+            f"cost-based plan: filter:{alias} estimated selectivity "
+            f"{estimated:.3f}, observed {observed:.3f}",
+            hint="observed stats override the prior once converged",
         )
 
 

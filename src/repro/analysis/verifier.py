@@ -88,6 +88,28 @@ def verify_runtime(runtime, name: str = "") -> list[str]:
                 f"refcount is {reader.pane_demand}"
             )
 
+    # -- demotion bookkeeping -----------------------------------------------
+    # A demoted runtime must have flushed every pane structure and swapped
+    # its demand to batches — exactly the permanent-fallback contract.
+    if getattr(runtime, "demoted", False):
+        if (
+            runtime._pane_ring
+            or any(getattr(runtime, "_side_rings", ()))
+            or getattr(runtime, "_pair_ring", {})
+        ):
+            violations.append(
+                f"{label}: demoted but still holds pane-ring state"
+            )
+        if getattr(runtime, "_pane_demanded", ()):
+            violations.append(
+                f"{label}: demoted but still holds pane demands"
+            )
+        if not getattr(runtime, "_batch_demanded", ()):
+            violations.append(
+                f"{label}: demoted but holds no batch demand — the next "
+                "window would have no input"
+            )
+
     # -- signature eligibility agreement ------------------------------------
     binding = getattr(runtime, "mqo", None)
     if binding is not None and plan_signature(plan) is None:
@@ -308,6 +330,37 @@ def verify_gateway(gateway) -> None:
                             f"gateway.{attr} entry {key[:80]!r} references "
                             f"unregistered query {name!r}"
                         )
+
+    # -- costed-plan consistency --------------------------------------------
+    # The estimator's explain record and the live runtime must agree: a
+    # registration-time demotion really planned RECOMPUTE, and a fired
+    # mid-flight guard really demoted its runtime (and recorded where).
+    for name, registered in queries.items():
+        choice = getattr(registered.plan, "choice", None)
+        guard = getattr(registered, "guard", None)
+        if choice is not None and choice.demoted_at_registration:
+            decision = registered.plan.incremental
+            if decision is not None and (
+                decision.mode is not choice.chosen
+                or "cost-based" not in decision.reason
+            ):
+                violations.append(
+                    f"query {name!r}: costed plan chose "
+                    f"{choice.chosen.name} below its ceiling but the "
+                    f"plan's incremental decision is {decision.mode.name} "
+                    f"({decision.reason!r})"
+                )
+        if guard is not None and guard.fired:
+            if not getattr(registered.runtime, "demoted", False):
+                violations.append(
+                    f"query {name!r}: re-planning guard fired but the "
+                    "runtime was not demoted"
+                )
+            if choice is not None and choice.demoted_at_window is None:
+                violations.append(
+                    f"query {name!r}: re-planning guard fired but the "
+                    "costed plan carries no demotion record"
+                )
 
     # -- checkpoint bookkeeping ---------------------------------------------
     checkpointer = getattr(gateway, "checkpointer", None)

@@ -269,6 +269,16 @@ class PlanRuntime:
         )
         self._pair_ring: dict[tuple[int, int], dict] = {}
         self._pane_join_broken = False
+        #: cost-based demotion latch: set (once, permanently) by
+        #: :meth:`demote` when a re-planning guard decides the pane
+        #: path's overlap win never materialized — consulted by the
+        #: tier predicates exactly like the disorder break flags
+        self._demoted = False
+        self._demotion_reason: str | None = None
+        #: ``(reused_tuples, fresh_tuples, panes)`` of the last
+        #: pane-path window, ``None`` after any other path — the
+        #: deterministic re-planning-guard signal
+        self._last_pane_stats: tuple[int, int, int] | None = None
         #: readers this binding holds a batch-demand reference on —
         #: released through the gateway's reader-release path so a
         #: surviving pane-incremental query regains its no-batch property
@@ -374,6 +384,8 @@ class PlanRuntime:
             "side_rings": self._side_rings,
             "pair_ring": self._pair_ring,
             "pane_join_broken": self._pane_join_broken,
+            "demoted": self._demoted,
+            "demotion_reason": self._demotion_reason,
             "batch_demanded": [
                 self._reader_key_of(r) for r in self._batch_demanded
             ],
@@ -397,6 +409,9 @@ class PlanRuntime:
         self._side_rings = (rings[0], rings[1])
         self._pair_ring = state["pair_ring"]
         self._pane_join_broken = state["pane_join_broken"]
+        # pre-adaptive checkpoints (no "demoted" key) restore undemoted
+        self._demoted = state.get("demoted", False)
+        self._demotion_reason = state.get("demotion_reason")
         # Take the recorded references before dropping the bind-time
         # ones: a reader whose pane refcount transiently hit zero would
         # reset its resumed slicer position.
@@ -470,6 +485,7 @@ class PlanRuntime:
             views = [reader.pane_view(window_id) for reader in join_readers]
             if all(view is not None for view in views):
                 self.metrics.tuples_in += sum(len(view) for view in views)
+                self._last_pane_stats = self._pane_join_stats(views)
                 rows, columns = self._execute_pane_join(refs, views)
                 self.metrics.windows_incremental += 1
                 self.metrics.windows_pane_join += 1
@@ -521,6 +537,7 @@ class PlanRuntime:
                 for demanded in self._pane_demanded:
                     demanded.release_panes()
                 self._pane_demanded.clear()
+        self._last_pane_stats = None  # not a pane-path window
         raw: list[tuple[WindowedStreamRef, WindowBatch]] = []
         window_end = 0.0
         for ref in self.plan.windows:
@@ -746,10 +763,80 @@ class PlanRuntime:
         return decision
 
     def _incremental_active(self) -> bool:
-        return self.incremental_enabled and self._decision().is_incremental
+        return (
+            self.incremental_enabled
+            and not self._demoted
+            and self._decision().is_incremental
+        )
 
     def _pane_join_active(self) -> bool:
-        return self.incremental_enabled and self._decision().is_pane_join
+        return (
+            self.incremental_enabled
+            and not self._demoted
+            and self._decision().is_pane_join
+        )
+
+    @property
+    def last_pane_stats(self) -> tuple[int, int, int] | None:
+        """``(reused, fresh, panes)`` tuple counts of the last window,
+        when it ran on a pane path (the re-planning guard's feed)."""
+        return self._last_pane_stats
+
+    @property
+    def demoted(self) -> bool:
+        return self._demoted
+
+    def demote(self, reason: str = "cost-based demotion") -> bool:
+        """Permanently retire this binding's pane path (cost-triggered).
+
+        The exact transition a permanent pane break performs — drop the
+        pane/side/pair rings, release pane demand, take (releasable)
+        batch demand — taken early because a re-planning guard decided
+        the overlap win never materializes.  Every remaining window runs
+        the recompute path, whose output is byte-identical by the house
+        differential rule, so a demotion can never change results.
+
+        Returns ``False`` (and does nothing) when there is no live pane
+        path to retire.
+        """
+        if self._demoted or not (
+            self._incremental_active() or self._pane_join_active()
+        ):
+            return False
+        self._demoted = True
+        self._demotion_reason = reason
+        self._last_pane_stats = None
+        self._pane_ring.clear()
+        self._side_rings[0].clear()
+        self._side_rings[1].clear()
+        self._pair_ring.clear()
+        for reader in self._pane_demanded:
+            reader.release_panes()
+        self._pane_demanded.clear()
+        if not self._batch_demanded:
+            for reader in set(self.readers.values()):
+                reader.demand_batches()
+                self._batch_demanded.append(reader)
+        return True
+
+    def _pane_join_stats(self, views: list) -> tuple[int, int, int]:
+        """Ring-reuse tuple counts of one pane-join window (guard feed).
+
+        Totals over both sides are order-invariant, so side/ring pairing
+        does not matter: a pane already resident in its side's ring
+        counts as reused, everything else (including the pulse-instant
+        edges) as fresh.
+        """
+        reused = fresh = panes = 0
+        for view, ring in zip(views, self._side_rings):
+            panes += len(view.panes)
+            for pane in view.panes:
+                if pane.pane_id in ring:
+                    reused += len(pane.tuples)
+                else:
+                    fresh += len(pane.tuples)
+            fresh += len(view.edge)
+        return (reused, fresh, panes)
 
     def _pane_context(self) -> _PaneContext:
         if self._pane_ctx is None:
@@ -780,6 +867,13 @@ class PlanRuntime:
         ctx = self._pane_context()
         mqo = self.mqo
         ring = self._pane_ring
+        reused = fresh = 0
+        for pane in view.panes:
+            if pane.pane_id in ring:
+                reused += len(pane.tuples)
+            else:
+                fresh += len(pane.tuples)
+        self._last_pane_stats = (reused, fresh, len(view.panes))
         for pane in view.panes:
             if pane.pane_id not in ring:
                 state = None
@@ -1433,6 +1527,7 @@ class StreamEngine:
         incremental: bool = True,
         mqo: bool = True,
         obs: Observability | None = None,
+        adaptive: bool = False,
     ) -> None:
         self.udfs = udfs or builtin_registry()
         self.cache = WindowCache(cache_capacity)
@@ -1449,6 +1544,17 @@ class StreamEngine:
         #: (``False`` makes the gateway skip the MQO registry entirely —
         #: the escape hatch the differential tests toggle)
         self.mqo = mqo
+        #: cost-based adaptive planning (off by default — every
+        #: existing deployment keeps its static heuristics): when on,
+        #: the gateway costs each registration against the estimator's
+        #: statistics catalog and attaches mid-flight re-planning
+        #: guards; every choice is demote-only and byte-identical.
+        self.adaptive = adaptive
+        self.estimator = None
+        if adaptive:
+            from .estimator import StatisticsCatalog
+
+            self.estimator = StatisticsCatalog(self)
         self._sources: dict[str, StreamSource] = {}
         self._databases: dict[str, Database] = {}
 
@@ -1457,6 +1563,8 @@ class StreamEngine:
     def register_stream(self, source: StreamSource) -> None:
         """Register a stream source under its stream name."""
         self._sources[source.stream.name] = source
+        if self.estimator is not None:
+            self.estimator.invalidate(source.stream.name)
 
     def attach_database(self, name: str, database: Database) -> None:
         """Attach a static database under a source name."""

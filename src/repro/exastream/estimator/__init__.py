@@ -1,0 +1,42 @@
+"""Cost-based adaptive planning: the cardinality-estimator layer.
+
+Three pieces, mirroring virt-graph's estimator split (sampled stats +
+schema-derived bounds + runtime guards):
+
+* :mod:`stats` — per-stream statistics (tuple rate, per-column
+  selectivity, join-key cardinality), seeded from replayable source
+  samples and DDL-derived bounds, refined from the live metric
+  registry's observed per-operator cardinalities (the ``ANA040`` feed).
+* :mod:`cost` — the registration-time cost model: per-tier cost of
+  RECOMPUTE vs the plan's pane ceiling, hash-join build-side and
+  pane-ring-size hints, a ``shards=N`` suggestion, all recorded as a
+  :class:`PlanChoice` explain record.
+* :mod:`guards` — mid-flight re-planning: a :class:`ReplanGuard`
+  demotes a pane plan whose overlap win never materializes (observed
+  pane reuse below the pane overhead for K consecutive pulses) through
+  the engine's existing permanent-fallback transition.
+
+House rule: estimation only ever changes *which* exact plan runs —
+demote to RECOMPUTE, never promote past the analyzed ceiling — so every
+choice is proven byte-identical by the forced-tier differential
+harness (``tests/test_estimator.py`` / ``tests/test_replan.py``).
+"""
+
+from .cost import PlanChoice, TierCost, cost_plan
+from .guards import GuardPolicy, ReplanGuard
+from .stats import (
+    ColumnStats,
+    StatisticsCatalog,
+    StreamStatistics,
+)
+
+__all__ = [
+    "ColumnStats",
+    "GuardPolicy",
+    "PlanChoice",
+    "ReplanGuard",
+    "StatisticsCatalog",
+    "StreamStatistics",
+    "TierCost",
+    "cost_plan",
+]

@@ -1,0 +1,358 @@
+"""The registration-time cost model over the statistics catalog.
+
+Costs one window of each *eligible* execution tier — RECOMPUTE is
+always eligible; the pane tiers only up to the plan's analyzed ceiling
+(:func:`~repro.exastream.partial_agg.analyze_incremental`) — in
+abstract work units: one unit per tuple scanned or pipelined, plus
+fixed per-pane / per-pane-pair / per-group-combine overheads.  The
+chosen tier is the cheap one, with hysteresis: a pane plan is only
+demoted when its estimated cost exceeds recompute by
+:data:`DEMOTION_MARGIN`, because the pane ring also buys O(slide)
+latency and MQO pane sharing the scalar cost does not see.
+
+Demote-only is the exactness contract — the cost model never promotes a
+plan past its ceiling (the ceiling is a *correctness* analysis), so
+every choice it can make is one of the byte-identical tiers the
+forced-tier differential harness proves equal.
+
+Build side, pane-ring size and ``shards=N`` are *advisory*: the
+recompute hash join already picks its build side per window from the
+two observed sizes (and that choice fixes the float fold order SUM/AVG
+reproduce), so overriding it could only break byte-identity — the
+estimate is recorded in the :class:`PlanChoice` and checked against
+observation by the ``ANA050`` diagnostic instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...sql import Col
+from ...streams import pane_plan
+from ..partial_agg import IncrementalMode, analyze_incremental
+from ..plan import ContinuousPlan, expr_aliases
+
+__all__ = [
+    "TierCost",
+    "PlanChoice",
+    "cost_plan",
+    "DEMOTION_MARGIN",
+]
+
+#: work units per tuple scanned off a reader
+C_SCAN = 1.0
+#: work units per tuple through the filter/join/aggregate pipeline
+C_TUPLE = 1.0
+#: fixed overhead per pane built (ring bookkeeping + partial build)
+C_PANE = 4.0
+#: fixed overhead per pane *pair* joined (symmetric-hash probe setup)
+C_PAIR = 6.0
+#: per-group cost of combining one pane's partial state into a window
+C_COMBINE = 0.5
+#: fixed per-window overhead, identical across tiers
+C_WINDOW = 2.0
+#: a pane plan is kept unless it estimates this much worse than
+#: recompute (hysteresis: the ring also buys latency + MQO sharing)
+DEMOTION_MARGIN = 1.2
+#: estimated tuples per window above which a second shard pays for its
+#: partition/merge overhead (the ``shards=N`` suggestion threshold)
+SHARD_SUGGEST_TUPLES = 2000.0
+
+
+@dataclass(frozen=True)
+class TierCost:
+    """Estimated per-window cost of one execution tier."""
+
+    mode: IncrementalMode
+    cost: float
+    detail: str = ""
+
+
+@dataclass
+class PlanChoice:
+    """The costed-plan explain record attached to a registered plan.
+
+    Everything the estimator decided (and why), surfaced through
+    ``Session.explain()`` as the ``ANA050`` diagnostic and kept for the
+    audit verifier: the per-tier costs, the chosen tier vs the analyzed
+    ceiling, the advisory build-side / ring-size / shard hints, and —
+    once a mid-flight guard fires — the demotion record.
+    """
+
+    name: str
+    ceiling: IncrementalMode
+    chosen: IncrementalMode
+    tier_costs: tuple[TierCost, ...]
+    reason: str = ""
+    #: per-stream-alias estimates backing the costs
+    est_window_tuples: float = 0.0
+    est_slide_tuples: float = 0.0
+    est_groups: float = 1.0
+    #: alias -> estimated post-filter selectivity (the prior ``ANA050``
+    #: compares against the observed ``ANA040`` numbers)
+    est_selectivity: dict[str, float] = field(default_factory=dict)
+    #: advisory hash-join build side (estimated smaller input's alias);
+    #: never applied — the runtime picks per window from real sizes,
+    #: which is what fixes the SUM/AVG float fold order
+    build_side: str | None = None
+    build_side_applied: bool = False
+    #: panes a pane-tier ring must hold per window (sizing hint checked
+    #: against the engine's cache capacity)
+    pane_ring_panes: int | None = None
+    suggested_shards: int = 1
+    #: set by the gateway when a mid-flight guard demotes the plan
+    demoted_at_window: int | None = None
+    demotion_reason: str | None = None
+
+    @property
+    def demoted_at_registration(self) -> bool:
+        return self.chosen is not self.ceiling
+
+    def tier_cost(self, mode: IncrementalMode) -> float | None:
+        for tier in self.tier_costs:
+            if tier.mode is mode:
+                return tier.cost
+        return None
+
+    def explain_lines(self) -> list[str]:
+        """Human-readable summary (the ``ANA050`` message body)."""
+        costs = ", ".join(
+            f"{tier.mode.name}={tier.cost:.0f}" for tier in self.tier_costs
+        )
+        lines = [
+            f"chose {self.chosen.name} (ceiling {self.ceiling.name}; "
+            f"est. window costs: {costs})"
+        ]
+        if self.reason:
+            lines[0] += f": {self.reason}"
+        lines.append(
+            f"estimated {self.est_window_tuples:.0f} tuples/window, "
+            f"{self.est_slide_tuples:.0f}/slide, "
+            f"~{self.est_groups:.0f} groups"
+        )
+        if self.build_side is not None:
+            lines.append(
+                f"estimated smaller join side: {self.build_side} "
+                "(advisory; runtime picks per window from real sizes)"
+            )
+        if self.pane_ring_panes is not None:
+            lines.append(f"pane ring holds {self.pane_ring_panes} panes")
+        if self.suggested_shards > 1:
+            lines.append(f"suggested shards={self.suggested_shards}")
+        if self.demoted_at_window is not None:
+            lines.append(
+                f"demoted mid-flight at window {self.demoted_at_window}: "
+                f"{self.demotion_reason}"
+            )
+        return lines
+
+
+def _group_cardinality(plan: ContinuousPlan, catalog, est_rows: float) -> float:
+    """Estimated output groups per window (1 for a global aggregate)."""
+    aggregate = plan.aggregate
+    if aggregate is None or not aggregate.group_by:
+        return 1.0
+    by_alias = {ref.alias: ref.stream for ref in plan.windows}
+    product = 1.0
+    for expr in aggregate.group_by:
+        if isinstance(expr, Col) and expr.table in by_alias:
+            product *= catalog.key_cardinality(
+                by_alias[expr.table], expr.name
+            )
+        else:
+            # grouping on a computed/static column: assume a small domain
+            product *= 8.0
+    return max(1.0, min(product, max(est_rows, 1.0)))
+
+
+def cost_plan(
+    plan: ContinuousPlan,
+    catalog,
+    scheduler=None,
+    name: str | None = None,
+) -> PlanChoice:
+    """Cost every eligible tier of one plan and pick the cheapest.
+
+    ``catalog`` is the engine's :class:`StatisticsCatalog`; ``name``
+    (defaulting to ``plan.name``) keys the observed-stats refinement;
+    ``scheduler`` EMA costs, when available for this query name, scale
+    the recompute estimate (re-registration of a seen query trusts the
+    live costs over the sampled priors).
+    """
+    query = name or plan.name
+    ceiling = analyze_incremental(plan)
+
+    # -- per-stream estimates ------------------------------------------------
+    n_statics = len(plan.statics)
+    raw_win: dict[str, float] = {}
+    raw_slide: dict[str, float] = {}
+    filtered_win: dict[str, float] = {}
+    filtered_slide: dict[str, float] = {}
+    selectivities: dict[str, float] = {}
+    single_alias: dict[str, list] = {}
+    for predicate in plan.filters:
+        aliases = expr_aliases(predicate)
+        if len(aliases) == 1:
+            single_alias.setdefault(next(iter(aliases)), []).append(predicate)
+    for ref in plan.windows:
+        stats = catalog.stream_stats(ref.stream)
+        prior = catalog.selectivity(
+            ref.stream, ref.alias, single_alias.get(ref.alias, ())
+        )
+        selectivity = catalog.effective_selectivity(
+            query, f"filter:{ref.alias}", prior
+        )
+        selectivities[ref.alias] = selectivity
+        raw_win[ref.alias] = stats.rate * ref.spec.range_seconds
+        raw_slide[ref.alias] = stats.rate * ref.spec.slide_seconds
+        filtered_win[ref.alias] = raw_win[ref.alias] * selectivity
+        filtered_slide[ref.alias] = raw_slide[ref.alias] * selectivity
+
+    est_window_tuples = sum(raw_win.values())
+    est_slide_tuples = sum(raw_slide.values())
+    filtered_total = sum(filtered_win.values())
+    est_groups = _group_cardinality(plan, catalog, filtered_total)
+
+    # -- join shape (two-stream plans) ---------------------------------------
+    join = plan.stream_join_keys()
+    join_out_win = 0.0
+    build_side: str | None = None
+    if join is not None:
+        left_ref, right_ref = plan.windows[0], plan.windows[1]
+        card = 1.0
+        for left_key, right_key in zip(join.left_keys, join.right_keys):
+            left_card = catalog.key_cardinality(
+                left_ref.stream, left_key.split(".", 1)[1]
+            )
+            right_card = catalog.key_cardinality(
+                right_ref.stream, right_key.split(".", 1)[1]
+            )
+            card = max(card, min(left_card, right_card))
+        join_out_win = (
+            filtered_win[join.left_alias] * filtered_win[join.right_alias]
+        ) / card
+        build_side = (
+            join.left_alias
+            if filtered_win[join.left_alias]
+            <= filtered_win[join.right_alias]
+            else join.right_alias
+        )
+
+    # -- tier costs ----------------------------------------------------------
+    recompute_cost = (
+        C_WINDOW
+        + est_window_tuples * C_SCAN
+        + filtered_total * (1 + n_statics) * C_TUPLE
+        + join_out_win * C_TUPLE
+        + filtered_total * C_TUPLE  # aggregation / projection pass
+    )
+    if scheduler is not None:
+        observed_cost = getattr(scheduler, "query_cost", lambda _q: None)(
+            query
+        )
+        if observed_cost:
+            # EMA costs are in scaled wall units; blend multiplicatively
+            # so a consistently cheap/expensive live query shifts the
+            # recompute estimate without swamping the structural model.
+            recompute_cost = (recompute_cost + observed_cost) / 2.0
+
+    tiers: list[TierCost] = []
+    pane_ring_panes: int | None = None
+    if ceiling.mode is IncrementalMode.PANE_INCREMENTAL:
+        panes = pane_plan(plan.spec)
+        assert panes is not None
+        pane_ring_panes = panes.panes_per_window
+        pane_cost = (
+            C_WINDOW
+            + est_slide_tuples * C_SCAN
+            + sum(filtered_slide.values()) * (1 + n_statics) * C_TUPLE
+            + panes.panes_per_slide * C_PANE
+            + panes.panes_per_window * est_groups * C_COMBINE
+        )
+        tiers.append(
+            TierCost(
+                IncrementalMode.PANE_INCREMENTAL,
+                pane_cost,
+                detail=(
+                    f"{panes.panes_per_slide} fresh pane(s), "
+                    f"{panes.panes_per_window}-pane ring"
+                ),
+            )
+        )
+    elif ceiling.mode is IncrementalMode.PANE_JOIN:
+        side_panes = [pane_plan(ref.spec) for ref in plan.windows]
+        assert all(p is not None for p in side_panes)
+        left_panes, right_panes = side_panes
+        pane_ring_panes = (
+            left_panes.panes_per_window + right_panes.panes_per_window
+        )
+        fresh_pairs = (
+            left_panes.panes_per_slide * right_panes.panes_per_window
+            + right_panes.panes_per_slide * left_panes.panes_per_window
+        )
+        pairs_per_window = (
+            left_panes.panes_per_window * right_panes.panes_per_window
+        )
+        join_out_slide = join_out_win * (
+            est_slide_tuples / est_window_tuples
+            if est_window_tuples else 1.0
+        )
+        pane_cost = (
+            C_WINDOW
+            + est_slide_tuples * C_SCAN
+            + sum(filtered_slide.values()) * C_TUPLE
+            + fresh_pairs * C_PAIR
+            + join_out_slide * C_TUPLE
+            + pairs_per_window * est_groups * C_COMBINE
+        )
+        tiers.append(
+            TierCost(
+                IncrementalMode.PANE_JOIN,
+                pane_cost,
+                detail=(
+                    f"{fresh_pairs} fresh pair(s)/window, "
+                    f"{pairs_per_window}-pair ring"
+                ),
+            )
+        )
+    tiers.append(
+        TierCost(IncrementalMode.RECOMPUTE, recompute_cost)
+    )
+
+    # -- choice (demote-only, with hysteresis) -------------------------------
+    chosen = ceiling.mode
+    reason = ""
+    if ceiling.mode is not IncrementalMode.RECOMPUTE:
+        pane_cost = tiers[0].cost
+        if pane_cost > recompute_cost * DEMOTION_MARGIN:
+            chosen = IncrementalMode.RECOMPUTE
+            reason = (
+                f"pane tier estimates {pane_cost:.0f} vs recompute "
+                f"{recompute_cost:.0f} per window — overlap win does "
+                "not cover the pane overhead"
+            )
+        else:
+            reason = (
+                f"pane tier estimates {pane_cost:.0f} vs recompute "
+                f"{recompute_cost:.0f} per window"
+            )
+
+    suggested_shards = (
+        2 if filtered_total + join_out_win > SHARD_SUGGEST_TUPLES else 1
+    )
+
+    return PlanChoice(
+        name=query,
+        ceiling=ceiling.mode,
+        chosen=chosen,
+        tier_costs=tuple(tiers),
+        reason=reason,
+        est_window_tuples=est_window_tuples,
+        est_slide_tuples=est_slide_tuples,
+        est_groups=est_groups,
+        est_selectivity=selectivities,
+        build_side=build_side,
+        build_side_applied=False,
+        pane_ring_panes=pane_ring_panes,
+        suggested_shards=suggested_shards,
+    )

@@ -1,0 +1,80 @@
+"""Mid-flight re-planning guards.
+
+A registered pane plan carries a :class:`ReplanGuard`; the gateway
+feeds it one observation per executed pulse (the runtime's
+``last_pane_stats``: tuples served from ring-cached panes vs tuples in
+freshly built panes).  When the observed reuse stays below the pane
+overhead for ``patience`` consecutive pulses, the guard fires and the
+gateway demotes the runtime through
+:meth:`~repro.exastream.engine.PlanRuntime.demote` — the *same*
+permanent-fallback transition an out-of-order batch triggers, so a
+cost-triggered demotion is byte-identical by construction (proven by
+``tests/test_replan.py`` against the uninterrupted-recompute oracle).
+
+The signal is deterministic — tuple counts, never wall time — so a
+given stream demotes at the same window on every run, machine
+notwithstanding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cost import C_COMBINE, C_PANE
+
+__all__ = ["GuardPolicy", "ReplanGuard"]
+
+
+@dataclass(frozen=True)
+class GuardPolicy:
+    """When does an overlap win count as \"never materialized\"?"""
+
+    #: consecutive low-benefit pulses before demoting (K)
+    patience: int = 4
+    #: pane-path windows ignored while the ring warms up
+    warmup: int = 1
+    #: a pulse is a strike when the reused-tuple work saved is below
+    #: this multiple of the estimated pane bookkeeping overhead
+    margin: float = 1.0
+
+
+class ReplanGuard:
+    """Per-query demotion trigger over observed pane reuse."""
+
+    def __init__(self, policy: GuardPolicy | None = None) -> None:
+        self.policy = policy or GuardPolicy()
+        self.windows_seen = 0
+        self.strikes = 0
+        self.fired = False
+        self.reason: str | None = None
+
+    def observe(self, stats: tuple[int, int, int] | None) -> str | None:
+        """Feed one pulse; returns the demotion reason when firing.
+
+        ``stats`` is the runtime's ``(reused_tuples, fresh_tuples,
+        panes)`` for a pane-path window, or ``None`` when the pulse ran
+        on another path (recompute fallback, MQO hit of a full window,
+        sharded fork worker) — those pulses carry no reuse signal and
+        neither strike nor reset.
+        """
+        if self.fired or stats is None:
+            return None
+        reused, fresh, panes = stats
+        self.windows_seen += 1
+        if self.windows_seen <= self.policy.warmup:
+            return None
+        overhead = C_PANE + C_COMBINE * panes
+        if reused < overhead * self.policy.margin:
+            self.strikes += 1
+        else:
+            self.strikes = 0
+        if self.strikes >= self.policy.patience:
+            self.fired = True
+            self.reason = (
+                f"pane reuse below cost threshold for "
+                f"{self.strikes} consecutive pulses "
+                f"(last window: {reused} reused vs {fresh} fresh tuples "
+                f"across {panes} panes)"
+            )
+            return self.reason
+        return None

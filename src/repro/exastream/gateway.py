@@ -47,8 +47,10 @@ from .bus import EventBus, Subscription
 from .engine import BoundedResultSink, PlanRuntime, StreamEngine, WindowResult
 from .metrics import BusMetrics, Stopwatch
 from .mqo import SharedPipelineRegistry, plan_signature
+from .estimator import ReplanGuard
+from .partial_agg import IncrementalMode
 from .plan import ContinuousPlan
-from .planner import plan_sql
+from .planner import costed_plan, plan_sql
 from .scheduler import (
     Scheduler,
     plan_join_stage_operators,
@@ -97,6 +99,10 @@ class RegisteredQuery:
     #: the owning gateway's event bus (push-side delivery); set at
     #: registration, ``None`` only for hand-built instances
     bus: EventBus | None = field(default=None, repr=False)
+    #: mid-flight re-planning guard (adaptive registrations of pane
+    #: plans only) — fed one observation per executed pulse; when it
+    #: fires, the gateway demotes the runtime permanently
+    guard: object | None = field(default=None, repr=False)
 
     @property
     def active(self) -> bool:
@@ -309,6 +315,15 @@ class GatewayServer:
         elif name in self._queries:
             raise ValueError(f"query name {name!r} already registered")
         plan.name = name
+        # Cost-based adaptive planning (engines built with
+        # ``adaptive=True``): refresh the estimator from the live
+        # registry — fork-worker shards ship their deltas back over the
+        # ("metrics",) pipe inside this snapshot — then cost every
+        # eligible tier and apply the (demote-only) tier decision before
+        # anything binds.  ``plan.choice`` carries the explain record.
+        if getattr(self.engine, "estimator", None) is not None:
+            self.engine.estimator.refresh(self.metrics_snapshot())
+            costed_plan(plan, self.engine, scheduler=self.scheduler)
         # Static analysis runs before any resource is bound.  Lazy import:
         # repro.analysis imports plan/signature modules from this package.
         from ..analysis import StrictAnalysisError, analyze_plan
@@ -355,6 +370,18 @@ class GatewayServer:
             diagnostics=diagnostics,
             bus=self.bus,
         )
+        choice = plan.choice
+        if (
+            choice is not None
+            and choice.chosen is not IncrementalMode.RECOMPUTE
+            and hasattr(runtime, "demote")
+        ):
+            # Mid-flight re-planning guard: the registration kept a pane
+            # tier on estimates alone, so watch the realized overlap win
+            # (deterministic tuple counts, never wall time) and demote
+            # through the permanent-fallback machinery if the win never
+            # materializes.
+            registered.guard = ReplanGuard()
         self._queries[name] = registered
         index_plan(self, name, plan)
         self.bus.wake()  # a parked serve() loop has new work
@@ -564,6 +591,17 @@ class GatewayServer:
                 registered._set_state(QueryState.COMPLETED)
                 return self._IDLE
             registered.next_window += 1
+            if registered.guard is not None and not registered.guard.fired:
+                # Mid-flight re-planning: score the window just executed
+                # on its deterministic pane-reuse counts; a sustained
+                # shortfall demotes the plan to recompute between pulses
+                # (the demoted plan's output stays byte-identical — only
+                # how the next windows are computed changes).
+                reason = registered.guard.observe(
+                    getattr(registered.runtime, "last_pane_stats", None)
+                )
+                if reason is not None:
+                    self._demote_query(registered, reason)
             deliver_watch = Stopwatch() if obs.enabled else None
             if pulse is not None:
                 with obs.span("deliver", registered.name):
@@ -595,6 +633,31 @@ class GatewayServer:
         finally:
             if pulse is not None:
                 pulse.__exit__(None, None, None)
+
+    def _demote_query(self, registered: RegisteredQuery, reason: str) -> bool:
+        """Apply a guard-triggered mid-flight demotion to recompute.
+
+        Routes through the runtime's permanent-fallback machinery (ring
+        flush + demand switch), then records the decision on the costed
+        plan's explain record and bumps ``plan_demotions_total`` so the
+        ANA050 diagnostic and the monitor can surface it.  Fork-parallel
+        sharded runtimes refuse to demote (their pane state lives in
+        child processes); the guard simply stays armed and keeps
+        observing ``None`` stats, which never strike.
+        """
+        demote = getattr(registered.runtime, "demote", None)
+        if demote is None or not demote(reason):
+            return False
+        choice = registered.plan.choice
+        if choice is not None:
+            # next_window was already advanced: it names the first window
+            # that will run under the recompute tier.
+            choice.demoted_at_window = registered.next_window
+            choice.demotion_reason = reason
+        self.obs.registry.counter(
+            "plan_demotions_total", query=registered.name
+        ).inc()
+        return True
 
     def step(
         self,

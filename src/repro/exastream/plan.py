@@ -21,6 +21,7 @@ from ..sql import BinOp, Col, Expr, Func, UnaryOp
 from ..streams import WindowSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .estimator.cost import PlanChoice
     from .mqo.signature import PlanSignature
     from .partial_agg import IncrementalDecision
     from .sharding import ShardingDecision
@@ -185,6 +186,11 @@ class ContinuousPlan:
     #: STARQL), kept for diagnostics so analyzer findings can point at a
     #: source span; never consulted by execution.
     source: str | None = field(default=None, compare=False, repr=False)
+    #: the costed-plan explain record (``None`` unless an adaptive
+    #: engine costed this plan at registration) — see
+    #: :class:`repro.exastream.estimator.PlanChoice`.  Advisory plus
+    #: the applied tier decision; never read by the executor itself.
+    choice: PlanChoice | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.windows:

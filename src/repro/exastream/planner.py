@@ -47,7 +47,11 @@ from ..sql import (
     print_query,
 )
 from ..streams import WindowSpec
-from .partial_agg import analyze_incremental
+from .partial_agg import (
+    IncrementalDecision,
+    IncrementalMode,
+    analyze_incremental,
+)
 from .plan import (
     AggregateCall,
     AggregateSpec,
@@ -61,7 +65,7 @@ from .sharding import analyze_partitioning
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .engine import StreamEngine
 
-__all__ = ["plan_sql", "PlanningError"]
+__all__ = ["plan_sql", "plan_select", "costed_plan", "PlanningError"]
 
 _SQL_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
 _STREAM_FUNCTIONS = {"timeslidingwindow", "wcache"}
@@ -192,6 +196,40 @@ def plan_select(
     plan.partitioning = analyze_partitioning(plan, engine)
     plan.incremental = analyze_incremental(plan)
     return plan
+
+
+def costed_plan(plan: ContinuousPlan, engine, scheduler=None):
+    """Apply the registration-time costed tier decision (adaptive only).
+
+    When ``engine`` carries an estimator (``adaptive=True``), cost every
+    eligible tier of ``plan`` against the statistics catalog, attach the
+    resulting :class:`~repro.exastream.estimator.PlanChoice` to
+    ``plan.choice``, and — the one *applied* decision — override
+    ``plan.incremental`` with a RECOMPUTE demotion when the pane tier's
+    estimated cost cannot cover its overhead.  Demote-only: the analyzed
+    ceiling is never exceeded, so whichever tier the estimator picks is
+    one of the byte-identical tiers the differential harness proves
+    equal.  Returns the choice (``None`` on non-adaptive engines).
+    """
+    estimator = getattr(engine, "estimator", None)
+    if estimator is None:
+        return None
+    from .estimator import cost_plan
+
+    choice = cost_plan(plan, estimator, scheduler=scheduler, name=plan.name)
+    plan.choice = choice
+    if choice.chosen is IncrementalMode.RECOMPUTE and (
+        choice.ceiling is not IncrementalMode.RECOMPUTE
+    ):
+        plan.incremental = IncrementalDecision(
+            mode=IncrementalMode.RECOMPUTE,
+            reason=f"cost-based: {choice.reason}",
+        )
+    else:
+        # Re-costing (e.g. re-registration of a prepared plan) must be
+        # able to restore the ceiling a previous costing demoted.
+        plan.incremental = analyze_incremental(plan)
+    return choice
 
 
 def _static_subselect_source(query: Query, engine: StreamEngine) -> str:

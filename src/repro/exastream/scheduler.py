@@ -469,6 +469,19 @@ class Scheduler:
     def placements_for(self, query: str) -> list[OperatorPlacement]:
         return list(self._by_query.get(query, []))
 
+    def query_cost(self, query: str) -> float | None:
+        """One query's total tracked cost (EMA-folded observed pulses).
+
+        ``None`` when the query owns no placements yet.  The cost
+        estimator blends this into its recompute baseline so repeated
+        registrations of a running workload plan against observed load,
+        not just priors.
+        """
+        placements = self._by_query.get(query)
+        if not placements:
+            return None
+        return sum(p.cost for p in placements)
+
     def load_report(self) -> SchedulerReport:
         """The read API over placement/EMA state.
 

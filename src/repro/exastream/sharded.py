@@ -316,6 +316,57 @@ class ShardedPlanRuntime:
             if release is not None:
                 release()
 
+    # -- adaptive re-planning ------------------------------------------------
+
+    @property
+    def last_pane_stats(self) -> tuple[int, int, int] | None:
+        """Summed ``(reused, fresh, panes)`` across in-process shards.
+
+        ``None`` under fork parallelism (the runtimes live in child
+        processes; their stats flow back only through the ``("metrics",)``
+        snapshot pipe) or when no shard ran a pane-path window — the
+        re-planning guard treats that as "no signal".
+        """
+        if self.parallel == "fork":
+            return None
+        reused = fresh = panes = 0
+        seen = False
+        for runtime in self._shard_runtimes:
+            stats = getattr(runtime, "last_pane_stats", None)
+            if stats is None:
+                continue
+            seen = True
+            reused += stats[0]
+            fresh += stats[1]
+            panes += stats[2]
+        return (reused, fresh, panes) if seen else None
+
+    @property
+    def demoted(self) -> bool:
+        return any(
+            getattr(runtime, "demoted", False)
+            for runtime in self._shard_runtimes
+        )
+
+    def demote(self, reason: str = "cost-based demotion") -> bool:
+        """Forward a cost-based demotion to every in-process shard.
+
+        Safe between pulses (request/collect pairs are synchronous, so
+        no shard is mid-window); each shard performs the identical
+        permanent pane-fallback transition, so the merged output is
+        unchanged.  Fork-parallel runtimes refuse (``False``): their
+        pane state lives in child processes, mirroring the checkpoint
+        restriction above.
+        """
+        if self.parallel == "fork":
+            return False
+        applied = False
+        for runtime in self._shard_runtimes:
+            demote = getattr(runtime, "demote", None)
+            if demote is not None and demote(reason):
+                applied = True
+        return applied
+
     def metric_snapshots(self) -> list:
         """Registry deltas of this runtime's *fork* workers (in-process
         shards report ``None`` — their counts already live in the shard
@@ -417,6 +468,7 @@ class ShardedEngine:
         incremental: bool = True,
         mqo: bool = True,
         obs: Observability | None = None,
+        adaptive: bool = False,
     ) -> None:
         if shards < 1:
             raise ValueError("need at least one shard")
@@ -455,6 +507,15 @@ class ShardedEngine:
             )
             for shard in range(shards)
         ]
+        #: cost-based adaptive planning over the sharded facade: the
+        #: catalog samples through this engine's own source registry, so
+        #: registration-time choices are identical to ``shards=1``
+        self.adaptive = adaptive
+        self.estimator = None
+        if adaptive:
+            from .estimator import StatisticsCatalog
+
+            self.estimator = StatisticsCatalog(self)
         self._sources: dict[str, StreamSource] = {}
         self._databases: dict[str, Database] = {}
         #: stream name -> (materialised tuples, first ts, last ts)
@@ -467,6 +528,8 @@ class ShardedEngine:
     def register_stream(self, source: StreamSource) -> None:
         self._sources[source.stream.name] = source
         self._materialized.pop(source.stream.name, None)
+        if self.estimator is not None:
+            self.estimator.invalidate(source.stream.name)
         for engine in self.shard_engines:
             engine.register_stream(source)
 

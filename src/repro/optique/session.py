@@ -272,6 +272,16 @@ class Session:
         report = self.explain(query, name=name)
         return sorted(report, key=lambda d: -d.severity.rank)
 
+    def plan_choice(self, name: str):
+        """The costed-plan explain record of one registered query.
+
+        ``None`` unless the deployment runs an adaptive engine (see
+        :class:`~repro.exastream.estimator.PlanChoice`): chosen tier vs
+        ceiling, per-tier cost estimates, the advisory hints, and any
+        mid-flight demotion record.
+        """
+        return getattr(self.gateway.query(name).plan, "choice", None)
+
     def submit(
         self,
         query: PreparedQuery | str,

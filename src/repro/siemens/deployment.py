@@ -300,6 +300,7 @@ def deploy(
     parallel: str | None = None,
     incremental: bool = True,
     mqo: bool = True,
+    adaptive: bool = False,
 ) -> SiemensDeployment:
     """Stand up a complete deployment (generate the fleet if needed).
 
@@ -310,7 +311,9 @@ def deploy(
     execution is on by default and falls back automatically per plan).
     ``mqo=False`` disables shared-subplan execution across registered
     tasks (the multi-query optimizer is on by default; results are
-    byte-identical either way).
+    byte-identical either way).  ``adaptive=True`` turns on cost-based
+    tier selection with mid-flight re-planning guards (also
+    byte-identical: the estimator only picks among the exact tiers).
     """
     if fleet is None:
         fleet = generate_fleet(config or FleetConfig(turbines=10, plants=4))
@@ -325,9 +328,12 @@ def deploy(
             scheduler=scheduler,
             incremental=incremental,
             mqo=mqo,
+            adaptive=adaptive,
         )
     else:
-        engine = StreamEngine(incremental=incremental, mqo=mqo)
+        engine = StreamEngine(
+            incremental=incremental, mqo=mqo, adaptive=adaptive
+        )
     engine.attach_database("plant", fleet.plant_db)
     engine.attach_database("legacy", fleet.legacy_db)
     engine.attach_database("history", fleet.history_db)

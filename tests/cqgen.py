@@ -18,7 +18,15 @@ pieces they used to copy-paste:
 Everything is deterministic under a caller-provided ``random.Random``.
 """
 
-from repro.exastream import GatewayServer, ShardedEngine, StreamEngine, plan_sql
+from repro.exastream import (
+    GatewayServer,
+    IncrementalDecision,
+    IncrementalMode,
+    ShardedEngine,
+    StreamEngine,
+    analyze_incremental,
+    plan_sql,
+)
 from repro.exastream.durability import (
     CheckpointManager,
     FaultInjector,
@@ -32,6 +40,7 @@ __all__ = [
     "SCHEMA",
     "SPECS",
     "measurement_rows",
+    "adversarial_rows",
     "static_db",
     "build_engine",
     "run_engine",
@@ -39,6 +48,8 @@ __all__ = [
     "run_concurrently",
     "run_checkpointed",
     "recover_and_finish",
+    "eligible_tiers",
+    "force_tier",
     "random_single_stream_sql",
     "random_family",
     "random_join_sql",
@@ -89,6 +100,64 @@ def measurement_rows(
                     50.0 + ((t * 7 + s * 13) % 23) + fraction + value_offset,
                 )
             )
+    return rows
+
+
+def adversarial_rows(
+    rng,
+    n_seconds=240,
+    n_sensors=6,
+    skew=2.0,
+    burst_period=60,
+    burst_duty=0.25,
+    burst_hz=4,
+    sparse_p=0.2,
+    correlated=True,
+):
+    """Estimator-hostile measurements: the shapes cost models get wrong.
+
+    * **Skewed key cardinality** — sensor ids drawn with weight
+      ``1 / (1 + s) ** skew``, so a couple of hot keys dominate while
+      the tail keys barely appear (a uniform-distinct assumption
+      overestimates group counts and join fan-out).
+    * **Bursty/sparse rate** — each ``burst_period`` opens with a
+      ``burst_duty`` fraction of dense ``burst_hz`` traffic, then goes
+      near-silent (one tuple per second with probability ``sparse_p``),
+      so any single sampled rate misrepresents most of the stream.
+    * **Correlated filters** — with ``correlated=True`` the value is a
+      function of the sensor id (plus noise), so a value filter's
+      selectivity differs per key instead of being independent.
+
+    Deterministic under the caller's ``rng``; rows are timestamp-ordered
+    like every other generator here.
+    """
+    weights = [1.0 / (1 + s) ** skew for s in range(n_sensors)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+
+    def pick_sensor():
+        u = rng.random()
+        for s, edge in enumerate(cumulative):
+            if u <= edge:
+                return s
+        return n_sensors - 1
+
+    rows = []
+    burst_seconds = max(1, int(burst_period * burst_duty))
+    for t in range(n_seconds):
+        in_burst = (t % burst_period) < burst_seconds
+        count = burst_hz if in_burst else (1 if rng.random() < sparse_p else 0)
+        for k in range(count):
+            s = pick_sensor()
+            if correlated:
+                val = 40.0 + s * 5.0 + rng.uniform(0.0, 10.0)
+            else:
+                val = 50.0 + rng.uniform(0.0, 23.0)
+            rows.append((t + k / float(max(count, 1)), s, val))
     return rows
 
 
@@ -156,9 +225,54 @@ def build_engine(
     return engine
 
 
-def run_engine(engine, sql, shards=1):
-    """Plan + execute one query to exhaustion; hashable result tuples."""
+def eligible_tiers(plan):
+    """The execution tiers this plan may run under, ceiling first.
+
+    The incremental analysis is a correctness *ceiling*: a plan may run
+    at its analyzed tier or anywhere below it (RECOMPUTE is always
+    eligible) — never above.  Mirrors the demote-only contract of the
+    cost-based planner.
+    """
+    ceiling = analyze_incremental(plan)
+    tiers = [ceiling.mode]
+    if ceiling.mode is not IncrementalMode.RECOMPUTE:
+        tiers.append(IncrementalMode.RECOMPUTE)
+    return tiers
+
+
+def force_tier(plan, mode):
+    """Pin ``plan`` to one eligible execution tier (differential knob).
+
+    Forcing the ceiling reruns the analysis (the pane decisions carry
+    the pane grids the runtime needs); forcing RECOMPUTE below a pane
+    ceiling installs a bare recompute decision, exactly like the cost
+    model's registration-time demotion.  Forcing above the ceiling is a
+    harness bug and raises.
+    """
+    ceiling = analyze_incremental(plan)
+    if mode is ceiling.mode:
+        plan.incremental = ceiling
+    elif mode is IncrementalMode.RECOMPUTE:
+        plan.incremental = IncrementalDecision(
+            mode=IncrementalMode.RECOMPUTE, reason="forced tier (test harness)"
+        )
+    else:
+        raise ValueError(
+            f"tier {mode.name} is above this plan's ceiling "
+            f"{ceiling.mode.name}"
+        )
+    return plan
+
+
+def run_engine(engine, sql, shards=1, forced_tier=None):
+    """Plan + execute one query to exhaustion; hashable result tuples.
+
+    ``forced_tier`` pins the plan to one eligible execution tier before
+    binding (see :func:`force_tier`).
+    """
     plan = plan_sql(sql, engine, name="q")
+    if forced_tier is not None:
+        force_tier(plan, forced_tier)
     if isinstance(engine, ShardedEngine):
         results = engine.run_continuous(plan, shards=shards)
     else:

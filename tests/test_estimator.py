@@ -1,0 +1,349 @@
+"""Cost-based adaptive planning: estimator properties + forced-tier
+differential matrix.
+
+The exactness contract under test: the cardinality estimator only ever
+chooses *which* of the byte-identical execution tiers runs — never what
+they produce.  So every eligible tier of every workload here (the 20
+Siemens diagnostic tasks, seeded random CQs over estimator-hostile
+streams) must yield identical :class:`WindowResult` sequences, and the
+adaptive engine's choice must land inside that proven-equal set.
+
+The property tests pin the estimator itself: filter-selectivity
+monotonicity, DDL-derived cardinality bounds, and observed-stats
+convergence overriding the sampled priors.
+"""
+
+import random
+
+import pytest
+
+from cqgen import (
+    SPECS,
+    adversarial_rows,
+    build_engine,
+    eligible_tiers,
+    force_tier,
+    measurement_rows,
+    random_join_sql,
+    random_single_stream_sql,
+    run_engine,
+    snapshot,
+)
+from repro.exastream import GatewayServer, IncrementalMode, plan_sql
+from repro.exastream.estimator import cost_plan
+from repro.exastream.estimator.stats import (
+    CONVERGE_WINDOWS,
+    DEFAULT_SELECTIVITY,
+)
+from repro.siemens import FleetConfig, deploy, diagnostic_catalog, generate_fleet
+
+
+def run_adaptive(sql, *, rows=None, streams=None, shards=1):
+    """One adaptive gateway run of ``sql``; snapshot + the PlanChoice."""
+    engine = build_engine(rows, streams=streams, shards=shards, adaptive=True)
+    gateway = GatewayServer(engine)
+    registered = gateway.register(
+        sql, name="q", shards=shards if shards > 1 else None
+    )
+    while gateway.step():
+        pass
+    return snapshot(registered), registered.plan.choice
+
+
+class TestForcedTierSiemens:
+    """Every eligible tier x all 20 tasks x shards in {1, 2}."""
+
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        return generate_fleet(FleetConfig(turbines=4, plants=2))
+
+    def _run_all(self, fleet, *, shards=1, **deploy_kwargs):
+        dep = deploy(
+            fleet=fleet, stream_duration=20, shards=shards, **deploy_kwargs
+        )
+        with dep.session() as session:
+            handles = [
+                session.submit(
+                    task.starql,
+                    name=f"t{task.task_id}",
+                    shards=shards if shards > 1 else None,
+                )
+                for task in diagnostic_catalog()
+            ]
+            while session.step(1):
+                pass
+            results = {
+                handle.registered.name: snapshot(handle.registered)
+                for handle in handles
+            }
+            choices = {
+                handle.registered.name: handle.registered.plan.choice
+                for handle in handles
+            }
+        return results, choices
+
+    @pytest.fixture(scope="class")
+    def matrix(self, fleet):
+        runs = {}
+        for shards in (1, 2):
+            runs["ceiling", shards] = self._run_all(
+                fleet, shards=shards, incremental=True
+            )[0]
+            runs["recompute", shards] = self._run_all(
+                fleet, shards=shards, incremental=False
+            )[0]
+            runs["adaptive", shards] = self._run_all(
+                fleet, shards=shards, adaptive=True
+            )
+        return runs
+
+    def test_all_cells_byte_identical(self, matrix):
+        reference = matrix["ceiling", 1]
+        assert any(len(v) > 0 for v in reference.values())
+        for key, run in matrix.items():
+            results = run[0] if isinstance(run, tuple) else run
+            assert results.keys() == reference.keys()
+            for name in reference:
+                assert results[name] == reference[name], (key, name)
+
+    def test_adaptive_choices_recorded(self, matrix):
+        _, choices = matrix["adaptive", 1]
+        assert all(choice is not None for choice in choices.values())
+        # the dense Siemens streams make the pane tiers pay off: the
+        # estimator must keep at least some plans at their ceiling
+        kept = [
+            c for c in choices.values()
+            if c.chosen is not IncrementalMode.RECOMPUTE
+        ]
+        assert kept
+        for choice in choices.values():
+            modes = [tier.mode for tier in choice.tier_costs]
+            assert IncrementalMode.RECOMPUTE in modes
+            assert choice.chosen in modes
+
+
+class TestForcedTierRandom:
+    """Seeded random CQs over adversarial streams, all tiers + adaptive."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_single_stream(self, seed):
+        rng = random.Random(7000 + seed)
+        rows = adversarial_rows(random.Random(7100 + seed))
+        r, s = SPECS[seed % len(SPECS)]
+        sql = random_single_stream_sql(rng, r, s)
+        plan = plan_sql(sql, build_engine(rows), name="probe")
+        reference = None
+        for tier in eligible_tiers(plan):
+            for shards in (1, 2):
+                out = run_engine(
+                    build_engine(rows, shards=shards),
+                    sql,
+                    shards=shards,
+                    forced_tier=tier,
+                )
+                if reference is None:
+                    reference = out
+                assert out == reference, (tier.name, shards)
+        adaptive, choice = run_adaptive(sql, rows=rows)
+        assert adaptive == reference
+        assert choice is not None
+        assert choice.chosen in eligible_tiers(plan)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_two_stream_join(self, seed):
+        rng = random.Random(8000 + seed)
+        streams = {
+            "A": adversarial_rows(random.Random(8100 + seed)),
+            "B": adversarial_rows(random.Random(8200 + seed)),
+        }
+        sql = random_join_sql(rng, (20, 5))
+        plan = plan_sql(sql, build_engine(streams=streams), name="probe")
+        reference = None
+        for tier in eligible_tiers(plan):
+            out = run_engine(
+                build_engine(streams=streams), sql, forced_tier=tier
+            )
+            if reference is None:
+                reference = out
+            assert out == reference, tier.name
+        adaptive, choice = run_adaptive(sql, streams=streams)
+        assert adaptive == reference
+        assert choice.chosen in eligible_tiers(plan)
+
+
+class TestEstimatorProperties:
+    def _catalog(self, rows):
+        return build_engine(rows, adaptive=True).estimator
+
+    def _filters(self, sql):
+        """The single-alias filter predicates of one planned query."""
+        engine = build_engine(measurement_rows(n_seconds=30))
+        return list(plan_sql(sql, engine, name="probe").filters)
+
+    def test_selectivity_monotone_under_conjunction(self):
+        """More selective filter => lower (or equal) estimate."""
+        catalog = self._catalog(measurement_rows(n_seconds=120))
+        base = "SELECT COUNT(*) AS n FROM timeSlidingWindow(S, 20, 5) AS w"
+        loose = self._filters(base + " WHERE w.val > 52")
+        strict = self._filters(base + " WHERE w.val > 52 AND w.sid < 3")
+        sel_loose = catalog.selectivity("S", "w", loose)
+        sel_strict = catalog.selectivity("S", "w", strict)
+        assert 0.0 <= sel_strict <= sel_loose <= 1.0
+        assert catalog.selectivity("S", "w", ()) == 1.0
+
+    def test_selectivity_tracks_threshold(self):
+        """Raising a value threshold never raises the estimate."""
+        catalog = self._catalog(measurement_rows(n_seconds=120))
+        base = "SELECT COUNT(*) AS n FROM timeSlidingWindow(S, 20, 5) AS w"
+        estimates = [
+            catalog.selectivity(
+                "S", "w", self._filters(f"{base} WHERE w.val > {threshold}")
+            )
+            for threshold in (45, 55, 65, 80)
+        ]
+        assert estimates == sorted(estimates, reverse=True)
+        assert estimates[0] > estimates[-1]
+
+    def test_key_cardinality_bounded_by_ddl(self):
+        """Estimates never exceed the mapping/DDL-derived key bound.
+
+        The stream sample carries 12 distinct sensor ids, but the
+        attached static ``sensors`` table (the DDL side of the mapping)
+        only holds 6 rows — the estimator must clamp to the smaller.
+        """
+        rows = measurement_rows(n_seconds=60, n_sensors=12)
+        catalog = self._catalog(rows)  # static_db() holds 6 sensors
+        assert catalog.key_bound("sid") == 6
+        assert catalog.key_cardinality("S", "sid") <= 6
+        # an unmapped column has no bound: the sample alone rules
+        assert catalog.key_bound("val") is None
+        assert catalog.key_cardinality("S", "sid") >= 1.0
+
+    def test_default_selectivity_without_sample(self):
+        catalog = self._catalog([])
+        filters = self._filters(
+            "SELECT COUNT(*) AS n FROM timeSlidingWindow(S, 20, 5) AS w "
+            "WHERE w.val > 52"
+        )
+        assert catalog.selectivity("S", "w", filters) == DEFAULT_SELECTIVITY
+
+    def test_observed_stats_override_priors_after_convergence(self):
+        """Observed cardinalities take over once enough windows ran."""
+        rows = measurement_rows(n_seconds=60)
+        engine = build_engine(rows, adaptive=True)
+        gateway = GatewayServer(engine)
+        sql = (
+            "SELECT w.sid AS s, COUNT(*) AS n "
+            "FROM timeSlidingWindow(S, 20, 5) AS w "
+            "WHERE w.val > 55 GROUP BY w.sid"
+        )
+        gateway.register(sql, name="q")
+        catalog = engine.estimator
+        prior = 0.987  # deliberately wrong prior
+        for _ in range(CONVERGE_WINDOWS - 1):
+            assert gateway.step(1)
+        catalog.refresh(gateway.metrics_snapshot())
+        assert (
+            catalog.effective_selectivity("q", "filter:w", prior) == prior
+        ), "prior must hold before convergence"
+        while gateway.step(1):
+            pass
+        catalog.refresh(gateway.metrics_snapshot())
+        assert catalog.observed_windows("q") >= CONVERGE_WINDOWS
+        observed = catalog.observed_selectivity("q", "filter:w")
+        assert observed is not None and 0.0 < observed < 0.9
+        effective = catalog.effective_selectivity("q", "filter:w", prior)
+        assert effective == observed != prior
+
+    def test_refresh_is_idempotent(self):
+        rows = measurement_rows(n_seconds=60)
+        engine = build_engine(rows, adaptive=True)
+        gateway = GatewayServer(engine)
+        gateway.register(
+            "SELECT COUNT(*) AS n FROM timeSlidingWindow(S, 20, 5) AS w "
+            "WHERE w.val > 55",
+            name="q",
+        )
+        while gateway.step(1):
+            pass
+        catalog = engine.estimator
+        catalog.refresh(gateway.metrics_snapshot())
+        first = catalog.observed_selectivity("q", "filter:w")
+        catalog.refresh(gateway.metrics_snapshot())
+        assert catalog.observed_selectivity("q", "filter:w") == first
+
+
+class TestPlanChoice:
+    def test_demote_only_choice_set(self):
+        """The chosen tier is always the ceiling or RECOMPUTE."""
+        rng = random.Random(42)
+        for seed in range(8):
+            rows = adversarial_rows(random.Random(9000 + seed))
+            r, s = SPECS[seed % len(SPECS)]
+            sql = random_single_stream_sql(rng, r, s)
+            engine = build_engine(rows, adaptive=True)
+            plan = plan_sql(sql, engine, name="q")
+            choice = cost_plan(plan, engine.estimator)
+            assert choice.chosen in (choice.ceiling, IncrementalMode.RECOMPUTE)
+            assert choice.tier_cost(IncrementalMode.RECOMPUTE) is not None
+
+    def test_sparse_fine_slide_demotes_at_registration(self):
+        """The pane trap: sparse stream, fine slide, many groups."""
+        rows = [(float(t), (t // 3) % 6, 50.0 + t) for t in range(0, 200, 3)]
+        sql = (
+            "SELECT w.sid AS s, COUNT(*) AS n "
+            "FROM timeSlidingWindow(S, 40, 2) AS w GROUP BY w.sid"
+        )
+        out, choice = run_adaptive(sql, rows=rows)
+        assert choice.ceiling is IncrementalMode.PANE_INCREMENTAL
+        assert choice.chosen is IncrementalMode.RECOMPUTE
+        assert choice.demoted_at_registration
+        assert "pane" in choice.reason
+        oracle = run_engine(build_engine(rows, incremental=False), sql)
+        assert out == oracle
+
+    def test_dense_overlap_keeps_pane_tier(self):
+        rows = measurement_rows(n_seconds=120)
+        sql = (
+            "SELECT w.sid AS s, AVG(w.val) AS a "
+            "FROM timeSlidingWindow(S, 80, 5) AS w GROUP BY w.sid"
+        )
+        out, choice = run_adaptive(sql, rows=rows)
+        assert choice.chosen is IncrementalMode.PANE_INCREMENTAL
+        assert not choice.demoted_at_registration
+        oracle = run_engine(build_engine(rows), sql)
+        assert out == oracle
+
+    def test_ana050_diagnostic_in_explain(self):
+        from repro.analysis import analyze_plan
+
+        rows = measurement_rows(n_seconds=60)
+        engine = build_engine(rows, adaptive=True)
+        gateway = GatewayServer(engine)
+        registered = gateway.register(
+            "SELECT w.sid AS s, COUNT(*) AS n "
+            "FROM timeSlidingWindow(S, 20, 5) AS w "
+            "WHERE w.val > 55 GROUP BY w.sid",
+            name="q",
+        )
+        while gateway.step(1):
+            pass
+        report = analyze_plan(
+            registered.plan, engine, gateway=gateway, name="q"
+        )
+        infos = [d.message for d in report if d.code == "ANA050"]
+        assert any("chose" in m and "ceiling" in m for m in infos)
+        # after the run, the estimated-vs-observed comparison appears
+        assert any("observed" in m for m in infos)
+
+    def test_non_adaptive_engine_attaches_no_choice(self):
+        rows = measurement_rows(n_seconds=30)
+        engine = build_engine(rows)
+        gateway = GatewayServer(engine)
+        registered = gateway.register(
+            "SELECT COUNT(*) AS n FROM timeSlidingWindow(S, 20, 5) AS w",
+            name="q",
+        )
+        assert engine.estimator is None
+        assert registered.plan.choice is None
+        assert registered.guard is None
